@@ -1,0 +1,43 @@
+// Ablation: battery recharge policy between bursts. The paper's Case 3
+// recharges from the grid "in anticipation of future sprints"; a greener
+// policy waits for surplus renewables. Over a multi-burst day the policies
+// differ in how ready the batteries are for the *next* burst and how much
+// grid energy the rack consumes.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/day_runner.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: battery recharge policy across a day with a late-night burst "
+               "(SPECjbb, 3 green servers, 3.2 Ah, Hybrid)\n\n";
+  TextTable t({"Policy", "Burst speedup", "Sprint h/server",
+               "Grid Wh (bursts)", "Battery Wh", "Cycles"});
+  for (bool grid_charging : {true, false}) {
+    sim::DayRunConfig cfg;
+    cfg.days = 1;
+    cfg.daily_bursts = sim::default_daily_bursts();
+    // A second evening burst well after sunset: with no sun between the
+    // 19:30 and 22:30 bursts, only grid charging can refill the battery.
+    cfg.daily_bursts.push_back(
+        {Seconds(22.5 * 3600.0), Seconds(900.0), 1.0});
+    cfg.cluster.battery_per_server = AmpHours(3.2);
+    cfg.cluster.grid_charging = grid_charging;
+    const auto r = sim::run_days(cfg);
+    t.add_row({grid_charging ? "Grid + RE charging (paper)"
+                             : "RE-only charging",
+               TextTable::num(r.burst_speedup),
+               TextTable::num(r.sprint_hours_per_server),
+               TextTable::num(to_watt_hours(r.grid_energy).value(), 0),
+               TextTable::num(to_watt_hours(r.batt_energy).value(), 0),
+               TextTable::num(r.battery_cycles)});
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: grid charging refills the batteries between the "
+               "sunset and late-night bursts (higher speedup, more cycles, "
+               "less emergency grid draw during the burst); RE-only "
+               "charging leaves the night burst under-provisioned but "
+               "keeps the green bus strictly green.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation: sensitivity of the headline result to the goodput-collapse
+// coefficient delta — the one free parameter of our workload substrate
+// that is calibrated (not measured) against the paper's 4.8x gain. Shows
+// how the max-availability speedup moves as delta varies around the
+// calibrated value, so readers can judge the calibration's leverage.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: congestion-collapse coefficient delta "
+               "(SPECjbb, RE-Batt, Hybrid, Max availability, 30 min)\n\n";
+  const double calibrated = workload::specjbb().congestion_delta;
+  TextTable t({"delta", "Max-avail speedup", "note"});
+  for (double delta : {0.0, 0.1, 0.2, calibrated, 0.35, 0.5}) {
+    auto sc = bench::scenario(workload::specjbb(), sim::re_batt(),
+                              core::StrategyKind::Hybrid,
+                              trace::Availability::Max, 30.0);
+    sc.app.congestion_delta = delta;
+    const double p = sim::normalized_performance(sc);
+    t.add_row({TextTable::num(delta, 2), TextTable::num(p),
+               delta == calibrated ? "<= calibrated (paper: 4.8x)" : ""});
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: delta = 0 reduces the gain to the pure "
+               "SLA-capacity ratio (~3.2x); the paper's 4.8x implies a "
+               "moderate timeout/retry collapse in the saturated Normal "
+               "mode, not an extreme one.\n";
+  return 0;
+}

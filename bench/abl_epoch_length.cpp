@@ -1,0 +1,31 @@
+// Ablation: scheduling-epoch length. The paper mentions 5-minute
+// prediction epochs as an example; the control interval trades reaction
+// speed against decision churn, and epoch granularity quantizes how
+// precisely the battery's last minutes can be spent.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: PMK scheduling-epoch length (SPECjbb, RE-SBatt, "
+               "Hybrid, 30-min bursts)\n\n";
+  TextTable t({"Epoch", "Min", "Med", "Max"});
+  for (double epoch_s : {15.0, 30.0, 60.0, 120.0, 300.0}) {
+    std::vector<std::string> row{TextTable::num(epoch_s, 0) + " s"};
+    for (auto avail : {trace::Availability::Min, trace::Availability::Med,
+                       trace::Availability::Max}) {
+      auto sc = bench::scenario(workload::specjbb(), sim::re_sbatt(),
+                                core::StrategyKind::Hybrid, avail, 30.0);
+      sc.epoch = Seconds(epoch_s);
+      row.push_back(TextTable::num(sim::normalized_performance(sc)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: coarse epochs lose performance at Min "
+               "availability (the battery cannot be committed for a whole "
+               "long epoch) and react late to medium-supply swings; "
+               "sub-minute epochs buy little beyond 30-60 s.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: regret of the online strategies against the offline-optimal
+// oracle (which sees the future renewable supply). Quantifies how much
+// supply intermittency actually costs each PMK policy — the design concern
+// Section III motivates with the EWMA predictor.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/oracle_runner.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: online-strategy regret vs the offline oracle "
+               "(SPECjbb, RE-SBatt, 30-min bursts)\n\n";
+  TextTable t({"Avail", "Oracle", "Greedy", "Parallel", "Pacing", "Hybrid",
+               "Hybrid regret"});
+  for (auto avail : {trace::Availability::Min, trace::Availability::Med,
+                     trace::Availability::Max}) {
+    auto sc = bench::scenario(workload::specjbb(), sim::re_sbatt(),
+                              core::StrategyKind::Hybrid, avail, 30.0);
+    const auto oracle = sim::run_oracle(sc);
+    std::vector<std::string> row{trace::to_string(avail),
+                                 TextTable::num(oracle.normalized_perf)};
+    double hybrid_perf = 0.0;
+    for (auto k : core::sprinting_strategies()) {
+      sc.strategy = k;
+      const double p = sim::normalized_performance(sc);
+      if (k == core::StrategyKind::Hybrid) hybrid_perf = p;
+      row.push_back(TextTable::num(p));
+    }
+    const double regret =
+        (oracle.normalized_perf - hybrid_perf) /
+        (oracle.normalized_perf > 0.0 ? oracle.normalized_perf : 1.0);
+    row.push_back(TextTable::num(100.0 * regret, 1) + "%");
+    t.add_row(std::move(row));
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: with ample or zero supply foresight is worthless "
+               "(regret ~0); the gap concentrates in the intermittent "
+               "medium regime the paper targets.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: renewable-supply forecaster. The paper uses EWMA (Eq. 1) and
+// notes solar prediction is easy in stable weather; this bench compares
+// EWMA against the persistence baseline and a clear-sky-indexed EWMA on a
+// week of synthetic supply for each weather mix.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/forecaster.hpp"
+#include "power/solar_array.hpp"
+#include "trace/solar.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: renewable forecasters — mean |error| in W per "
+               "60 s epoch, daylight hours only (3-panel array)\n\n";
+  const power::SolarArray array({3, Watts(275.0), 0.77});
+  TextTable t({"Forecaster", "seed42", "seed7", "seed1234", "mean"});
+  for (auto kind :
+       {core::ForecasterKind::Persistence, core::ForecasterKind::Ewma,
+        core::ForecasterKind::ClearSky}) {
+    std::vector<std::string> row{core::to_string(kind)};
+    double total = 0.0;
+    for (std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+      trace::SolarTraceConfig cfg;
+      cfg.seed = seed;
+      const auto tr = trace::generate_solar_trace(cfg);
+      auto envelope = [cfg](Seconds ts) {
+        return trace::clear_sky_envelope(
+            std::fmod(ts.value() / 3600.0, 24.0), cfg);
+      };
+      auto f = core::make_forecaster(kind, envelope, array.peak_ac());
+      double abs_err = 0.0;
+      std::size_t n = 0;
+      bool primed = false;
+      for (Seconds ts(0.0); ts < tr.duration(); ts += Seconds(60.0)) {
+        const Watts obs = array.ac_output(tr.at(ts));
+        if (primed && envelope(ts) > 0.01) {
+          abs_err += std::abs(f->predict(ts).value() - obs.value());
+          ++n;
+        }
+        f->observe(obs, ts);
+        primed = true;
+      }
+      const double mae = abs_err / double(n);
+      row.push_back(TextTable::num(mae, 2));
+      total += mae;
+    }
+    row.push_back(TextTable::num(total / 3.0, 2));
+    t.add_row(std::move(row));
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: at one-minute horizons persistence is the "
+               "classic near-unbeatable baseline; indexing out the diurnal "
+               "ramp (ClearSky) recovers most of the EWMA's lag. The paper "
+               "still prefers EWMA because its smoothing damps minute-scale "
+               "cloud noise, which stabilizes the PMK's setting choices "
+               "(alpha trades accuracy for stability, Section III-A).\n";
+  return 0;
+}

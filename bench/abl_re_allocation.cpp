@@ -1,0 +1,51 @@
+// Ablation: how should scarce renewable power be divided among the green
+// servers? EqualShare (the paper's implicit symmetric setup) spreads the
+// rack's output evenly; Waterfall concentrates it so a subset of servers
+// sprints fully. At supply levels below n * sprint-power the policies
+// diverge sharply.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/green_cluster.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: renewable allocation policy across the green "
+               "group (SPECjbb, 3 servers, no batteries, converged "
+               "forecasts)\n\n";
+  TextTable t({"RE total (W)", "EqualShare goodput", "sprinters",
+               "Waterfall goodput", "sprinters", "Winner"});
+  for (double re : {120.0, 210.0, 300.0, 420.0, 635.0}) {
+    double goodput[2] = {0.0, 0.0};
+    int sprinters[2] = {0, 0};
+    int i = 0;
+    for (auto policy :
+         {sim::ReAllocation::EqualShare, sim::ReAllocation::Waterfall}) {
+      sim::GreenClusterConfig cfg;
+      cfg.servers = 3;
+      cfg.battery_per_server = AmpHours(0.0);
+      cfg.strategy = core::StrategyKind::Hybrid;
+      cfg.allocation = policy;
+      sim::GreenCluster cluster(workload::specjbb(), cfg);
+      const double lambda = cluster.perf().intensity_load(12);
+      for (int w = 0; w < 20; ++w) cluster.idle_step(Watts(re), 30.0);
+      // Two epochs to converge the load forecast; measure the second.
+      (void)cluster.step(Watts(re), lambda, true);
+      const auto ep = cluster.step(Watts(re), lambda, true);
+      goodput[i] = ep.total_goodput;
+      sprinters[i] = ep.servers_sprinting;
+      ++i;
+    }
+    t.add_row({TextTable::num(re, 0), TextTable::num(goodput[0], 0),
+               std::to_string(sprinters[0]), TextTable::num(goodput[1], 0),
+               std::to_string(sprinters[1]),
+               goodput[1] > goodput[0] * 1.01   ? "Waterfall"
+               : goodput[0] > goodput[1] * 1.01 ? "EqualShare"
+                                                : "tie"});
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: below ~3x the per-server sprint demand, "
+               "concentrating supply (Waterfall) serves strictly more load "
+               "within SLA than spreading it too thin to sprint at all.\n";
+  return 0;
+}

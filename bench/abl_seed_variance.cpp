@@ -1,0 +1,44 @@
+// Ablation: weather-draw variance of the headline numbers. Every figure in
+// the paper comes from one replayed NREL week; this bench replicates the
+// key cells over several synthetic weather seeds and reports mean +/- std,
+// showing which conclusions are robust to the draw.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Ablation: variance of headline results over 5 synthetic "
+               "weather draws (SPECjbb, Hybrid)\n\n";
+  constexpr int kReplicas = 5;
+  TextTable t({"Cell", "mean", "std", "min", "max"});
+  struct Cell {
+    const char* name;
+    sim::GreenConfig cfg;
+    trace::Availability avail;
+    double minutes;
+  };
+  const std::vector<Cell> cells = {
+      {"RE-Batt Max 30min", sim::re_batt(), trace::Availability::Max, 30.0},
+      {"RE-Batt Med 60min", sim::re_batt(), trace::Availability::Med, 60.0},
+      {"RE-Batt Min 60min", sim::re_batt(), trace::Availability::Min, 60.0},
+      {"RE-SBatt Med 30min", sim::re_sbatt(), trace::Availability::Med,
+       30.0},
+      {"REOnly Med 60min", sim::re_only(), trace::Availability::Med, 60.0},
+  };
+  for (const auto& c : cells) {
+    const auto sc = bench::scenario(workload::specjbb(), c.cfg,
+                                    core::StrategyKind::Hybrid, c.avail,
+                                    c.minutes);
+    const auto stats = sim::replicate_normalized_perf(sc, kReplicas);
+    t.add_row({c.name, TextTable::num(stats.mean()),
+               TextTable::num(stats.stddev()),
+               TextTable::num(stats.min()), TextTable::num(stats.max())});
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: Max- and Min-availability cells are nearly "
+               "deterministic (supply is either plentiful or absent); the "
+               "medium/intermittent cells carry the weather variance, so "
+               "single-trace numbers there deserve error bars.\n";
+  return 0;
+}

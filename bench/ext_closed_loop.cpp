@@ -1,0 +1,65 @@
+// Extension: open-loop vs closed-loop load under overload. The paper
+// drives its workloads with Faban, a closed-loop harness; this bench shows
+// why that matters: a saturated server under closed-loop load keeps
+// serving at capacity with latency bounded by the client population, while
+// the open-loop (Poisson) model queues without bound unless admission
+// control sheds. The sprint decision looks the same either way — the
+// *measured* overload latency does not.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/des.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/perf_model.hpp"
+
+int main() {
+  using namespace gs;
+  using namespace gs::workload;
+  const auto app = specjbb();
+  const PerfModel perf(app);
+  std::cout << "Extension: overload behaviour by load model "
+               "(SPECjbb, Normal mode vs max sprint, 10-min window)\n\n";
+  TextTable t({"Load model", "Setting", "Throughput", "Goodput",
+               "p99 latency (s)"});
+  const Seconds window(600.0);
+  for (const auto& setting : {server::normal_mode(), server::max_sprint()}) {
+    const double lambda = perf.intensity_load(12);
+    // Open loop, unbounded queue.
+    {
+      Rng rng = Rng::stream(1, {std::uint64_t(setting.cores)});
+      const auto r = simulate_epoch(rng, app, setting, lambda, window);
+      t.add_row({"Open (Poisson)", server::to_string(setting),
+                 TextTable::num(double(r.completed) / window.value(), 0),
+                 TextTable::num(r.goodput_rate, 0),
+                 TextTable::num(r.tail_latency.value(), 2)});
+    }
+    // Open loop with SLA-aware admission control.
+    {
+      Rng rng = Rng::stream(2, {std::uint64_t(setting.cores)});
+      DesOptions o;
+      o.admit_wait_limit_s = 0.35;
+      const auto r = simulate_epoch(rng, app, setting, lambda, window, o);
+      t.add_row({"Open + admission", server::to_string(setting),
+                 TextTable::num(double(r.completed) / window.value(), 0),
+                 TextTable::num(r.goodput_rate, 0),
+                 TextTable::num(r.tail_latency.value(), 2)});
+    }
+    // Closed loop (Faban-style), population sized to the same offered rate.
+    {
+      Rng rng = Rng::stream(3, {std::uint64_t(setting.cores)});
+      const ClosedLoopConfig cfg{int(lambda), Seconds(1.0)};
+      const auto r = simulate_closed_loop(rng, app, setting, cfg, window);
+      t.add_row({"Closed (Faban-like)", server::to_string(setting),
+                 TextTable::num(r.throughput, 0),
+                 TextTable::num(r.goodput_rate, 0),
+                 TextTable::num(r.tail_latency.value(), 2)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: all three agree once the sprint relieves the "
+               "overload; they differ exactly where the paper's metric is "
+               "defined (SLA-constrained throughput of a saturated Normal "
+               "server), which is why the substrate's collapse constant is "
+               "calibrated rather than derived (DESIGN.md).\n";
+  return 0;
+}

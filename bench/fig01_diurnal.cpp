@@ -1,0 +1,65 @@
+// Figure 1: diurnal Google-style workload pattern with injected bursts,
+// the sprinting power demand it induces, and the grid/renewable supply —
+// all normalized to the grid power budget. Rows where the sprint demand
+// exceeds the grid budget are the paper's "power emergency" ovals.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/cluster.hpp"
+#include "trace/solar.hpp"
+#include "trace/workload_trace.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Figure 1: workload pattern and scaled power demand of "
+               "sprinting, normalized to grid power\n\n";
+
+  // Bursts at breakfast, mid-day, and evening peaks (paper Fig. 1 shows
+  // several intra-day spikes of varying intensity/duration).
+  std::vector<trace::BurstPattern> bursts = {
+      {Seconds(8.5 * 3600.0), Seconds(1800.0), 1.25},
+      {Seconds(13.0 * 3600.0), Seconds(3600.0), 1.45},
+      {Seconds(20.0 * 3600.0), Seconds(900.0), 1.30},
+  };
+  trace::DiurnalConfig wl_cfg;
+  const trace::DiurnalTrace load(wl_cfg, Seconds(86400.0), bursts);
+
+  trace::SolarTraceConfig sun_cfg;
+  sun_cfg.days = 1;
+  const auto sun = trace::generate_solar_trace(sun_cfg);
+
+  const workload::PerfModel perf{workload::specjbb()};
+  const server::ServerPowerModel power{Watts(76.0)};
+  const sim::ClusterConfig cluster;
+  const Watts grid_budget = cluster.grid_budget;
+  // Peak renewable for the full RE configuration (3 panels).
+  const Watts re_peak(3.0 * 275.0 * 0.77);
+
+  TextTable t({"Hour", "Workload", "GridPower", "SprintPower", "Renewable",
+               "Emergency"});
+  for (int h = 0; h < 24; ++h) {
+    const Seconds ts(h * 3600.0);
+    const double intensity = load.at(ts);
+    // Power the cluster would draw serving this load: Normal when the load
+    // fits, maximum sprint during bursts.
+    const double lambda =
+        intensity * perf.capacity(server::normal_mode());
+    const bool burst = intensity > 1.0;
+    const auto setting =
+        burst ? server::max_sprint() : server::normal_mode();
+    const Watts demand =
+        cluster_power(perf, power, cluster, setting,
+                      burst ? perf.intensity_load(12) : lambda);
+    const double demand_norm = demand / grid_budget;
+    const double re_norm = (re_peak * sun.at(ts)) / grid_budget;
+    t.add_row({std::to_string(h), TextTable::num(intensity),
+               "1.00", TextTable::num(demand_norm),
+               TextTable::num(re_norm),
+               demand_norm > 1.0 ? "  <== demand exceeds grid" : ""});
+  }
+  t.render(std::cout);
+  std::cout << "\nShape check: bursts push sprint demand above the grid "
+               "budget (paper's red ovals); renewable supply peaks midday."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 8: Web-Search with RE-SBatt, normalized to Normal.
+#include "bench_util.hpp"
+
+int main() {
+  gs::bench::print_strategy_panels(
+      "Figure 8: Web-Search, RE-SBatt, strategies x availability x duration",
+      gs::workload::websearch(), gs::sim::re_sbatt());
+  std::cout << "Shape check (paper): up to ~4.1x at Max; Parallel is "
+               "competitive with (slightly better than) Pacing at Min "
+               "because Web-Search throughput is frequency-bound.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 10: impact of workload burst intensity. (a) Hybrid with RE-SBatt
+// at medium availability across Int={12,10,9,7} and all durations;
+// (b) the four strategies at Int=9, minimum availability, 10-minute burst.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gs;
+  const auto app = workload::specjbb();
+
+  std::cout << "Figure 10(a): burst intensity x duration "
+               "(Hybrid, RE-SBatt, Medium availability)\n\n";
+  const std::vector<int> intensities = {12, 10, 9, 7};
+  const std::vector<double> durations = {10.0, 15.0, 30.0, 60.0};
+  std::vector<sim::Scenario> cells;
+  for (int intensity : intensities) {
+    for (double minutes : durations) {
+      cells.push_back(bench::scenario(app, sim::re_sbatt(),
+                                      core::StrategyKind::Hybrid,
+                                      trace::Availability::Med, minutes,
+                                      intensity));
+    }
+  }
+  const auto perf_a = sim::sweep_normalized_perf(cells);
+  TextTable ta({"Intensity", "10min", "15min", "30min", "60min"});
+  std::size_t i = 0;
+  for (int intensity : intensities) {
+    std::vector<std::string> row{"Int=" + std::to_string(intensity)};
+    for (std::size_t d = 0; d < durations.size(); ++d) {
+      row.push_back(TextTable::num(perf_a[i++]));
+    }
+    ta.add_row(std::move(row));
+  }
+  ta.render(std::cout);
+
+  std::cout << "\nFigure 10(b): strategies at Int=9, Minimum availability, "
+               "10-minute burst\n\n";
+  std::vector<sim::Scenario> cells_b;
+  for (auto k : core::sprinting_strategies()) {
+    auto sc = bench::scenario(app, sim::re_sbatt(), k,
+                              trace::Availability::Min, 10.0, 9);
+    // Finer PMK control interval for the short-burst study: battery
+    // exhaustion differences between strategies are sub-minute.
+    sc.epoch = Seconds(30.0);
+    cells_b.push_back(sc);
+  }
+  const auto perf_b = sim::sweep_normalized_perf(cells_b);
+  TextTable tb({"Strategy", "Performance"});
+  std::size_t j = 0;
+  for (auto k : core::sprinting_strategies()) {
+    tb.add_row({core::to_string(k), TextTable::num(perf_b[j++])});
+  }
+  tb.render(std::cout);
+  std::cout << "\nShape check (paper): gains fall as intensity falls "
+               "(3.6x -> 2.6x from Int=12 to Int=7); at Int=9/Min Greedy is "
+               "worst because maximal sprinting wastes battery.\n";
+  return 0;
+}

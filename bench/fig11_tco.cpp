@@ -1,0 +1,26 @@
+// Figure 11: profit-on-investment of the additional renewable + battery +
+// cooling provision as a function of yearly sprinting hours.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "tco/tco.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Figure 11: POI with additional renewable energy, battery "
+               "and cooling investment\n\n";
+  const tco::TcoParams p;
+  TextTable t({"Yearly sprint hours", "Benefit ($/KW/year)", ""});
+  for (double h = 0.0; h <= 36.0; h += 4.0) {
+    const double b = tco::benefit_per_kw_year(p, h);
+    t.add_row({TextTable::num(h, 0), TextTable::num(b, 1),
+               b > 0.0 ? "profitable" : ""});
+  }
+  t.render(std::cout);
+  std::cout << "\nBreak-even at " << TextTable::num(tco::breakeven_hours(p), 1)
+            << " sprint-hours/year (paper: cross-over around 14 h/yr).\n";
+  std::cout << "Yearly cost of 1 KW green provision: $"
+            << TextTable::num(tco::yearly_cost_per_kw(p), 1)
+            << " (PV $4.74/W over 25 y + battery $50/KW/yr + PCM).\n";
+  return 0;
+}

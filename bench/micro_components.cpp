@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the hot components: the analytic
+// queueing evaluation, battery stepping, Q-learning updates, the profile
+// build, the DES epoch, and a full scenario run. These bound the cost of
+// the control loop (the paper quotes <2 ms per Hybrid decision).
+#include <benchmark/benchmark.h>
+
+#include "core/hybrid.hpp"
+#include "power/battery.hpp"
+#include "sim/burst_runner.hpp"
+#include "workload/des.hpp"
+#include "workload/perf_model.hpp"
+
+namespace {
+
+using namespace gs;
+
+void BM_ErlangQuantile(benchmark::State& state) {
+  const auto app = workload::specjbb();
+  const double mu = app.service_rate(Gigahertz(2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::latency_quantile(12, mu, 0.9 * 12.0 * mu, 0.99));
+  }
+}
+BENCHMARK(BM_ErlangQuantile);
+
+void BM_SlaCapacity(benchmark::State& state) {
+  const auto app = workload::specjbb();
+  const double mu = app.service_rate(Gigahertz(2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::sla_capacity(12, mu, 0.99, Seconds(0.5)));
+  }
+}
+BENCHMARK(BM_SlaCapacity);
+
+void BM_BatteryStep(benchmark::State& state) {
+  power::BatteryConfig cfg;
+  cfg.capacity = AmpHours(10.0);
+  power::Battery battery(cfg);
+  for (auto _ : state) {
+    const Watts p = battery.max_discharge_power(Seconds(60.0));
+    if (p.value() > 10.0) {
+      battery.discharge(Watts(10.0), Seconds(60.0));
+    } else {
+      battery.reset_full();
+    }
+    benchmark::DoNotOptimize(battery.state_of_charge());
+  }
+}
+BENCHMARK(BM_BatteryStep);
+
+void BM_ProfileTableBuild(benchmark::State& state) {
+  const workload::PerfModel perf{workload::specjbb()};
+  const server::ServerPowerModel power{Watts(76.0)};
+  for (auto _ : state) {
+    core::ProfileTable table(perf, power);
+    benchmark::DoNotOptimize(table.power(0, 0));
+  }
+}
+BENCHMARK(BM_ProfileTableBuild);
+
+void BM_HybridDecide(benchmark::State& state) {
+  // The paper: "Hybrid has a simple algorithm ... runtime overhead is
+  // negligible (<2ms)". One decision = masked argmax over 63 actions.
+  const auto app = workload::specjbb();
+  const workload::PerfModel perf{app};
+  const server::ServerPowerModel power{Watts(76.0)};
+  const core::ProfileTable table(perf, power);
+  core::HybridStrategy hybrid(table, app, power.idle_power());
+  hybrid.seed_from_profile();
+  const core::EpochContext ctx{perf.intensity_load(12), Watts(160.0),
+                               Seconds(60.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hybrid.decide(ctx));
+  }
+}
+BENCHMARK(BM_HybridDecide);
+
+void BM_QTableUpdate(benchmark::State& state) {
+  core::QTable q(252, 63);
+  const core::QLearningConfig cfg;
+  std::size_t s = 0;
+  for (auto _ : state) {
+    q.update(s % 252, s % 63, 1.5, (s + 1) % 252, cfg);
+    ++s;
+  }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void BM_DesEpoch(benchmark::State& state) {
+  const auto app = workload::specjbb();
+  const workload::PerfModel perf{app};
+  Rng rng(42);
+  const double lambda = perf.intensity_load(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::simulate_epoch(
+        rng, app, server::max_sprint(), lambda, Seconds(60.0)));
+  }
+}
+BENCHMARK(BM_DesEpoch);
+
+void BM_FullScenario(benchmark::State& state) {
+  sim::Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = sim::re_batt();
+  sc.strategy = core::StrategyKind::Hybrid;
+  sc.availability = trace::Availability::Med;
+  sc.burst_duration = Seconds(900.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_burst(sc));
+  }
+}
+BENCHMARK(BM_FullScenario);
+
+}  // namespace
+
+BENCHMARK_MAIN();

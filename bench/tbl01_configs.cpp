@@ -1,0 +1,26 @@
+// Table I: options for green provision.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "power/solar_array.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Table I: Options for green provision\n\n";
+  TextTable t({"Configuration", "RE (green servers)", "Panels",
+               "Max green power (W)", "Batt. (server level)"});
+  for (const auto& cfg : sim::table1_configs()) {
+    power::SolarArray array({cfg.panels, Watts(275.0), 0.77});
+    t.add_row({cfg.name,
+               std::to_string(cfg.green_servers) + " of 10 (" +
+                   std::to_string(cfg.green_servers * 10) + "%)",
+               std::to_string(cfg.panels),
+               TextTable::num(array.peak_ac().value()),
+               TextTable::num(cfg.battery.value(), 1) + "Ah"});
+  }
+  t.render(std::cout);
+  std::cout << "\nPaper: RE-Batt 30%/10Ah, REOnly 30%/0, RE-SBatt 30%/3.2Ah,"
+               " SRE-SBatt small-RE/3.2Ah (635.25W RE, 423.5W SRE).\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table II: workload description, plus the measured sprint-power anchors of
+// Section IV the power model is calibrated against.
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "workload/app.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Table II: Workload description\n\n";
+  TextTable t({"Workload", "Memory Usage", "Performance Metric",
+               "Max sprint power (W)"});
+  for (const auto& app : workload::all_apps()) {
+    std::ostringstream metric;
+    metric << app.metric << " (" << int(app.qos.percentile * 100.0)
+           << "%-ile " << int(app.qos.limit.value() * 1000.0)
+           << "ms constrained)";
+    t.add_row({app.name, TextTable::num(app.memory_gb, 0) + "GB",
+               metric.str(), TextTable::num(app.sprint_peak_power.value(), 0)});
+  }
+  t.render(std::cout);
+  std::cout << "\nPaper: SPECjbb 10GB jops 99%/500ms 155W; Web-search 20GB"
+               " ops 90%/500ms 156W; Memcached 20GB rps 95%/10ms 146W.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// battery_sizing: the Section IV-B design question — how much server-level
+// battery should a green data center buy? Sweeps capacity against burst
+// duration at minimum solar availability (battery-only sprinting) and
+// reports normalized performance plus battery wear.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "power/battery.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace gs;
+  std::cout << "Battery sizing study: SPECjbb, minimum availability "
+               "(battery-only sprinting), Hybrid strategy\n\n";
+
+  const std::vector<double> capacities = {1.6, 3.2, 6.4, 10.0, 16.0};
+  const std::vector<double> durations = {10.0, 30.0, 60.0};
+
+  std::vector<sim::Scenario> cells;
+  for (double ah : capacities) {
+    for (double minutes : durations) {
+      sim::Scenario sc;
+      sc.app = workload::specjbb();
+      sc.green = sim::re_sbatt();
+      sc.green.battery = AmpHours(ah);
+      sc.green.name = "RE+" + TextTable::num(ah, 1) + "Ah";
+      sc.strategy = core::StrategyKind::Hybrid;
+      sc.availability = trace::Availability::Min;
+      sc.burst_duration = Seconds(minutes * 60.0);
+      cells.push_back(sc);
+    }
+  }
+  const auto results = sim::run_sweep(cells);
+
+  TextTable t({"Battery", "10min", "30min", "60min", "Cycles/burst(60m)",
+               "Sprint-minutes @155W"});
+  std::size_t i = 0;
+  for (double ah : capacities) {
+    std::vector<std::string> row{TextTable::num(ah, 1) + " Ah"};
+    double cycles = 0.0;
+    for (std::size_t d = 0; d < durations.size(); ++d) {
+      row.push_back(TextTable::num(results[i].normalized_perf));
+      cycles = results[i].battery_cycles;
+      ++i;
+    }
+    row.push_back(TextTable::num(cycles, 2));
+    power::BatteryConfig bc;
+    bc.capacity = AmpHours(ah);
+    const power::Battery fresh(bc);
+    row.push_back(
+        TextTable::num(fresh.supply_time_from_full(Watts(155.0)).value() /
+                       60.0, 1));
+    t.add_row(std::move(row));
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: bigger batteries extend full-sprint coverage "
+               "(Peukert's law taxes high draw); at 40% DoD each burst "
+               "costs a fraction of the ~1300-cycle VRLA lifetime.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// week_in_the_life: a week of diurnal bursts on the per-server green
+// cluster, closing the loop from Fig. 1's workload through the controller
+// to Fig. 11's economics — sprint hours and battery wear are *measured*
+// from the simulation and fed into the TCO model.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/day_runner.hpp"
+#include "tco/tco.hpp"
+
+int main() {
+  using namespace gs;
+
+  sim::DayRunConfig cfg;
+  cfg.days = 7;
+  cfg.daily_bursts = sim::default_daily_bursts();
+  cfg.cluster.servers = 3;
+  cfg.cluster.battery_per_server = AmpHours(10.0);
+  cfg.cluster.strategy = core::StrategyKind::Hybrid;
+
+  const auto r = sim::run_days(cfg);
+
+  std::cout << "A week in the life of a GreenSprint rack (SPECjbb, 3 green "
+               "servers, 10 Ah batteries, Hybrid)\n\n";
+  TextTable t({"Metric", "Value"});
+  t.add_row({"Bursts served", std::to_string(r.bursts_served)});
+  t.add_row({"Burst speedup vs Normal",
+             TextTable::num(r.burst_speedup) + "x"});
+  t.add_row({"Sprint hours / server / week",
+             TextTable::num(r.sprint_hours_per_server)});
+  t.add_row({"Renewable energy used (Wh)",
+             TextTable::num(to_watt_hours(r.re_energy).value(), 0)});
+  t.add_row({"Battery energy used (Wh)",
+             TextTable::num(to_watt_hours(r.batt_energy).value(), 0)});
+  t.add_row({"Grid energy during bursts (Wh)",
+             TextTable::num(to_watt_hours(r.grid_energy).value(), 0)});
+  t.add_row({"Battery equivalent cycles (fleet)",
+             TextTable::num(r.battery_cycles)});
+  t.render(std::cout);
+
+  // Feed the measured activity into the Fig. 11 economics.
+  const double yearly_hours = sim::yearly_sprint_hours(r);
+  const tco::TcoParams p;
+  const double benefit = tco::benefit_per_kw_year(p, yearly_hours);
+  const tco::BatteryWearParams wear;
+  const double wear_per_year =
+      tco::yearly_wear_cost(wear, r.battery_cycles / 7.0 /
+                                      double(cfg.cluster.servers));
+
+  std::cout << "\nEconomics (Fig. 11 model on measured activity):\n";
+  std::cout << "  yearly sprint hours/server:   "
+            << TextTable::num(yearly_hours, 1) << " (break-even "
+            << TextTable::num(tco::breakeven_hours(p), 1) << ")\n";
+  std::cout << "  net benefit:                  $"
+            << TextTable::num(benefit, 0) << " /KW/year\n";
+  std::cout << "  battery wear cost:            $"
+            << TextTable::num(wear_per_year, 2) << " /server/year\n";
+  std::cout << "\nWith ~1 sprint-hour per day, the green provision pays for "
+               "itself many times over — the paper's conclusion, with the "
+               "sprint-hours measured rather than assumed.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Contract-checking macros used across GreenSprint.
+//
+// GS_REQUIRE  - precondition on public API arguments; always on.
+// GS_ENSURE   - postcondition / internal invariant; always on.
+// Violations throw gs::ContractError so tests can assert on them and
+// long-running sweeps fail loudly instead of silently corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gs {
+
+/// Thrown when a GS_REQUIRE / GS_ENSURE contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string s = std::string(kind) + " failed: (" + expr + ") at " + file +
+                  ":" + std::to_string(line);
+  if (!msg.empty()) s += " — " + msg;
+  throw ContractError(s);
+}
+}  // namespace detail
+
+}  // namespace gs
+
+#define GS_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::gs::detail::contract_fail("GS_REQUIRE", #expr, __FILE__, __LINE__, \
+                                  (msg));                                  \
+  } while (0)
+
+#define GS_ENSURE(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::gs::detail::contract_fail("GS_ENSURE", #expr, __FILE__, __LINE__, \
+                                  (msg));                                 \
+  } while (0)

@@ -1,0 +1,46 @@
+// Exponentially weighted moving average, the predictor primitive the paper
+// uses for both renewable-supply and workload-intensity forecasting
+// (Equation 1: pred(t) = alpha * pred(t-1) + (1-alpha) * obs(t)).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace gs {
+
+class Ewma {
+ public:
+  /// alpha weights the previous prediction; the paper finds alpha = 0.3
+  /// (weighting towards the current observation) most consistent.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    GS_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "EWMA alpha must be in [0,1]");
+  }
+
+  /// Feed an observation; returns the updated prediction for the next epoch.
+  double observe(double obs) {
+    if (!primed_) {
+      value_ = obs;
+      primed_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1.0 - alpha_) * obs;
+    }
+    return value_;
+  }
+
+  /// Prediction for the next epoch; valid only after the first observation.
+  [[nodiscard]] double prediction() const {
+    GS_REQUIRE(primed_, "EWMA queried before any observation");
+    return value_;
+  }
+
+  [[nodiscard]] bool primed() const { return primed_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  void reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace gs

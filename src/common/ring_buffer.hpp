@@ -1,0 +1,54 @@
+// Fixed-capacity ring buffer used by the Monitor for bounded history
+// (recent power / latency samples feeding the Predictor).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gs {
+
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    GS_REQUIRE(capacity > 0, "RingBuffer capacity must be positive");
+  }
+
+  void push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  /// Element i where 0 is the oldest retained sample.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    GS_REQUIRE(i < size_, "RingBuffer index out of range");
+    const std::size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  /// Most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    GS_REQUIRE(size_ > 0, "back() on empty RingBuffer");
+    return data_[(head_ + data_.size() - 1) % data_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gs

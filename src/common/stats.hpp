@@ -1,0 +1,188 @@
+// Streaming statistics used by the Monitor and the workload QoS trackers:
+// running mean/variance (Welford) and quantile estimation (exact reservoir
+// and the constant-space P-square estimator for long DES runs).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gs {
+
+/// Welford running mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * double(n_); }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = double(n_ + o.n_);
+    m2_ += o.m2_ + delta * delta * double(n_) * double(o.n_) / n;
+    mean_ += delta * double(o.n_) / n;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantiles over a stored sample (sorts lazily on query).
+class QuantileReservoir {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) {
+    GS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    GS_REQUIRE(!data_.empty(), "quantile of empty reservoir");
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+    if (data_.size() == 1) return data_[0];
+    const double pos = q * double(data_.size() - 1);
+    const auto lo = std::size_t(pos);
+    const double frac = pos - double(lo);
+    if (lo + 1 >= data_.size()) return data_.back();
+    return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+  }
+
+  void clear() {
+    data_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+/// P-square single-quantile estimator (Jain & Chlamtac 1985): constant
+/// space, suitable for million-request DES runs.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) : q_(q) {
+    GS_REQUIRE(q > 0.0 && q < 1.0, "P2 quantile must be in (0,1)");
+  }
+
+  void add(double x) {
+    if (n_ < 5) {
+      initial_[n_++] = x;
+      if (n_ == 5) {
+        std::sort(initial_.begin(), initial_.end());
+        for (int i = 0; i < 5; ++i) {
+          heights_[i] = initial_[std::size_t(i)];
+          positions_[i] = i + 1;
+        }
+        desired_[0] = 1;
+        desired_[1] = 1 + 2 * q_;
+        desired_[2] = 1 + 4 * q_;
+        desired_[3] = 3 + 2 * q_;
+        desired_[4] = 5;
+      }
+      return;
+    }
+    int k;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      k = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = x;
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= heights_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) ++positions_[i];
+    desired_[1] += q_ / 2;
+    desired_[2] += q_;
+    desired_[3] += (1 + q_) / 2;
+    desired_[4] += 1;
+    for (int i = 1; i <= 3; ++i) adjust(i);
+  }
+
+  [[nodiscard]] double value() const {
+    if (n_ == 0) return 0.0;
+    if (n_ < 5) {
+      std::array<double, 5> tmp = initial_;
+      std::sort(tmp.begin(), tmp.begin() + std::ptrdiff_t(n_));
+      const auto idx = std::size_t(q_ * double(n_ - 1) + 0.5);
+      return tmp[std::min(idx, n_ - 1)];
+    }
+    return heights_[2];
+  }
+
+  [[nodiscard]] double q() const { return q_; }
+
+ private:
+  void adjust(int i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const int sign = d >= 0 ? 1 : -1;
+      const double parabolic = heights_[i] +
+          double(sign) / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        heights_[i] += double(sign) * (heights_[i + sign] - heights_[i]) /
+                       (positions_[i + sign] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> initial_{};
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+};
+
+}  // namespace gs

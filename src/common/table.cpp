@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  GS_REQUIRE(row.size() == header_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(int(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const auto& f = fields[i];
+    const bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      os_ << '"';
+      for (char ch : f) {
+        if (ch == '"') os_ << '"';
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << f;
+    }
+    if (i + 1 < fields.size()) os_ << ',';
+  }
+  os_ << '\n';
+}
+
+}  // namespace gs

@@ -1,0 +1,43 @@
+// Console table / CSV emitters used by every bench binary to print the
+// paper's rows and series in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gs {
+
+/// Column-aligned text table: add a header, then rows; render pads columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (quotes fields containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace gs

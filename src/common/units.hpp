@@ -1,0 +1,152 @@
+// Strong unit types for the power / energy arithmetic that permeates
+// GreenSprint. A Quantity<Tag> is a thin wrapper over double with the usual
+// additive arithmetic; cross-unit products (W * s = J, V * A = W, ...) are
+// defined explicitly so that mixing up power and energy is a compile error
+// rather than a silent simulation bug.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace gs {
+
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+struct WattsTag {};
+struct JoulesTag {};
+struct WattHoursTag {};
+struct AmpsTag {};
+struct AmpHoursTag {};
+struct VoltsTag {};
+struct SecondsTag {};
+struct GigahertzTag {};
+
+using Watts = Quantity<WattsTag>;
+using Joules = Quantity<JoulesTag>;
+using WattHours = Quantity<WattHoursTag>;
+using Amps = Quantity<AmpsTag>;
+using AmpHours = Quantity<AmpHoursTag>;
+using Volts = Quantity<VoltsTag>;
+using Seconds = Quantity<SecondsTag>;
+using Gigahertz = Quantity<GigahertzTag>;
+
+// --- Cross-unit products / quotients -------------------------------------
+
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules(p.value() * t.value());
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts(e.value() / t.value());
+}
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds(e.value() / p.value());
+}
+
+constexpr Watts operator*(Volts v, Amps i) {
+  return Watts(v.value() * i.value());
+}
+constexpr Watts operator*(Amps i, Volts v) { return v * i; }
+constexpr Amps operator/(Watts p, Volts v) {
+  return Amps(p.value() / v.value());
+}
+
+/// Ah drained when a current flows for a duration (t in seconds).
+constexpr AmpHours drained(Amps i, Seconds t) {
+  return AmpHours(i.value() * t.value() / 3600.0);
+}
+
+constexpr WattHours to_watt_hours(Joules e) { return WattHours(e.value() / 3600.0); }
+constexpr Joules to_joules(WattHours e) { return Joules(e.value() * 3600.0); }
+
+/// Energy held in a battery: capacity (Ah) at a nominal voltage.
+constexpr WattHours energy(AmpHours c, Volts v) {
+  return WattHours(c.value() * v.value());
+}
+
+// --- Literals --------------------------------------------------------------
+
+namespace literals {
+constexpr Watts operator""_W(long double v) { return Watts(double(v)); }
+constexpr Watts operator""_W(unsigned long long v) { return Watts(double(v)); }
+constexpr Seconds operator""_s(long double v) { return Seconds(double(v)); }
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds(double(v));
+}
+constexpr Seconds operator""_min(long double v) {
+  return Seconds(double(v) * 60.0);
+}
+constexpr Seconds operator""_min(unsigned long long v) {
+  return Seconds(double(v) * 60.0);
+}
+constexpr Seconds operator""_h(long double v) {
+  return Seconds(double(v) * 3600.0);
+}
+constexpr Seconds operator""_h(unsigned long long v) {
+  return Seconds(double(v) * 3600.0);
+}
+constexpr AmpHours operator""_Ah(long double v) { return AmpHours(double(v)); }
+constexpr AmpHours operator""_Ah(unsigned long long v) {
+  return AmpHours(double(v));
+}
+constexpr Volts operator""_V(long double v) { return Volts(double(v)); }
+constexpr Volts operator""_V(unsigned long long v) { return Volts(double(v)); }
+constexpr Gigahertz operator""_GHz(long double v) {
+  return Gigahertz(double(v));
+}
+}  // namespace literals
+
+}  // namespace gs

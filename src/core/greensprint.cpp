@@ -1,0 +1,70 @@
+#include "core/greensprint.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::core {
+
+GreenSprintController::GreenSprintController(
+    const workload::AppDescriptor& app, const ProfileTable& profile,
+    Watts idle_power, ControllerConfig cfg)
+    : profile_(profile),
+      cfg_(cfg),
+      predictor_(cfg.predictor),
+      strategy_(make_strategy(cfg.strategy, profile, app, idle_power)) {}
+
+server::ServerSetting GreenSprintController::begin_epoch(
+    double observed_load, Watts battery_power) {
+  GS_REQUIRE(observed_load >= 0.0, "load must be non-negative");
+  predictor_.observe_load(observed_load);
+  const EpochContext ctx{predictor_.predicted_load(),
+                         predictor_.predicted_renewable() + battery_power,
+                         cfg_.epoch};
+  // The new context is the successor state of the previous epoch's
+  // decision: complete that learning step now.
+  if (pending_.armed && pending_.closed) {
+    strategy_->feedback({pending_.ctx, pending_.action, pending_.demand,
+                         pending_.supply, pending_.latency,
+                         pending_.observed_load, ctx});
+  }
+  pending_ = Pending{};
+  pending_.ctx = ctx;
+  pending_.action = strategy_->decide(ctx);
+  pending_.observed_load = observed_load;
+  pending_.armed = true;
+  return pending_.action;
+}
+
+server::ServerSetting GreenSprintController::replan(Watts actual_supply) {
+  GS_REQUIRE(pending_.armed, "replan before begin_epoch");
+  EpochContext ctx = pending_.ctx;
+  ctx.supply = actual_supply;
+  pending_.action = strategy_->decide(ctx);
+  return pending_.action;
+}
+
+void GreenSprintController::end_epoch(Watts re_observed, Watts power_demand,
+                                      Watts green_supply,
+                                      Seconds achieved_latency) {
+  GS_REQUIRE(pending_.armed, "end_epoch before begin_epoch");
+  predictor_.observe_renewable(re_observed);
+  pending_.demand = power_demand;
+  pending_.supply = green_supply;
+  pending_.latency = achieved_latency;
+  pending_.closed = true;
+}
+
+void GreenSprintController::observe_idle(double observed_load,
+                                         Watts re_observed) {
+  GS_REQUIRE(observed_load >= 0.0, "load must be non-negative");
+  predictor_.observe_load(observed_load);
+  predictor_.observe_renewable(re_observed);
+  pending_ = Pending{};
+}
+
+Watts GreenSprintController::demand(double load,
+                                    const server::ServerSetting& s) const {
+  const int level = profile_.level_for(load);
+  return profile_.power(level, profile_.lattice().index_of(s));
+}
+
+}  // namespace gs::core

@@ -1,0 +1,94 @@
+// GreenSprintController: the top-level control loop of the framework
+// (paper Fig. 3) and the primary public API of this library.
+//
+// Per scheduling epoch the caller drives:
+//
+//   1. begin_epoch(observed_load, battery_power)
+//        feeds the Monitor's arrival measurement to the Predictor,
+//        completes the previous epoch's reinforcement-learning feedback
+//        (the new context is the successor state), and returns the PMK's
+//        sprint setting for this epoch;
+//   2. replan(actual_supply)   [optional]
+//        emergency downgrade when the supply that materialized is below
+//        the prediction — the PMK must keep the server within budget;
+//   3. <caller settles power through the PSS and runs the workload>
+//   4. end_epoch(re_observed, demand, green_supply, latency)
+//        records what happened for the next learning step and updates the
+//        renewable forecast (Equation 1).
+//
+// The controller is deliberately ignorant of batteries, grids and traces:
+// it sees only measurements and budgets, exactly like the paper's
+// software PMK/PSS pair.
+#pragma once
+
+#include <memory>
+
+#include "core/predictor.hpp"
+#include "core/profile_table.hpp"
+#include "core/strategy.hpp"
+
+namespace gs::core {
+
+struct ControllerConfig {
+  StrategyKind strategy = StrategyKind::Hybrid;
+  PredictorConfig predictor;
+  Seconds epoch{60.0};
+};
+
+class GreenSprintController {
+ public:
+  /// The profile table must outlive the controller.
+  GreenSprintController(const workload::AppDescriptor& app,
+                        const ProfileTable& profile, Watts idle_power,
+                        ControllerConfig cfg);
+
+  /// Start an epoch: returns the PMK's chosen sprint setting given the
+  /// measured arrival rate and the battery power sustainable this epoch.
+  [[nodiscard]] server::ServerSetting begin_epoch(double observed_load,
+                                                  Watts battery_power);
+
+  /// Re-decide against the green supply that actually materialized; call
+  /// when the planned setting's demand exceeds it. Updates the pending
+  /// learning record to the downgraded action.
+  [[nodiscard]] server::ServerSetting replan(Watts actual_supply);
+
+  /// Close the epoch with the settled telemetry.
+  void end_epoch(Watts re_observed, Watts power_demand, Watts green_supply,
+                 Seconds achieved_latency);
+
+  /// Non-sprinting epoch (warmup, or between bursts): update the forecasts
+  /// without making or learning from a decision.
+  void observe_idle(double observed_load, Watts re_observed);
+
+  /// Electrical demand of a setting at an offered load (profile lookup).
+  [[nodiscard]] Watts demand(double load, const server::ServerSetting& s) const;
+
+  [[nodiscard]] Watts predicted_renewable() const {
+    return predictor_.predicted_renewable();
+  }
+  [[nodiscard]] double predicted_load() const {
+    return predictor_.predicted_load();
+  }
+  [[nodiscard]] const Strategy& strategy() const { return *strategy_; }
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  const ProfileTable& profile_;  // NOLINT: non-owning, outlives controller
+  ControllerConfig cfg_;
+  Predictor predictor_;
+  std::unique_ptr<Strategy> strategy_;
+
+  struct Pending {
+    EpochContext ctx;
+    server::ServerSetting action;
+    Watts demand{0.0};
+    Watts supply{0.0};
+    Seconds latency{0.0};
+    double observed_load = 0.0;
+    bool armed = false;   ///< begin_epoch ran
+    bool closed = false;  ///< end_epoch ran
+  };
+  Pending pending_;
+};
+
+}  // namespace gs::core

@@ -1,0 +1,186 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace gs::core {
+
+double algorithm1_reward(Watts power_supply, Watts power_demand,
+                         Seconds qos_target, Seconds qos_current,
+                         double max_violation, double max_qos_reward) {
+  GS_REQUIRE(power_demand.value() > 0.0, "power demand must be positive");
+  GS_REQUIRE(qos_target.value() > 0.0, "QoS target must be positive");
+  const double r_power = power_supply / power_demand;
+  if (r_power <= 1.0) {
+    // Power supply cannot meet the demand: negative reward.
+    return -r_power - 1.0;
+  }
+  // Guard against a zero-latency epoch (no requests): treat as satisfied.
+  const double latency =
+      std::max(qos_current.value(), 1e-9 * qos_target.value());
+  const double r_qos = qos_target.value() / latency;
+  if (r_qos > 1.0) {
+    return r_power + std::min(r_qos, max_qos_reward) + 1.0;
+  }
+  const double violation = std::min(1.0 / r_qos, max_violation);
+  return r_power - violation + 1.0;
+}
+
+QTable::QTable(std::size_t num_states, std::size_t num_actions)
+    : states_(num_states),
+      actions_(num_actions),
+      q_(num_states * num_actions, 0.0) {
+  GS_REQUIRE(num_states > 0 && num_actions > 0,
+             "QTable dimensions must be positive");
+}
+
+double QTable::value(std::size_t state, std::size_t action) const {
+  GS_REQUIRE(state < states_ && action < actions_, "QTable index range");
+  return q_[state * actions_ + action];
+}
+
+void QTable::set(std::size_t state, std::size_t action, double v) {
+  GS_REQUIRE(state < states_ && action < actions_, "QTable index range");
+  q_[state * actions_ + action] = v;
+}
+
+void QTable::update(std::size_t state, std::size_t action, double reward,
+                    std::size_t next_state, const QLearningConfig& cfg) {
+  const double old = value(state, action);
+  const double target = reward + cfg.discount * max_value(next_state);
+  set(state, action, old + cfg.learning_rate * (target - old));
+}
+
+double QTable::max_value(std::size_t state) const {
+  GS_REQUIRE(state < states_, "QTable state range");
+  const auto* row = &q_[state * actions_];
+  return *std::max_element(row, row + actions_);
+}
+
+std::size_t QTable::best_action(std::size_t state) const {
+  GS_REQUIRE(state < states_, "QTable state range");
+  const auto* row = &q_[state * actions_];
+  return std::size_t(std::max_element(row, row + actions_) - row);
+}
+
+void QTable::save(std::ostream& os) const {
+  os.precision(17);
+  os << "gs-qtable 1\n" << states_ << ' ' << actions_ << '\n';
+  for (std::size_t s = 0; s < states_; ++s) {
+    for (std::size_t a = 0; a < actions_; ++a) {
+      os << q_[s * actions_ + a] << (a + 1 < actions_ ? ' ' : '\n');
+    }
+  }
+}
+
+void QTable::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  GS_REQUIRE(is.good() && magic == "gs-qtable" && version == 1,
+             "not a gs-qtable v1 stream");
+  std::size_t states = 0, actions = 0;
+  is >> states >> actions;
+  GS_REQUIRE(is.good() && states == states_ && actions == actions_,
+             "QTable dimensions do not match this controller");
+  for (auto& v : q_) {
+    is >> v;
+    GS_REQUIRE(!is.fail(), "truncated or malformed QTable stream");
+  }
+}
+
+HybridStrategy::HybridStrategy(const ProfileTable& profile,
+                               const workload::AppDescriptor& app,
+                               Watts idle_power, QLearningConfig cfg)
+    : profile_(profile),
+      app_(app),
+      cfg_(cfg),
+      idle_(idle_power),
+      peak_(app.sprint_peak_power),
+      buckets_(std::size_t(std::ceil(1.0 / cfg.supply_step)) + 1),
+      q_(buckets_ * std::size_t(profile.num_levels()),
+         profile.lattice().size()) {
+  GS_REQUIRE(peak_ > idle_, "sprint peak must exceed idle power");
+}
+
+std::size_t HybridStrategy::supply_bucket(Watts supply) const {
+  const double span = (peak_ - idle_).value();
+  const double frac = (supply - idle_).value() / span;
+  const auto b = frac <= 0.0
+                     ? std::size_t{0}
+                     : std::size_t(frac / cfg_.supply_step);
+  return std::min(b, buckets_ - 1);
+}
+
+Watts HybridStrategy::bucket_supply(std::size_t bucket) const {
+  const double span = (peak_ - idle_).value();
+  const double frac = (double(bucket) + 0.5) * cfg_.supply_step;
+  return idle_ + Watts(span * frac);
+}
+
+std::size_t HybridStrategy::state_index(Watts supply, double lambda) const {
+  const auto level = std::size_t(profile_.level_for(lambda));
+  return supply_bucket(supply) * std::size_t(profile_.num_levels()) + level;
+}
+
+server::ServerSetting HybridStrategy::decide(const EpochContext& ctx) {
+  const std::size_t state = state_index(ctx.supply, ctx.predicted_load);
+  const int level = profile_.level_for(ctx.predicted_load);
+  // Feasibility-masked argmax: the PMK cooperates with the PSS to stay
+  // within the available supply.
+  double best = -1e300;
+  std::size_t best_action = profile_.lattice().index_of(server::normal_mode());
+  bool found = false;
+  for (std::size_t a = 0; a < profile_.lattice().size(); ++a) {
+    if (profile_.power(level, a) > ctx.supply) continue;
+    const double v = q_.value(state, a);
+    if (!found || v > best) {
+      best = v;
+      best_action = a;
+      found = true;
+    }
+  }
+  return profile_.lattice().at(best_action);
+}
+
+void HybridStrategy::feedback(const EpochFeedback& fb) {
+  const std::size_t state =
+      state_index(fb.context.supply, fb.context.predicted_load);
+  const std::size_t action = profile_.lattice().index_of(fb.action);
+  const double reward =
+      algorithm1_reward(fb.actual_supply, fb.power_demand, app_.qos.limit,
+                        fb.achieved_latency, cfg_.max_violation,
+                        cfg_.max_qos_reward);
+  const std::size_t next_state =
+      state_index(fb.next_context.supply, fb.next_context.predicted_load);
+  q_.update(state, action, reward, next_state, cfg_);
+}
+
+void HybridStrategy::seed_from_profile() {
+  const auto levels = std::size_t(profile_.num_levels());
+  const auto actions = profile_.lattice().size();
+  for (int sweep = 0; sweep < cfg_.seed_sweeps; ++sweep) {
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      const Watts supply = bucket_supply(b);
+      for (std::size_t l = 0; l < levels; ++l) {
+        const std::size_t state = b * levels + l;
+        for (std::size_t a = 0; a < actions; ++a) {
+          const double reward = algorithm1_reward(
+              supply, profile_.power(int(l), a), app_.qos.limit,
+              profile_.latency(int(l), a), cfg_.max_violation,
+              cfg_.max_qos_reward);
+          // Quasi-static bootstrap: the profiling episodes hold the state
+          // constant, so the successor state is the state itself.
+          q_.update(state, a, reward, state, cfg_);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gs::core

@@ -1,0 +1,128 @@
+// The Hybrid strategy (paper Section III-B, Algorithm 1): tabular
+// Q-learning over the full (core count, frequency) lattice.
+//
+// State  c_t: (quantized power supply, workload intensity level). The paper
+//         quantizes supply from idle power to maximum sprint power in 5%
+//         steps and reuses the workload levels L1..Lw.
+// Action a_t: a ServerSetting from the lattice S.
+// Reward r_t: Algorithm 1, built from Rpower = PowerSupp/PowerCurr and
+//         Rqos = QoStarget/QoScurrent.
+//
+// Deviation from the paper, documented in DESIGN.md: Algorithm 1 line 9
+// sets r = Rpower - Rqos + 1 when QoS is violated, which *increases* the
+// reward as latency gets worse (Rqos shrinks toward 0) — degenerate as
+// written. We implement the evidently intended monotone penalty
+// r = Rpower - QoScurrent/QoStarget + 1, which reduces the reward in
+// proportion to the depth of the violation.
+//
+// The lookup table R(c,a) is seeded from the exhaustive profiling records
+// (the paper seeds from data collected by Parallel and Pacing) by sweeping
+// the Algorithm-1 update until the bootstrap settles, then continues to
+// learn online from per-epoch feedback with alpha = 0.7, gamma = 0.9.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/profile_table.hpp"
+#include "core/strategy.hpp"
+#include "workload/app.hpp"
+
+namespace gs::core {
+
+struct QLearningConfig {
+  double learning_rate = 0.7;   ///< alpha in Algorithm 1 line 15.
+  double discount = 0.9;        ///< gamma.
+  double supply_step = 0.05;    ///< 5% supply quantization.
+  int seed_sweeps = 25;         ///< Bootstrap sweeps over the profile.
+  double max_violation = 50.0;  ///< Cap on QoScurrent/QoStarget.
+  /// Cap on Rqos once the target is met: an interactive service that meets
+  /// its SLA gains nothing from being even faster, so past this point the
+  /// power term decides and Hybrid picks the most power-efficient
+  /// QoS-satisfying setting (the energy-efficiency goal of Section III-B).
+  double max_qos_reward = 2.0;
+};
+
+/// Algorithm-1 reward (with the monotone QoS penalty described above).
+[[nodiscard]] double algorithm1_reward(Watts power_supply, Watts power_demand,
+                                       Seconds qos_target,
+                                       Seconds qos_current,
+                                       double max_violation = 50.0,
+                                       double max_qos_reward = 2.0);
+
+/// Dense (state, action) value table.
+class QTable {
+ public:
+  QTable(std::size_t num_states, std::size_t num_actions);
+
+  [[nodiscard]] double value(std::size_t state, std::size_t action) const;
+  void set(std::size_t state, std::size_t action, double v);
+
+  /// R(c,a) += alpha * (r + gamma * max_a' R(c',a') - R(c,a)).
+  void update(std::size_t state, std::size_t action, double reward,
+              std::size_t next_state, const QLearningConfig& cfg);
+
+  [[nodiscard]] double max_value(std::size_t state) const;
+  [[nodiscard]] std::size_t best_action(std::size_t state) const;
+
+  [[nodiscard]] std::size_t num_states() const { return states_; }
+  [[nodiscard]] std::size_t num_actions() const { return actions_; }
+
+  /// Persist the table (text format: dimensions then row-major values).
+  /// The paper's controller reuses profiling data across runs; this lets a
+  /// deployment warm-start Hybrid from a previously learned policy.
+  void save(std::ostream& os) const;
+  /// Load a table previously written by save(). Throws gs::ContractError
+  /// on malformed input or dimension mismatch with this table.
+  void load(std::istream& is);
+
+ private:
+  std::size_t states_;
+  std::size_t actions_;
+  std::vector<double> q_;
+};
+
+class HybridStrategy final : public Strategy {
+ public:
+  HybridStrategy(const ProfileTable& profile,
+                 const workload::AppDescriptor& app, Watts idle_power,
+                 QLearningConfig cfg = {});
+
+  [[nodiscard]] std::string_view name() const override { return "Hybrid"; }
+
+  /// Feasibility-masked argmax over the lattice: the PMK must keep the
+  /// server within the power budget, so actions whose profiled demand
+  /// exceeds the supply are never selected (Normal is the floor).
+  [[nodiscard]] server::ServerSetting decide(const EpochContext& ctx) override;
+
+  /// Online Algorithm-1 update from the settled epoch.
+  void feedback(const EpochFeedback& fb) override;
+
+  /// Seed R(c,a) from the exhaustive profiling table.
+  void seed_from_profile();
+
+  /// Persist / restore the learned policy (delegates to QTable).
+  void save_policy(std::ostream& os) const { q_.save(os); }
+  void load_policy(std::istream& is) { q_.load(is); }
+
+  /// State index for a (supply, load) pair — exposed for tests.
+  [[nodiscard]] std::size_t state_index(Watts supply, double lambda) const;
+  [[nodiscard]] std::size_t num_supply_buckets() const { return buckets_; }
+  [[nodiscard]] const QTable& table() const { return q_; }
+
+ private:
+  [[nodiscard]] std::size_t supply_bucket(Watts supply) const;
+  /// Representative supply of a bucket (its midpoint).
+  [[nodiscard]] Watts bucket_supply(std::size_t bucket) const;
+
+  const ProfileTable& profile_;  // NOLINT: non-owning, outlives strategy
+  workload::AppDescriptor app_;
+  QLearningConfig cfg_;
+  Watts idle_;
+  Watts peak_;
+  std::size_t buckets_;
+  QTable q_;
+};
+
+}  // namespace gs::core

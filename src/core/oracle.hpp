@@ -1,0 +1,44 @@
+// Offline-optimal sprint schedule (the "oracle"): given the *future*
+// renewable supply of every epoch in a burst, compute the setting sequence
+// that maximizes total SLA-goodput subject to the battery's Peukert-limited
+// energy and DoD cap. Online strategies cannot beat this plan; the gap
+// between each strategy and the oracle (regret) quantifies how much the
+// intermittency of the supply actually costs — an ablation the paper
+// motivates but does not report.
+//
+// Implementation: dynamic programming over (epoch, quantized battery
+// state). Battery state is the effective (Peukert-corrected) Ah remaining
+// before the DoD cap, discretized on a uniform grid; surplus renewable
+// charging between sprint epochs is modeled like the PSS does.
+#pragma once
+
+#include <vector>
+
+#include "core/profile_table.hpp"
+#include "power/battery.hpp"
+
+namespace gs::core {
+
+struct OracleConfig {
+  int battery_grid = 400;  ///< Discretization of the usable battery range.
+};
+
+struct OraclePlan {
+  std::vector<server::ServerSetting> settings;  ///< One per epoch.
+  double total_goodput = 0.0;   ///< Sum of per-epoch goodput (req/s units).
+  double mean_goodput = 0.0;
+};
+
+/// Compute the optimal plan.
+///  re_supply: green power available to the server in each epoch (W);
+///  lambda:    offered load (req/s), constant over the burst;
+///  battery:   configuration of the (initially full) server battery;
+///  grid_backstop: grid power available when running Normal mode.
+[[nodiscard]] OraclePlan oracle_plan(const ProfileTable& profile,
+                                     const std::vector<Watts>& re_supply,
+                                     double lambda,
+                                     const power::BatteryConfig& battery,
+                                     Seconds epoch, Watts grid_backstop,
+                                     OracleConfig cfg = {});
+
+}  // namespace gs::core

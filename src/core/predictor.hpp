@@ -1,0 +1,44 @@
+// The Predictor component of the GreenSprint architecture (Fig. 3): EWMA
+// forecasts of renewable production (Equation 1) and workload intensity for
+// the next scheduling epoch. The paper finds alpha = 0.3 most consistent.
+#pragma once
+
+#include "common/ewma.hpp"
+#include "common/units.hpp"
+
+namespace gs::core {
+
+struct PredictorConfig {
+  double renewable_alpha = 0.3;
+  double load_alpha = 0.3;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(PredictorConfig cfg = {})
+      : re_(cfg.renewable_alpha), load_(cfg.load_alpha) {}
+
+  /// Feed the renewable production observed over the finished epoch.
+  void observe_renewable(Watts obs) { re_.observe(obs.value()); }
+  /// Feed the workload arrival rate observed over the finished epoch.
+  void observe_load(double lambda) { load_.observe(lambda); }
+
+  /// Predicted renewable supply for the next epoch (RESupp(t) in Eq. 1).
+  /// Falls back to 0 before the first observation.
+  [[nodiscard]] Watts predicted_renewable() const {
+    return Watts(re_.primed() ? re_.prediction() : 0.0);
+  }
+
+  /// Predicted per-server arrival rate for the next epoch.
+  [[nodiscard]] double predicted_load() const {
+    return load_.primed() ? load_.prediction() : 0.0;
+  }
+
+  [[nodiscard]] bool primed() const { return re_.primed() && load_.primed(); }
+
+ private:
+  Ewma re_;
+  Ewma load_;
+};
+
+}  // namespace gs::core

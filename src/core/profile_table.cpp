@@ -1,0 +1,65 @@
+#include "core/profile_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gs::core {
+
+ProfileTable::ProfileTable(const workload::PerfModel& perf,
+                           const server::ServerPowerModel& power,
+                           int num_levels, double lambda_max)
+    : num_levels_(num_levels),
+      lambda_max_(lambda_max > 0.0 ? lambda_max
+                                   : perf.intensity_load(server::kMaxCores)) {
+  GS_REQUIRE(num_levels_ >= 1, "profile needs at least one level");
+  const auto n_settings = lattice_.size();
+  const auto total = std::size_t(num_levels_) * n_settings;
+  power_w_.resize(total);
+  goodput_.resize(total);
+  latency_s_.resize(total);
+  for (int l = 0; l < num_levels_; ++l) {
+    const double lambda = lambda_for(l);
+    for (std::size_t s = 0; s < n_settings; ++s) {
+      const auto& setting = lattice_.at(s);
+      const double u = perf.utilization(setting, lambda);
+      power_w_[idx(l, s)] =
+          power.power(setting, u, perf.app().activity).value();
+      goodput_[idx(l, s)] = perf.goodput(setting, lambda);
+      latency_s_[idx(l, s)] = perf.latency(setting, lambda).value();
+    }
+  }
+}
+
+int ProfileTable::level_for(double lambda) const {
+  GS_REQUIRE(lambda >= 0.0, "load must be non-negative");
+  const double frac = lambda / lambda_max_;
+  const int level = int(std::ceil(frac * num_levels_)) - 1;
+  return std::clamp(level, 0, num_levels_ - 1);
+}
+
+double ProfileTable::lambda_for(int level) const {
+  GS_REQUIRE(level >= 0 && level < num_levels_, "level out of range");
+  return lambda_max_ * double(level + 1) / double(num_levels_);
+}
+
+Watts ProfileTable::power(int level, std::size_t setting) const {
+  return Watts(power_w_[idx(level, setting)]);
+}
+
+double ProfileTable::goodput(int level, std::size_t setting) const {
+  return goodput_[idx(level, setting)];
+}
+
+Seconds ProfileTable::latency(int level, std::size_t setting) const {
+  return Seconds(latency_s_[idx(level, setting)]);
+}
+
+std::size_t ProfileTable::idx(int level, std::size_t setting) const {
+  GS_REQUIRE(level >= 0 && level < num_levels_, "level out of range");
+  GS_REQUIRE(setting < lattice_.size(), "setting out of range");
+  return std::size_t(level) * lattice_.size() + setting;
+}
+
+}  // namespace gs::core

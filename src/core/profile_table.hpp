@@ -1,0 +1,58 @@
+// Exhaustive (workload level, server setting) profile.
+//
+// The paper measures LoadPower_j(L, S) for every setting and intensity
+// level "with a priori knowledge using an exhaustive method on real
+// servers" (Section III-B). Our substrate evaluates the calibrated power
+// and performance models over the same grid once and memoizes power,
+// goodput and tail latency; the strategies and the Hybrid seeding read
+// from this table exactly as the paper's PMK reads its profiling records.
+#pragma once
+
+#include <vector>
+
+#include "server/power_model.hpp"
+#include "server/setting.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::core {
+
+class ProfileTable {
+ public:
+  /// Levels L1..Lw partition [0, lambda_max] (paper uses w workload levels
+  /// between the minimum and maximum intensity for the application).
+  /// lambda_max defaults to the Int=12 burst load.
+  ProfileTable(const workload::PerfModel& perf,
+               const server::ServerPowerModel& power, int num_levels = 12,
+               double lambda_max = 0.0);
+
+  [[nodiscard]] int num_levels() const { return num_levels_; }
+  [[nodiscard]] const server::SettingLattice& lattice() const {
+    return lattice_;
+  }
+
+  /// Level index (0-based) for an offered load; clamps into range.
+  [[nodiscard]] int level_for(double lambda) const;
+  /// Representative offered load of a level (its upper edge).
+  [[nodiscard]] double lambda_for(int level) const;
+  [[nodiscard]] double lambda_max() const { return lambda_max_; }
+
+  /// LoadPower(L, S): electrical demand at level `level`, setting index
+  /// `setting` (utilization-dependent).
+  [[nodiscard]] Watts power(int level, std::size_t setting) const;
+  /// SLA-goodput (req/s) at the level/setting.
+  [[nodiscard]] double goodput(int level, std::size_t setting) const;
+  /// Achieved tail latency at the level/setting.
+  [[nodiscard]] Seconds latency(int level, std::size_t setting) const;
+
+ private:
+  [[nodiscard]] std::size_t idx(int level, std::size_t setting) const;
+
+  server::SettingLattice lattice_;
+  int num_levels_;
+  double lambda_max_;
+  std::vector<double> power_w_;
+  std::vector<double> goodput_;
+  std::vector<double> latency_s_;
+};
+
+}  // namespace gs::core

@@ -1,0 +1,196 @@
+#include "core/strategy.hpp"
+
+#include "common/assert.hpp"
+#include "core/hybrid.hpp"
+
+namespace gs::core {
+
+const char* to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::Normal:
+      return "Normal";
+    case StrategyKind::Greedy:
+      return "Greedy";
+    case StrategyKind::Parallel:
+      return "Parallel";
+    case StrategyKind::Pacing:
+      return "Pacing";
+    case StrategyKind::Hybrid:
+      return "Hybrid";
+    case StrategyKind::Efficiency:
+      return "Efficiency";
+  }
+  return "?";
+}
+
+std::vector<StrategyKind> sprinting_strategies() {
+  return {StrategyKind::Greedy, StrategyKind::Parallel, StrategyKind::Pacing,
+          StrategyKind::Hybrid};
+}
+
+namespace {
+
+using server::ServerSetting;
+
+class NormalStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Normal"; }
+  [[nodiscard]] ServerSetting decide(const EpochContext&) override {
+    return server::normal_mode();
+  }
+};
+
+/// Common helper: power demand and QoS status of a setting at the
+/// predicted load level.
+class ProfiledStrategy : public Strategy {
+ protected:
+  ProfiledStrategy(const ProfileTable& profile, workload::QosSpec qos)
+      : profile_(profile), qos_(qos) {}
+
+  [[nodiscard]] Watts demand(const EpochContext& ctx,
+                             const ServerSetting& s) const {
+    const int level = profile_.level_for(ctx.predicted_load);
+    return profile_.power(level, profile_.lattice().index_of(s));
+  }
+
+  [[nodiscard]] bool fits(const EpochContext& ctx,
+                          const ServerSetting& s) const {
+    return demand(ctx, s) <= ctx.supply;
+  }
+
+  [[nodiscard]] bool meets_qos(const EpochContext& ctx,
+                               const ServerSetting& s) const {
+    const int level = profile_.level_for(ctx.predicted_load);
+    return profile_.latency(level, profile_.lattice().index_of(s)) <=
+           qos_.limit;
+  }
+
+  const ProfileTable& profile_;  // NOLINT: non-owning, outlives strategy
+  workload::QosSpec qos_;
+};
+
+/// All-or-nothing maximal sprint.
+class GreedyStrategy final : public ProfiledStrategy {
+ public:
+  GreedyStrategy(const ProfileTable& profile, workload::QosSpec qos)
+      : ProfiledStrategy(profile, qos) {}
+  [[nodiscard]] std::string_view name() const override { return "Greedy"; }
+  [[nodiscard]] ServerSetting decide(const EpochContext& ctx) override {
+    const ServerSetting max = server::max_sprint();
+    return fits(ctx, max) ? max : server::normal_mode();
+  }
+};
+
+/// Core-count scaling at the maximum frequency. Solves the paper's
+/// Section III-B optimization along the core axis: the cheapest core count
+/// that serves the predicted load within QoS (Eq. 2/3 with the QoS
+/// constraint binding); when no feasible count satisfies QoS, the largest
+/// count the supply allows.
+class ParallelStrategy final : public ProfiledStrategy {
+ public:
+  ParallelStrategy(const ProfileTable& profile, workload::QosSpec qos)
+      : ProfiledStrategy(profile, qos) {}
+  [[nodiscard]] std::string_view name() const override { return "Parallel"; }
+  [[nodiscard]] ServerSetting decide(const EpochContext& ctx) override {
+    for (int cores = server::kMinCores; cores <= server::kMaxCores;
+         ++cores) {
+      const ServerSetting s{cores, server::kMaxFreqIndex};
+      if (fits(ctx, s) && meets_qos(ctx, s)) return s;
+    }
+    for (int cores = server::kMaxCores; cores >= server::kMinCores;
+         --cores) {
+      const ServerSetting s{cores, server::kMaxFreqIndex};
+      if (fits(ctx, s)) return s;
+    }
+    return server::normal_mode();
+  }
+};
+
+/// Frequency scaling with all cores active; same optimization shape as
+/// Parallel, along the DVFS axis.
+class PacingStrategy final : public ProfiledStrategy {
+ public:
+  PacingStrategy(const ProfileTable& profile, workload::QosSpec qos)
+      : ProfiledStrategy(profile, qos) {}
+  [[nodiscard]] std::string_view name() const override { return "Pacing"; }
+  [[nodiscard]] ServerSetting decide(const EpochContext& ctx) override {
+    for (int f = server::kMinFreqIndex; f <= server::kMaxFreqIndex; ++f) {
+      const ServerSetting s{server::kMaxCores, f};
+      if (fits(ctx, s) && meets_qos(ctx, s)) return s;
+    }
+    for (int f = server::kMaxFreqIndex; f >= server::kMinFreqIndex; --f) {
+      const ServerSetting s{server::kMaxCores, f};
+      if (fits(ctx, s)) return s;
+    }
+    return server::normal_mode();
+  }
+};
+
+/// The paper's best-efficiency contrast policy: among feasible settings
+/// that meet QoS at the predicted level, pick the one with the best
+/// goodput-per-watt; if none meets QoS, the feasible setting with the best
+/// goodput-per-watt overall. Trades tail latency headroom for energy —
+/// the opposite end of the spectrum from Greedy.
+class EfficiencyStrategy final : public ProfiledStrategy {
+ public:
+  EfficiencyStrategy(const ProfileTable& profile, workload::QosSpec qos)
+      : ProfiledStrategy(profile, qos) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "Efficiency";
+  }
+  [[nodiscard]] ServerSetting decide(const EpochContext& ctx) override {
+    const int level = profile_.level_for(ctx.predicted_load);
+    ServerSetting best = server::normal_mode();
+    double best_eff = -1.0;
+    bool best_meets_qos = false;
+    for (std::size_t a = 0; a < profile_.lattice().size(); ++a) {
+      const auto& s = profile_.lattice().at(a);
+      if (profile_.power(level, a) > ctx.supply &&
+          s != server::normal_mode()) {
+        continue;  // Normal stays eligible via the grid backstop.
+      }
+      const bool ok = profile_.latency(level, a) <= qos_.limit;
+      const double eff =
+          profile_.goodput(level, a) / profile_.power(level, a).value();
+      // QoS-satisfying settings strictly dominate violating ones; within
+      // a class, maximize goodput per watt.
+      if ((ok && !best_meets_qos) ||
+          (ok == best_meets_qos && eff > best_eff)) {
+        best = s;
+        best_eff = eff;
+        best_meets_qos = ok;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        const ProfileTable& profile,
+                                        const workload::AppDescriptor& app,
+                                        Watts idle_power) {
+  switch (kind) {
+    case StrategyKind::Normal:
+      return std::make_unique<NormalStrategy>();
+    case StrategyKind::Greedy:
+      return std::make_unique<GreedyStrategy>(profile, app.qos);
+    case StrategyKind::Parallel:
+      return std::make_unique<ParallelStrategy>(profile, app.qos);
+    case StrategyKind::Pacing:
+      return std::make_unique<PacingStrategy>(profile, app.qos);
+    case StrategyKind::Efficiency:
+      return std::make_unique<EfficiencyStrategy>(profile, app.qos);
+    case StrategyKind::Hybrid: {
+      auto hybrid =
+          std::make_unique<HybridStrategy>(profile, app, idle_power);
+      hybrid->seed_from_profile();
+      return hybrid;
+    }
+  }
+  GS_REQUIRE(false, "unknown strategy kind");
+  return nullptr;
+}
+
+}  // namespace gs::core

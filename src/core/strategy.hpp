@@ -1,0 +1,73 @@
+// Power-management-knob strategies (paper Section III-B).
+//
+// Each scheduling epoch the PMK picks a sprinting intensity S = (cores,
+// frequency) for the green servers from the predicted workload level and
+// the plannable green power supply:
+//
+//  * Normal   — the non-sprinting baseline, S0 = 6 cores @ 1.2 GHz.
+//  * Greedy   — all cores at the highest frequency whenever the supply
+//               covers it; otherwise no sprint at all. No prediction of
+//               future green energy ("aggressive power supply").
+//  * Parallel — scales only the core count (frequency pinned at maximum).
+//  * Pacing   — scales only the frequency (all 12 cores active).
+//  * Hybrid   — Q-learning over the full (cores, frequency) lattice; see
+//               hybrid.hpp.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "core/profile_table.hpp"
+#include "server/setting.hpp"
+
+namespace gs::core {
+
+/// Everything a strategy may look at when deciding an epoch's setting.
+struct EpochContext {
+  double predicted_load = 0.0;  ///< Predicted per-server arrival rate.
+  Watts supply{0.0};            ///< Plannable green power per server.
+  Seconds epoch{60.0};
+};
+
+/// Telemetry handed back after the epoch settles; only Hybrid learns from
+/// it, the static strategies ignore it.
+struct EpochFeedback {
+  EpochContext context;            ///< Context the decision was made in.
+  server::ServerSetting action;    ///< Setting actually run.
+  Watts power_demand{0.0};         ///< LoadPower of the executed setting.
+  Watts actual_supply{0.0};        ///< Green supply that materialized.
+  Seconds achieved_latency{0.0};   ///< Tail latency of the epoch.
+  double observed_load = 0.0;      ///< Arrival rate that materialized.
+  EpochContext next_context;       ///< State entering the next epoch.
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Choose the sprint setting for the coming epoch.
+  [[nodiscard]] virtual server::ServerSetting decide(
+      const EpochContext& ctx) = 0;
+  /// Online learning hook; default no-op.
+  virtual void feedback(const EpochFeedback& fb) { (void)fb; }
+};
+
+/// Efficiency is the paper's "best-efficiency policy" contrast case
+/// (Section III-B: at 70% burst intensity it serves at 466 ms where Greedy
+/// serves at 270 ms, both inside the 500 ms SLA): the cheapest setting in
+/// *energy per request* that still meets QoS at the predicted load.
+enum class StrategyKind { Normal, Greedy, Parallel, Pacing, Hybrid,
+                          Efficiency };
+
+[[nodiscard]] const char* to_string(StrategyKind k);
+
+/// The strategies evaluated in the paper, in its presentation order.
+[[nodiscard]] std::vector<StrategyKind> sprinting_strategies();
+
+/// Factory. The ProfileTable must outlive the strategy.
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(
+    StrategyKind kind, const ProfileTable& profile,
+    const workload::AppDescriptor& app, Watts idle_power);
+
+}  // namespace gs::core

@@ -1,0 +1,37 @@
+#include "power/grid.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gs::power {
+
+Grid::Grid(GridConfig cfg) : cfg_(cfg) {
+  GS_REQUIRE(cfg_.budget.value() > 0.0, "grid budget must be positive");
+  GS_REQUIRE(cfg_.overload_factor >= 1.0, "overload factor must be >= 1");
+}
+
+Watts Grid::draw(Watts p, Seconds dt) {
+  GS_REQUIRE(p.value() >= 0.0, "draw must be non-negative");
+  GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
+  if (tripped_) return Watts(0.0);
+  Watts granted = p;
+  const Watts cap = cfg_.budget * cfg_.overload_factor;
+  granted = std::min(granted, cap);
+  if (granted > cfg_.budget) {
+    overload_time_ += dt;
+    if (overload_time_ > cfg_.max_overload_time) {
+      tripped_ = true;
+      return Watts(0.0);
+    }
+  }
+  energy_ += granted * dt;
+  return granted;
+}
+
+void Grid::reset_breaker() {
+  tripped_ = false;
+  overload_time_ = Seconds(0.0);
+}
+
+}  // namespace gs::power

@@ -1,0 +1,44 @@
+// Grid feed with a provisioned power budget and an overloadable circuit
+// breaker. The paper's data center is power-constrained: the grid budget
+// covers all 10 servers in Normal mode only (1000 W for the prototype);
+// sprinting beyond it must come from the green bus or the battery, with
+// deliberate short CB overload as the "last resort" (Section III-A Case 3).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::power {
+
+struct GridConfig {
+  Watts budget{1000.0};
+  /// Breakers tolerate a bounded overload for a bounded time before
+  /// tripping (thermal trip curve approximated by a single point).
+  double overload_factor = 1.25;
+  Seconds max_overload_time{120.0};
+};
+
+class Grid {
+ public:
+  explicit Grid(GridConfig cfg);
+
+  /// Request `p` for dt. Returns the power actually granted: up to the
+  /// budget normally; up to budget*overload_factor while the overload
+  /// timer lasts; 0 if the breaker has tripped.
+  Watts draw(Watts p, Seconds dt);
+
+  [[nodiscard]] bool tripped() const { return tripped_; }
+  [[nodiscard]] Joules energy_drawn() const { return energy_; }
+  [[nodiscard]] Seconds overload_time_used() const { return overload_time_; }
+  [[nodiscard]] const GridConfig& config() const { return cfg_; }
+
+  /// Manual reset after a trip (maintenance action).
+  void reset_breaker();
+
+ private:
+  GridConfig cfg_;
+  Joules energy_{0.0};
+  Seconds overload_time_{0.0};
+  bool tripped_ = false;
+};
+
+}  // namespace gs::power

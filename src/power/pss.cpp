@@ -1,0 +1,101 @@
+#include "power/pss.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gs::power {
+
+const char* to_string(PowerCase c) {
+  switch (c) {
+    case PowerCase::Idle:
+      return "Idle";
+    case PowerCase::RenewableOnly:
+      return "RenewableOnly";
+    case PowerCase::RenewableBattery:
+      return "RenewableBattery";
+    case PowerCase::BatteryOnly:
+      return "BatteryOnly";
+    case PowerCase::GridFallback:
+      return "GridFallback";
+  }
+  return "?";
+}
+
+PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
+                                          Battery& battery, Grid& grid,
+                                          Seconds dt, bool bursting,
+                                          Watts grid_fallback_cap) const {
+  GS_REQUIRE(demand.value() >= 0.0, "demand must be non-negative");
+  GS_REQUIRE(re_supply.value() >= 0.0, "RE supply must be non-negative");
+
+  PssSettlement s;
+  s.demand = demand;
+  s.re_available = re_supply;
+
+  // 1) Renewable first (Case 1).
+  s.re_used = std::min(demand, re_supply);
+  Watts residual = demand - s.re_used;
+
+  // 2) Battery covers the shortfall (Cases 2/3), limited by what it can
+  //    sustain for the whole epoch.
+  const Watts batt_capable = battery.max_discharge_power(dt);
+  s.batt_used = std::min(residual, batt_capable);
+  residual -= s.batt_used;
+
+  // 3) Grid backstop for the green group (bounded; normally sized to keep
+  //    the green servers at Normal mode only).
+  if (residual.value() > 1e-9 && grid_fallback_cap.value() > 0.0) {
+    const Watts want = std::min(residual, grid_fallback_cap);
+    s.grid_used = grid.draw(want, dt);
+    residual -= s.grid_used;
+  }
+  s.shortfall = std::max(residual, Watts(0.0));
+
+  // Execute the battery discharge decided above.
+  if (s.batt_used.value() > 0.0) {
+    battery.discharge(s.batt_used, dt);
+  }
+
+  // 4) Charging. Surplus renewable charges the battery whenever present
+  //    (Case 1 tail); the grid recharges it only outside bursts (Case 3).
+  const Watts surplus_re = re_supply - s.re_used;
+  if (surplus_re.value() > 1e-9) {
+    s.re_to_battery = battery.charge(surplus_re, dt);
+  }
+  if (!bursting && cfg_.grid_charging &&
+      battery.depth_of_discharge() > 1e-9) {
+    const Watts offer = battery.config().max_charge_power;
+    const Watts granted = grid.draw(offer, dt);
+    if (granted.value() > 0.0) {
+      s.grid_to_battery = battery.charge(granted, dt);
+    }
+  }
+
+  // Classify the epoch.
+  const bool re = s.re_used.value() > 1e-9;
+  const bool bat = s.batt_used.value() > 1e-9;
+  const bool gr = s.grid_used.value() > 1e-9;
+  if (demand.value() <= 1e-9) {
+    s.power_case = PowerCase::Idle;
+  } else if (gr) {
+    s.power_case = PowerCase::GridFallback;
+  } else if (re && bat) {
+    s.power_case = PowerCase::RenewableBattery;
+  } else if (re) {
+    s.power_case = PowerCase::RenewableOnly;
+  } else if (bat) {
+    s.power_case = PowerCase::BatteryOnly;
+  } else {
+    s.power_case = PowerCase::GridFallback;  // all-shortfall epoch
+  }
+  return s;
+}
+
+Watts PowerSourceSelector::plannable_supply(Watts re_predicted,
+                                            const Battery& battery,
+                                            Seconds dt) {
+  return re_predicted + battery.max_discharge_power(dt);
+}
+
+}  // namespace gs::power

@@ -1,0 +1,23 @@
+#include "power/solar_array.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::power {
+
+SolarArray::SolarArray(SolarArrayConfig cfg) : cfg_(cfg) {
+  GS_REQUIRE(cfg_.panels >= 0, "panel count must be non-negative");
+  GS_REQUIRE(cfg_.panel_dc_peak.value() > 0.0, "panel peak must be positive");
+  GS_REQUIRE(cfg_.ac_derate > 0.0 && cfg_.ac_derate <= 1.0,
+             "derate must be in (0,1]");
+}
+
+Watts SolarArray::ac_output(double fraction) const {
+  GS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+             "production fraction must be in [0,1]");
+  return Watts(double(cfg_.panels) * cfg_.panel_dc_peak.value() *
+               cfg_.ac_derate * fraction);
+}
+
+Watts SolarArray::peak_ac() const { return ac_output(1.0); }
+
+}  // namespace gs::power

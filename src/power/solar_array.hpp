@@ -1,0 +1,32 @@
+// Solar array + inverter: scales a normalized production trace to AC watts.
+// The paper provisions one 275 W-DC panel per green server and derates by
+// 0.77 for the inverter/wiring chain, giving 211.75 W AC peak per panel.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::power {
+
+struct SolarArrayConfig {
+  int panels = 3;
+  Watts panel_dc_peak{275.0};
+  double ac_derate = 0.77;
+};
+
+class SolarArray {
+ public:
+  explicit SolarArray(SolarArrayConfig cfg);
+
+  /// AC output for a normalized production fraction in [0,1].
+  [[nodiscard]] Watts ac_output(double fraction) const;
+
+  /// Peak AC capability (fraction = 1).
+  [[nodiscard]] Watts peak_ac() const;
+
+  [[nodiscard]] const SolarArrayConfig& config() const { return cfg_; }
+
+ private:
+  SolarArrayConfig cfg_;
+};
+
+}  // namespace gs::power

@@ -1,0 +1,40 @@
+#include "server/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gs::server {
+
+namespace {
+constexpr double kFreqMin = 1.2;
+constexpr double kFreqMax = 2.0;
+constexpr double kFreqStep = (kFreqMax - kFreqMin) / (kNumFreqStates - 1);
+constexpr double kVoltMin = 0.9;
+constexpr double kVoltMax = 1.2;
+}  // namespace
+
+Gigahertz frequency(int idx) {
+  GS_REQUIRE(idx >= 0 && idx < kNumFreqStates, "DVFS index out of range");
+  return Gigahertz(kFreqMin + kFreqStep * idx);
+}
+
+int frequency_index(Gigahertz f) {
+  const double raw = (f.value() - kFreqMin) / kFreqStep;
+  const int idx = int(std::floor(raw + 1e-9));
+  return std::clamp(idx, 0, kMaxFreqIndex);
+}
+
+Volts voltage(Gigahertz f) {
+  const double t =
+      std::clamp((f.value() - kFreqMin) / (kFreqMax - kFreqMin), 0.0, 1.0);
+  return Volts(kVoltMin + (kVoltMax - kVoltMin) * t);
+}
+
+double switching_factor(Gigahertz f) {
+  const double v = voltage(f).value();
+  return f.value() * v * v;
+}
+
+}  // namespace gs::server

@@ -1,0 +1,29 @@
+// DVFS table of the testbed server (paper Section IV): two 6-core Intel
+// Xeon E5-2620 sockets (12 cores total), 9 frequency states spanning
+// 1.2-2.0 GHz, idle power ~76 W. Voltage follows an affine V(f) curve so
+// dynamic power scales with f * V(f)^2.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::server {
+
+inline constexpr int kNumFreqStates = 9;
+inline constexpr int kMinFreqIndex = 0;
+inline constexpr int kMaxFreqIndex = kNumFreqStates - 1;
+
+/// Frequency of DVFS state `idx` (0 -> 1.2 GHz ... 8 -> 2.0 GHz).
+[[nodiscard]] Gigahertz frequency(int idx);
+
+/// Index of the DVFS state closest to (and not above) `f`; clamps to range.
+[[nodiscard]] int frequency_index(Gigahertz f);
+
+/// Core supply voltage at frequency f (affine model, 0.9 V at 1.2 GHz up to
+/// 1.2 V at 2.0 GHz).
+[[nodiscard]] Volts voltage(Gigahertz f);
+
+/// The switching-power factor f * V(f)^2 in GHz*V^2, the quantity dynamic
+/// power is proportional to.
+[[nodiscard]] double switching_factor(Gigahertz f);
+
+}  // namespace gs::server

@@ -1,0 +1,44 @@
+#include "server/power_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::server {
+
+Watts ServerPowerModel::power(const ServerSetting& s, double utilization,
+                              const ActivityProfile& app) const {
+  GS_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+             "utilization must be in [0,1]");
+  GS_REQUIRE(s.cores >= kMinCores && s.cores <= kMaxCores,
+             "core count out of range");
+  const double sf = switching_factor(s.frequency());
+  const double dynamic =
+      double(s.cores) * (app.core_static_w + utilization * app.kappa * sf);
+  return idle_ + Watts(dynamic);
+}
+
+Watts ServerPowerModel::peak_power(const ServerSetting& s,
+                                   const ActivityProfile& app) const {
+  return power(s, 1.0, app);
+}
+
+ActivityProfile calibrate(Watts idle, Watts normal_full, Watts sprint_peak) {
+  GS_REQUIRE(normal_full > idle, "normal-mode power must exceed idle");
+  GS_REQUIRE(sprint_peak > normal_full,
+             "sprint power must exceed normal-mode power");
+  const ServerSetting nm = normal_mode();
+  const ServerSetting ms = max_sprint();
+  const double sf_n = switching_factor(nm.frequency());
+  const double sf_m = switching_factor(ms.frequency());
+  // Two equations in (p_act, kappa):
+  //   p_act + kappa * sf_n = (normal_full - idle) / n_normal
+  //   p_act + kappa * sf_m = (sprint_peak - idle) / n_max
+  const double rhs_n = (normal_full - idle).value() / double(nm.cores);
+  const double rhs_m = (sprint_peak - idle).value() / double(ms.cores);
+  const double kappa = (rhs_m - rhs_n) / (sf_m - sf_n);
+  const double p_act = rhs_n - kappa * sf_n;
+  GS_ENSURE(kappa > 0.0, "calibration produced non-positive kappa");
+  GS_ENSURE(p_act >= 0.0, "calibration produced negative core static power");
+  return {p_act, kappa};
+}
+
+}  // namespace gs::server

@@ -1,0 +1,52 @@
+// Calibrated server power model.
+//
+// The paper measures per-(workload, setting) power exhaustively on real
+// servers; we replace the measurement with an analytic model
+//
+//   P(n, f, u) = P_idle + n * (p_act + u * kappa * f * V(f)^2)
+//
+// where n is the active core count, u in [0,1] the per-core utilization,
+// p_act the static cost of keeping a core powered, and kappa the
+// application-specific switching-activity coefficient. (p_act, kappa) are
+// calibrated per application from two measured anchor points the paper
+// reports: full-load power in Normal mode (implied ~100 W by the 1000 W
+// grid budget for 10 servers) and the maximum sprint power (155 / 156 /
+// 146 W for SPECjbb / Web-Search / Memcached).
+#pragma once
+
+#include "common/units.hpp"
+#include "server/setting.hpp"
+
+namespace gs::server {
+
+/// Application-specific activity coefficients (see calibrate()).
+struct ActivityProfile {
+  double core_static_w = 2.684;  ///< p_act: W per powered core.
+  double kappa = 1.354;          ///< W per core per (GHz * V^2) at u = 1.
+};
+
+class ServerPowerModel {
+ public:
+  explicit ServerPowerModel(Watts idle = Watts(76.0)) : idle_(idle) {}
+
+  /// Electrical power at a setting and per-core utilization.
+  [[nodiscard]] Watts power(const ServerSetting& s, double utilization,
+                            const ActivityProfile& app) const;
+
+  /// Power at full utilization (the sprint-planning upper bound).
+  [[nodiscard]] Watts peak_power(const ServerSetting& s,
+                                 const ActivityProfile& app) const;
+
+  [[nodiscard]] Watts idle_power() const { return idle_; }
+
+ private:
+  Watts idle_;
+};
+
+/// Solve (p_act, kappa) so that the model reproduces two anchor
+/// measurements: P(Normal=6c@1.2GHz, u=1) = normal_full and
+/// P(MaxSprint=12c@2.0GHz, u=1) = sprint_peak, with the given idle power.
+[[nodiscard]] ActivityProfile calibrate(Watts idle, Watts normal_full,
+                                        Watts sprint_peak);
+
+}  // namespace gs::server

@@ -1,0 +1,45 @@
+#include "server/setting.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gs::server {
+
+ServerSetting normal_mode() { return {kMinCores, kMinFreqIndex}; }
+ServerSetting max_sprint() { return {kMaxCores, kMaxFreqIndex}; }
+
+std::string to_string(const ServerSetting& s) {
+  std::ostringstream os;
+  os << s.cores << "c@" << s.frequency().value() << "GHz";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ServerSetting& s) {
+  return os << to_string(s);
+}
+
+SettingLattice::SettingLattice() {
+  settings_.reserve(std::size_t(kNumCoreCounts) * kNumFreqStates);
+  for (int c = kMinCores; c <= kMaxCores; ++c) {
+    for (int f = 0; f < kNumFreqStates; ++f) {
+      settings_.push_back({c, f});
+    }
+  }
+}
+
+const ServerSetting& SettingLattice::at(std::size_t i) const {
+  GS_REQUIRE(i < settings_.size(), "setting index out of range");
+  return settings_[i];
+}
+
+std::size_t SettingLattice::index_of(const ServerSetting& s) const {
+  GS_REQUIRE(s.cores >= kMinCores && s.cores <= kMaxCores,
+             "core count out of range");
+  GS_REQUIRE(s.freq_idx >= 0 && s.freq_idx < kNumFreqStates,
+             "freq index out of range");
+  return std::size_t(s.cores - kMinCores) * kNumFreqStates +
+         std::size_t(s.freq_idx);
+}
+
+}  // namespace gs::server

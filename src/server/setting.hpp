@@ -1,0 +1,54 @@
+// The sprinting-intensity lattice S (paper Section III-B): a server setting
+// is a (core count, frequency state) pair, ordered from S0 = Normal mode
+// (6 cores @ 1.2 GHz) to Sr = maximum sprint (12 cores @ 2.0 GHz).
+#pragma once
+
+#include <compare>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "server/dvfs.hpp"
+
+namespace gs::server {
+
+inline constexpr int kMinCores = 6;   ///< Normal mode: one socket active.
+inline constexpr int kMaxCores = 12;  ///< Full sprint: all cores on.
+inline constexpr int kNumCoreCounts = kMaxCores - kMinCores + 1;
+
+struct ServerSetting {
+  int cores = kMinCores;
+  int freq_idx = kMinFreqIndex;
+
+  [[nodiscard]] Gigahertz frequency() const {
+    return gs::server::frequency(freq_idx);
+  }
+
+  friend constexpr auto operator<=>(const ServerSetting&,
+                                    const ServerSetting&) = default;
+};
+
+[[nodiscard]] ServerSetting normal_mode();
+[[nodiscard]] ServerSetting max_sprint();
+
+[[nodiscard]] std::string to_string(const ServerSetting& s);
+std::ostream& operator<<(std::ostream& os, const ServerSetting& s);
+
+/// Enumeration of all valid settings, in (cores, freq) lexicographic order
+/// so that index 0 is Normal mode and the last index is the maximum sprint.
+class SettingLattice {
+ public:
+  SettingLattice();
+
+  [[nodiscard]] std::size_t size() const { return settings_.size(); }
+  [[nodiscard]] const ServerSetting& at(std::size_t i) const;
+  [[nodiscard]] std::size_t index_of(const ServerSetting& s) const;
+  [[nodiscard]] const std::vector<ServerSetting>& all() const {
+    return settings_;
+  }
+
+ private:
+  std::vector<ServerSetting> settings_;
+};
+
+}  // namespace gs::server

@@ -1,0 +1,262 @@
+#include "sim/burst_runner.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/greensprint.hpp"
+#include "power/battery.hpp"
+#include "power/grid.hpp"
+#include "power/solar_array.hpp"
+#include "server/power_model.hpp"
+#include "sim/monitor.hpp"
+#include "thermal/pcm.hpp"
+#include "workload/des.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+/// Green power available per green server at trace time t.
+Watts re_share(const power::SolarArray& array, const trace::SolarTrace& tr,
+               Seconds t, int green_servers) {
+  return array.ac_output(tr.at(t)) / double(green_servers);
+}
+
+}  // namespace
+
+BurstResult run_burst(const Scenario& sc) {
+  GS_REQUIRE(sc.green.green_servers > 0, "scenario needs green servers");
+  GS_REQUIRE(sc.burst_duration.value() >= sc.epoch.value(),
+             "burst must span at least one epoch");
+
+  // --- Substrate setup ----------------------------------------------------
+  trace::SolarTraceConfig trace_cfg;
+  trace_cfg.seed = sc.seed;
+  const trace::SolarTrace solar = trace::generate_solar_trace(trace_cfg);
+  const auto window =
+      trace::find_window(solar, sc.burst_duration, sc.availability);
+  GS_REQUIRE(window.has_value(),
+             "solar trace has no window of the requested availability");
+  const Seconds start = *window;
+
+  power::SolarArray array({sc.green.panels, Watts(275.0), 0.77});
+
+  std::optional<power::Battery> battery;
+  if (sc.green.battery.value() > 0.0) {
+    power::BatteryConfig bc;
+    bc.capacity = sc.green.battery;
+    battery.emplace(bc);
+  }
+  power::Battery dummy_battery({AmpHours(1e-9)});
+  power::Battery& batt = battery ? *battery : dummy_battery;
+
+  const workload::PerfModel perf(sc.app);
+  const server::ServerPowerModel pmodel(Watts(76.0));
+  const core::ProfileTable profile(perf, pmodel);
+  core::GreenSprintController controller(
+      sc.app, profile, pmodel.idle_power(),
+      {sc.strategy, core::PredictorConfig{}, sc.epoch});
+
+  // Per-green-server grid backstop: enough for Normal mode plus battery
+  // recharge; the rest of the rack's budget carries the grid servers.
+  power::GridConfig grid_cfg;
+  grid_cfg.budget = sc.app.normal_full_power + Watts(80.0);
+  power::Grid grid(grid_cfg);
+  const power::PowerSourceSelector pss;
+
+  const server::ServerSetting normal = server::normal_mode();
+  const double lambda_peak = perf.intensity_load(sc.burst_intensity);
+  const double lambda_background =
+      sc.background_load * perf.capacity(normal);
+  GS_REQUIRE(!sc.use_des || sc.burst_shape == trace::BurstShape::Plateau,
+             "DES mode currently supports plateau bursts only");
+
+  // --- Warmup: prime the forecasts on the pre-burst trace -----------------
+  const Seconds warm_start =
+      Seconds(std::max(0.0, (start - sc.warmup).value()));
+  for (Seconds t = warm_start; t < start; t += sc.epoch) {
+    controller.observe_idle(
+        lambda_background,
+        re_share(array, solar, t, sc.green.green_servers));
+  }
+
+  // --- Burst epochs -------------------------------------------------------
+  BurstResult result;
+  result.window_start = start;
+  const auto n_epochs =
+      std::size_t(sc.burst_duration.value() / sc.epoch.value());
+  result.epochs.reserve(n_epochs);
+
+  Monitor monitor;
+  monitor.set_epoch(sc.epoch);
+  Rng des_rng = Rng::stream(sc.seed, {0xde5ull});
+
+  thermal::PcmConfig pcm_cfg;
+  pcm_cfg.latent_capacity = Joules(sc.pcm_capacity_j);
+  thermal::PcmBuffer pcm(pcm_cfg);
+  bool thermal_limited = false;
+
+  double normal_goodput_sum = 0.0;
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    const Seconds t = start + sc.epoch * double(e);
+    const double progress = (double(e) + 0.5) / double(n_epochs);
+    const double lambda_burst =
+        lambda_peak * trace::burst_shape_factor(sc.burst_shape, progress);
+    normal_goodput_sum += perf.goodput(normal, lambda_burst);
+    const Watts re_obs = re_share(array, solar, t, sc.green.green_servers);
+    const Watts batt_power =
+        battery ? battery->max_discharge_power(sc.epoch) : Watts(0.0);
+
+    // The Monitor measures the arrival rate at the head of the epoch (a
+    // queue-length spike is visible within seconds); renewable output over
+    // the epoch remains a genuine forecast from past production (Eq. 1).
+    server::ServerSetting setting =
+        controller.begin_epoch(lambda_burst, batt_power);
+
+    // Emergency downgrade: the supply that materialized may be below the
+    // prediction; the PMK must keep the server within the actual budget.
+    const Watts green_avail = re_obs + batt_power;
+    bool downgraded = false;
+    if (setting != normal &&
+        controller.demand(lambda_burst, setting) > green_avail) {
+      setting = controller.replan(green_avail);
+      downgraded = true;
+      // The strategy budgets at its *predicted* load level; when the
+      // actual level still draws more than the supply, fall to the
+      // grid-backed floor rather than browning out.
+      if (setting != normal &&
+          controller.demand(lambda_burst, setting) > green_avail) {
+        setting = normal;
+      }
+    }
+    // Thermal constraint: a saturated PCM buffer cannot absorb more
+    // sprint heat, forcing Normal mode until it refreezes.
+    if (sc.thermal_model && thermal_limited && setting != normal) {
+      setting = normal;
+      downgraded = true;
+    }
+    const Watts demand = controller.demand(lambda_burst, setting);
+    GS_ENSURE(setting == normal || demand <= green_avail + Watts(1e-6),
+              "PMK produced a setting beyond the green budget");
+
+    const Watts grid_cap =
+        setting == normal ? sc.app.normal_full_power : Watts(0.0);
+    const auto settle = pss.settle(demand, re_obs, batt, grid, sc.epoch,
+                                   /*bursting=*/true, grid_cap);
+
+    // Workload evaluation for this epoch. In DES mode the service runs
+    // with admission control sized to its SLA window (an interactive
+    // service sheds load it cannot serve in time rather than queueing it
+    // to death); the Normal baseline below uses the same policy.
+    auto des_options = [&](const server::ServerSetting& s) {
+      workload::DesOptions o;
+      // Budget the wait so that an admitted request plus a ~95th-percentile
+      // service draw still lands near the SLA.
+      const double mean_service =
+          1.0 / sc.app.service_rate(s.frequency());
+      o.admit_wait_limit_s =
+          std::max(0.1 * sc.app.qos.limit.value(),
+                   sc.app.qos.limit.value() - 3.0 * mean_service);
+      return o;
+    };
+    double goodput = 0.0;
+    Seconds latency{0.0};
+    if (sc.use_des) {
+      const auto des =
+          workload::simulate_epoch(des_rng, sc.app, setting, lambda_burst,
+                                   sc.epoch, des_options(setting));
+      goodput = des.goodput_rate;
+      latency = des.tail_latency;
+    } else {
+      goodput = perf.goodput(setting, lambda_burst);
+      latency = perf.latency(setting, lambda_burst);
+    }
+    if (settle.deficit()) {
+      // Sources could not actually carry the chosen setting (e.g. breaker
+      // tripped): the server browns out to Normal-mode service this epoch.
+      goodput = std::min(goodput, perf.goodput(normal, lambda_burst));
+    }
+
+    if (sc.thermal_model) {
+      thermal_limited = !pcm.absorb(demand, sc.epoch) || pcm.saturated();
+    }
+
+    controller.end_epoch(re_obs, demand, green_avail, latency);
+
+    // Telemetry.
+    MonitorSample sample;
+    sample.time = t;
+    sample.setting = setting;
+    sample.power_case = settle.power_case;
+    sample.offered_load = lambda_burst;
+    sample.goodput = goodput;
+    sample.latency = latency;
+    sample.demand = demand;
+    sample.re_used = settle.re_used;
+    sample.batt_used = settle.batt_used;
+    sample.grid_used = settle.grid_used;
+    sample.battery_soc = battery ? battery->state_of_charge() : 0.0;
+    monitor.record(sample);
+
+    EpochRecord rec;
+    rec.time = t;
+    rec.setting = setting;
+    rec.power_case = settle.power_case;
+    rec.offered_load = lambda_burst;
+    rec.goodput = goodput;
+    rec.latency = latency;
+    rec.demand = demand;
+    rec.re_used = settle.re_used;
+    rec.batt_used = settle.batt_used;
+    rec.grid_used = settle.grid_used;
+    rec.re_available = re_obs;
+    rec.battery_soc = sample.battery_soc;
+    rec.downgraded = downgraded;
+    result.epochs.push_back(rec);
+  }
+
+  result.mean_goodput = monitor.goodput_stats().mean();
+  const double lambda_burst = lambda_peak;  // DES baseline: plateau only
+  if (sc.use_des) {
+    // Normalize DES runs by a DES-measured Normal baseline so both sides
+    // of the ratio carry the same queueing/admission semantics.
+    Rng base_rng = Rng::stream(sc.seed, {0xba5e});
+    workload::DesOptions base_opts;
+    const double mean_service_normal =
+        1.0 / sc.app.service_rate(normal.frequency());
+    base_opts.admit_wait_limit_s =
+        std::max(0.1 * sc.app.qos.limit.value(),
+                 sc.app.qos.limit.value() - 3.0 * mean_service_normal);
+    double sum = 0.0;
+    constexpr int kBaselineEpochs = 5;
+    for (int i = 0; i < kBaselineEpochs; ++i) {
+      sum += workload::simulate_epoch(base_rng, sc.app, normal,
+                                      lambda_burst, sc.epoch, base_opts)
+                 .goodput_rate;
+    }
+    result.normal_goodput = sum / kBaselineEpochs;
+  } else {
+    // Baseline under the same (possibly time-varying) offered load.
+    result.normal_goodput = normal_goodput_sum / double(n_epochs);
+  }
+  result.normalized_perf =
+      result.normal_goodput > 0.0 ? result.mean_goodput / result.normal_goodput
+                                  : 0.0;
+  result.re_energy_used = monitor.re_energy();
+  result.batt_energy_used = monitor.batt_energy();
+  result.grid_energy_used = monitor.grid_energy();
+  if (battery) {
+    result.final_battery_dod = battery->depth_of_discharge();
+    result.battery_cycles = battery->equivalent_cycles();
+  }
+  return result;
+}
+
+double normalized_performance(const Scenario& scenario) {
+  return run_burst(scenario).normalized_perf;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,63 @@
+// The epoch-loop simulator that executes one burst scenario end to end:
+// Monitor -> Predictor -> PSS case selection -> PMK strategy -> power
+// settlement (battery / grid mutation) -> workload evaluation. It follows
+// the paper's prototype methodology (Section IV):
+//
+//  * the burst saturates the cluster; the analysis focuses on the
+//    green-provisioned servers, which sprint exclusively from the green
+//    bus (renewable + server battery) while the grid conservatively
+//    carries the rest of the rack,
+//  * when the green sources cannot carry even Normal mode, the green
+//    servers fall back to the grid at Normal mode,
+//  * performance is the mean SLA-goodput over the burst, normalized to the
+//    same burst executed entirely in Normal mode.
+#pragma once
+
+#include <vector>
+
+#include "power/pss.hpp"
+#include "sim/scenario.hpp"
+#include "trace/solar.hpp"
+
+namespace gs::sim {
+
+/// Telemetry for one scheduling epoch of one green server.
+struct EpochRecord {
+  Seconds time{0.0};               ///< Start of the epoch (trace time).
+  server::ServerSetting setting;
+  power::PowerCase power_case = power::PowerCase::Idle;
+  double offered_load = 0.0;       ///< Arrival rate (req/s).
+  double goodput = 0.0;            ///< SLA-goodput (req/s).
+  Seconds latency{0.0};            ///< Achieved tail latency.
+  Watts demand{0.0};               ///< Server electrical demand.
+  Watts re_used{0.0};
+  Watts batt_used{0.0};
+  Watts grid_used{0.0};
+  Watts re_available{0.0};         ///< Green supply before settlement.
+  double battery_soc = 1.0;
+  bool downgraded = false;         ///< Emergency PMK downgrade fired.
+};
+
+/// Result of one scenario run.
+struct BurstResult {
+  std::vector<EpochRecord> epochs;       ///< Burst epochs, per green server.
+  double mean_goodput = 0.0;             ///< Over the burst (req/s/server).
+  double normal_goodput = 0.0;           ///< Normal-mode baseline.
+  double normalized_perf = 0.0;          ///< mean_goodput / normal_goodput.
+  double final_battery_dod = 0.0;
+  double battery_cycles = 0.0;           ///< Equivalent cycles consumed.
+  Joules re_energy_used{0.0};
+  Joules batt_energy_used{0.0};
+  Joules grid_energy_used{0.0};
+  Seconds window_start{0.0};             ///< Trace time the burst started.
+};
+
+/// Execute the scenario. Throws gs::ContractError if the solar trace has
+/// no window of the requested availability class (never happens with the
+/// default generator, which forces one clear and one overcast day).
+[[nodiscard]] BurstResult run_burst(const Scenario& scenario);
+
+/// Convenience: normalized performance only.
+[[nodiscard]] double normalized_performance(const Scenario& scenario);
+
+}  // namespace gs::sim

@@ -1,0 +1,49 @@
+#include "sim/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::sim {
+
+server::ServerSetting best_setting_under_cap(
+    const workload::PerfModel& perf, const server::ServerPowerModel& power,
+    double lambda, Watts per_server_cap) {
+  const server::SettingLattice lattice;
+  server::ServerSetting best = server::normal_mode();
+  double best_goodput = -1.0;
+  for (const auto& s : lattice.all()) {
+    const double u = perf.utilization(s, lambda);
+    if (power.power(s, u, perf.app().activity) > per_server_cap) continue;
+    const double g = perf.goodput(s, lambda);
+    if (g > best_goodput) {
+      best_goodput = g;
+      best = s;
+    }
+  }
+  GS_ENSURE(best_goodput >= 0.0,
+            "even Normal mode exceeds the per-server grid cap");
+  return best;
+}
+
+Watts grid_share_per_server(const ClusterConfig& cluster) {
+  GS_REQUIRE(cluster.grid_servers() > 0, "cluster needs grid servers");
+  return cluster.grid_budget / double(cluster.grid_servers());
+}
+
+Watts cluster_power(const workload::PerfModel& perf,
+                    const server::ServerPowerModel& power,
+                    const ClusterConfig& cluster,
+                    const server::ServerSetting& green_setting,
+                    double lambda) {
+  const auto& act = perf.app().activity;
+  const double ug = perf.utilization(green_setting, lambda);
+  const Watts green =
+      power.power(green_setting, ug, act) * double(cluster.green_servers);
+  const auto grid_setting = best_setting_under_cap(
+      perf, power, lambda, grid_share_per_server(cluster));
+  const double un = perf.utilization(grid_setting, lambda);
+  const Watts grid =
+      power.power(grid_setting, un, act) * double(cluster.grid_servers());
+  return green + grid;
+}
+
+}  // namespace gs::sim

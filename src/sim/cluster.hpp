@@ -1,0 +1,43 @@
+// Cluster-level helpers: the prototype is 10 servers behind a 1000 W grid
+// budget (Normal mode for all). During a burst the grid conservatively
+// carries the non-green servers at the best uniform sub-optimal sprint that
+// fits the budget (paper Section IV-A gives 12 cores @ 1.5 GHz or 7 cores
+// @ 2.0 GHz as examples for 7 servers), while the green group sprints from
+// the green bus.
+#pragma once
+
+#include "server/power_model.hpp"
+#include "server/setting.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::sim {
+
+struct ClusterConfig {
+  int total_servers = 10;
+  int green_servers = 3;
+  Watts grid_budget{1000.0};
+  [[nodiscard]] int grid_servers() const {
+    return total_servers - green_servers;
+  }
+};
+
+/// Best-goodput uniform setting for the grid-powered servers under a
+/// per-server power cap at the given offered load.
+[[nodiscard]] server::ServerSetting best_setting_under_cap(
+    const workload::PerfModel& perf, const server::ServerPowerModel& power,
+    double lambda, Watts per_server_cap);
+
+/// Per-server grid power available to the non-green servers during a burst
+/// (the full budget spread over them; green servers are off-grid).
+[[nodiscard]] Watts grid_share_per_server(const ClusterConfig& cluster);
+
+/// Aggregate power of the whole cluster at a burst instant, for the Fig. 1
+/// and Fig. 5 style series: green servers at `green_setting`, grid servers
+/// at their best budget-constrained setting.
+[[nodiscard]] Watts cluster_power(const workload::PerfModel& perf,
+                                  const server::ServerPowerModel& power,
+                                  const ClusterConfig& cluster,
+                                  const server::ServerSetting& green_setting,
+                                  double lambda);
+
+}  // namespace gs::sim

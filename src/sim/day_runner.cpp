@@ -1,0 +1,85 @@
+#include "sim/day_runner.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "power/solar_array.hpp"
+
+namespace gs::sim {
+
+std::vector<trace::BurstPattern> default_daily_bursts() {
+  using gs::Seconds;
+  return {
+      {Seconds(9.0 * 3600.0), Seconds(1200.0), 1.0},
+      {Seconds(13.5 * 3600.0), Seconds(1800.0), 1.0},
+      {Seconds(19.5 * 3600.0), Seconds(900.0), 1.0},
+  };
+}
+
+DayRunResult run_days(const DayRunConfig& cfg) {
+  GS_REQUIRE(cfg.days >= 1, "need at least one day");
+  trace::SolarTraceConfig solar_cfg;
+  solar_cfg.seed = cfg.solar_seed;
+  solar_cfg.days = std::max(cfg.days, 1);
+  const auto solar = trace::generate_solar_trace(solar_cfg);
+  const power::SolarArray array({cfg.panels, Watts(275.0), 0.77});
+
+  GreenCluster cluster(workload::specjbb(), cfg.cluster);
+  const auto& perf = cluster.perf();
+  const double lambda_burst = perf.intensity_load(server::kMaxCores);
+  const double lambda_background =
+      cfg.background_load * perf.capacity(server::normal_mode());
+  const double normal_goodput =
+      perf.goodput(server::normal_mode(), lambda_burst);
+
+  DayRunResult out;
+  out.normal_goodput = normal_goodput;
+  const Seconds epoch = cfg.cluster.epoch;
+  const Seconds horizon(double(cfg.days) * 86400.0);
+  out.simulated = horizon;
+
+  double burst_goodput_sum = 0.0;
+  std::size_t burst_epochs = 0;
+  bool in_burst_prev = false;
+
+  for (Seconds t(0.0); t < horizon; t += epoch) {
+    const double day_offset = std::fmod(t.value(), 86400.0);
+    const bool in_burst = std::any_of(
+        cfg.daily_bursts.begin(), cfg.daily_bursts.end(),
+        [&](const trace::BurstPattern& b) {
+          return day_offset >= b.start.value() &&
+                 day_offset < b.start.value() + b.duration.value();
+        });
+    const Watts re_total = array.ac_output(solar.at(t));
+    if (in_burst) {
+      if (!in_burst_prev) ++out.bursts_served;
+      const auto ep = cluster.step(re_total, lambda_burst, true);
+      burst_goodput_sum += ep.total_goodput / double(cluster.servers());
+      ++burst_epochs;
+      out.sprint_time += epoch * double(ep.servers_sprinting);
+      out.re_energy += ep.re_used * epoch;
+      out.batt_energy += ep.batt_used * epoch;
+      out.grid_energy += ep.grid_used * epoch;
+    } else {
+      cluster.idle_step(re_total, lambda_background);
+    }
+    in_burst_prev = in_burst;
+  }
+
+  if (burst_epochs > 0) {
+    out.mean_burst_goodput = burst_goodput_sum / double(burst_epochs);
+    out.burst_speedup = out.mean_burst_goodput / normal_goodput;
+  }
+  out.sprint_hours_per_server =
+      out.sprint_time.value() / 3600.0 / double(cluster.servers());
+  out.battery_cycles = cluster.total_equivalent_cycles();
+  return out;
+}
+
+double yearly_sprint_hours(const DayRunResult& r) {
+  GS_REQUIRE(r.simulated.value() > 0.0, "empty run");
+  const double days = r.simulated.value() / 86400.0;
+  return r.sprint_hours_per_server * 365.0 / days;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,54 @@
+// Multi-day simulation: replays a diurnal workload (Fig. 1) with injected
+// bursts against a weekly solar trace on the per-server green cluster.
+// Outside bursts the servers run Normal mode on the grid while the PSS
+// recharges the batteries; during bursts the cluster sprints from the
+// green bus. The run accounts sprint-hours, energy by source, battery
+// wear, and the goodput uplift — the inputs of the paper's TCO analysis
+// (Fig. 11), measured instead of assumed.
+#pragma once
+
+#include <vector>
+
+#include "sim/green_cluster.hpp"
+#include "trace/solar.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace gs::sim {
+
+struct DayRunConfig {
+  int days = 1;
+  GreenClusterConfig cluster;
+  int panels = 3;
+  /// Bursts injected per day (start times are within-day offsets).
+  std::vector<trace::BurstPattern> daily_bursts;
+  trace::DiurnalConfig diurnal;
+  std::uint64_t solar_seed = 42;
+  /// Background load fraction of Normal capacity between bursts.
+  double background_load = 0.3;
+};
+
+struct DayRunResult {
+  Seconds simulated{0.0};
+  Seconds sprint_time{0.0};          ///< Aggregate server-sprint time.
+  double sprint_hours_per_server = 0.0;
+  double mean_burst_goodput = 0.0;   ///< Per server, during bursts.
+  double normal_goodput = 0.0;       ///< Baseline during the same bursts.
+  double burst_speedup = 0.0;        ///< Ratio of the two.
+  Joules re_energy{0.0};
+  Joules batt_energy{0.0};
+  Joules grid_energy{0.0};
+  double battery_cycles = 0.0;       ///< Summed over the green servers.
+  int bursts_served = 0;
+};
+
+/// Returns the default burst schedule used by the examples: morning,
+/// midday and evening bursts as in the paper's Fig. 1 narrative.
+[[nodiscard]] std::vector<trace::BurstPattern> default_daily_bursts();
+
+[[nodiscard]] DayRunResult run_days(const DayRunConfig& cfg);
+
+/// Extrapolate a run's sprint activity to a year (for Fig. 11): yearly
+/// sprint hours per KW of sprint (green) provision.
+[[nodiscard]] double yearly_sprint_hours(const DayRunResult& r);
+
+}  // namespace gs::sim

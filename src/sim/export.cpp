@@ -1,0 +1,62 @@
+#include "sim/export.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace gs::sim {
+
+void export_epochs_csv(std::ostream& os, const BurstResult& result) {
+  CsvWriter csv(os);
+  csv.row({"t_s", "cores", "freq_ghz", "power_case", "demand_w", "re_w",
+           "batt_w", "grid_w", "soc", "offered_load", "goodput",
+           "latency_s", "downgraded"});
+  for (const auto& e : result.epochs) {
+    csv.row({TextTable::num((e.time - result.window_start).value(), 0),
+             std::to_string(e.setting.cores),
+             TextTable::num(e.setting.frequency().value(), 1),
+             power::to_string(e.power_case),
+             TextTable::num(e.demand.value(), 2),
+             TextTable::num(e.re_used.value(), 2),
+             TextTable::num(e.batt_used.value(), 2),
+             TextTable::num(e.grid_used.value(), 2),
+             TextTable::num(e.battery_soc, 4),
+             TextTable::num(e.offered_load, 2),
+             TextTable::num(e.goodput, 2),
+             TextTable::num(e.latency.value(), 5),
+             e.downgraded ? "1" : "0"});
+  }
+}
+
+void export_epochs_csv_file(const std::string& path,
+                            const BurstResult& result) {
+  std::ofstream out(path);
+  GS_REQUIRE(out.good(), "cannot open export file: " + path);
+  export_epochs_csv(out, result);
+}
+
+void export_summary_header(std::ostream& os) {
+  CsvWriter csv(os);
+  csv.row({"app", "config", "strategy", "availability", "minutes",
+           "intensity", "normalized_perf", "mean_goodput", "re_wh",
+           "batt_wh", "grid_wh", "battery_dod"});
+}
+
+void export_summary_row(std::ostream& os, const Scenario& scenario,
+                        const BurstResult& result) {
+  CsvWriter csv(os);
+  csv.row({scenario.app.name, scenario.green.name,
+           core::to_string(scenario.strategy),
+           trace::to_string(scenario.availability),
+           TextTable::num(scenario.burst_duration.value() / 60.0, 0),
+           std::to_string(scenario.burst_intensity),
+           TextTable::num(result.normalized_perf, 4),
+           TextTable::num(result.mean_goodput, 2),
+           TextTable::num(to_watt_hours(result.re_energy_used).value(), 1),
+           TextTable::num(to_watt_hours(result.batt_energy_used).value(), 1),
+           TextTable::num(to_watt_hours(result.grid_energy_used).value(), 1),
+           TextTable::num(result.final_battery_dod, 4)});
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,25 @@
+// CSV exporters for simulation results, for external plotting of the
+// paper's figures (each bench prints tables; these emit machine-readable
+// series with the same columns).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/burst_runner.hpp"
+
+namespace gs::sim {
+
+/// One row per epoch: time, setting, power case, per-source watts, SoC,
+/// goodput, latency.
+void export_epochs_csv(std::ostream& os, const BurstResult& result);
+void export_epochs_csv_file(const std::string& path,
+                            const BurstResult& result);
+
+/// One summary row (appendable across scenarios): scenario descriptors
+/// plus normalized performance and energy totals.
+void export_summary_header(std::ostream& os);
+void export_summary_row(std::ostream& os, const Scenario& scenario,
+                        const BurstResult& result);
+
+}  // namespace gs::sim

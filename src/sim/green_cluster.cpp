@@ -1,0 +1,182 @@
+#include "sim/green_cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::sim {
+
+const char* to_string(ReAllocation a) {
+  switch (a) {
+    case ReAllocation::EqualShare:
+      return "EqualShare";
+    case ReAllocation::Waterfall:
+      return "Waterfall";
+  }
+  return "?";
+}
+
+namespace {
+
+power::BatteryConfig battery_config(AmpHours capacity) {
+  power::BatteryConfig bc;
+  bc.capacity = capacity.value() > 0.0 ? capacity : AmpHours(1e-9);
+  return bc;
+}
+
+power::GridConfig cluster_grid_config(const workload::AppDescriptor& app,
+                                      int servers) {
+  power::GridConfig gc;
+  // Normal-mode backstop plus charging headroom for every green server.
+  gc.budget = (app.normal_full_power + Watts(80.0)) * double(servers);
+  return gc;
+}
+
+}  // namespace
+
+GreenCluster::GreenCluster(const workload::AppDescriptor& app,
+                           GreenClusterConfig cfg)
+    : cfg_(cfg),
+      app_(app),
+      perf_(app),
+      power_model_(Watts(76.0)),
+      profile_(perf_, power_model_),
+      pss_(power::PssConfig{cfg.grid_charging}),
+      batteries_(),
+      controllers_(),
+      grid_(cluster_grid_config(app, cfg.servers)) {
+  GS_REQUIRE(cfg_.servers > 0, "cluster needs at least one green server");
+  batteries_.reserve(std::size_t(cfg_.servers));
+  controllers_.reserve(std::size_t(cfg_.servers));
+  for (int i = 0; i < cfg_.servers; ++i) {
+    batteries_.emplace_back(battery_config(cfg_.battery_per_server));
+    controllers_.push_back(std::make_unique<core::GreenSprintController>(
+        app_, profile_, power_model_.idle_power(),
+        core::ControllerConfig{cfg_.strategy, core::PredictorConfig{},
+                               cfg_.epoch}));
+  }
+}
+
+std::vector<Watts> GreenCluster::allocate(Watts re_total,
+                                          const std::vector<Watts>& want)
+    const {
+  std::vector<Watts> share(want.size(), Watts(0.0));
+  switch (cfg_.allocation) {
+    case ReAllocation::EqualShare: {
+      const Watts each = re_total / double(want.size());
+      std::fill(share.begin(), share.end(), each);
+      break;
+    }
+    case ReAllocation::Waterfall: {
+      Watts left = re_total;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        share[i] = std::min(left, want[i]);
+        left -= share[i];
+      }
+      // Any remainder (all demands met) goes to the first server's
+      // charger.
+      if (left.value() > 0.0 && !share.empty()) share[0] += left;
+      break;
+    }
+  }
+  return share;
+}
+
+ClusterEpoch GreenCluster::step(Watts re_total, double lambda,
+                                bool bursting) {
+  return step_hetero(re_total,
+                     std::vector<double>(std::size_t(cfg_.servers), lambda),
+                     bursting);
+}
+
+ClusterEpoch GreenCluster::step_hetero(Watts re_total,
+                                       const std::vector<double>& lambdas,
+                                       bool bursting) {
+  GS_REQUIRE(re_total.value() >= 0.0, "RE supply must be non-negative");
+  GS_REQUIRE(lambdas.size() == std::size_t(cfg_.servers),
+             "one arrival rate per green server required");
+  const auto n = std::size_t(cfg_.servers);
+  ClusterEpoch out;
+  out.settings.resize(n);
+
+  // Allocation claims: each server's maximal-sprint demand at its own
+  // workload level (EqualShare ignores them; Waterfall fills by demand).
+  const auto max_idx = profile_.lattice().index_of(server::max_sprint());
+  std::vector<Watts> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    want[i] = profile_.power(profile_.level_for(lambdas[i]), max_idx);
+  }
+  const auto shares = allocate(re_total, want);
+
+  const server::ServerSetting normal = server::normal_mode();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda = lambdas[i];
+    auto& battery = batteries_[i];
+    auto& controller = *controllers_[i];
+    const Watts batt_power = battery.max_discharge_power(cfg_.epoch);
+    // Each controller forecasts its *own* share: it has been observing the
+    // policy's per-server allocation epoch after epoch, so the EWMA tracks
+    // whatever the allocation policy hands this server.
+    server::ServerSetting setting = controller.begin_epoch(lambda,
+                                                           batt_power);
+    const Watts green_avail = shares[i] + batt_power;
+    if (setting != normal &&
+        controller.demand(lambda, setting) > green_avail) {
+      setting = controller.replan(green_avail);
+    }
+    const Watts demand = controller.demand(lambda, setting);
+    const Watts grid_cap =
+        setting == normal ? app_.normal_full_power : Watts(0.0);
+    const auto settle = pss_.settle(demand, shares[i], battery, grid_,
+                                    cfg_.epoch, bursting, grid_cap);
+    double goodput = perf_.goodput(setting, lambda);
+    if (settle.deficit()) {
+      goodput = std::min(goodput, perf_.goodput(normal, lambda));
+    }
+    controller.end_epoch(shares[i], demand, green_avail,
+                         perf_.latency(setting, lambda));
+
+    out.settings[i] = setting;
+    out.total_goodput += goodput;
+    out.total_demand += demand;
+    out.re_used += settle.re_used;
+    out.batt_used += settle.batt_used;
+    out.grid_used += settle.grid_used;
+    if (setting != normal) ++out.servers_sprinting;
+  }
+  return out;
+}
+
+void GreenCluster::idle_step(Watts re_total, double background_lambda) {
+  const auto n = std::size_t(cfg_.servers);
+  // Forecast consistency: divide the idle supply by the same policy the
+  // burst path uses (planned against maximum-sprint demand), so each
+  // controller's renewable EWMA predicts the share it will actually get.
+  const Watts max_demand = profile_.power(
+      profile_.num_levels() - 1,
+      profile_.lattice().index_of(server::max_sprint()));
+  const std::vector<Watts> want(n, max_demand);
+  const auto shares = allocate(re_total, want);
+  for (std::size_t i = 0; i < n; ++i) {
+    controllers_[i]->observe_idle(background_lambda, shares[i]);
+    // Normal-mode power comes from the grid; all of the RE share plus the
+    // grid charger can refill the battery.
+    (void)pss_.settle(Watts(0.0), shares[i], batteries_[i], grid_,
+                      cfg_.epoch, /*bursting=*/false, Watts(0.0));
+  }
+}
+
+double GreenCluster::mean_soc() const {
+  double sum = 0.0;
+  for (const auto& b : batteries_) sum += b.state_of_charge();
+  return sum / double(batteries_.size());
+}
+
+double GreenCluster::total_equivalent_cycles() const {
+  double sum = 0.0;
+  for (const auto& b : batteries_) sum += b.equivalent_cycles();
+  return sum;
+}
+
+}  // namespace gs::sim

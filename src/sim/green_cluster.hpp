@@ -1,0 +1,97 @@
+// Per-server simulation of the green group: each green server owns its own
+// battery (the paper adopts Google-style *server-level* batteries) and its
+// own GreenSprint controller; the rack's renewable output is divided among
+// them by an allocation policy.
+//
+//  * EqualShare — every green server receives RE/n (the paper's implicit
+//    symmetric setup; burst_runner's single-representative-server model is
+//    exact for this policy).
+//  * Waterfall  — servers are filled in priority order: the first server
+//    gets renewable power up to its demand, the remainder flows to the
+//    next. Concentrates scarce supply in a few fully-sprinting servers
+//    instead of spreading it thin. bench/abl_re_allocation quantifies the
+//    difference.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/greensprint.hpp"
+#include "power/battery.hpp"
+#include "power/grid.hpp"
+#include "power/pss.hpp"
+#include "sim/monitor.hpp"
+
+namespace gs::sim {
+
+enum class ReAllocation { EqualShare, Waterfall };
+
+[[nodiscard]] const char* to_string(ReAllocation a);
+
+struct GreenClusterConfig {
+  int servers = 3;
+  AmpHours battery_per_server{3.2};
+  core::StrategyKind strategy = core::StrategyKind::Hybrid;
+  ReAllocation allocation = ReAllocation::EqualShare;
+  Seconds epoch{60.0};
+  /// Recharge batteries from the grid between bursts (paper Case 3: "we
+  /// charge the battery with grid power in anticipation of future
+  /// sprints"). Off = renewable-only charging (greener, slower recovery;
+  /// bench/abl_charge_policy).
+  bool grid_charging = true;
+};
+
+/// Result of one cluster epoch.
+struct ClusterEpoch {
+  std::vector<server::ServerSetting> settings;  ///< Per green server.
+  double total_goodput = 0.0;
+  Watts total_demand{0.0};
+  Watts re_used{0.0};
+  Watts batt_used{0.0};
+  Watts grid_used{0.0};
+  int servers_sprinting = 0;
+};
+
+class GreenCluster {
+ public:
+  GreenCluster(const workload::AppDescriptor& app, GreenClusterConfig cfg);
+
+  /// Advance one epoch: per-server arrival rate `lambda`, rack-level
+  /// renewable output `re_total`, `bursting` gates grid charging.
+  ClusterEpoch step(Watts re_total, double lambda, bool bursting);
+
+  /// Heterogeneous variant (paper Section III-B models per-server L_j and
+  /// S_j): one arrival rate per green server. Waterfall allocation sizes
+  /// each server's claim by its own maximal-sprint demand at its level.
+  ClusterEpoch step_hetero(Watts re_total,
+                           const std::vector<double>& lambdas,
+                           bool bursting);
+
+  /// Idle epoch (no burst): servers at Normal on grid; surplus RE and the
+  /// grid recharge the batteries.
+  void idle_step(Watts re_total, double background_lambda);
+
+  [[nodiscard]] int servers() const { return cfg_.servers; }
+  [[nodiscard]] double mean_soc() const;
+  [[nodiscard]] double total_equivalent_cycles() const;
+  [[nodiscard]] const GreenClusterConfig& config() const { return cfg_; }
+  [[nodiscard]] const workload::PerfModel& perf() const { return perf_; }
+
+ private:
+  /// RE split for this epoch according to the policy.
+  [[nodiscard]] std::vector<Watts> allocate(Watts re_total,
+                                            const std::vector<Watts>& want)
+      const;
+
+  GreenClusterConfig cfg_;
+  workload::AppDescriptor app_;
+  workload::PerfModel perf_;
+  server::ServerPowerModel power_model_;
+  core::ProfileTable profile_;
+  power::PowerSourceSelector pss_;
+  std::vector<power::Battery> batteries_;
+  std::vector<std::unique_ptr<core::GreenSprintController>> controllers_;
+  power::Grid grid_;
+};
+
+}  // namespace gs::sim

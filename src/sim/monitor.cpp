@@ -1,0 +1,26 @@
+#include "sim/monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::sim {
+
+Monitor::Monitor(std::size_t history) : history_(history) {}
+
+void Monitor::record(const MonitorSample& s) {
+  history_.push(s);
+  ++count_;
+  goodput_.add(s.goodput);
+  latency_.add(s.latency.value());
+  demand_.add(s.demand.value());
+  re_energy_ += s.re_used * epoch_;
+  batt_energy_ += s.batt_used * epoch_;
+  grid_energy_ += s.grid_used * epoch_;
+  if (s.setting != server::normal_mode()) sprint_time_ += epoch_;
+}
+
+const MonitorSample& Monitor::last() const {
+  GS_REQUIRE(!history_.empty(), "Monitor has no samples yet");
+  return history_.back();
+}
+
+}  // namespace gs::sim

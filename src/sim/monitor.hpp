@@ -1,0 +1,72 @@
+// The Monitor component of the GreenSprint architecture (Fig. 3): collects
+// workload performance (latency, throughput) and power telemetry (battery
+// energy, renewable power, server power) per scheduling epoch, keeps a
+// bounded history for the Predictor, and aggregates burst statistics.
+#pragma once
+
+#include <cstddef>
+
+#include "common/ring_buffer.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "power/pss.hpp"
+#include "server/setting.hpp"
+
+namespace gs::sim {
+
+/// One epoch's telemetry sample.
+struct MonitorSample {
+  Seconds time{0.0};
+  server::ServerSetting setting;
+  power::PowerCase power_case = power::PowerCase::Idle;
+  double offered_load = 0.0;
+  double goodput = 0.0;
+  Seconds latency{0.0};
+  Watts demand{0.0};
+  Watts re_used{0.0};
+  Watts batt_used{0.0};
+  Watts grid_used{0.0};
+  double battery_soc = 1.0;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(std::size_t history = 256);
+
+  void record(const MonitorSample& s);
+
+  [[nodiscard]] std::size_t epochs() const { return count_; }
+  [[nodiscard]] const RingBuffer<MonitorSample>& history() const {
+    return history_;
+  }
+  /// Most recent sample; requires at least one record().
+  [[nodiscard]] const MonitorSample& last() const;
+
+  // Aggregates over the whole recording (not just retained history).
+  [[nodiscard]] const RunningStats& goodput_stats() const { return goodput_; }
+  [[nodiscard]] const RunningStats& latency_stats() const { return latency_; }
+  [[nodiscard]] const RunningStats& demand_stats() const { return demand_; }
+  [[nodiscard]] Joules re_energy() const { return re_energy_; }
+  [[nodiscard]] Joules batt_energy() const { return batt_energy_; }
+  [[nodiscard]] Joules grid_energy() const { return grid_energy_; }
+  /// Seconds spent in each sprinting state above Normal mode.
+  [[nodiscard]] Seconds sprint_time() const { return sprint_time_; }
+
+  /// Record epoch duration used for energy integration.
+  void set_epoch(Seconds epoch) { epoch_ = epoch; }
+  [[nodiscard]] Seconds epoch() const { return epoch_; }
+
+ private:
+  RingBuffer<MonitorSample> history_;
+  std::size_t count_ = 0;
+  Seconds epoch_{60.0};
+  RunningStats goodput_;
+  RunningStats latency_;
+  RunningStats demand_;
+  Joules re_energy_{0.0};
+  Joules batt_energy_{0.0};
+  Joules grid_energy_{0.0};
+  Seconds sprint_time_{0.0};
+};
+
+}  // namespace gs::sim

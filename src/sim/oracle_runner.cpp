@@ -1,0 +1,52 @@
+#include "sim/oracle_runner.hpp"
+
+#include "common/assert.hpp"
+#include "power/solar_array.hpp"
+#include "server/power_model.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::sim {
+
+OracleResult run_oracle(const Scenario& sc) {
+  GS_REQUIRE(sc.green.green_servers > 0, "scenario needs green servers");
+  trace::SolarTraceConfig trace_cfg;
+  trace_cfg.seed = sc.seed;
+  const trace::SolarTrace solar = trace::generate_solar_trace(trace_cfg);
+  const auto window =
+      trace::find_window(solar, sc.burst_duration, sc.availability);
+  GS_REQUIRE(window.has_value(),
+             "solar trace has no window of the requested availability");
+
+  const power::SolarArray array({sc.green.panels, Watts(275.0), 0.77});
+  const workload::PerfModel perf(sc.app);
+  const server::ServerPowerModel pmodel(Watts(76.0));
+  const core::ProfileTable profile(perf, pmodel);
+
+  const auto n_epochs =
+      std::size_t(sc.burst_duration.value() / sc.epoch.value());
+  std::vector<Watts> supply;
+  supply.reserve(n_epochs);
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    const Seconds t = *window + sc.epoch * double(e);
+    supply.push_back(array.ac_output(solar.at(t)) /
+                     double(sc.green.green_servers));
+  }
+
+  power::BatteryConfig bc;
+  // A zero-capacity battery is represented by a vanishing unit (the DP
+  // then has no battery energy to spend).
+  bc.capacity = sc.green.battery.value() > 0.0 ? sc.green.battery
+                                               : AmpHours(1e-9);
+
+  const double lambda = perf.intensity_load(sc.burst_intensity);
+  OracleResult out;
+  out.plan = core::oracle_plan(profile, supply, lambda, bc, sc.epoch,
+                               sc.app.normal_full_power);
+  out.normal_goodput = perf.goodput(server::normal_mode(), lambda);
+  out.normalized_perf = out.normal_goodput > 0.0
+                            ? out.plan.mean_goodput / out.normal_goodput
+                            : 0.0;
+  return out;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,20 @@
+// Runs the offline-optimal oracle (core/oracle.hpp) on the exact substrate
+// a Scenario would see — same solar trace, window, array and battery — so
+// its result is directly comparable to run_burst() of any online strategy.
+#pragma once
+
+#include "core/oracle.hpp"
+#include "sim/scenario.hpp"
+
+namespace gs::sim {
+
+struct OracleResult {
+  core::OraclePlan plan;
+  double normal_goodput = 0.0;
+  double normalized_perf = 0.0;  ///< mean goodput / Normal-mode goodput.
+};
+
+/// Oracle upper bound for the scenario (the strategy field is ignored).
+[[nodiscard]] OracleResult run_oracle(const Scenario& scenario);
+
+}  // namespace gs::sim

@@ -1,0 +1,14 @@
+#include "sim/scenario.hpp"
+
+namespace gs::sim {
+
+GreenConfig re_batt() { return {"RE-Batt", 3, 3, AmpHours(10.0)}; }
+GreenConfig re_only() { return {"REOnly", 3, 3, AmpHours(0.0)}; }
+GreenConfig re_sbatt() { return {"RE-SBatt", 3, 3, AmpHours(3.2)}; }
+GreenConfig sre_sbatt() { return {"SRE-SBatt", 3, 2, AmpHours(3.2)}; }
+
+std::vector<GreenConfig> table1_configs() {
+  return {re_batt(), re_only(), re_sbatt(), sre_sbatt()};
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,65 @@
+// Experiment scenarios: the green-provision options of Table I and the
+// burst parameters swept in Section IV (availability x duration x strategy
+// x intensity x application).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/strategy.hpp"
+#include "trace/solar.hpp"
+#include "trace/workload_trace.hpp"
+#include "workload/app.hpp"
+
+namespace gs::sim {
+
+/// One row of Table I. 'S' prefixes mean small provision: SBatt = 3.2 Ah
+/// server-level batteries, SRE = two panels instead of three feeding the
+/// green group (max 423.5 W AC, paper Section IV).
+struct GreenConfig {
+  std::string name;
+  int green_servers = 3;   ///< Servers on the green bus (30% of 10).
+  int panels = 3;          ///< 275 W-DC panels (one per green server; SRE=2).
+  AmpHours battery{10.0};  ///< Server-level battery capacity (0 = none).
+};
+
+[[nodiscard]] GreenConfig re_batt();     ///< 30% servers, 10 Ah.
+[[nodiscard]] GreenConfig re_only();     ///< 30% servers, no battery.
+[[nodiscard]] GreenConfig re_sbatt();    ///< 30% servers, 3.2 Ah.
+[[nodiscard]] GreenConfig sre_sbatt();   ///< small RE (2 panels), 3.2 Ah.
+[[nodiscard]] std::vector<GreenConfig> table1_configs();
+
+/// Full description of one evaluation run.
+struct Scenario {
+  workload::AppDescriptor app;
+  GreenConfig green;
+  core::StrategyKind strategy = core::StrategyKind::Hybrid;
+  trace::Availability availability = trace::Availability::Max;
+  Seconds burst_duration{600.0};
+  /// Burst intensity Int=k: offered load equals the capability of k cores
+  /// at maximum frequency (paper Section IV-D; 12 = saturating burst).
+  int burst_intensity = 12;
+  /// Temporal shape of the burst's offered load (paper uses plateaus).
+  trace::BurstShape burst_shape = trace::BurstShape::Plateau;
+  Seconds epoch{60.0};
+  /// Pre-burst warmup that primes the predictor and exercises charging.
+  Seconds warmup{3600.0};
+  /// Pre-burst background load as a fraction of Normal-mode capacity.
+  double background_load = 0.3;
+  std::uint64_t seed = 1;
+  /// Evaluate epochs with the per-request discrete-event simulator instead
+  /// of the analytic queueing model.
+  bool use_des = false;
+  /// Enforce the chip-level thermal constraint through the PCM buffer
+  /// (paper Section II assumes the package absorbs sprint heat; enabling
+  /// this checks the assumption — a saturated buffer forces Normal mode).
+  bool thermal_model = false;
+  /// PCM latent-heat budget when thermal_model is on (J). The default
+  /// package (1.2 MJ, ~6 kg paraffin equivalent) carries hour-scale
+  /// maximal sprints, per the paper's "delay thermal limits by hours".
+  double pcm_capacity_j = 1.2e6;
+};
+
+}  // namespace gs::sim

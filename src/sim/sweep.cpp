@@ -1,0 +1,56 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gs::sim {
+
+std::vector<BurstResult> run_sweep(const std::vector<Scenario>& scenarios,
+                                   std::size_t threads) {
+  std::vector<BurstResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+  ThreadPool pool(threads);
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  parallel_for(pool, scenarios.size(), [&](std::size_t i) {
+    try {
+      results[i] = run_burst(scenarios[i]);
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (!failed.exchange(true)) first_error = std::current_exception();
+    }
+  });
+  if (failed) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<double> sweep_normalized_perf(
+    const std::vector<Scenario>& scenarios, std::size_t threads) {
+  const auto results = run_sweep(scenarios, threads);
+  std::vector<double> perf;
+  perf.reserve(results.size());
+  for (const auto& r : results) perf.push_back(r.normalized_perf);
+  return perf;
+}
+
+RunningStats replicate_normalized_perf(Scenario scenario, int replicas,
+                                       std::size_t threads) {
+  GS_REQUIRE(replicas >= 1, "need at least one replica");
+  std::vector<Scenario> cells;
+  cells.reserve(std::size_t(replicas));
+  for (int i = 0; i < replicas; ++i) {
+    cells.push_back(scenario);
+    cells.back().seed = scenario.seed + std::uint64_t(i);
+  }
+  const auto perf = sweep_normalized_perf(cells, threads);
+  RunningStats stats;
+  for (double p : perf) stats.add(p);
+  return stats;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,28 @@
+// Parallel parameter sweeps over burst scenarios. Each cell runs on the
+// thread pool with results written to a preallocated slot, so the sweep is
+// deterministic regardless of thread schedule (every scenario also derives
+// its own RNG streams from its seed).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/burst_runner.hpp"
+
+namespace gs::sim {
+
+/// Run every scenario; results align index-for-index with the input.
+[[nodiscard]] std::vector<BurstResult> run_sweep(
+    const std::vector<Scenario>& scenarios, std::size_t threads = 0);
+
+/// Normalized performance per scenario (the paper's y-axis).
+[[nodiscard]] std::vector<double> sweep_normalized_perf(
+    const std::vector<Scenario>& scenarios, std::size_t threads = 0);
+
+/// Run the scenario under `replicas` different seeds (different synthetic
+/// weather draws) and return the statistics of the normalized performance.
+/// Seeds are base_seed, base_seed+1, ... so results are reproducible.
+[[nodiscard]] RunningStats replicate_normalized_perf(
+    Scenario scenario, int replicas, std::size_t threads = 0);
+
+}  // namespace gs::sim

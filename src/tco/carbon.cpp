@@ -1,0 +1,36 @@
+#include "tco/carbon.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::tco {
+
+namespace {
+double kwh(Joules e) { return e.value() / 3.6e6; }
+}  // namespace
+
+double co2_grams(const CarbonParams& p, Joules grid, Joules solar,
+                 Joules battery, double battery_charge_grid_fraction) {
+  GS_REQUIRE(grid.value() >= 0.0 && solar.value() >= 0.0 &&
+                 battery.value() >= 0.0,
+             "energies must be non-negative");
+  GS_REQUIRE(battery_charge_grid_fraction >= 0.0 &&
+                 battery_charge_grid_fraction <= 1.0,
+             "charge fraction must be in [0,1]");
+  const double battery_factor =
+      battery_charge_grid_fraction * p.grid_g_per_kwh +
+      (1.0 - battery_charge_grid_fraction) * p.solar_g_per_kwh +
+      p.battery_adder_g_per_kwh;
+  return kwh(grid) * p.grid_g_per_kwh + kwh(solar) * p.solar_g_per_kwh +
+         kwh(battery) * battery_factor;
+}
+
+double co2_savings_grams(const CarbonParams& p, Joules displaced) {
+  GS_REQUIRE(displaced.value() >= 0.0, "energy must be non-negative");
+  return kwh(displaced) * (p.grid_g_per_kwh - p.solar_g_per_kwh);
+}
+
+double yearly_kg(double grams_per_day) {
+  return grams_per_day * 365.0 / 1000.0;
+}
+
+}  // namespace gs::tco

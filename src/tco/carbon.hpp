@@ -1,0 +1,37 @@
+// Carbon accounting for the green provision. The paper motivates
+// renewables partly by "the environmental challenges brought by power
+// consumption and carbon emissions"; this module quantifies the claim:
+// lifecycle emission factors per source, applied to the energy-by-source
+// accounting the simulators already produce.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::tco {
+
+struct CarbonParams {
+  /// Grid emission factor (gCO2e per kWh); ~400 is a typical fossil-heavy
+  /// mix, ~50 a very clean one.
+  double grid_g_per_kwh = 400.0;
+  /// Lifecycle solar PV factor (manufacturing amortized), gCO2e/kWh.
+  double solar_g_per_kwh = 45.0;
+  /// Battery round-trip is charged at the emission factor of whatever
+  /// charged it; this extra adder covers cell manufacturing amortization.
+  double battery_adder_g_per_kwh = 20.0;
+};
+
+/// Grams CO2e emitted by the given energy drawn from each source
+/// (battery energy is attributed to the mix that charged it via
+/// `battery_charge_grid_fraction`).
+[[nodiscard]] double co2_grams(const CarbonParams& p, Joules grid,
+                               Joules solar, Joules battery,
+                               double battery_charge_grid_fraction = 0.0);
+
+/// CO2e avoided by serving `displaced` energy from solar instead of grid.
+[[nodiscard]] double co2_savings_grams(const CarbonParams& p,
+                                       Joules displaced);
+
+/// Convenience: grams -> kilograms per year given a per-day measurement.
+[[nodiscard]] double yearly_kg(double grams_per_day);
+
+}  // namespace gs::tco

@@ -1,0 +1,41 @@
+#include "tco/tco.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::tco {
+
+double yearly_cost_per_kw(const TcoParams& p) {
+  GS_REQUIRE(p.pv_lifetime_years > 0.0, "PV lifetime must be positive");
+  const double pv = p.pv_capex_per_w * 1000.0 / p.pv_lifetime_years;
+  return pv + p.battery_cost_per_kw_year + p.pcm_cost_per_kw_year;
+}
+
+double benefit_per_kw_year(const TcoParams& p, double sprint_hours) {
+  GS_REQUIRE(sprint_hours >= 0.0, "sprint hours must be non-negative");
+  const double revenue = p.revenue_per_kw_min * 60.0 * sprint_hours;
+  return revenue - yearly_cost_per_kw(p);
+}
+
+double breakeven_hours(const TcoParams& p) {
+  return yearly_cost_per_kw(p) / (p.revenue_per_kw_min * 60.0);
+}
+
+std::vector<double> benefit_series(const TcoParams& p,
+                                   const std::vector<double>& hours) {
+  std::vector<double> out;
+  out.reserve(hours.size());
+  for (double h : hours) out.push_back(benefit_per_kw_year(p, h));
+  return out;
+}
+
+double wear_cost(const BatteryWearParams& p, double equivalent_cycles) {
+  GS_REQUIRE(equivalent_cycles >= 0.0, "cycles must be non-negative");
+  GS_REQUIRE(p.cycle_life > 0.0, "cycle life must be positive");
+  return p.replacement_cost * equivalent_cycles / p.cycle_life;
+}
+
+double yearly_wear_cost(const BatteryWearParams& p, double cycles_per_day) {
+  return wear_cost(p, cycles_per_day * 365.0);
+}
+
+}  // namespace gs::tco

@@ -1,0 +1,55 @@
+// TCO / profit-on-investment model of Figure 11 (paper Section IV-F).
+//
+// Revenue from sprinting accrues at $0.28 per KW of sprint power per
+// minute; against it stand the amortized capital costs of the green
+// provision: PV at $4.74/W over a 25-year panel lifetime, batteries at
+// $50/KW/year, and PCM wax at a negligible <0.1% of server cost. The
+// paper's Fig. 11 plots the net benefit per KW per year against total
+// yearly sprinting hours; the crossover lands around 14 h/yr.
+#pragma once
+
+#include <vector>
+
+namespace gs::tco {
+
+struct TcoParams {
+  double revenue_per_kw_min = 0.28;   ///< $/KW/minute of sprint operation.
+  double pv_capex_per_w = 4.74;       ///< $ per W of PV capacity.
+  double pv_lifetime_years = 25.0;
+  double battery_cost_per_kw_year = 50.0;
+  /// PCM cost as a fraction of a ~$3000 server, per KW of sprint power.
+  double pcm_cost_per_kw_year = 1.0;  ///< <0.1% of server cost; ~negligible.
+};
+
+/// Amortized yearly cost of 1 KW of green sprint provision ($/KW/yr).
+[[nodiscard]] double yearly_cost_per_kw(const TcoParams& p);
+
+/// Net benefit on revenue ($/KW/yr) for a given total of sprinting hours
+/// in the year (Fig. 11 y-axis).
+[[nodiscard]] double benefit_per_kw_year(const TcoParams& p,
+                                         double sprint_hours_per_year);
+
+/// Sprinting hours per year at which the investment breaks even.
+[[nodiscard]] double breakeven_hours(const TcoParams& p);
+
+/// The Fig. 11 series: benefit at each requested x-axis point.
+[[nodiscard]] std::vector<double> benefit_series(
+    const TcoParams& p, const std::vector<double>& hours);
+
+/// Battery wear cost: VRLA units survive ~1300 cycles at 40% DoD
+/// (Section II); each equivalent cycle consumes a share of the
+/// replacement capex.
+struct BatteryWearParams {
+  double replacement_cost = 150.0;  ///< $ per server-level VRLA unit.
+  double cycle_life = 1300.0;       ///< Cycles at the operating DoD.
+};
+
+/// Dollar cost of the given number of equivalent cycles.
+[[nodiscard]] double wear_cost(const BatteryWearParams& p,
+                               double equivalent_cycles);
+
+/// Yearly wear cost from a measured cycles-per-day rate.
+[[nodiscard]] double yearly_wear_cost(const BatteryWearParams& p,
+                                      double cycles_per_day);
+
+}  // namespace gs::tco

@@ -1,0 +1,43 @@
+// CSV import/export for solar production traces.
+//
+// The paper replays NREL Measurement-and-Instrumentation-Data-Center
+// irradiance traces (1-minute resolution). When real data is available,
+// load_solar_csv() ingests it — either an already-normalized
+// "seconds,fraction" pair per line, or raw irradiance values that are
+// normalized to the file's peak. save_solar_csv() round-trips synthetic
+// traces for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/solar.hpp"
+
+namespace gs::trace {
+
+struct SolarCsvOptions {
+  Seconds sample_period{60.0};
+  /// Value at or above which the input is treated as raw irradiance
+  /// (W/m^2) and normalized to the observed peak instead of being
+  /// interpreted as a fraction.
+  double raw_threshold = 2.0;
+  char delimiter = ',';
+  bool has_header = false;
+};
+
+/// Parse a trace from a stream. Accepts one or two columns per line: a
+/// single value column, or "time,value" where the time column is ignored
+/// (samples are assumed uniformly spaced at sample_period). Throws
+/// gs::ContractError on malformed rows or an empty file.
+[[nodiscard]] SolarTrace load_solar_csv(std::istream& in,
+                                        const SolarCsvOptions& opts = {});
+
+/// Load from a file path.
+[[nodiscard]] SolarTrace load_solar_csv_file(const std::string& path,
+                                             const SolarCsvOptions& opts = {});
+
+/// Write "seconds,fraction" rows.
+void save_solar_csv(std::ostream& out, const SolarTrace& trace);
+void save_solar_csv_file(const std::string& path, const SolarTrace& trace);
+
+}  // namespace gs::trace

@@ -1,0 +1,184 @@
+#include "trace/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gs::trace {
+
+SolarTrace::SolarTrace(std::vector<double> samples, Seconds period)
+    : samples_(std::move(samples)), period_(period) {
+  GS_REQUIRE(!samples_.empty(), "solar trace needs at least one sample");
+  GS_REQUIRE(period.value() > 0.0, "solar trace period must be positive");
+}
+
+double SolarTrace::at(Seconds t) const {
+  const double idx = t.value() / period_.value();
+  const auto i = idx <= 0.0 ? std::size_t{0}
+                            : std::min(samples_.size() - 1, std::size_t(idx));
+  return samples_[i];
+}
+
+double SolarTrace::mean(Seconds start, Seconds len) const {
+  GS_REQUIRE(len.value() > 0.0, "window length must be positive");
+  const auto first = std::size_t(std::max(0.0, start.value()) /
+                                 period_.value());
+  auto last = std::size_t((start.value() + len.value()) / period_.value());
+  last = std::min(last, samples_.size());
+  if (first >= last) return at(start);
+  double sum = 0.0;
+  for (std::size_t i = first; i < last; ++i) sum += samples_[i];
+  return sum / double(last - first);
+}
+
+Seconds SolarTrace::duration() const {
+  return Seconds(double(samples_.size()) * period_.value());
+}
+
+namespace {
+
+struct Regime {
+  double mean;
+  double sigma;
+};
+
+Regime regime_for(DayType t, const SolarTraceConfig& cfg) {
+  switch (t) {
+    case DayType::Clear:
+      return {cfg.clear_mean, cfg.clear_sigma};
+    case DayType::Variable:
+      return {cfg.variable_mean, cfg.variable_sigma};
+    case DayType::Overcast:
+      return {cfg.overcast_mean, cfg.overcast_sigma};
+  }
+  return {cfg.variable_mean, cfg.variable_sigma};
+}
+
+/// Pick the per-day weather regimes: a sticky three-state chain, with the
+/// first day forced Clear and the second Overcast so every weekly trace
+/// contains max- and min-availability daylight windows.
+std::vector<DayType> pick_regimes(const SolarTraceConfig& cfg, Rng& rng) {
+  std::vector<DayType> days(std::size_t(std::max(1, cfg.days)));
+  for (std::size_t d = 0; d < days.size(); ++d) {
+    if (d == 0) {
+      days[d] = DayType::Clear;
+    } else if (d == 1) {
+      days[d] = DayType::Overcast;
+    } else if (rng.uniform() < cfg.regime_persistence) {
+      days[d] = days[d - 1];
+    } else {
+      days[d] = DayType(rng.uniform_int(3));
+    }
+  }
+  return days;
+}
+
+}  // namespace
+
+double clear_sky_envelope(double hour_of_day, const SolarTraceConfig& cfg) {
+  const double hour = std::fmod(std::fmod(hour_of_day, 24.0) + 24.0, 24.0);
+  if (hour <= cfg.sunrise_h || hour >= cfg.sunset_h) return 0.0;
+  const double phase =
+      (hour - cfg.sunrise_h) / (cfg.sunset_h - cfg.sunrise_h);
+  return std::pow(std::sin(phase * 3.14159265358979323846),
+                  cfg.envelope_exponent);
+}
+
+SolarTrace generate_solar_trace(const SolarTraceConfig& cfg) {
+  GS_REQUIRE(cfg.days >= 1, "trace needs at least one day");
+  GS_REQUIRE(cfg.sunset_h > cfg.sunrise_h, "sunset must follow sunrise");
+  Rng rng(cfg.seed);
+  const auto regimes = pick_regimes(cfg, rng);
+
+  const double period_s = cfg.sample_period.value();
+  const auto samples_per_day = std::size_t(86400.0 / period_s);
+  std::vector<double> out;
+  out.reserve(samples_per_day * std::size_t(cfg.days));
+
+  for (int d = 0; d < cfg.days; ++d) {
+    const Regime reg = regime_for(regimes[std::size_t(d)], cfg);
+    double transmittance = reg.mean;
+    for (std::size_t s = 0; s < samples_per_day; ++s) {
+      const double hour = double(s) * period_s / 3600.0;
+      const double envelope = clear_sky_envelope(hour, cfg);
+      transmittance = cfg.cloud_persistence * transmittance +
+                      (1.0 - cfg.cloud_persistence) * reg.mean +
+                      reg.sigma * rng.normal();
+      transmittance = std::clamp(transmittance, 0.0, 1.0);
+      out.push_back(std::clamp(envelope * transmittance, 0.0, 1.0));
+    }
+  }
+  return SolarTrace(std::move(out), cfg.sample_period);
+}
+
+const char* to_string(Availability a) {
+  switch (a) {
+    case Availability::Min:
+      return "Min";
+    case Availability::Med:
+      return "Med";
+    case Availability::Max:
+      return "Max";
+  }
+  return "?";
+}
+
+std::optional<Seconds> find_window(const SolarTrace& trace, Seconds len,
+                                   Availability a,
+                                   const AvailabilityBands& bands) {
+  GS_REQUIRE(len.value() > 0.0, "window length must be positive");
+  const double period = trace.period().value();
+  const auto n = trace.samples().size();
+  const auto win = std::size_t(std::max(1.0, len.value() / period));
+  if (win > n) return std::nullopt;
+
+  // Sliding-window mean/variance at sample granularity. Among all windows
+  // matching the class, pick the most representative one: the darkest for
+  // Min, the brightest for Max, and — for Med — the most *intermittent*
+  // (highest in-window variance). Medium availability in the paper is the
+  // challenging regime where clouds swing the supply around the sprint
+  // demand; a smooth ramp with the same mean would not exercise the PSS.
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (std::size_t i = 0; i < win; ++i) {
+    sum += trace.samples()[i];
+    sumsq += trace.samples()[i] * trace.samples()[i];
+  }
+  std::optional<std::size_t> best;
+  double best_score = 0.0;
+  for (std::size_t start = 0;; ++start) {
+    const double mean = sum / double(win);
+    const double var = std::max(0.0, sumsq / double(win) - mean * mean);
+    bool match = false;
+    double score = 0.0;  // lower is better
+    switch (a) {
+      case Availability::Min:
+        match = mean <= bands.min_below;
+        score = mean;
+        break;
+      case Availability::Med:
+        match = mean >= bands.med_low && mean <= bands.med_high;
+        score = -var;
+        break;
+      case Availability::Max:
+        match = mean >= bands.max_above;
+        score = -mean;
+        break;
+    }
+    if (match && (!best || score < best_score)) {
+      best = start;
+      best_score = score;
+    }
+    if (start + win >= n) break;
+    const double out = trace.samples()[start];
+    const double in = trace.samples()[start + win];
+    sum += in - out;
+    sumsq += in * in - out * out;
+  }
+  if (!best) return std::nullopt;
+  return Seconds(double(*best) * period);
+}
+
+}  // namespace gs::trace

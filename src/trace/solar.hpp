@@ -1,0 +1,104 @@
+// Synthetic solar production traces.
+//
+// The paper replays one-week, 1-minute-resolution NREL irradiance traces
+// through a simulated solar generator. We have no NREL data offline, so we
+// synthesize traces with the same character: a deterministic clear-sky
+// diurnal envelope modulated by a stochastic cloud-transmittance process
+// with per-day weather regimes (clear / variable / overcast). The output is
+// a normalized production fraction in [0, 1] of the array's DC peak; the
+// SolarArray model scales it to watts. Traces are seedable and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gs::trace {
+
+/// Weather regime for one simulated day.
+enum class DayType { Clear, Variable, Overcast };
+
+struct SolarTraceConfig {
+  int days = 7;
+  Seconds sample_period = Seconds(60.0);
+  /// Local solar time of sunrise / sunset (hours).
+  double sunrise_h = 6.0;
+  double sunset_h = 18.0;
+  /// Clear-sky envelope sharpness (1 = pure half-sine).
+  double envelope_exponent = 1.2;
+  /// Mean transmittance per day type.
+  double clear_mean = 0.95;
+  double variable_mean = 0.60;
+  double overcast_mean = 0.18;
+  /// AR(1) persistence of the minute-scale cloud process.
+  double cloud_persistence = 0.95;
+  /// Innovation scale per day type.
+  double clear_sigma = 0.01;
+  double variable_sigma = 0.10;
+  double overcast_sigma = 0.04;
+  /// Probability of staying in the same weather regime on the next day.
+  double regime_persistence = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// A sampled normalized production trace (fraction of DC peak, in [0,1]).
+class SolarTrace {
+ public:
+  SolarTrace(std::vector<double> samples, Seconds period);
+
+  /// Production fraction at absolute time t (clamped to the trace range,
+  /// piecewise-constant per sample as a replayed meter reading would be).
+  [[nodiscard]] double at(Seconds t) const;
+
+  /// Mean fraction over [start, start + len).
+  [[nodiscard]] double mean(Seconds start, Seconds len) const;
+
+  [[nodiscard]] Seconds duration() const;
+  [[nodiscard]] Seconds period() const { return period_; }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  Seconds period_;
+};
+
+/// Generate a synthetic trace. The generator guarantees at least one clear
+/// day and one overcast day per week so that all three availability classes
+/// (min / med / max) exist in every trace.
+[[nodiscard]] SolarTrace generate_solar_trace(const SolarTraceConfig& cfg);
+
+/// Deterministic clear-sky envelope at an hour of day (0..24): the maximum
+/// normalized production a cloudless sky would allow. Exposed for the
+/// clear-sky-indexed forecaster (core/forecaster.hpp).
+[[nodiscard]] double clear_sky_envelope(double hour_of_day,
+                                        const SolarTraceConfig& cfg =
+                                            SolarTraceConfig{});
+
+/// Availability classes used throughout the paper's evaluation (Fig. 5).
+enum class Availability { Min, Med, Max };
+
+[[nodiscard]] const char* to_string(Availability a);
+
+/// Classification thresholds on the mean production fraction of a window.
+/// The bands are expressed against the array's peak output; "Medium" is
+/// placed where the supply hovers around the green group's sprint demand
+/// (~0.73 of peak for 3 servers at 155 W each), matching the medium
+/// annotations of the paper's Fig. 5.
+struct AvailabilityBands {
+  double min_below = 0.05;  ///< mean fraction <= this  -> Min
+  double med_low = 0.45;    ///< Med if mean in [med_low, med_high]
+  double med_high = 0.75;
+  double max_above = 0.80;  ///< mean fraction >= this -> Max
+};
+
+/// Find the start of a window of length `len` whose mean production
+/// fraction falls in the requested class. Scans at sample granularity.
+/// Returns nullopt if the trace contains no such window.
+[[nodiscard]] std::optional<Seconds> find_window(const SolarTrace& trace,
+                                                 Seconds len, Availability a,
+                                                 const AvailabilityBands& bands =
+                                                     AvailabilityBands{});
+
+}  // namespace gs::trace

@@ -1,0 +1,76 @@
+#include "trace/workload_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gs::trace {
+
+const char* to_string(BurstShape s) {
+  switch (s) {
+    case BurstShape::Plateau:
+      return "Plateau";
+    case BurstShape::Ramp:
+      return "Ramp";
+    case BurstShape::Spike:
+      return "Spike";
+    case BurstShape::Wave:
+      return "Wave";
+  }
+  return "?";
+}
+
+double burst_shape_factor(BurstShape shape, double progress) {
+  GS_REQUIRE(progress >= 0.0 && progress <= 1.0,
+             "burst progress must be in [0,1]");
+  switch (shape) {
+    case BurstShape::Plateau:
+      return 1.0;
+    case BurstShape::Ramp:
+      return 0.5 + 0.5 * progress;
+    case BurstShape::Spike:
+      return (progress >= 1.0 / 3.0 && progress < 2.0 / 3.0) ? 1.0 : 0.6;
+    case BurstShape::Wave:
+      return 0.9 + 0.1 * std::sin(4.0 * std::numbers::pi * progress);
+  }
+  return 1.0;
+}
+
+DiurnalTrace::DiurnalTrace(const DiurnalConfig& cfg, Seconds duration,
+                           std::vector<BurstPattern> bursts)
+    : bursts_(std::move(bursts)) {
+  GS_REQUIRE(duration.value() > 0.0, "trace duration must be positive");
+  Rng rng(cfg.seed);
+  const auto n = std::size_t(duration.value() / period_.value()) + 1;
+  samples_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = double(i) * period_.value();
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    const double phase =
+        2.0 * std::numbers::pi * (hour - cfg.peak_hour) / 24.0;
+    double v = cfg.base_level + cfg.swing * std::cos(phase) +
+               cfg.noise * rng.normal();
+    for (const auto& b : bursts_) {
+      if (t >= b.start.value() && t < b.start.value() + b.duration.value()) {
+        v = std::max(v, b.intensity);
+      }
+    }
+    samples_.push_back(std::max(0.0, v));
+  }
+}
+
+double DiurnalTrace::at(Seconds t) const {
+  const double idx = t.value() / period_.value();
+  const auto i = idx <= 0.0 ? std::size_t{0}
+                            : std::min(samples_.size() - 1, std::size_t(idx));
+  return samples_[i];
+}
+
+Seconds DiurnalTrace::duration() const {
+  return Seconds(double(samples_.size()) * period_.value());
+}
+
+}  // namespace gs::trace

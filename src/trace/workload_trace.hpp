@@ -1,0 +1,78 @@
+// Workload-intensity traces.
+//
+// Figure 1 of the paper overlays a Google data-center diurnal load pattern
+// (with several intra-day bursts that exceed the grid power budget) on the
+// renewable supply. DiurnalTrace synthesizes that shape; BurstPattern
+// describes the injected bursts used by the evaluation (Section IV injects
+// bursts of 10/15/30/60 minutes at intensity levels Int=7..12, where Int=k
+// means the peak load equals the processing capability of k cores at the
+// maximum frequency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gs::trace {
+
+/// One workload burst: a plateau of `intensity` (normalized load in [0,1]
+/// of the cluster's maximum sprint capacity) lasting `duration`.
+struct BurstPattern {
+  Seconds start{0.0};
+  Seconds duration{600.0};
+  /// Fraction of maximum-sprint processing capacity demanded at the peak.
+  double intensity = 1.0;
+};
+
+/// Temporal shape of a burst's offered load. The paper's evaluation uses
+/// plateaus ("we inject the workloads to deliberately induce power
+/// bursts"); real spikes ramp and oscillate, which stresses the load
+/// predictor differently (bench/abl_burst_shape).
+enum class BurstShape {
+  Plateau,  ///< Constant peak for the whole burst (the paper's method).
+  Ramp,     ///< Linear climb from half load to the peak.
+  Spike,    ///< Peak in the middle third, 60% shoulders.
+  Wave,     ///< Sinusoidal oscillation around 90% of the peak.
+};
+
+[[nodiscard]] const char* to_string(BurstShape s);
+
+/// Load multiplier (of the burst's peak) at `progress` in [0,1] through
+/// the burst.
+[[nodiscard]] double burst_shape_factor(BurstShape shape, double progress);
+
+struct DiurnalConfig {
+  /// Mean load as a fraction of normal (non-sprint) capacity.
+  double base_level = 0.55;
+  /// Amplitude of the day/night swing.
+  double swing = 0.30;
+  /// Hour of the diurnal peak.
+  double peak_hour = 14.0;
+  /// Minute-scale noise amplitude.
+  double noise = 0.03;
+  std::uint64_t seed = 7;
+};
+
+/// Smooth diurnal load curve plus optional bursts, sampled per minute.
+class DiurnalTrace {
+ public:
+  DiurnalTrace(const DiurnalConfig& cfg, Seconds duration,
+               std::vector<BurstPattern> bursts = {});
+
+  /// Normalized workload intensity at time t (>= 0; may exceed 1 during
+  /// bursts, meaning the offered load exceeds normal capacity).
+  [[nodiscard]] double at(Seconds t) const;
+
+  [[nodiscard]] Seconds duration() const;
+  [[nodiscard]] const std::vector<BurstPattern>& bursts() const {
+    return bursts_;
+  }
+
+ private:
+  std::vector<double> samples_;
+  Seconds period_{60.0};
+  std::vector<BurstPattern> bursts_;
+};
+
+}  // namespace gs::trace

@@ -1,0 +1,61 @@
+#include "workload/app.hpp"
+
+#include "common/assert.hpp"
+
+namespace gs::workload {
+
+Gigahertz reference_frequency() { return Gigahertz(2.0); }
+
+double AppDescriptor::speedup(Gigahertz f) const {
+  GS_REQUIRE(f.value() > 0.0, "frequency must be positive");
+  const double beta = freq_sensitivity;
+  const double ratio = reference_frequency().value() / f.value();
+  return 1.0 / ((1.0 - beta) + beta * ratio);
+}
+
+double AppDescriptor::service_rate(Gigahertz f) const {
+  return speedup(f) / base_service_s;
+}
+
+namespace {
+AppDescriptor make(std::string name, std::string metric, double mem_gb,
+                   QosSpec qos, double service_s, double beta, double delta,
+                   Watts normal_full, Watts sprint_peak) {
+  AppDescriptor app;
+  app.name = std::move(name);
+  app.metric = std::move(metric);
+  app.memory_gb = mem_gb;
+  app.qos = qos;
+  app.base_service_s = service_s;
+  app.freq_sensitivity = beta;
+  app.congestion_delta = delta;
+  app.normal_full_power = normal_full;
+  app.sprint_peak_power = sprint_peak;
+  app.activity = server::calibrate(Watts(76.0), normal_full, sprint_peak);
+  return app;
+}
+}  // namespace
+
+AppDescriptor specjbb() {
+  return make("SPECjbb", "jops", 10.0, {0.99, Seconds(0.5)},
+              /*service_s=*/0.040, /*beta=*/0.70, /*delta=*/0.26,
+              Watts(100.0), Watts(155.0));
+}
+
+AppDescriptor websearch() {
+  return make("Web-Search", "ops", 20.0, {0.90, Seconds(0.5)},
+              /*service_s=*/0.060, /*beta=*/0.95, /*delta=*/0.08,
+              Watts(100.0), Watts(156.0));
+}
+
+AppDescriptor memcached() {
+  return make("Memcached", "rps", 20.0, {0.95, Seconds(0.010)},
+              /*service_s=*/0.001, /*beta=*/0.45, /*delta=*/0.36,
+              Watts(97.0), Watts(146.0));
+}
+
+std::vector<AppDescriptor> all_apps() {
+  return {specjbb(), websearch(), memcached()};
+}
+
+}  // namespace gs::workload

@@ -1,0 +1,65 @@
+// Application descriptors for the paper's three interactive workloads
+// (Table II), with the service-model and power-model parameters our
+// simulated substrate needs in place of the real binaries.
+//
+// Service model: a request needs `base_service_s` seconds of one core at
+// the reference frequency (2.0 GHz). A fraction `freq_sensitivity` of that
+// work scales with frequency (compute-bound part); the rest is
+// memory/IO-bound and does not:
+//
+//   speedup(f) = 1 / ((1 - beta) + beta * f_ref / f)
+//
+// `congestion_delta` models the goodput collapse of a saturated interactive
+// service (timeouts, retries, queue churn); it is calibrated so that the
+// max-sprint/Normal gain at full burst intensity lands at the paper's
+// measured 4.8x / 4.1x / 4.7x.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "server/power_model.hpp"
+#include "workload/qos.hpp"
+
+namespace gs::workload {
+
+struct AppDescriptor {
+  std::string name;
+  std::string metric;  ///< Throughput metric name the paper reports.
+  double memory_gb = 0.0;
+  QosSpec qos;
+
+  /// Seconds of one reference-frequency (2.0 GHz) core per request.
+  double base_service_s = 0.05;
+  /// Fraction of service time that scales with core frequency (beta).
+  double freq_sensitivity = 0.7;
+  /// Goodput-collapse coefficient under overload (see perf_model.hpp).
+  double congestion_delta = 0.25;
+
+  /// Measured power anchors used to calibrate the power model.
+  Watts normal_full_power{100.0};
+  Watts sprint_peak_power{155.0};
+  server::ActivityProfile activity;  ///< Derived from the anchors.
+
+  /// Per-core service speedup at frequency f relative to the reference.
+  [[nodiscard]] double speedup(Gigahertz f) const;
+
+  /// Per-core service rate (requests/s) at frequency f.
+  [[nodiscard]] double service_rate(Gigahertz f) const;
+};
+
+/// Reference frequency the service demand is expressed at.
+[[nodiscard]] Gigahertz reference_frequency();
+
+/// SPECjbb 2013: Java business benchmark, jops @ 99%ile <= 500 ms.
+[[nodiscard]] AppDescriptor specjbb();
+/// CloudSuite Web-Search: query serving, ops @ 90%ile <= 500 ms.
+[[nodiscard]] AppDescriptor websearch();
+/// Memcached: in-memory KV cache, rps @ 95%ile <= 10 ms.
+[[nodiscard]] AppDescriptor memcached();
+
+/// All three paper workloads.
+[[nodiscard]] std::vector<AppDescriptor> all_apps();
+
+}  // namespace gs::workload

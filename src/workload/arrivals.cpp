@@ -1,0 +1,96 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gs::workload {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  GS_REQUIRE(rate > 0.0, "Poisson rate must be positive");
+}
+
+double PoissonArrivals::next_gap(Rng& rng) {
+  return rng.exponential(rate_);
+}
+
+MmppArrivals::MmppArrivals(double low_rate, double high_rate,
+                           Seconds low_sojourn, Seconds high_sojourn)
+    : low_rate_(low_rate),
+      high_rate_(high_rate),
+      low_sojourn_s_(low_sojourn.value()),
+      high_sojourn_s_(high_sojourn.value()) {
+  GS_REQUIRE(low_rate > 0.0 && high_rate >= low_rate,
+             "MMPP rates must satisfy 0 < low <= high");
+  GS_REQUIRE(low_sojourn.value() > 0.0 && high_sojourn.value() > 0.0,
+             "MMPP sojourns must be positive");
+}
+
+double MmppArrivals::next_gap(Rng& rng) {
+  if (!primed_) {
+    state_time_left_ = rng.exponential(1.0 / low_sojourn_s_);
+    primed_ = true;
+  }
+  double gap = 0.0;
+  for (;;) {
+    const double rate = high_ ? high_rate_ : low_rate_;
+    const double candidate = rng.exponential(rate);
+    if (candidate <= state_time_left_) {
+      state_time_left_ -= candidate;
+      return gap + candidate;
+    }
+    // The modulating chain switches before the next arrival: advance time
+    // to the switch and redraw in the new state (memorylessness makes the
+    // redraw exact).
+    gap += state_time_left_;
+    high_ = !high_;
+    state_time_left_ =
+        rng.exponential(1.0 / (high_ ? high_sojourn_s_ : low_sojourn_s_));
+  }
+}
+
+double MmppArrivals::mean_rate() const {
+  const double wl = low_sojourn_s_;
+  const double wh = high_sojourn_s_;
+  return (low_rate_ * wl + high_rate_ * wh) / (wl + wh);
+}
+
+std::unique_ptr<MmppArrivals> make_bursty(double mean_rate, double burstiness,
+                                          Seconds sojourn) {
+  GS_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  GS_REQUIRE(burstiness >= 1.0, "burstiness must be >= 1");
+  if (burstiness == 1.0) {
+    return std::make_unique<MmppArrivals>(mean_rate, mean_rate, sojourn,
+                                          sojourn);
+  }
+  // Fix the rates (low = mean/2, high = burstiness * mean) and solve the
+  // sojourn split so the time-weighted mean lands exactly on mean_rate:
+  //   wh / (wl + wh) = (mean - low) / (high - low).
+  const double low = 0.5 * mean_rate;
+  const double high = burstiness * mean_rate;
+  const double frac_high = (mean_rate - low) / (high - low);
+  const double total = 2.0 * sojourn.value();
+  const double wh = total * frac_high;
+  const double wl = total - wh;
+  return std::make_unique<MmppArrivals>(low, high, Seconds(wl), Seconds(wh));
+}
+
+double draw_service(Rng& rng, ServiceDistribution dist, double mean_s,
+                    double lognormal_cv) {
+  GS_REQUIRE(mean_s > 0.0, "mean service time must be positive");
+  switch (dist) {
+    case ServiceDistribution::Exponential:
+      return rng.exponential(1.0 / mean_s);
+    case ServiceDistribution::LogNormal: {
+      GS_REQUIRE(lognormal_cv > 0.0, "lognormal CV must be positive");
+      // mean = exp(mu + sigma^2/2); cv^2 = exp(sigma^2) - 1.
+      const double sigma2 = std::log(1.0 + lognormal_cv * lognormal_cv);
+      const double mu = std::log(mean_s) - 0.5 * sigma2;
+      return std::exp(mu + std::sqrt(sigma2) * rng.normal());
+    }
+  }
+  GS_REQUIRE(false, "unknown service distribution");
+  return 0.0;
+}
+
+}  // namespace gs::workload

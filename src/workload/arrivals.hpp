@@ -1,0 +1,78 @@
+// Arrival and service processes beyond M/M/k for the discrete-event path.
+//
+// The paper's bursts are not perfectly Poisson: interactive traffic shows
+// short-timescale burstiness. The MMPP (Markov-modulated Poisson process)
+// arrival model captures that with a two-state rate modulation, and the
+// lognormal service option captures heavier-tailed request costs than the
+// exponential assumption. The analytic M/M/k path stays the control-plane
+// model; these processes quantify its robustness (test suite + DES).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace gs::workload {
+
+/// Interface: a stateful point process emitting inter-arrival gaps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Next inter-arrival time (seconds).
+  [[nodiscard]] virtual double next_gap(Rng& rng) = 0;
+  /// Long-run mean arrival rate (req/s).
+  [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Plain Poisson arrivals at a fixed rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+  [[nodiscard]] double next_gap(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state MMPP: the instantaneous Poisson rate alternates between a
+/// low and a high value with exponentially distributed sojourn times.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  /// rates: per-state arrival rates; sojourn: mean time spent in each
+  /// state before switching.
+  MmppArrivals(double low_rate, double high_rate, Seconds low_sojourn,
+               Seconds high_sojourn);
+
+  [[nodiscard]] double next_gap(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] bool in_high_state() const { return high_; }
+
+ private:
+  double low_rate_;
+  double high_rate_;
+  double low_sojourn_s_;
+  double high_sojourn_s_;
+  bool high_ = false;
+  double state_time_left_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Construct an MMPP with a given mean rate and burstiness factor:
+/// high rate = burstiness * mean, low rate chosen to preserve the mean
+/// with equal sojourns.
+[[nodiscard]] std::unique_ptr<MmppArrivals> make_bursty(
+    double mean_rate, double burstiness, Seconds sojourn);
+
+/// Service-time distribution selector for the DES.
+enum class ServiceDistribution {
+  Exponential,  ///< Matches the analytic M/M/k model.
+  LogNormal,    ///< Heavier tail; same mean, configurable CV.
+};
+
+/// Draw one service time with the given mean (seconds).
+[[nodiscard]] double draw_service(Rng& rng, ServiceDistribution dist,
+                                  double mean_s, double lognormal_cv = 1.5);
+
+}  // namespace gs::workload

@@ -1,0 +1,53 @@
+// Discrete-event per-request simulation of one epoch on one server: Poisson
+// arrivals, exponential service on k cores, FCFS. This is the fidelity
+// path; tests cross-validate it against the analytic M/M/k model and the
+// epoch simulator can run on it instead of the analytic goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "server/setting.hpp"
+#include "workload/app.hpp"
+#include "workload/arrivals.hpp"
+
+namespace gs::workload {
+
+struct DesResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;   ///< Finished within the epoch.
+  std::uint64_t sla_met = 0;     ///< Completed within the QoS latency limit.
+  std::uint64_t dropped = 0;     ///< Shed by admission control.
+  Seconds tail_latency{0.0};     ///< QoS-percentile latency of completions.
+  double goodput_rate = 0.0;     ///< sla_met / epoch length (req/s).
+  double mean_utilization = 0.0; ///< Busy core-time / (k * epoch).
+};
+
+struct DesOptions {
+  ServiceDistribution service = ServiceDistribution::Exponential;
+  double lognormal_cv = 1.5;
+  /// Admission control: shed an arrival whose queueing delay would exceed
+  /// this many seconds (0 = unbounded queue). Interactive services bound
+  /// their queues so admitted requests finish near the SLA; an unbounded
+  /// overloaded queue serves almost nothing within SLA.
+  double admit_wait_limit_s = 0.0;
+};
+
+/// Simulate `epoch` seconds of a k-core server under Poisson(lambda)
+/// arrivals with per-core service rate app.service_rate(f). The queue
+/// starts empty (bursts arrive at an idle sprint configuration) and
+/// requests still in flight at the epoch end are counted as arrivals but
+/// not completions.
+[[nodiscard]] DesResult simulate_epoch(Rng& rng, const AppDescriptor& app,
+                                       const server::ServerSetting& setting,
+                                       double lambda, Seconds epoch,
+                                       DesOptions options = {});
+
+/// Generalized epoch simulation: arbitrary arrival process and service
+/// distribution. simulate_epoch() is the Poisson/exponential special case.
+[[nodiscard]] DesResult simulate_epoch_process(
+    Rng& rng, const AppDescriptor& app, const server::ServerSetting& setting,
+    ArrivalProcess& arrivals, Seconds epoch, DesOptions options = {});
+
+}  // namespace gs::workload

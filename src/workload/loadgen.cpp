@@ -1,0 +1,70 @@
+#include "workload/loadgen.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace gs::workload {
+
+ClosedLoopResult simulate_closed_loop(Rng& rng, const AppDescriptor& app,
+                                      const server::ServerSetting& setting,
+                                      const ClosedLoopConfig& cfg,
+                                      Seconds epoch) {
+  GS_REQUIRE(cfg.clients > 0, "need at least one client");
+  GS_REQUIRE(cfg.mean_think.value() >= 0.0,
+             "think time must be non-negative");
+  GS_REQUIRE(epoch.value() > 0.0, "epoch must be positive");
+
+  const double mu = app.service_rate(setting.frequency());
+  const double horizon = epoch.value();
+  const double think_rate =
+      cfg.mean_think.value() > 0.0 ? 1.0 / cfg.mean_think.value() : 0.0;
+
+  // Issue events, chronological. Clients desynchronize over the first
+  // think window.
+  std::priority_queue<double, std::vector<double>, std::greater<>> issues;
+  for (int c = 0; c < cfg.clients; ++c) {
+    issues.push(rng.uniform() * std::max(1e-3, cfg.mean_think.value()));
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int c = 0; c < setting.cores; ++c) free_at.push(0.0);
+
+  ClosedLoopResult res;
+  QuantileReservoir latencies;
+  RunningStats latency_stats;
+  while (!issues.empty()) {
+    const double t = issues.top();
+    issues.pop();
+    if (t >= horizon) continue;  // client retired for this epoch
+    const double core_free = free_at.top();
+    free_at.pop();
+    const double start = std::max(t, core_free);
+    const double service = rng.exponential(mu);
+    const double done = start + service;
+    free_at.push(done);
+    if (done <= horizon) {
+      ++res.completed;
+      const double latency = done - t;
+      latencies.add(latency);
+      latency_stats.add(latency);
+      if (latency <= app.qos.limit.value()) ++res.sla_met;
+      const double think =
+          think_rate > 0.0 ? rng.exponential(think_rate) : 0.0;
+      issues.push(done + think);
+    }
+    // Requests unfinished at the horizon retire their client.
+  }
+
+  res.throughput = double(res.completed) / horizon;
+  res.goodput_rate = double(res.sla_met) / horizon;
+  if (!latencies.empty()) {
+    res.mean_latency = Seconds(latency_stats.mean());
+    res.tail_latency = Seconds(latencies.quantile(app.qos.percentile));
+  }
+  return res;
+}
+
+}  // namespace gs::workload

@@ -1,0 +1,37 @@
+// Closed-loop load generation (the paper drives its workloads with the
+// Faban harness: a population of emulated clients that issue a request,
+// wait for the response, think, and repeat). Unlike the open-loop Poisson
+// model, a closed loop self-limits under overload — throughput follows the
+// interactive response-time law X = N / (R + Z) — which is why saturated
+// real systems do not collapse the way an open queue does.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "server/setting.hpp"
+#include "workload/app.hpp"
+
+namespace gs::workload {
+
+struct ClosedLoopConfig {
+  int clients = 100;         ///< Emulated user population (N).
+  Seconds mean_think{1.0};   ///< Exponential think time (Z).
+};
+
+struct ClosedLoopResult {
+  std::uint64_t completed = 0;
+  std::uint64_t sla_met = 0;
+  double throughput = 0.0;        ///< Completions/s (X).
+  double goodput_rate = 0.0;      ///< SLA-met completions/s.
+  Seconds mean_latency{0.0};      ///< Mean response time (R).
+  Seconds tail_latency{0.0};      ///< QoS-percentile response time.
+};
+
+/// Simulate `epoch` seconds of a closed-loop client population against a
+/// k-core FCFS server at the given setting. Clients start desynchronized
+/// (first issue uniformly inside one think window).
+[[nodiscard]] ClosedLoopResult simulate_closed_loop(
+    Rng& rng, const AppDescriptor& app, const server::ServerSetting& setting,
+    const ClosedLoopConfig& cfg, Seconds epoch);
+
+}  // namespace gs::workload

@@ -1,0 +1,68 @@
+#include "workload/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gs::workload {
+
+namespace {
+std::size_t slot(const server::ServerSetting& s) {
+  return std::size_t(s.cores - server::kMinCores) * server::kNumFreqStates +
+         std::size_t(s.freq_idx);
+}
+}  // namespace
+
+PerfModel::PerfModel(AppDescriptor app) : app_(std::move(app)) {}
+
+double PerfModel::capacity(const server::ServerSetting& s) const {
+  return double(s.cores) * app_.service_rate(s.frequency());
+}
+
+double PerfModel::sla_capacity(const server::ServerSetting& s) const {
+  auto& cached = sla_cache_[slot(s)];
+  if (!cached) {
+    const double mu = app_.service_rate(s.frequency());
+    cached = workload::sla_capacity(s.cores, mu, app_.qos.percentile,
+                                    app_.qos.limit);
+  }
+  return *cached;
+}
+
+double PerfModel::goodput(const server::ServerSetting& s,
+                          double lambda) const {
+  GS_REQUIRE(lambda >= 0.0, "offered load must be non-negative");
+  const double c = sla_capacity(s);
+  if (c <= 0.0) return 0.0;
+  if (lambda <= c) return lambda;
+  return c / (1.0 + app_.congestion_delta * (lambda / c - 1.0));
+}
+
+Seconds PerfModel::latency(const server::ServerSetting& s,
+                           double lambda) const {
+  const double mu = app_.service_rate(s.frequency());
+  const double cap = capacity(s);
+  // Evaluate the analytic quantile up to 98% of raw capacity; past that,
+  // steady state does not exist, so extrapolate linearly in overload depth.
+  const double stable = 0.98 * cap;
+  if (lambda < stable) {
+    return latency_quantile(s.cores, mu, lambda, app_.qos.percentile);
+  }
+  const Seconds at_edge =
+      latency_quantile(s.cores, mu, stable, app_.qos.percentile);
+  const double overload = lambda / cap - 0.98;
+  return at_edge + app_.qos.limit * (10.0 * overload);
+}
+
+double PerfModel::utilization(const server::ServerSetting& s,
+                              double lambda) const {
+  const double cap = capacity(s);
+  return std::clamp(lambda / cap, 0.0, 1.0);
+}
+
+double PerfModel::intensity_load(int int_cores) const {
+  GS_REQUIRE(int_cores > 0, "intensity cores must be positive");
+  return double(int_cores) * app_.service_rate(reference_frequency());
+}
+
+}  // namespace gs::workload

@@ -1,0 +1,67 @@
+// SLA-constrained performance model of one server running one app.
+//
+// Given a server setting S and offered load lambda, the model reports:
+//  * capacity(S)      — raw service capacity n * mu(f) (req/s),
+//  * sla_capacity(S)  — the largest lambda whose tail latency meets the
+//                       app's QoS target (the paper's "*-constrained"
+//                       throughput metric),
+//  * goodput(S, L)    — requests/s served within SLA. Below sla_capacity
+//                       all offered load is good; past it the service
+//                       degrades with the congestion-collapse law
+//                       c / (1 + delta * (lambda/c - 1)) that models
+//                       timeout/retry churn of saturated interactive apps,
+//  * latency(S, L)    — achieved tail-latency estimate used by the Hybrid
+//                       strategy's QoS reward.
+//
+// sla_capacity involves an 80-step bisection over the M/M/k tail, so the
+// model memoizes it per setting.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "server/setting.hpp"
+#include "workload/app.hpp"
+#include "workload/queueing.hpp"
+
+namespace gs::workload {
+
+class PerfModel {
+ public:
+  explicit PerfModel(AppDescriptor app);
+
+  [[nodiscard]] const AppDescriptor& app() const { return app_; }
+
+  /// Raw capacity of the setting in requests/s.
+  [[nodiscard]] double capacity(const server::ServerSetting& s) const;
+
+  /// SLA-constrained capacity (memoized).
+  [[nodiscard]] double sla_capacity(const server::ServerSetting& s) const;
+
+  /// Requests/s served within the QoS target at offered load lambda.
+  [[nodiscard]] double goodput(const server::ServerSetting& s,
+                               double lambda) const;
+
+  /// Achieved tail latency estimate (clamped, monotone in lambda); in
+  /// overload it grows linearly past the SLA so rewards stay finite.
+  [[nodiscard]] Seconds latency(const server::ServerSetting& s,
+                                double lambda) const;
+
+  /// Per-core utilization at offered load lambda (for the power model).
+  [[nodiscard]] double utilization(const server::ServerSetting& s,
+                                   double lambda) const;
+
+  /// Offered load corresponding to burst intensity "Int=k": the processing
+  /// capability of k cores at maximum frequency (paper Section IV-D).
+  [[nodiscard]] double intensity_load(int int_cores) const;
+
+ private:
+  AppDescriptor app_;
+  // One slot per lattice setting; filled lazily.
+  mutable std::array<std::optional<double>,
+                     std::size_t(server::kNumCoreCounts) *
+                         server::kNumFreqStates>
+      sla_cache_{};
+};
+
+}  // namespace gs::workload

@@ -1,0 +1,15 @@
+// Quality-of-service target: a tail percentile and its latency limit
+// (paper Table II: SPECjbb 99%ile <= 500 ms, Web-Search 90%ile <= 500 ms,
+// Memcached 95%ile <= 10 ms).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::workload {
+
+struct QosSpec {
+  double percentile = 0.99;     ///< e.g. 0.99 for a 99th-percentile target.
+  Seconds limit{0.5};           ///< Latency the percentile must not exceed.
+};
+
+}  // namespace gs::workload

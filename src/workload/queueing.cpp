@@ -1,0 +1,110 @@
+#include "workload/queueing.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gs::workload {
+
+double erlang_c(int k, double a) {
+  GS_REQUIRE(k >= 1, "need at least one server");
+  GS_REQUIRE(a >= 0.0, "offered load must be non-negative");
+  GS_REQUIRE(a < double(k), "Erlang-C requires a stable system (a < k)");
+  if (a == 0.0) return 0.0;
+  // Erlang-B via the stable recurrence, then convert to Erlang-C.
+  double b = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    b = a * b / (double(j) + a * b);
+  }
+  const double rho = a / double(k);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double response_tail(int k, double mu, double lambda, double t) {
+  GS_REQUIRE(mu > 0.0, "service rate must be positive");
+  GS_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
+  GS_REQUIRE(lambda < double(k) * mu, "response_tail requires stability");
+  if (t <= 0.0) return 1.0;
+  const double a = lambda / mu;
+  const double pq = erlang_c(k, a);
+  const double theta = double(k) * mu - lambda;  // waiting-time decay rate
+  // T = W + S with P(W = 0) = 1 - pq, P(W > w) = pq * exp(-theta * w),
+  // S ~ Exp(mu) independent of W. Convolving:
+  //   P(T > t) = (1 - pq) e^{-mu t}
+  //            + pq [ theta (e^{-theta t} - e^{-mu t}) / (mu - theta)
+  //                   + e^{-theta t} ]            (mu != theta)
+  // and the mu == theta limit P(T > t) = (1-pq) e^{-mu t}
+  //                                      + pq (1 + mu t) e^{-mu t}.
+  const double es = std::exp(-mu * t);
+  if (std::abs(mu - theta) < 1e-9 * mu) {
+    return (1.0 - pq) * es + pq * (1.0 + mu * t) * es;
+  }
+  const double et = std::exp(-theta * t);
+  const double tail =
+      (1.0 - pq) * es + pq * (theta * (et - es) / (mu - theta) + et);
+  // Clamp tiny negative values from cancellation.
+  return tail < 0.0 ? 0.0 : (tail > 1.0 ? 1.0 : tail);
+}
+
+Seconds latency_quantile(int k, double mu, double lambda, double q) {
+  GS_REQUIRE(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+  GS_REQUIRE(lambda < double(k) * mu, "latency_quantile requires stability");
+  const double target = 1.0 - q;
+  // Bracket: the quantile is at least the service-time quantile and the
+  // tail decays at rate min(mu, theta).
+  double lo = 0.0;
+  double hi = -std::log(target) / mu;
+  while (response_tail(k, mu, lambda, hi) > target) {
+    lo = hi;
+    hi *= 2.0;
+    GS_ENSURE(hi < 1e9, "latency quantile bracket blew up");
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (response_tail(k, mu, lambda, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Seconds(0.5 * (lo + hi));
+}
+
+Seconds mean_wait(int k, double mu, double lambda) {
+  GS_REQUIRE(mu > 0.0, "service rate must be positive");
+  GS_REQUIRE(lambda >= 0.0 && lambda < double(k) * mu,
+             "mean_wait requires a stable system");
+  if (lambda == 0.0) return Seconds(0.0);
+  const double pq = erlang_c(k, lambda / mu);
+  return Seconds(pq / (double(k) * mu - lambda));
+}
+
+Seconds mean_response(int k, double mu, double lambda) {
+  return mean_wait(k, mu, lambda) + Seconds(1.0 / mu);
+}
+
+double mean_in_system(int k, double mu, double lambda) {
+  return lambda * mean_response(k, mu, lambda).value();
+}
+
+double sla_capacity(int k, double mu, double q, Seconds limit) {
+  GS_REQUIRE(limit.value() > 0.0, "SLA limit must be positive");
+  // Even an empty system has latency = service time; if its q-quantile
+  // exceeds the limit no load can be served within SLA.
+  const double idle_quantile = -std::log(1.0 - q) / mu;
+  if (idle_quantile > limit.value()) return 0.0;
+  double lo = 0.0;
+  double hi = double(k) * mu * (1.0 - 1e-9);
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double tail = response_tail(k, mu, mid, limit.value());
+    if (tail <= 1.0 - q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace gs::workload

@@ -1,0 +1,37 @@
+// Analytic M/M/k queueing: Erlang-C waiting probability, response-time tail
+// distribution, latency quantiles, and the SLA-constrained capacity of a
+// server setting. This is the fast path the controller and the parameter
+// sweeps use; the discrete-event simulator (des.hpp) cross-validates it.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gs::workload {
+
+/// Erlang-C: probability an arrival must queue in an M/M/k system with
+/// offered load a = lambda / mu (requires a < k for stability).
+[[nodiscard]] double erlang_c(int k, double offered_load);
+
+/// P(response time > t) in a stable FCFS M/M/k with per-server rate mu.
+[[nodiscard]] double response_tail(int k, double mu, double lambda, double t);
+
+/// q-quantile (e.g. 0.99) of the response time; lambda must be < k * mu.
+[[nodiscard]] Seconds latency_quantile(int k, double mu, double lambda,
+                                       double q);
+
+/// Largest arrival rate lambda such that the q-quantile of response time
+/// stays within `limit`. Returns 0 if even an idle system violates the
+/// limit (i.e. the bare service-time quantile exceeds it).
+[[nodiscard]] double sla_capacity(int k, double mu, double q, Seconds limit);
+
+/// Mean waiting time in queue (Erlang-C mean-value formula
+/// W = C(k,a) / (k*mu - lambda)).
+[[nodiscard]] Seconds mean_wait(int k, double mu, double lambda);
+
+/// Mean response time W + 1/mu.
+[[nodiscard]] Seconds mean_response(int k, double mu, double lambda);
+
+/// Mean number of requests in the system (Little's law: L = lambda * T).
+[[nodiscard]] double mean_in_system(int k, double mu, double lambda);
+
+}  // namespace gs::workload

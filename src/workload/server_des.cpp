@@ -1,0 +1,117 @@
+#include "workload/server_des.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace gs::workload {
+
+ServerDes::ServerDes(AppDescriptor app) : app_(std::move(app)) {}
+
+void ServerDes::reset() {
+  waiting_.clear();
+  core_free_.clear();
+  in_flight_.clear();
+}
+
+DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
+                               double lambda, Seconds epoch,
+                               DesOptions opts) {
+  GS_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
+  GS_REQUIRE(epoch.value() > 0.0, "epoch must be positive");
+  const double horizon = epoch.value();
+  const double mu = app_.service_rate(setting.frequency());
+  const double mean_service = 1.0 / mu;
+
+  DesResult res;
+  QuantileReservoir latencies;
+  double busy_core_time = 0.0;
+
+  // 1) Requests that were in flight at the boundary: those finishing
+  //    inside this epoch complete now (their latency spans epochs).
+  std::vector<Request> still_running;
+  for (const auto& r : in_flight_) {
+    if (r.done <= horizon) {
+      ++res.completed;
+      busy_core_time += std::max(0.0, r.done);
+      const double latency = r.done - r.arrival;
+      latencies.add(latency);
+      if (latency <= app_.qos.limit.value()) ++res.sla_met;
+    } else {
+      still_running.push_back(r);
+    }
+  }
+  in_flight_ = std::move(still_running);
+
+  // 2) Rebuild the core heap for this epoch's core count. Extra cores come
+  //    up idle; when the count shrinks, the busiest cores are parked — an
+  //    approximation FCFS absorbs by keeping the earliest-free cores.
+  std::sort(core_free_.begin(), core_free_.end());
+  core_free_.resize(std::size_t(setting.cores), 0.0);
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at(
+      core_free_.begin(), core_free_.end());
+
+  auto dispatch = [&](double arrival) {
+    const double core_free = free_at.top();
+    free_at.pop();
+    const double start = std::max(arrival, core_free);
+    const double service =
+        draw_service(rng, opts.service, mean_service, opts.lognormal_cv);
+    const double done = start + service;
+    free_at.push(done);
+    if (done <= horizon) {
+      ++res.completed;
+      busy_core_time += service;
+      const double latency = done - arrival;
+      latencies.add(latency);
+      if (latency <= app_.qos.limit.value()) ++res.sla_met;
+    } else {
+      // Straddles the boundary: completes (and is accounted) next epoch.
+      busy_core_time += std::max(0.0, horizon - std::max(start, 0.0));
+      in_flight_.push_back({arrival - horizon, done - horizon});
+    }
+  };
+
+  // 3) Backlogged queue goes first (arrival stamps are <= 0), then fresh
+  //    arrivals; anything the cores cannot reach this epoch stays queued.
+  std::deque<double> carried;
+  std::swap(carried, waiting_);
+  for (double arrival : carried) {
+    if (free_at.top() >= horizon) {
+      waiting_.push_back(arrival - horizon);
+    } else {
+      dispatch(arrival);
+    }
+  }
+  if (lambda > 0.0) {
+    double t = rng.exponential(lambda);
+    while (t < horizon) {
+      ++res.arrivals;
+      if (free_at.top() >= horizon) {
+        waiting_.push_back(t - horizon);
+      } else {
+        dispatch(t);
+      }
+      t += rng.exponential(lambda);
+    }
+  }
+
+  // 4) Persist core state rebased to the next epoch's origin.
+  core_free_.clear();
+  while (!free_at.empty()) {
+    core_free_.push_back(std::max(0.0, free_at.top() - horizon));
+    free_at.pop();
+  }
+
+  if (!latencies.empty()) {
+    res.tail_latency = Seconds(latencies.quantile(app_.qos.percentile));
+  }
+  res.goodput_rate = double(res.sla_met) / horizon;
+  res.mean_utilization = std::min(
+      1.0, busy_core_time / (double(setting.cores) * horizon));
+  return res;
+}
+
+}  // namespace gs::workload

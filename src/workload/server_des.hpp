@@ -1,0 +1,52 @@
+// Stateful per-server discrete-event simulation across epochs.
+//
+// simulate_epoch() starts every epoch with an empty queue, which is exact
+// for the first epoch of a burst but optimistic afterwards: an overloaded
+// Normal-mode server accumulates backlog that the next epoch inherits.
+// ServerDes keeps the queue and in-flight work across epochs (and across
+// setting changes, since the PMK retunes cores/frequency every epoch), so
+// multi-epoch latency dynamics — buildup, drain after an upgrade — are
+// captured. Used by the fidelity path and the queue-dynamics tests.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "workload/des.hpp"
+
+namespace gs::workload {
+
+class ServerDes {
+ public:
+  explicit ServerDes(AppDescriptor app);
+
+  /// Simulate one epoch at the given setting with Poisson(lambda)
+  /// arrivals. Queue state carries over from previous calls.
+  DesResult run_epoch(Rng& rng, const server::ServerSetting& setting,
+                      double lambda, Seconds epoch, DesOptions opts = {});
+
+  /// Requests waiting (not yet started) at the last epoch boundary.
+  [[nodiscard]] std::size_t backlog() const { return waiting_.size(); }
+  /// Drop all queued work and idle every core (service restart).
+  void reset();
+
+  [[nodiscard]] const AppDescriptor& app() const { return app_; }
+
+ private:
+  struct Request {
+    double arrival;  ///< Relative to the next epoch's start (<= 0).
+    double done;     ///< Completion time, same origin.
+  };
+
+  AppDescriptor app_;
+  /// Arrival timestamps (relative to the next epoch's start; <= 0 for
+  /// requests that have already waited across a boundary).
+  std::deque<double> waiting_;
+  /// Per-core times at which the current request finishes (relative to
+  /// the next epoch's start; may exceed the epoch length).
+  std::vector<double> core_free_;
+  /// Requests started but not finished at the boundary.
+  std::vector<Request> in_flight_;
+};
+
+}  // namespace gs::workload

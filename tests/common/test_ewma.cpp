@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "common/ewma.hpp"
+
+namespace gs {
+namespace {
+
+TEST(Ewma, FirstObservationPrimes) {
+  Ewma e(0.3);
+  EXPECT_FALSE(e.primed());
+  e.observe(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.prediction(), 10.0);
+}
+
+TEST(Ewma, PaperEquationOne) {
+  // pred(t) = alpha * pred(t-1) + (1 - alpha) * obs(t), alpha = 0.3.
+  Ewma e(0.3);
+  e.observe(100.0);
+  e.observe(50.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 0.3 * 100.0 + 0.7 * 50.0);
+}
+
+TEST(Ewma, AlphaZeroTracksObservation) {
+  Ewma e(0.0);
+  e.observe(5.0);
+  e.observe(42.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 42.0);
+}
+
+TEST(Ewma, AlphaOneNeverMoves) {
+  Ewma e(1.0);
+  e.observe(5.0);
+  e.observe(42.0);
+  e.observe(-7.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 50; ++i) e.observe(211.75);
+  EXPECT_NEAR(e.prediction(), 211.75, 1e-9);
+}
+
+TEST(Ewma, LowAlphaRespondsFasterToSteps) {
+  Ewma fast(0.1);
+  Ewma slow(0.9);
+  fast.observe(0.0);
+  slow.observe(0.0);
+  fast.observe(100.0);
+  slow.observe(100.0);
+  EXPECT_GT(fast.prediction(), slow.prediction());
+}
+
+TEST(Ewma, QueryBeforeObservationThrows) {
+  Ewma e(0.3);
+  EXPECT_THROW((void)(e.prediction()), ContractError);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  EXPECT_THROW((void)(Ewma(-0.1)), ContractError);
+  EXPECT_THROW((void)(Ewma(1.1)), ContractError);
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma e(0.3);
+  e.observe(10.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "common/ring_buffer.hpp"
+
+namespace gs {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FillsUpToCapacity) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+}
+
+TEST(RingBuffer, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBuffer, IndexContract) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)(rb[1]), ContractError);
+}
+
+TEST(RingBuffer, BackOnEmptyThrows) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW((void)(rb.back()), ContractError);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW((void)(RingBuffer<int>(0)), ContractError);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb[0], 9);
+}
+
+}  // namespace
+}  // namespace gs

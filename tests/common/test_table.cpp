@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace gs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Strategy", "Perf"});
+  t.add_row({"Greedy", "4.80"});
+  t.add_row({"Pacing", "3.40"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Strategy"), std::string::npos);
+  EXPECT_NE(s.find("Greedy"), std::string::npos);
+  EXPECT_NE(s.find("4.80"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"A", "B"});
+  t.add_row({"long-name-here", "1"});
+  t.add_row({"x", "2"});
+  std::istringstream in(t.str());
+  std::string header, sep, r1, r2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, r1);
+  std::getline(in, r2);
+  // "B" column starts at the same offset in both rows.
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW((void)(t.add_row({"only-one"})), ContractError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW((void)(TextTable({})), ContractError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(4.8), "4.80");
+  EXPECT_EQ(TextTable::num(4.848, 1), "4.8");
+  EXPECT_EQ(TextTable::num(-0.5, 3), "-0.500");
+}
+
+TEST(CsvWriter, PlainFields) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace gs {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hit(1000, 0);
+  parallel_for(pool, hit.size(), [&](std::size_t i) { hit[i] += 1; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 1000);
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    parallel_for(pool, 10, [&](std::size_t) { ++count; });
+  }
+  EXPECT_EQ(count.load(), 30);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace gs {
+namespace {
+
+using namespace gs::literals;
+
+TEST(Units, AdditiveArithmetic) {
+  const Watts a(100.0);
+  const Watts b(55.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 155.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 45.0);
+  EXPECT_DOUBLE_EQ((-b).value(), -55.0);
+  Watts c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.value(), 155.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.value(), 100.0);
+}
+
+TEST(Units, ScalarScaling) {
+  const Watts p(76.0);
+  EXPECT_DOUBLE_EQ((p * 2.0).value(), 152.0);
+  EXPECT_DOUBLE_EQ((2.0 * p).value(), 152.0);
+  EXPECT_DOUBLE_EQ((p / 2.0).value(), 38.0);
+}
+
+TEST(Units, RatioIsDimensionless) {
+  const double ratio = Watts(150.0) / Watts(100.0);
+  EXPECT_DOUBLE_EQ(ratio, 1.5);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts(100.0), Watts(155.0));
+  EXPECT_GE(Watts(155.0), Watts(155.0));
+  EXPECT_EQ(Watts(76.0), Watts(76.0));
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = Watts(100.0) * Seconds(60.0);
+  EXPECT_DOUBLE_EQ(e.value(), 6000.0);
+  EXPECT_DOUBLE_EQ((Seconds(60.0) * Watts(100.0)).value(), 6000.0);
+  EXPECT_DOUBLE_EQ((e / Seconds(60.0)).value(), 100.0);
+  EXPECT_DOUBLE_EQ((e / Watts(100.0)).value(), 60.0);
+}
+
+TEST(Units, ElectricalIdentities) {
+  const Watts p = Volts(12.0) * Amps(5.0);
+  EXPECT_DOUBLE_EQ(p.value(), 60.0);
+  EXPECT_DOUBLE_EQ((p / Volts(12.0)).value(), 5.0);
+}
+
+TEST(Units, AmpHourDrain) {
+  // 4 A for 30 minutes drains 2 Ah.
+  EXPECT_DOUBLE_EQ(drained(Amps(4.0), Seconds(1800.0)).value(), 2.0);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(to_watt_hours(Joules(3600.0)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(to_joules(WattHours(1.0)).value(), 3600.0);
+  // A 10 Ah battery at 12 V holds 120 Wh.
+  EXPECT_DOUBLE_EQ(energy(AmpHours(10.0), Volts(12.0)).value(), 120.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((100_W).value(), 100.0);
+  EXPECT_DOUBLE_EQ((1.5_h).value(), 5400.0);
+  EXPECT_DOUBLE_EQ((10_min).value(), 600.0);
+  EXPECT_DOUBLE_EQ((3.2_Ah).value(), 3.2);
+  EXPECT_DOUBLE_EQ((12_V).value(), 12.0);
+  EXPECT_DOUBLE_EQ((2.0_GHz).value(), 2.0);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/forecaster.hpp"
+#include "power/solar_array.hpp"
+#include "trace/solar.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(Forecaster, EwmaMatchesEquationOne) {
+  EwmaForecaster f(0.3);
+  f.observe(Watts(100.0), Seconds(0.0));
+  f.observe(Watts(0.0), Seconds(60.0));
+  EXPECT_NEAR(f.predict(Seconds(120.0)).value(), 30.0, 1e-9);
+}
+
+TEST(Forecaster, PersistencePredictsLastObservation) {
+  PersistenceForecaster f;
+  EXPECT_DOUBLE_EQ(f.predict(Seconds(0.0)).value(), 0.0);
+  f.observe(Watts(123.0), Seconds(0.0));
+  f.observe(Watts(77.0), Seconds(60.0));
+  EXPECT_DOUBLE_EQ(f.predict(Seconds(120.0)).value(), 77.0);
+}
+
+TEST(Forecaster, ClearSkyTracksTheRampWithoutLag) {
+  // A perfectly clear morning: production follows the envelope exactly.
+  // The clear-sky forecaster should predict the ramp almost perfectly,
+  // while plain EWMA lags behind the rising supply.
+  const trace::SolarTraceConfig cfg;
+  const Watts peak(211.75);
+  auto envelope = [&](Seconds t) {
+    return trace::clear_sky_envelope(t.value() / 3600.0, cfg);
+  };
+  ClearSkyForecaster cs(envelope, peak);
+  EwmaForecaster ewma;
+  double cs_err = 0.0, ewma_err = 0.0;
+  int n = 0;
+  for (double hour = 7.0; hour < 11.0; hour += 1.0 / 60.0) {
+    const Seconds now(hour * 3600.0);
+    const Seconds next((hour + 1.0 / 60.0) * 3600.0);
+    const Watts truth_next(peak.value() *
+                           envelope(Seconds(next)));
+    cs_err += std::abs(cs.predict(next).value() - truth_next.value());
+    ewma_err += std::abs(ewma.predict(next).value() - truth_next.value());
+    const Watts obs(peak.value() * envelope(now));
+    cs.observe(obs, now);
+    ewma.observe(obs, now);
+    ++n;
+  }
+  // Skip the first samples where neither is primed.
+  EXPECT_LT(cs_err, 0.5 * ewma_err);
+}
+
+TEST(Forecaster, ClearSkyIndexSurvivesTheNight) {
+  const trace::SolarTraceConfig cfg;
+  const Watts peak(211.75);
+  auto envelope = [&](Seconds t) {
+    return trace::clear_sky_envelope(t.value() / 3600.0, cfg);
+  };
+  ClearSkyForecaster cs(envelope, peak);
+  // Cloudy day: index 0.5 at noon.
+  cs.observe(Watts(0.5 * peak.value()), Seconds(12.0 * 3600.0));
+  // Night observations carry no information.
+  cs.observe(Watts(0.0), Seconds(23.0 * 3600.0));
+  cs.observe(Watts(0.0), Seconds(24.0 * 3600.0 + 3.0 * 3600.0));
+  // Next noon: still predicts ~half output.
+  const double predicted =
+      cs.predict(Seconds(36.0 * 3600.0)).value();
+  EXPECT_NEAR(predicted, 0.5 * peak.value(), 0.05 * peak.value());
+}
+
+TEST(Forecaster, ClearSkyPredictsZeroAtNight) {
+  const trace::SolarTraceConfig cfg;
+  auto envelope = [&](Seconds t) {
+    return trace::clear_sky_envelope(t.value() / 3600.0, cfg);
+  };
+  ClearSkyForecaster cs(envelope, Watts(211.75));
+  cs.observe(Watts(200.0), Seconds(12.0 * 3600.0));
+  EXPECT_DOUBLE_EQ(cs.predict(Seconds(2.0 * 3600.0)).value(), 0.0);
+}
+
+TEST(Forecaster, FactoryAndNames) {
+  EXPECT_EQ(make_forecaster(ForecasterKind::Ewma)->name(), "EWMA");
+  EXPECT_EQ(make_forecaster(ForecasterKind::Persistence)->name(),
+            "Persistence");
+  auto cs = make_forecaster(
+      ForecasterKind::ClearSky,
+      [](Seconds) { return 1.0; }, Watts(200.0));
+  EXPECT_EQ(cs->name(), "ClearSky");
+  EXPECT_STREQ(to_string(ForecasterKind::ClearSky), "ClearSky");
+}
+
+TEST(Forecaster, ClearSkyFactoryNeedsEnvelope) {
+  EXPECT_THROW((void)make_forecaster(ForecasterKind::ClearSky),
+               gs::ContractError);
+}
+
+TEST(ClearSkyEnvelope, ShapeProperties) {
+  const trace::SolarTraceConfig cfg;
+  EXPECT_DOUBLE_EQ(trace::clear_sky_envelope(0.0, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(trace::clear_sky_envelope(6.0, cfg), 0.0);
+  EXPECT_NEAR(trace::clear_sky_envelope(12.0, cfg), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(trace::clear_sky_envelope(20.0, cfg), 0.0);
+  // Symmetric around solar noon.
+  EXPECT_NEAR(trace::clear_sky_envelope(10.0, cfg),
+              trace::clear_sky_envelope(14.0, cfg), 1e-9);
+  // Wraps day boundaries.
+  EXPECT_NEAR(trace::clear_sky_envelope(36.0, cfg),
+              trace::clear_sky_envelope(12.0, cfg), 1e-9);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/greensprint.hpp"
+
+namespace gs::core {
+namespace {
+
+struct ControllerFixture : ::testing::Test {
+  workload::AppDescriptor app = workload::specjbb();
+  workload::PerfModel perf{app};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+
+  GreenSprintController make(StrategyKind k) {
+    return GreenSprintController(app, table, power.idle_power(),
+                                 {k, PredictorConfig{}, Seconds(60.0)});
+  }
+};
+
+TEST_F(ControllerFixture, FullLoopProducesASetting) {
+  auto c = make(StrategyKind::Greedy);
+  const double lambda = perf.intensity_load(12);
+  const auto s = c.begin_epoch(lambda, Watts(200.0));
+  // No renewable prediction yet: supply is the battery alone.
+  c.end_epoch(Watts(211.0), c.demand(lambda, s), Watts(200.0),
+              Seconds(0.3));
+  const auto s2 = c.begin_epoch(lambda, Watts(200.0));
+  EXPECT_EQ(s2, server::max_sprint());  // 211 W forecast + battery
+}
+
+TEST_F(ControllerFixture, IdleObservationPrimesForecasts) {
+  auto c = make(StrategyKind::Pacing);
+  for (int i = 0; i < 20; ++i) c.observe_idle(30.0, Watts(180.0));
+  EXPECT_NEAR(c.predicted_renewable().value(), 180.0, 1.0);
+  const double lambda = perf.intensity_load(12);
+  const auto s = c.begin_epoch(lambda, Watts(0.0));
+  // 180 W of forecast renewable carries a mid-frequency 12-core sprint.
+  EXPECT_EQ(s.cores, server::kMaxCores);
+  EXPECT_GT(s.freq_idx, 0);
+}
+
+TEST_F(ControllerFixture, ReplanDowngradesWithinBudget) {
+  auto c = make(StrategyKind::Parallel);
+  const double lambda = perf.intensity_load(12);
+  // Prime both forecasts at the burst level so the decision is converged.
+  for (int i = 0; i < 20; ++i) c.observe_idle(lambda, Watts(211.0));
+  const auto planned = c.begin_epoch(lambda, Watts(0.0));
+  EXPECT_EQ(planned, server::max_sprint());
+  // The sun vanished: replan against 120 W.
+  const auto down = c.replan(Watts(120.0));
+  EXPECT_LE(c.demand(lambda, down).value(), 120.0 + 1e-6);
+}
+
+TEST_F(ControllerFixture, ReplanBeforeBeginThrows) {
+  auto c = make(StrategyKind::Greedy);
+  EXPECT_THROW((void)c.replan(Watts(100.0)), gs::ContractError);
+}
+
+TEST_F(ControllerFixture, EndBeforeBeginThrows) {
+  auto c = make(StrategyKind::Greedy);
+  EXPECT_THROW(
+      c.end_epoch(Watts(0.0), Watts(100.0), Watts(0.0), Seconds(0.1)),
+      gs::ContractError);
+}
+
+TEST_F(ControllerFixture, DemandMatchesProfile) {
+  auto c = make(StrategyKind::Normal);
+  const double lambda = perf.intensity_load(9);
+  const int level = table.level_for(lambda);
+  const auto idx = table.lattice().index_of(server::max_sprint());
+  EXPECT_DOUBLE_EQ(c.demand(lambda, server::max_sprint()).value(),
+                   table.power(level, idx).value());
+}
+
+TEST_F(ControllerFixture, HybridLearnsAcrossEpochs) {
+  // Drive the controller loop with a supply that keeps collapsing below
+  // the forecast; Hybrid should stop planning expensive settings.
+  auto c = make(StrategyKind::Hybrid);
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 10; ++i) c.observe_idle(lambda, Watts(200.0));
+  int downgrades = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto s = c.begin_epoch(lambda, Watts(0.0));
+    const Watts actual(110.0);  // forecast said ~200, reality is 110
+    if (s != server::normal_mode() && c.demand(lambda, s) > actual) {
+      s = c.replan(actual);
+      ++downgrades;
+    }
+    c.end_epoch(Watts(110.0), c.demand(lambda, s), actual,
+                perf.latency(s, lambda));
+  }
+  // The renewable forecast converges to 110 W, so late epochs should not
+  // need emergency downgrades any more.
+  EXPECT_LT(downgrades, 10);
+}
+
+TEST_F(ControllerFixture, NegativeLoadRejected) {
+  auto c = make(StrategyKind::Greedy);
+  EXPECT_THROW((void)c.begin_epoch(-1.0, Watts(0.0)), gs::ContractError);
+  EXPECT_THROW(c.observe_idle(-1.0, Watts(0.0)), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::core

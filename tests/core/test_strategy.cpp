@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+
+namespace gs::core {
+namespace {
+
+struct StrategyFixture : ::testing::Test {
+  workload::AppDescriptor app = workload::specjbb();
+  workload::PerfModel perf{app};
+  server::ServerPowerModel power{Watts(76.0)};
+  ProfileTable table{perf, power};
+
+  std::unique_ptr<Strategy> make(StrategyKind k) {
+    return make_strategy(k, table, app, power.idle_power());
+  }
+
+  EpochContext ctx(double supply_w, int intensity = 12) {
+    return {perf.intensity_load(intensity), Watts(supply_w), Seconds(60.0)};
+  }
+};
+
+TEST_F(StrategyFixture, NormalAlwaysNormal) {
+  auto s = make(StrategyKind::Normal);
+  EXPECT_EQ(s->decide(ctx(1000.0)), server::normal_mode());
+  EXPECT_EQ(s->decide(ctx(0.0)), server::normal_mode());
+  EXPECT_EQ(s->name(), "Normal");
+}
+
+TEST_F(StrategyFixture, GreedyAllOrNothing) {
+  auto s = make(StrategyKind::Greedy);
+  // Ample supply: maximum sprint.
+  EXPECT_EQ(s->decide(ctx(211.0)), server::max_sprint());
+  // Supply below the max-sprint demand (~155 W): no sprint at all, even
+  // though intermediate settings would fit.
+  EXPECT_EQ(s->decide(ctx(140.0)), server::normal_mode());
+}
+
+TEST_F(StrategyFixture, ParallelScalesOnlyCores) {
+  auto s = make(StrategyKind::Parallel);
+  for (double supply : {211.0, 150.0, 135.0, 120.0}) {
+    const auto setting = s->decide(ctx(supply));
+    if (setting != server::normal_mode()) {
+      EXPECT_EQ(setting.freq_idx, server::kMaxFreqIndex)
+          << "supply=" << supply;
+    }
+  }
+  // More supply, at least as many cores.
+  const auto lo = s->decide(ctx(135.0));
+  const auto hi = s->decide(ctx(160.0));
+  EXPECT_GE(hi.cores, lo.cores);
+  EXPECT_EQ(s->decide(ctx(211.0)), server::max_sprint());
+}
+
+TEST_F(StrategyFixture, PacingScalesOnlyFrequency) {
+  auto s = make(StrategyKind::Pacing);
+  for (double supply : {211.0, 150.0, 140.0, 130.0}) {
+    const auto setting = s->decide(ctx(supply));
+    if (setting != server::normal_mode()) {
+      EXPECT_EQ(setting.cores, server::kMaxCores) << "supply=" << supply;
+    }
+  }
+  const auto lo = s->decide(ctx(130.0));
+  const auto hi = s->decide(ctx(150.0));
+  EXPECT_GE(hi.freq_idx, lo.freq_idx);
+  EXPECT_EQ(s->decide(ctx(211.0)), server::max_sprint());
+}
+
+TEST_F(StrategyFixture, ParallelAndPacingFallBackToNormal) {
+  auto par = make(StrategyKind::Parallel);
+  auto pac = make(StrategyKind::Pacing);
+  // Below even the cheapest sprint settings.
+  EXPECT_EQ(par->decide(ctx(90.0)), server::normal_mode());
+  EXPECT_EQ(pac->decide(ctx(90.0)), server::normal_mode());
+}
+
+TEST_F(StrategyFixture, DecisionsRespectTheSupplyBudget) {
+  // Property: every sprinting decision's profiled demand fits the supply.
+  for (const auto kind : sprinting_strategies()) {
+    auto s = make(kind);
+    for (double supply = 95.0; supply <= 220.0; supply += 5.0) {
+      const auto c = ctx(supply);
+      const auto setting = s->decide(c);
+      if (setting == server::normal_mode()) continue;  // grid-backed floor
+      const int level = table.level_for(c.predicted_load);
+      const Watts demand =
+          table.power(level, table.lattice().index_of(setting));
+      EXPECT_LE(demand.value(), supply + 1e-6)
+          << to_string(kind) << " at supply " << supply;
+    }
+  }
+}
+
+TEST_F(StrategyFixture, EfficiencyMeetsQosAtLowerPower) {
+  auto eff = make(StrategyKind::Efficiency);
+  auto greedy = make(StrategyKind::Greedy);
+  // 70% burst intensity with ample supply (the paper's Section III-B
+  // contrast case).
+  const double lambda = 0.7 * perf.intensity_load(12);
+  const EpochContext c{lambda, Watts(211.0), Seconds(60.0)};
+  const auto s_eff = eff->decide(c);
+  const auto s_greedy = greedy->decide(c);
+  const int level = table.level_for(lambda);
+  const auto i_eff = table.lattice().index_of(s_eff);
+  const auto i_greedy = table.lattice().index_of(s_greedy);
+  // Both meet the 500 ms SLA; Efficiency at lower power, higher latency.
+  EXPECT_LE(table.latency(level, i_eff).value(), app.qos.limit.value());
+  EXPECT_LT(table.power(level, i_eff).value(),
+            table.power(level, i_greedy).value());
+  EXPECT_GT(table.latency(level, i_eff).value(),
+            table.latency(level, i_greedy).value());
+}
+
+TEST_F(StrategyFixture, PaperSectionIIIBLatencyContrast) {
+  // Paper: "Greedy can achieve an average 270ms latency for SPECjbb at
+  // 70% burst load intensity, while a best-efficiency policy ... can only
+  // provide 466ms latency with a 500ms latency constraint." Check the
+  // shape: Greedy well under ~300 ms, Efficiency near-but-under 500 ms.
+  auto eff = make(StrategyKind::Efficiency);
+  auto greedy = make(StrategyKind::Greedy);
+  const double lambda = 0.7 * perf.intensity_load(12);
+  const EpochContext c{lambda, Watts(211.0), Seconds(60.0)};
+  const int level = table.level_for(lambda);
+  const double lat_greedy =
+      table.latency(level, table.lattice().index_of(greedy->decide(c)))
+          .value();
+  const double lat_eff =
+      table.latency(level, table.lattice().index_of(eff->decide(c)))
+          .value();
+  EXPECT_LT(lat_greedy, 0.3);
+  EXPECT_GT(lat_eff, 0.3);
+  EXPECT_LE(lat_eff, 0.5);
+}
+
+TEST_F(StrategyFixture, EfficiencyFallsBackGracefully) {
+  auto eff = make(StrategyKind::Efficiency);
+  // No supply: Normal mode (grid backstop) is the only option.
+  EXPECT_EQ(eff->decide(ctx(0.0)), server::normal_mode());
+}
+
+TEST_F(StrategyFixture, StrategyNames) {
+  EXPECT_EQ(make(StrategyKind::Greedy)->name(), "Greedy");
+  EXPECT_EQ(make(StrategyKind::Parallel)->name(), "Parallel");
+  EXPECT_EQ(make(StrategyKind::Pacing)->name(), "Pacing");
+  EXPECT_EQ(make(StrategyKind::Hybrid)->name(), "Hybrid");
+  EXPECT_EQ(make(StrategyKind::Efficiency)->name(), "Efficiency");
+  EXPECT_STREQ(to_string(StrategyKind::Pacing), "Pacing");
+  EXPECT_STREQ(to_string(StrategyKind::Efficiency), "Efficiency");
+}
+
+TEST_F(StrategyFixture, SprintingStrategiesListsPaperOrder) {
+  const auto all = sprinting_strategies();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], StrategyKind::Greedy);
+  EXPECT_EQ(all[3], StrategyKind::Hybrid);
+}
+
+TEST_F(StrategyFixture, PacingBeatsParallelForSpecjbbUnderCap) {
+  // Paper Section IV-A: "Pacing slightly outperforms Parallel in all cases"
+  // for SPECjbb — frequency scaling is the more energy-efficient knob.
+  auto par = make(StrategyKind::Parallel);
+  auto pac = make(StrategyKind::Pacing);
+  const auto c = ctx(135.0);
+  const int level = table.level_for(c.predicted_load);
+  const double g_par =
+      table.goodput(level, table.lattice().index_of(par->decide(c)));
+  const double g_pac =
+      table.goodput(level, table.lattice().index_of(pac->decide(c)));
+  EXPECT_GE(g_pac, g_par);
+}
+
+}  // namespace
+}  // namespace gs::core

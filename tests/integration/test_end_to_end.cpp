@@ -1,0 +1,132 @@
+// End-to-end integration: full scenarios through trace -> predictor -> PSS
+// -> PMK -> power settlement -> workload evaluation, checking cross-module
+// invariants the unit tests cannot see.
+#include <gtest/gtest.h>
+
+#include "sim/burst_runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace gs::sim {
+namespace {
+
+Scenario make(core::StrategyKind k, trace::Availability a, double minutes,
+              GreenConfig cfg, workload::AppDescriptor app) {
+  Scenario sc;
+  sc.app = std::move(app);
+  sc.green = std::move(cfg);
+  sc.strategy = k;
+  sc.availability = a;
+  sc.burst_duration = Seconds(minutes * 60.0);
+  return sc;
+}
+
+class AllStrategiesAllAvail
+    : public ::testing::TestWithParam<
+          std::tuple<core::StrategyKind, trace::Availability>> {};
+
+TEST_P(AllStrategiesAllAvail, PowerNeverExceedsSettledSupply) {
+  const auto [kind, avail] = GetParam();
+  const auto r = run_burst(
+      make(kind, avail, 30.0, re_sbatt(), workload::specjbb()));
+  for (const auto& e : r.epochs) {
+    const double supplied = e.re_used.value() + e.batt_used.value() +
+                            e.grid_used.value();
+    EXPECT_NEAR(supplied, e.demand.value(), 1e-6)
+        << "epoch t=" << e.time.value();
+  }
+}
+
+TEST_P(AllStrategiesAllAvail, SprintingNeverLosesToNormal) {
+  const auto [kind, avail] = GetParam();
+  const auto r = run_burst(
+      make(kind, avail, 30.0, re_sbatt(), workload::specjbb()));
+  EXPECT_GE(r.normalized_perf, 1.0 - 1e-9);
+}
+
+TEST_P(AllStrategiesAllAvail, BatterySocMonotoneWhileDischarging) {
+  const auto [kind, avail] = GetParam();
+  const auto r = run_burst(
+      make(kind, avail, 30.0, re_sbatt(), workload::specjbb()));
+  for (std::size_t i = 1; i < r.epochs.size(); ++i) {
+    if (r.epochs[i].batt_used.value() > 0.0) {
+      EXPECT_LT(r.epochs[i].battery_soc, r.epochs[i - 1].battery_soc + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllStrategiesAllAvail,
+    ::testing::Combine(::testing::Values(core::StrategyKind::Greedy,
+                                         core::StrategyKind::Parallel,
+                                         core::StrategyKind::Pacing,
+                                         core::StrategyKind::Hybrid),
+                       ::testing::Values(trace::Availability::Min,
+                                         trace::Availability::Med,
+                                         trace::Availability::Max)),
+    [](const auto& info) {
+      return std::string(core::to_string(std::get<0>(info.param))) +
+             trace::to_string(std::get<1>(info.param));
+    });
+
+TEST(EndToEnd, AllAppsAllConfigsRun) {
+  std::vector<Scenario> scenarios;
+  for (const auto& app : workload::all_apps()) {
+    for (const auto& cfg : table1_configs()) {
+      scenarios.push_back(make(core::StrategyKind::Hybrid,
+                               trace::Availability::Med, 15.0, cfg, app));
+    }
+  }
+  const auto results = run_sweep(scenarios, 2);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GE(results[i].normalized_perf, 1.0 - 1e-9) << "cell " << i;
+    EXPECT_LT(results[i].normalized_perf, 6.0) << "cell " << i;
+  }
+}
+
+TEST(EndToEnd, EpochCadenceIsRespected) {
+  auto sc = make(core::StrategyKind::Pacing, trace::Availability::Med, 15.0,
+                 re_sbatt(), workload::specjbb());
+  sc.epoch = Seconds(30.0);
+  const auto r = run_burst(sc);
+  EXPECT_EQ(r.epochs.size(), 30u);
+  for (std::size_t i = 1; i < r.epochs.size(); ++i) {
+    EXPECT_NEAR(r.epochs[i].time.value() - r.epochs[i - 1].time.value(),
+                30.0, 1e-9);
+  }
+}
+
+TEST(EndToEnd, MemcachedTightSlaStillSprintable) {
+  const auto r = run_burst(make(core::StrategyKind::Hybrid,
+                                trace::Availability::Max, 10.0, re_sbatt(),
+                                workload::memcached()));
+  EXPECT_GT(r.normalized_perf, 3.0);
+}
+
+TEST(EndToEnd, WindowMatchesAvailabilityClass) {
+  for (auto avail : {trace::Availability::Min, trace::Availability::Med,
+                     trace::Availability::Max}) {
+    const auto r = run_burst(make(core::StrategyKind::Greedy, avail, 15.0,
+                                  re_batt(), workload::specjbb()));
+    trace::SolarTraceConfig cfg;
+    cfg.seed = 1;  // default scenario seed
+    const auto tr = trace::generate_solar_trace(cfg);
+    const double mean = tr.mean(r.window_start, Seconds(900.0));
+    switch (avail) {
+      case trace::Availability::Min:
+        EXPECT_LE(mean, 0.05);
+        break;
+      case trace::Availability::Med: {
+        const trace::AvailabilityBands bands;
+        EXPECT_GE(mean, bands.med_low);
+        EXPECT_LE(mean, bands.med_high);
+        break;
+      }
+      case trace::Availability::Max:
+        EXPECT_GE(mean, 0.80);
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::sim

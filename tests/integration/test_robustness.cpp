@@ -1,0 +1,75 @@
+// Randomized robustness sweep: many random-but-valid scenarios must all
+// satisfy the global invariants (no crash, sane normalized performance,
+// power books balance, DoD cap honored) regardless of the parameter draw.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/burst_runner.hpp"
+
+namespace gs::sim {
+namespace {
+
+Scenario random_scenario(Rng& rng) {
+  Scenario sc;
+  const auto apps = workload::all_apps();
+  sc.app = apps[rng.uniform_int(apps.size())];
+  const auto configs = table1_configs();
+  sc.green = configs[rng.uniform_int(configs.size())];
+  auto strategies = core::sprinting_strategies();
+  strategies.push_back(core::StrategyKind::Efficiency);
+  sc.strategy = strategies[rng.uniform_int(strategies.size())];
+  const trace::Availability avails[] = {trace::Availability::Min,
+                                        trace::Availability::Med,
+                                        trace::Availability::Max};
+  sc.availability = avails[rng.uniform_int(3)];
+  sc.burst_duration = Seconds(double(5 + rng.uniform_int(56)) * 60.0);
+  sc.burst_intensity = int(7 + rng.uniform_int(6));
+  sc.epoch = Seconds(double(20 + rng.uniform_int(101)));
+  sc.seed = rng();
+  sc.use_des = rng.uniform() < 0.15;
+  sc.thermal_model = rng.uniform() < 0.25;
+  return sc;
+}
+
+TEST(Robustness, FiftyRandomScenariosKeepInvariants) {
+  Rng rng(20260707);
+  for (int i = 0; i < 50; ++i) {
+    const Scenario sc = random_scenario(rng);
+    const BurstResult r = run_burst(sc);
+    SCOPED_TRACE("scenario " + std::to_string(i) + ": " + sc.app.name +
+                 " " + sc.green.name + " " + core::to_string(sc.strategy) +
+                 " " + trace::to_string(sc.availability) + " Int=" +
+                 std::to_string(sc.burst_intensity) + " " +
+                 std::to_string(int(sc.burst_duration.value())) + "s/" +
+                 std::to_string(int(sc.epoch.value())) + "s");
+    // Sprinting never does worse than Normal and never exceeds the
+    // physically possible gain.
+    EXPECT_GE(r.normalized_perf, 1.0 - 0.05);
+    EXPECT_LT(r.normalized_perf, 7.0);
+    // DoD cap is a hard constraint.
+    EXPECT_LE(r.final_battery_dod, 0.4 + 1e-9);
+    // Energy books: every epoch's sources sum to its demand.
+    for (const auto& e : r.epochs) {
+      const double supplied = e.re_used.value() + e.batt_used.value() +
+                              e.grid_used.value();
+      EXPECT_NEAR(supplied, e.demand.value(), 1e-6);
+      EXPECT_GE(e.goodput, 0.0);
+      if (sc.green.battery.value() > 0.0) {
+        EXPECT_GE(e.battery_soc, 0.6 - 1e-9);  // SoC floor at 40% DoD
+      }
+    }
+  }
+}
+
+TEST(Robustness, RandomScenariosAreDeterministicGivenSeed) {
+  Rng rng(99);
+  for (int i = 0; i < 5; ++i) {
+    const Scenario sc = random_scenario(rng);
+    const auto a = run_burst(sc);
+    const auto b = run_burst(sc);
+    EXPECT_DOUBLE_EQ(a.normalized_perf, b.normalized_perf);
+  }
+}
+
+}  // namespace
+}  // namespace gs::sim

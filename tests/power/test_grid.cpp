@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "power/grid.hpp"
+
+namespace gs::power {
+namespace {
+
+TEST(Grid, GrantsWithinBudget) {
+  Grid g({Watts(1000.0), 1.25, Seconds(120.0)});
+  EXPECT_DOUBLE_EQ(g.draw(Watts(800.0), Seconds(60.0)).value(), 800.0);
+  EXPECT_FALSE(g.tripped());
+}
+
+TEST(Grid, ClampsAboveOverloadCeiling) {
+  Grid g({Watts(1000.0), 1.25, Seconds(120.0)});
+  EXPECT_DOUBLE_EQ(g.draw(Watts(2000.0), Seconds(30.0)).value(), 1250.0);
+}
+
+TEST(Grid, OverloadWindowThenTrip) {
+  Grid g({Watts(1000.0), 1.25, Seconds(120.0)});
+  // Two 60 s overload epochs fit the 120 s window; the third trips.
+  EXPECT_GT(g.draw(Watts(1200.0), Seconds(60.0)).value(), 0.0);
+  EXPECT_GT(g.draw(Watts(1200.0), Seconds(60.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.draw(Watts(1200.0), Seconds(60.0)).value(), 0.0);
+  EXPECT_TRUE(g.tripped());
+}
+
+TEST(Grid, TrippedGrantsNothingUntilReset) {
+  Grid g({Watts(100.0), 1.1, Seconds(0.5)});
+  g.draw(Watts(110.0), Seconds(1.0));  // blows the tiny window
+  EXPECT_TRUE(g.tripped());
+  EXPECT_DOUBLE_EQ(g.draw(Watts(50.0), Seconds(1.0)).value(), 0.0);
+  g.reset_breaker();
+  EXPECT_FALSE(g.tripped());
+  EXPECT_DOUBLE_EQ(g.draw(Watts(50.0), Seconds(1.0)).value(), 50.0);
+}
+
+TEST(Grid, WithinBudgetNeverAgesTheBreaker) {
+  Grid g({Watts(1000.0), 1.25, Seconds(120.0)});
+  for (int i = 0; i < 1000; ++i) g.draw(Watts(1000.0), Seconds(60.0));
+  EXPECT_FALSE(g.tripped());
+  EXPECT_DOUBLE_EQ(g.overload_time_used().value(), 0.0);
+}
+
+TEST(Grid, EnergyAccounting) {
+  Grid g({Watts(1000.0), 1.25, Seconds(120.0)});
+  g.draw(Watts(500.0), Seconds(60.0));
+  g.draw(Watts(250.0), Seconds(60.0));
+  EXPECT_DOUBLE_EQ(g.energy_drawn().value(), (500.0 + 250.0) * 60.0);
+}
+
+TEST(Grid, InvalidConfigThrows) {
+  EXPECT_THROW((void)(Grid({Watts(0.0), 1.25, Seconds(120.0)})), gs::ContractError);
+  EXPECT_THROW((void)(Grid({Watts(100.0), 0.9, Seconds(120.0)})), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::power

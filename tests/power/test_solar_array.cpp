@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "power/solar_array.hpp"
+
+namespace gs::power {
+namespace {
+
+TEST(SolarArray, PaperPeakNumbers) {
+  // One 275 W panel at 0.77 derate: 211.75 W AC (paper Section IV).
+  SolarArray one({1, Watts(275.0), 0.77});
+  EXPECT_NEAR(one.peak_ac().value(), 211.75, 1e-9);
+  // Three panels: 635.25 W for the RE configurations.
+  SolarArray three({3, Watts(275.0), 0.77});
+  EXPECT_NEAR(three.peak_ac().value(), 635.25, 1e-9);
+  // Two panels (SRE): 423.5 W.
+  SolarArray two({2, Watts(275.0), 0.77});
+  EXPECT_NEAR(two.peak_ac().value(), 423.5, 1e-9);
+}
+
+TEST(SolarArray, OutputIsLinearInFraction) {
+  SolarArray a({3, Watts(275.0), 0.77});
+  EXPECT_DOUBLE_EQ(a.ac_output(0.0).value(), 0.0);
+  EXPECT_NEAR(a.ac_output(0.5).value(), 0.5 * a.peak_ac().value(), 1e-9);
+}
+
+TEST(SolarArray, FractionOutOfRangeThrows) {
+  SolarArray a({1, Watts(275.0), 0.77});
+  EXPECT_THROW((void)(a.ac_output(-0.1)), gs::ContractError);
+  EXPECT_THROW((void)(a.ac_output(1.1)), gs::ContractError);
+}
+
+TEST(SolarArray, ZeroPanelsProduceNothing) {
+  SolarArray a({0, Watts(275.0), 0.77});
+  EXPECT_DOUBLE_EQ(a.ac_output(1.0).value(), 0.0);
+}
+
+TEST(SolarArray, InvalidConfigThrows) {
+  EXPECT_THROW((void)(SolarArray({-1, Watts(275.0), 0.77})), gs::ContractError);
+  EXPECT_THROW((void)(SolarArray({1, Watts(0.0), 0.77})), gs::ContractError);
+  EXPECT_THROW((void)(SolarArray({1, Watts(275.0), 1.5})), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::power

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "server/dvfs.hpp"
+
+namespace gs::server {
+namespace {
+
+TEST(Dvfs, NineStatesSpanTestbedRange) {
+  EXPECT_EQ(kNumFreqStates, 9);
+  EXPECT_DOUBLE_EQ(frequency(0).value(), 1.2);
+  EXPECT_DOUBLE_EQ(frequency(8).value(), 2.0);
+}
+
+TEST(Dvfs, StatesAreUniform100MHzSteps) {
+  for (int i = 1; i < kNumFreqStates; ++i) {
+    EXPECT_NEAR(frequency(i).value() - frequency(i - 1).value(), 0.1, 1e-12);
+  }
+}
+
+TEST(Dvfs, IndexOutOfRangeThrows) {
+  EXPECT_THROW((void)(frequency(-1)), gs::ContractError);
+  EXPECT_THROW((void)(frequency(9)), gs::ContractError);
+}
+
+TEST(Dvfs, FrequencyIndexRoundTrips) {
+  for (int i = 0; i < kNumFreqStates; ++i) {
+    EXPECT_EQ(frequency_index(frequency(i)), i);
+  }
+}
+
+TEST(Dvfs, FrequencyIndexClamps) {
+  EXPECT_EQ(frequency_index(Gigahertz(0.5)), 0);
+  EXPECT_EQ(frequency_index(Gigahertz(3.0)), kMaxFreqIndex);
+}
+
+TEST(Dvfs, VoltageRangeAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(voltage(Gigahertz(1.2)).value(), 0.9);
+  EXPECT_DOUBLE_EQ(voltage(Gigahertz(2.0)).value(), 1.2);
+  for (int i = 1; i < kNumFreqStates; ++i) {
+    EXPECT_GT(voltage(frequency(i)).value(),
+              voltage(frequency(i - 1)).value());
+  }
+}
+
+TEST(Dvfs, SwitchingFactorIsSuperlinearInFrequency) {
+  // f * V(f)^2 grows faster than f: doubling perf costs more than 2x power.
+  const double low = switching_factor(Gigahertz(1.2));
+  const double high = switching_factor(Gigahertz(2.0));
+  const double freq_ratio = 2.0 / 1.2;
+  EXPECT_GT(high / low, freq_ratio);
+}
+
+}  // namespace
+}  // namespace gs::server

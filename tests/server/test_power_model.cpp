@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "server/power_model.hpp"
+
+namespace gs::server {
+namespace {
+
+TEST(Calibrate, ReproducesAnchors) {
+  // SPECjbb anchors from the paper: ~100 W at Normal full load (1000 W grid
+  // budget over 10 servers), 155 W at maximum sprint, 76 W idle.
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  EXPECT_NEAR(m.power(normal_mode(), 1.0, prof).value(), 100.0, 1e-9);
+  EXPECT_NEAR(m.power(max_sprint(), 1.0, prof).value(), 155.0, 1e-9);
+}
+
+TEST(Calibrate, RejectsInconsistentAnchors) {
+  EXPECT_THROW((void)calibrate(Watts(76.0), Watts(70.0), Watts(155.0)),
+               gs::ContractError);
+  EXPECT_THROW((void)calibrate(Watts(76.0), Watts(100.0), Watts(90.0)),
+               gs::ContractError);
+}
+
+TEST(PowerModel, IdleFloorAtZeroUtilization) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  // Powered cores cost static power even when idle.
+  const Watts p = m.power(normal_mode(), 0.0, prof);
+  EXPECT_GT(p.value(), 76.0);
+  EXPECT_LT(p.value(), 100.0);
+}
+
+TEST(PowerModel, MonotoneInUtilization) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = m.power(max_sprint(), u, prof).value();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, MonotoneInCores) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  for (int c = kMinCores + 1; c <= kMaxCores; ++c) {
+    EXPECT_GT(m.power({c, 4}, 1.0, prof).value(),
+              m.power({c - 1, 4}, 1.0, prof).value());
+  }
+}
+
+TEST(PowerModel, MonotoneInFrequency) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  for (int f = 1; f < kNumFreqStates; ++f) {
+    EXPECT_GT(m.power({12, f}, 1.0, prof).value(),
+              m.power({12, f - 1}, 1.0, prof).value());
+  }
+}
+
+TEST(PowerModel, UtilizationContract) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  EXPECT_THROW((void)(m.power(normal_mode(), -0.1, prof)), gs::ContractError);
+  EXPECT_THROW((void)(m.power(normal_mode(), 1.1, prof)), gs::ContractError);
+}
+
+TEST(PowerModel, PeakPowerIsFullUtilization) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  EXPECT_DOUBLE_EQ(m.peak_power(max_sprint(), prof).value(),
+                   m.power(max_sprint(), 1.0, prof).value());
+}
+
+TEST(PowerModel, FullLatticeStaysWithinAnchors) {
+  const auto prof = calibrate(Watts(76.0), Watts(100.0), Watts(155.0));
+  const ServerPowerModel m(Watts(76.0));
+  const SettingLattice lat;
+  for (const auto& s : lat.all()) {
+    const double p = m.peak_power(s, prof).value();
+    EXPECT_GE(p, 76.0);
+    EXPECT_LE(p, 155.0 + 1e-9);
+  }
+}
+
+class PowerAppAnchors
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PowerAppAnchors, CalibrationHoldsAcrossApps) {
+  const auto [normal_w, peak_w] = GetParam();
+  const auto prof = calibrate(Watts(76.0), Watts(normal_w), Watts(peak_w));
+  const ServerPowerModel m(Watts(76.0));
+  EXPECT_NEAR(m.power(normal_mode(), 1.0, prof).value(), normal_w, 1e-9);
+  EXPECT_NEAR(m.power(max_sprint(), 1.0, prof).value(), peak_w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperApps, PowerAppAnchors,
+                         ::testing::Values(std::tuple{100.0, 155.0},
+                                           std::tuple{100.0, 156.0},
+                                           std::tuple{97.0, 146.0}));
+
+}  // namespace
+}  // namespace gs::server

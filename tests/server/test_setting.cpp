@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "server/setting.hpp"
+
+namespace gs::server {
+namespace {
+
+TEST(Setting, NormalAndMaxSprintMatchTestbed) {
+  const auto n = normal_mode();
+  EXPECT_EQ(n.cores, 6);
+  EXPECT_DOUBLE_EQ(n.frequency().value(), 1.2);
+  const auto m = max_sprint();
+  EXPECT_EQ(m.cores, 12);
+  EXPECT_DOUBLE_EQ(m.frequency().value(), 2.0);
+}
+
+TEST(Setting, ToStringIsReadable) {
+  EXPECT_EQ(to_string(normal_mode()), "6c@1.2GHz");
+  EXPECT_EQ(to_string(max_sprint()), "12c@2GHz");
+}
+
+TEST(SettingLattice, SizeIsCoresTimesFreqs) {
+  const SettingLattice lat;
+  EXPECT_EQ(lat.size(), std::size_t(kNumCoreCounts) * kNumFreqStates);
+  EXPECT_EQ(lat.size(), 63u);
+}
+
+TEST(SettingLattice, FirstIsNormalLastIsMaxSprint) {
+  const SettingLattice lat;
+  EXPECT_EQ(lat.at(0), normal_mode());
+  EXPECT_EQ(lat.at(lat.size() - 1), max_sprint());
+}
+
+TEST(SettingLattice, IndexOfRoundTrips) {
+  const SettingLattice lat;
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    EXPECT_EQ(lat.index_of(lat.at(i)), i);
+  }
+}
+
+TEST(SettingLattice, IndexOfRejectsOutOfRange) {
+  const SettingLattice lat;
+  EXPECT_THROW((void)(lat.index_of({5, 0})), gs::ContractError);
+  EXPECT_THROW((void)(lat.index_of({13, 0})), gs::ContractError);
+  EXPECT_THROW((void)(lat.index_of({6, 9})), gs::ContractError);
+}
+
+TEST(SettingLattice, AtRejectsOutOfRange) {
+  const SettingLattice lat;
+  EXPECT_THROW((void)(lat.at(lat.size())), gs::ContractError);
+}
+
+TEST(Setting, Ordering) {
+  // Lexicographic (cores, freq) ordering via spaceship.
+  EXPECT_LT(normal_mode(), max_sprint());
+  EXPECT_LT((ServerSetting{6, 8}), (ServerSetting{7, 0}));
+}
+
+}  // namespace
+}  // namespace gs::server

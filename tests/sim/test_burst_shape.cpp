@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "sim/burst_runner.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace gs::sim {
+namespace {
+
+TEST(BurstShapeFactor, PlateauIsConstantOne) {
+  for (double p : {0.0, 0.3, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(
+        trace::burst_shape_factor(trace::BurstShape::Plateau, p), 1.0);
+  }
+}
+
+TEST(BurstShapeFactor, RampClimbsFromHalf) {
+  EXPECT_DOUBLE_EQ(trace::burst_shape_factor(trace::BurstShape::Ramp, 0.0),
+                   0.5);
+  EXPECT_DOUBLE_EQ(trace::burst_shape_factor(trace::BurstShape::Ramp, 1.0),
+                   1.0);
+  EXPECT_LT(trace::burst_shape_factor(trace::BurstShape::Ramp, 0.2),
+            trace::burst_shape_factor(trace::BurstShape::Ramp, 0.8));
+}
+
+TEST(BurstShapeFactor, SpikePeaksInTheMiddle) {
+  EXPECT_DOUBLE_EQ(trace::burst_shape_factor(trace::BurstShape::Spike, 0.1),
+                   0.6);
+  EXPECT_DOUBLE_EQ(trace::burst_shape_factor(trace::BurstShape::Spike, 0.5),
+                   1.0);
+  EXPECT_DOUBLE_EQ(trace::burst_shape_factor(trace::BurstShape::Spike, 0.9),
+                   0.6);
+}
+
+TEST(BurstShapeFactor, WaveStaysNearPeak) {
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double f = trace::burst_shape_factor(trace::BurstShape::Wave, p);
+    EXPECT_GE(f, 0.8);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(BurstShapeFactor, OutOfRangeProgressThrows) {
+  EXPECT_THROW(
+      (void)trace::burst_shape_factor(trace::BurstShape::Ramp, -0.1),
+      gs::ContractError);
+  EXPECT_THROW(
+      (void)trace::burst_shape_factor(trace::BurstShape::Ramp, 1.1),
+      gs::ContractError);
+}
+
+Scenario shaped(trace::BurstShape shape) {
+  Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = re_batt();
+  sc.strategy = core::StrategyKind::Hybrid;
+  sc.availability = trace::Availability::Max;
+  sc.burst_duration = Seconds(1800.0);
+  sc.burst_shape = shape;
+  return sc;
+}
+
+TEST(BurstShapeScenario, AllShapesRunAndSprint) {
+  for (auto shape : {trace::BurstShape::Plateau, trace::BurstShape::Ramp,
+                     trace::BurstShape::Spike, trace::BurstShape::Wave}) {
+    const auto r = run_burst(shaped(shape));
+    EXPECT_GE(r.normalized_perf, 1.0 - 1e-6) << trace::to_string(shape);
+    EXPECT_LT(r.normalized_perf, 6.0) << trace::to_string(shape);
+  }
+}
+
+TEST(BurstShapeScenario, RampOffersLessLoadThanPlateau) {
+  const auto plateau = run_burst(shaped(trace::BurstShape::Plateau));
+  const auto ramp = run_burst(shaped(trace::BurstShape::Ramp));
+  // The ramp's offered load averages 75% of the plateau's, so absolute
+  // goodput is lower; normalization against the same shape keeps the
+  // speedup comparable.
+  EXPECT_LT(ramp.mean_goodput, plateau.mean_goodput);
+  EXPECT_GT(ramp.normalized_perf, 1.5);
+}
+
+TEST(BurstShapeScenario, DesModeRequiresPlateau) {
+  auto sc = shaped(trace::BurstShape::Ramp);
+  sc.use_des = true;
+  EXPECT_THROW((void)run_burst(sc), gs::ContractError);
+}
+
+TEST(BurstShapeNames, ToString) {
+  EXPECT_STREQ(trace::to_string(trace::BurstShape::Plateau), "Plateau");
+  EXPECT_STREQ(trace::to_string(trace::BurstShape::Wave), "Wave");
+}
+
+}  // namespace
+}  // namespace gs::sim

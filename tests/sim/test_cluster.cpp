@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "sim/cluster.hpp"
+
+namespace gs::sim {
+namespace {
+
+struct ClusterFixture : ::testing::Test {
+  workload::PerfModel perf{workload::specjbb()};
+  server::ServerPowerModel power{Watts(76.0)};
+  ClusterConfig cluster;  // 10 servers, 3 green, 1000 W budget
+};
+
+TEST_F(ClusterFixture, GridShareSplitsBudget) {
+  EXPECT_NEAR(grid_share_per_server(cluster).value(), 1000.0 / 7.0, 1e-9);
+}
+
+TEST_F(ClusterFixture, GridServersSprintSubOptimally) {
+  // Paper Section IV-A: with ~142 W per grid server, they can sprint at a
+  // sub-optimal setting (e.g. 12 cores at reduced frequency), strictly
+  // better than Normal but below the full sprint.
+  const double lambda = perf.intensity_load(12);
+  const auto s = best_setting_under_cap(perf, power, lambda,
+                                        grid_share_per_server(cluster));
+  EXPECT_GT(s, server::normal_mode());
+  EXPECT_LT(s, server::max_sprint());
+  const double u = perf.utilization(s, lambda);
+  EXPECT_LE(power.power(s, u, perf.app().activity).value(),
+            grid_share_per_server(cluster).value() + 1e-9);
+}
+
+TEST_F(ClusterFixture, TightCapForcesNormal) {
+  const double lambda = perf.intensity_load(12);
+  const auto s = best_setting_under_cap(perf, power, lambda, Watts(101.0));
+  EXPECT_EQ(s, server::normal_mode());
+}
+
+TEST_F(ClusterFixture, ImpossibleCapThrows) {
+  const double lambda = perf.intensity_load(12);
+  EXPECT_THROW((void)best_setting_under_cap(perf, power, lambda, Watts(90.0)),
+               gs::ContractError);
+}
+
+TEST_F(ClusterFixture, ClusterPowerExceedsGridBudgetDuringFullSprint) {
+  // The whole point of sprinting: aggregate demand tops the 1000 W budget
+  // (paper quotes 1550 W for 10 servers all-out).
+  const double lambda = perf.intensity_load(12);
+  const Watts total =
+      cluster_power(perf, power, cluster, server::max_sprint(), lambda);
+  EXPECT_GT(total.value(), 1000.0);
+  EXPECT_LT(total.value(), 1600.0);
+}
+
+TEST_F(ClusterFixture, AllNormalFitsTheBudget) {
+  const double lambda = 0.5 * perf.capacity(server::normal_mode());
+  ClusterConfig all_grid = cluster;
+  all_grid.green_servers = 0;
+  const Watts total =
+      cluster_power(perf, power, all_grid, server::normal_mode(), lambda);
+  EXPECT_LT(total.value(), 1001.0);
+}
+
+}  // namespace
+}  // namespace gs::sim

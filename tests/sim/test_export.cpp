@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/export.hpp"
+
+namespace gs::sim {
+namespace {
+
+Scenario small_scenario() {
+  Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = re_sbatt();
+  sc.strategy = core::StrategyKind::Pacing;
+  sc.availability = trace::Availability::Max;
+  sc.burst_duration = Seconds(300.0);
+  return sc;
+}
+
+TEST(Export, EpochCsvHasHeaderAndOneRowPerEpoch) {
+  const auto r = run_burst(small_scenario());
+  std::ostringstream os;
+  export_epochs_csv(os, r);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, r.epochs.size() + 1);
+  EXPECT_EQ(os.str().rfind("t_s,cores,freq_ghz", 0), 0u);
+}
+
+TEST(Export, EpochRowsCarryTheData) {
+  const auto r = run_burst(small_scenario());
+  std::ostringstream os;
+  export_epochs_csv(os, r);
+  // Max-availability Pacing: 12-core rows must appear.
+  EXPECT_NE(os.str().find(",12,2.0,"), std::string::npos);
+  EXPECT_NE(os.str().find("RenewableOnly"), std::string::npos);
+}
+
+TEST(Export, SummaryRowRoundTrips) {
+  const auto sc = small_scenario();
+  const auto r = run_burst(sc);
+  std::ostringstream os;
+  export_summary_header(os);
+  export_summary_row(os, sc, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("SPECjbb"), std::string::npos);
+  EXPECT_NE(out.find("RE-SBatt"), std::string::npos);
+  EXPECT_NE(out.find("Pacing"), std::string::npos);
+  EXPECT_NE(out.find("Max"), std::string::npos);
+  // Two lines: header + row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Export, FileExport) {
+  const auto r = run_burst(small_scenario());
+  const std::string path = ::testing::TempDir() + "/gs_epochs.csv";
+  export_epochs_csv_file(path, r);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("t_s,", 0), 0u);
+}
+
+TEST(Export, BadPathThrows) {
+  const auto r = run_burst(small_scenario());
+  EXPECT_THROW(export_epochs_csv_file("/nonexistent/dir/x.csv", r),
+               gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::sim

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "sim/green_cluster.hpp"
+
+namespace gs::sim {
+namespace {
+
+GreenClusterConfig cfg(ReAllocation alloc = ReAllocation::EqualShare,
+                       double ah = 3.2) {
+  GreenClusterConfig c;
+  c.servers = 3;
+  c.battery_per_server = AmpHours(ah);
+  c.strategy = core::StrategyKind::Hybrid;
+  c.allocation = alloc;
+  return c;
+}
+
+TEST(GreenCluster, AllServersSprintWithAmpleSupply) {
+  GreenCluster cluster(workload::specjbb(), cfg());
+  const double lambda = cluster.perf().intensity_load(12);
+  // Prime forecasts, then burst under full sun (3 panels).
+  for (int i = 0; i < 20; ++i) cluster.idle_step(Watts(635.0), 30.0);
+  // First burst epoch converges the load forecast; judge the second.
+  (void)cluster.step(Watts(635.0), lambda, true);
+  const auto ep = cluster.step(Watts(635.0), lambda, true);
+  EXPECT_EQ(ep.servers_sprinting, 3);
+  EXPECT_GT(ep.total_goodput,
+            2.9 * cluster.perf().goodput(server::max_sprint(), lambda));
+}
+
+TEST(GreenCluster, NoSupplyNoBatteryMeansNormal) {
+  GreenCluster cluster(workload::specjbb(), cfg(ReAllocation::EqualShare,
+                                                0.0));
+  const double lambda = cluster.perf().intensity_load(12);
+  for (int i = 0; i < 5; ++i) cluster.idle_step(Watts(0.0), 30.0);
+  const auto ep = cluster.step(Watts(0.0), lambda, true);
+  EXPECT_EQ(ep.servers_sprinting, 0);
+  for (const auto& s : ep.settings) EXPECT_EQ(s, server::normal_mode());
+  EXPECT_GT(ep.grid_used.value(), 0.0);  // Normal mode on the grid
+}
+
+TEST(GreenCluster, WaterfallConcentratesScarceSupply) {
+  // Supply enough for ~1.3 full sprints: Waterfall should fully power the
+  // first server; EqualShare spreads ~70 W each (no full sprint).
+  GreenCluster wf(workload::specjbb(), cfg(ReAllocation::Waterfall, 0.0));
+  GreenCluster eq(workload::specjbb(), cfg(ReAllocation::EqualShare, 0.0));
+  const double lambda = wf.perf().intensity_load(12);
+  for (int i = 0; i < 20; ++i) {
+    wf.idle_step(Watts(210.0), 30.0);
+    eq.idle_step(Watts(210.0), 30.0);
+  }
+  (void)wf.step(Watts(210.0), lambda, true);
+  (void)eq.step(Watts(210.0), lambda, true);
+  const auto ep_wf = wf.step(Watts(210.0), lambda, true);
+  const auto ep_eq = eq.step(Watts(210.0), lambda, true);
+  EXPECT_GE(ep_wf.servers_sprinting, 1);
+  EXPECT_EQ(ep_eq.servers_sprinting, 0);  // 70 W/server < Normal power
+  EXPECT_GT(ep_wf.total_goodput, ep_eq.total_goodput);
+}
+
+TEST(GreenCluster, BatteriesDischargeDuringDarkBurst) {
+  GreenCluster cluster(workload::specjbb(), cfg());
+  const double lambda = cluster.perf().intensity_load(12);
+  for (int i = 0; i < 5; ++i) cluster.idle_step(Watts(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(cluster.mean_soc(), 1.0);
+  const auto ep = cluster.step(Watts(0.0), lambda, true);
+  EXPECT_GT(ep.batt_used.value(), 0.0);
+  EXPECT_LT(cluster.mean_soc(), 1.0);
+}
+
+TEST(GreenCluster, IdleStepsRechargeBatteries) {
+  GreenCluster cluster(workload::specjbb(), cfg());
+  const double lambda = cluster.perf().intensity_load(12);
+  for (int i = 0; i < 5; ++i) cluster.idle_step(Watts(0.0), 30.0);
+  for (int i = 0; i < 4; ++i) cluster.step(Watts(0.0), lambda, true);
+  const double drained = cluster.mean_soc();
+  ASSERT_LT(drained, 1.0);
+  for (int i = 0; i < 60; ++i) cluster.idle_step(Watts(300.0), 30.0);
+  EXPECT_GT(cluster.mean_soc(), drained);
+}
+
+TEST(GreenCluster, CycleAccountingAccumulates) {
+  GreenCluster cluster(workload::specjbb(), cfg());
+  const double lambda = cluster.perf().intensity_load(12);
+  for (int i = 0; i < 5; ++i) cluster.idle_step(Watts(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(cluster.total_equivalent_cycles(), 0.0);
+  for (int i = 0; i < 10; ++i) cluster.step(Watts(0.0), lambda, true);
+  EXPECT_GT(cluster.total_equivalent_cycles(), 0.0);
+}
+
+TEST(GreenCluster, HeterogeneousLoadsGetHeterogeneousSettings) {
+  // Paper Section III-B: per-server L_j -> per-server S_j. A lightly
+  // loaded server should pick a cheaper setting than a saturated one.
+  GreenCluster cluster(workload::specjbb(), cfg());
+  const double heavy = cluster.perf().intensity_load(12);
+  const double light = cluster.perf().intensity_load(6);
+  for (int i = 0; i < 20; ++i) cluster.idle_step(Watts(635.0), 30.0);
+  const std::vector<double> lambdas{heavy, light, heavy};
+  (void)cluster.step_hetero(Watts(635.0), lambdas, true);
+  const auto ep = cluster.step_hetero(Watts(635.0), lambdas, true);
+  // The light server needs fewer resources than the heavy ones.
+  const auto& lat = server::SettingLattice();
+  EXPECT_LT(lat.index_of(ep.settings[1]), lat.index_of(ep.settings[0]));
+  EXPECT_GT(ep.servers_sprinting, 0);
+}
+
+TEST(GreenCluster, HeteroStepValidatesArity) {
+  GreenCluster cluster(workload::specjbb(), cfg());
+  EXPECT_THROW((void)cluster.step_hetero(Watts(0.0), {1.0}, true),
+               gs::ContractError);
+}
+
+TEST(GreenCluster, HomogeneousStepEqualsHeteroWithEqualRates) {
+  GreenCluster a(workload::specjbb(), cfg());
+  GreenCluster b(workload::specjbb(), cfg());
+  const double lambda = a.perf().intensity_load(12);
+  for (int i = 0; i < 10; ++i) {
+    a.idle_step(Watts(400.0), 30.0);
+    b.idle_step(Watts(400.0), 30.0);
+  }
+  const auto ea = a.step(Watts(400.0), lambda, true);
+  const auto eb = b.step_hetero(
+      Watts(400.0), std::vector<double>(3, lambda), true);
+  EXPECT_DOUBLE_EQ(ea.total_goodput, eb.total_goodput);
+  EXPECT_EQ(ea.settings, eb.settings);
+}
+
+TEST(GreenCluster, GridChargingPolicyGatesNightRecharge) {
+  auto with_grid = cfg();
+  auto re_only_charge = cfg();
+  re_only_charge.grid_charging = false;
+  GreenCluster a(workload::specjbb(), with_grid);
+  GreenCluster b(workload::specjbb(), re_only_charge);
+  const double lambda = a.perf().intensity_load(12);
+  for (int i = 0; i < 5; ++i) {
+    a.idle_step(Watts(0.0), 30.0);
+    b.idle_step(Watts(0.0), 30.0);
+  }
+  // Night burst drains both fleets...
+  for (int i = 0; i < 5; ++i) {
+    a.step(Watts(0.0), lambda, true);
+    b.step(Watts(0.0), lambda, true);
+  }
+  ASSERT_LT(a.mean_soc(), 1.0);
+  // ...then a dark idle hour: only the grid-charging fleet recovers.
+  for (int i = 0; i < 60; ++i) {
+    a.idle_step(Watts(0.0), 30.0);
+    b.idle_step(Watts(0.0), 30.0);
+  }
+  EXPECT_NEAR(a.mean_soc(), 1.0, 1e-6);
+  EXPECT_LT(b.mean_soc(), 0.99);
+}
+
+TEST(GreenCluster, AllocationNames) {
+  EXPECT_STREQ(to_string(ReAllocation::EqualShare), "EqualShare");
+  EXPECT_STREQ(to_string(ReAllocation::Waterfall), "Waterfall");
+}
+
+TEST(GreenCluster, InvalidConfigThrows) {
+  auto c = cfg();
+  c.servers = 0;
+  EXPECT_THROW(GreenCluster(workload::specjbb(), c), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::sim

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "sim/monitor.hpp"
+
+namespace gs::sim {
+namespace {
+
+MonitorSample sample(double goodput, double demand_w, double re_w,
+                     bool sprinting) {
+  MonitorSample s;
+  s.goodput = goodput;
+  s.demand = Watts(demand_w);
+  s.re_used = Watts(re_w);
+  s.setting = sprinting ? server::max_sprint() : server::normal_mode();
+  return s;
+}
+
+TEST(MonitorTest, CountsAndAggregates) {
+  Monitor m;
+  m.set_epoch(Seconds(60.0));
+  m.record(sample(100.0, 150.0, 150.0, true));
+  m.record(sample(200.0, 100.0, 0.0, false));
+  EXPECT_EQ(m.epochs(), 2u);
+  EXPECT_DOUBLE_EQ(m.goodput_stats().mean(), 150.0);
+  EXPECT_DOUBLE_EQ(m.demand_stats().max(), 150.0);
+  EXPECT_DOUBLE_EQ(m.re_energy().value(), 150.0 * 60.0);
+  EXPECT_DOUBLE_EQ(m.sprint_time().value(), 60.0);  // one sprint epoch
+}
+
+TEST(MonitorTest, LastReturnsMostRecent) {
+  Monitor m;
+  m.record(sample(1.0, 0.0, 0.0, false));
+  m.record(sample(2.0, 0.0, 0.0, false));
+  EXPECT_DOUBLE_EQ(m.last().goodput, 2.0);
+}
+
+TEST(MonitorTest, LastOnEmptyThrows) {
+  Monitor m;
+  EXPECT_THROW((void)m.last(), gs::ContractError);
+}
+
+TEST(MonitorTest, HistoryIsBoundedButAggregatesAreNot) {
+  Monitor m(4);
+  for (int i = 0; i < 10; ++i) m.record(sample(double(i), 0.0, 0.0, false));
+  EXPECT_EQ(m.history().size(), 4u);
+  EXPECT_EQ(m.epochs(), 10u);
+  EXPECT_DOUBLE_EQ(m.goodput_stats().mean(), 4.5);  // mean of 0..9
+  EXPECT_DOUBLE_EQ(m.history()[0].goodput, 6.0);    // oldest retained
+}
+
+TEST(MonitorTest, EpochLengthScalesEnergy) {
+  Monitor m;
+  m.set_epoch(Seconds(30.0));
+  m.record(sample(0.0, 0.0, 100.0, false));
+  EXPECT_DOUBLE_EQ(m.re_energy().value(), 3000.0);
+}
+
+}  // namespace
+}  // namespace gs::sim

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sim/burst_runner.hpp"
+#include "sim/oracle_runner.hpp"
+
+namespace gs::sim {
+namespace {
+
+Scenario make(trace::Availability a, double minutes, GreenConfig cfg,
+              core::StrategyKind k = core::StrategyKind::Hybrid) {
+  Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = std::move(cfg);
+  sc.strategy = k;
+  sc.availability = a;
+  sc.burst_duration = Seconds(minutes * 60.0);
+  return sc;
+}
+
+class OracleDominance
+    : public ::testing::TestWithParam<
+          std::tuple<core::StrategyKind, trace::Availability>> {};
+
+TEST_P(OracleDominance, OracleIsAnUpperBound) {
+  // The offline-optimal plan must (weakly) dominate every online strategy
+  // on the same scenario. Small tolerance covers the profile-level
+  // quantization differences between the two evaluation paths.
+  const auto [kind, avail] = GetParam();
+  const auto sc = make(avail, 30.0, re_sbatt(), kind);
+  const auto online = run_burst(sc);
+  const auto oracle = run_oracle(sc);
+  EXPECT_GE(oracle.normalized_perf, online.normalized_perf - 0.05)
+      << core::to_string(kind) << "/" << trace::to_string(avail);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OracleDominance,
+    ::testing::Combine(::testing::Values(core::StrategyKind::Greedy,
+                                         core::StrategyKind::Parallel,
+                                         core::StrategyKind::Pacing,
+                                         core::StrategyKind::Hybrid),
+                       ::testing::Values(trace::Availability::Min,
+                                         trace::Availability::Med,
+                                         trace::Availability::Max)),
+    [](const auto& info) {
+      return std::string(core::to_string(std::get<0>(info.param))) +
+             trace::to_string(std::get<1>(info.param));
+    });
+
+TEST(OracleRunner, MaxAvailabilityMatchesOnline) {
+  // With ample supply there is nothing for foresight to exploit: online
+  // Greedy already sprints maximally, so the regret should be ~0.
+  const auto sc = make(trace::Availability::Max, 15.0, re_batt(),
+                       core::StrategyKind::Greedy);
+  const auto online = run_burst(sc);
+  const auto oracle = run_oracle(sc);
+  EXPECT_NEAR(oracle.normalized_perf, online.normalized_perf, 0.05);
+}
+
+TEST(OracleRunner, PlanLengthMatchesEpochCount) {
+  const auto sc = make(trace::Availability::Med, 30.0, re_sbatt());
+  const auto oracle = run_oracle(sc);
+  EXPECT_EQ(oracle.plan.settings.size(), 30u);
+}
+
+TEST(OracleRunner, NormalizationBaselineConsistent) {
+  const auto sc = make(trace::Availability::Min, 15.0, re_only());
+  const auto oracle = run_oracle(sc);
+  const auto online = run_burst(sc);
+  EXPECT_DOUBLE_EQ(oracle.normal_goodput, online.normal_goodput);
+  // REOnly at night: even the oracle can only run Normal mode.
+  EXPECT_NEAR(oracle.normalized_perf, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gs::sim

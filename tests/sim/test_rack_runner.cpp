@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "sim/rack_runner.hpp"
+
+namespace gs::sim {
+namespace {
+
+RackRunner make_rack() {
+  RackConfig cfg;
+  cfg.green.battery_per_server = AmpHours(10.0);
+  cfg.green.strategy = core::StrategyKind::Hybrid;
+  return RackRunner(workload::specjbb(), cfg);
+}
+
+TEST(RackRunner, GridServersSprintSubOptimally) {
+  auto rack = make_rack();
+  const workload::PerfModel perf(workload::specjbb());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 10; ++i) rack.idle_step(Watts(635.0), 30.0);
+  const auto ep = rack.step(Watts(635.0), lambda);
+  EXPECT_GT(ep.grid_setting, server::normal_mode());
+  EXPECT_LT(ep.grid_setting, server::max_sprint());
+}
+
+TEST(RackRunner, RackPowerExceedsGridBudgetDuringFullSprint) {
+  // The cluster-level point of Fig. 1: aggregate sprint demand tops the
+  // 1000 W budget and the excess rides the green bus.
+  auto rack = make_rack();
+  const workload::PerfModel perf(workload::specjbb());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 10; ++i) rack.idle_step(Watts(635.0), 30.0);
+  (void)rack.step(Watts(635.0), lambda);
+  const auto ep = rack.step(Watts(635.0), lambda);
+  EXPECT_GT(ep.rack_power.value(), 1000.0);
+  EXPECT_LE(ep.grid_servers_power.value(), 1000.0 + 1e-9);
+}
+
+TEST(RackRunner, ClusterSpeedupIsLowerThanGreenServerSpeedup) {
+  // Per-green-server gains reach ~5x, but the 7 grid servers only sprint
+  // sub-optimally, so the cluster-wide speedup sits well below.
+  auto rack = make_rack();
+  const workload::PerfModel perf(workload::specjbb());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 10; ++i) rack.idle_step(Watts(635.0), 30.0);
+  (void)rack.step(Watts(635.0), lambda);
+  const auto ep = rack.step(Watts(635.0), lambda);
+  const double cluster_speedup =
+      ep.cluster_goodput / rack.normal_cluster_goodput(lambda);
+  const double green_speedup =
+      ep.green.total_goodput /
+      (3.0 * perf.goodput(server::normal_mode(), lambda));
+  EXPECT_GT(cluster_speedup, 1.5);
+  EXPECT_LT(cluster_speedup, green_speedup);
+}
+
+TEST(RackRunner, GoodputDecomposes) {
+  auto rack = make_rack();
+  const workload::PerfModel perf(workload::specjbb());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 5; ++i) rack.idle_step(Watts(400.0), 30.0);
+  const auto ep = rack.step(Watts(400.0), lambda);
+  EXPECT_DOUBLE_EQ(ep.cluster_goodput,
+                   ep.grid_goodput + ep.green.total_goodput);
+}
+
+TEST(RackRunner, NeedsGridServers) {
+  RackConfig cfg;
+  cfg.cluster.green_servers = cfg.cluster.total_servers;
+  EXPECT_THROW(RackRunner(workload::specjbb(), cfg), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::sim

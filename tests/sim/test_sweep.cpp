@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "sim/sweep.hpp"
+
+namespace gs::sim {
+namespace {
+
+std::vector<Scenario> small_grid() {
+  std::vector<Scenario> out;
+  for (auto avail : {trace::Availability::Min, trace::Availability::Max}) {
+    for (auto kind :
+         {core::StrategyKind::Greedy, core::StrategyKind::Pacing}) {
+      Scenario sc;
+      sc.app = workload::specjbb();
+      sc.green = re_sbatt();
+      sc.strategy = kind;
+      sc.availability = avail;
+      sc.burst_duration = Seconds(600.0);
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+TEST(Sweep, ResultsAlignWithScenarios) {
+  const auto scenarios = small_grid();
+  const auto results = run_sweep(scenarios, 2);
+  ASSERT_EQ(results.size(), scenarios.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.normalized_perf, 0.0);
+    EXPECT_FALSE(r.epochs.empty());
+  }
+}
+
+TEST(Sweep, IndependentOfThreadCount) {
+  const auto scenarios = small_grid();
+  const auto serial = sweep_normalized_perf(scenarios, 1);
+  const auto parallel = sweep_normalized_perf(scenarios, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "cell " << i;
+  }
+}
+
+TEST(Sweep, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(run_sweep({}, 2).empty());
+}
+
+TEST(Sweep, PropagatesScenarioErrors) {
+  auto scenarios = small_grid();
+  scenarios[1].green.green_servers = 0;  // invalid
+  EXPECT_THROW((void)(run_sweep(scenarios, 2)), gs::ContractError);
+}
+
+TEST(Sweep, MatchesIndividualRuns) {
+  const auto scenarios = small_grid();
+  const auto results = run_sweep(scenarios, 3);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].normalized_perf,
+                     run_burst(scenarios[i]).normalized_perf);
+  }
+}
+
+}  // namespace
+}  // namespace gs::sim

@@ -1,0 +1,80 @@
+// Thermal-aware scenarios: the paper assumes PCM absorbs sprint heat for
+// the whole burst; these tests enable the lumped thermal model in the
+// burst runner and verify both the assumption (default package survives)
+// and the failure mode (undersized package truncates the sprint).
+#include <gtest/gtest.h>
+
+#include "sim/burst_runner.hpp"
+
+namespace gs::sim {
+namespace {
+
+Scenario thermal_scenario(double pcm_j) {
+  Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = re_batt();
+  sc.strategy = core::StrategyKind::Greedy;
+  sc.availability = trace::Availability::Max;
+  sc.burst_duration = Seconds(3600.0);
+  sc.thermal_model = true;
+  sc.pcm_capacity_j = pcm_j;
+  return sc;
+}
+
+TEST(ThermalRunner, DefaultPackageCarriesAnHourLongSprint) {
+  // Paper assumption: PCM delays thermal limits by hours.
+  const auto with_thermal = run_burst(thermal_scenario(1.2e6));
+  auto no_thermal = thermal_scenario(1.2e6);
+  no_thermal.thermal_model = false;
+  const auto baseline = run_burst(no_thermal);
+  EXPECT_NEAR(with_thermal.normalized_perf, baseline.normalized_perf, 1e-9);
+}
+
+TEST(ThermalRunner, UndersizedPackageTruncatesTheSprint) {
+  // A tiny buffer saturates in minutes: the 155 W sprint exceeds the
+  // 105 W sustained cooling by 50 W, so 3e4 J buys only ~10 minutes.
+  const auto r = run_burst(thermal_scenario(3.0e4));
+  int sprint_epochs = 0;
+  int normal_epochs = 0;
+  for (const auto& e : r.epochs) {
+    if (e.setting == server::max_sprint()) {
+      ++sprint_epochs;
+    } else if (e.setting == server::normal_mode()) {
+      ++normal_epochs;
+    }
+  }
+  EXPECT_GT(sprint_epochs, 0);
+  EXPECT_GT(normal_epochs, 0);
+  const auto unconstrained = [&] {
+    auto sc = thermal_scenario(3.0e4);
+    sc.thermal_model = false;
+    return run_burst(sc);
+  }();
+  EXPECT_LT(r.normalized_perf, unconstrained.normalized_perf);
+}
+
+TEST(ThermalRunner, RefreezeReenablesSprinting) {
+  // With a marginal buffer the sprint duty-cycles: saturate -> Normal
+  // (refreeze) -> sprint again.
+  const auto r = run_burst(thermal_scenario(3.0e4));
+  bool saw_sprint_after_normal = false;
+  bool saw_normal = false;
+  for (const auto& e : r.epochs) {
+    if (e.setting == server::normal_mode()) saw_normal = true;
+    if (saw_normal && e.setting == server::max_sprint()) {
+      saw_sprint_after_normal = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_sprint_after_normal);
+}
+
+TEST(ThermalRunner, NormalModeNeverThermallyLimited) {
+  auto sc = thermal_scenario(1.0e5);
+  sc.strategy = core::StrategyKind::Normal;
+  const auto r = run_burst(sc);
+  EXPECT_NEAR(r.normalized_perf, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gs::sim

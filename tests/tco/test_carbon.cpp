@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "tco/carbon.hpp"
+
+namespace gs::tco {
+namespace {
+
+TEST(Carbon, GridOnlyUsesGridFactor) {
+  const CarbonParams p;
+  // 1 kWh of grid energy at 400 g/kWh.
+  EXPECT_NEAR(co2_grams(p, to_joules(WattHours(1000.0)), Joules(0.0),
+                        Joules(0.0)),
+              400.0, 1e-9);
+}
+
+TEST(Carbon, SolarIsAnOrderOfMagnitudeCleaner) {
+  const CarbonParams p;
+  const Joules kwh = to_joules(WattHours(1000.0));
+  const double grid = co2_grams(p, kwh, Joules(0.0), Joules(0.0));
+  const double solar = co2_grams(p, Joules(0.0), kwh, Joules(0.0));
+  EXPECT_GT(grid, 5.0 * solar);
+}
+
+TEST(Carbon, BatteryAttributionFollowsChargeMix) {
+  const CarbonParams p;
+  const Joules kwh = to_joules(WattHours(1000.0));
+  const double solar_charged =
+      co2_grams(p, Joules(0.0), Joules(0.0), kwh, 0.0);
+  const double grid_charged =
+      co2_grams(p, Joules(0.0), Joules(0.0), kwh, 1.0);
+  EXPECT_NEAR(solar_charged, 45.0 + 20.0, 1e-9);
+  EXPECT_NEAR(grid_charged, 400.0 + 20.0, 1e-9);
+  const double half = co2_grams(p, Joules(0.0), Joules(0.0), kwh, 0.5);
+  EXPECT_GT(half, solar_charged);
+  EXPECT_LT(half, grid_charged);
+}
+
+TEST(Carbon, SavingsAreTheFactorGap) {
+  const CarbonParams p;
+  EXPECT_NEAR(co2_savings_grams(p, to_joules(WattHours(1000.0))),
+              400.0 - 45.0, 1e-9);
+}
+
+TEST(Carbon, YearlyConversion) {
+  EXPECT_NEAR(yearly_kg(1000.0), 365.0, 1e-9);
+}
+
+TEST(Carbon, Contracts) {
+  const CarbonParams p;
+  EXPECT_THROW((void)co2_grams(p, Joules(-1.0), Joules(0.0), Joules(0.0)),
+               gs::ContractError);
+  EXPECT_THROW(
+      (void)co2_grams(p, Joules(0.0), Joules(0.0), Joules(0.0), 1.5),
+      gs::ContractError);
+  EXPECT_THROW((void)co2_savings_grams(p, Joules(-1.0)), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::tco

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+#include "tco/tco.hpp"
+
+namespace gs::tco {
+namespace {
+
+TEST(Tco, YearlyCostMatchesPaperConstants) {
+  // PV: $4.74/W * 1000 / 25 years = $189.6/KW/yr; battery $50/KW/yr.
+  const TcoParams p;
+  EXPECT_NEAR(yearly_cost_per_kw(p), 189.6 + 50.0 + 1.0, 1e-9);
+}
+
+TEST(Tco, BreakevenNearFourteenHours) {
+  // Paper Fig. 11: "the cross-over point (around 14 hours per year)".
+  const TcoParams p;
+  const double h = breakeven_hours(p);
+  EXPECT_GT(h, 12.0);
+  EXPECT_LT(h, 16.0);
+}
+
+TEST(Tco, BenefitIsLinearInHours) {
+  const TcoParams p;
+  const double b12 = benefit_per_kw_year(p, 12.0);
+  const double b24 = benefit_per_kw_year(p, 24.0);
+  const double b36 = benefit_per_kw_year(p, 36.0);
+  EXPECT_NEAR(b36 - b24, b24 - b12, 1e-9);
+}
+
+TEST(Tco, PaperXAxisEndpoints) {
+  // Fig. 11 plots 12 to 36 hours: negative at 12, strongly positive at 36.
+  const TcoParams p;
+  EXPECT_LT(benefit_per_kw_year(p, 12.0), 0.0);
+  EXPECT_GT(benefit_per_kw_year(p, 36.0), 300.0);
+}
+
+TEST(Tco, ZeroSprintingIsAllCost) {
+  const TcoParams p;
+  EXPECT_NEAR(benefit_per_kw_year(p, 0.0), -yearly_cost_per_kw(p), 1e-9);
+}
+
+TEST(Tco, BenefitSeriesMatchesScalarCalls) {
+  const TcoParams p;
+  const std::vector<double> hours{12.0, 24.0, 36.0};
+  const auto series = benefit_series(p, hours);
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i], benefit_per_kw_year(p, hours[i]));
+  }
+}
+
+TEST(Tco, CheaperPanelsLowerTheBreakeven) {
+  TcoParams cheap;
+  cheap.pv_capex_per_w = 1.0;
+  EXPECT_LT(breakeven_hours(cheap), breakeven_hours(TcoParams{}));
+}
+
+TEST(Tco, NegativeHoursThrow) {
+  EXPECT_THROW((void)(benefit_per_kw_year(TcoParams{}, -1.0)), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::tco

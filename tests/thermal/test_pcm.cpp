@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+#include "thermal/pcm.hpp"
+
+namespace gs::thermal {
+namespace {
+
+TEST(Pcm, StartsFrozen) {
+  PcmBuffer pcm({});
+  EXPECT_DOUBLE_EQ(pcm.stored().value(), 0.0);
+  EXPECT_DOUBLE_EQ(pcm.fill_fraction(), 0.0);
+  EXPECT_FALSE(pcm.saturated());
+}
+
+TEST(Pcm, AbsorbsSprintExcess) {
+  PcmBuffer pcm({});
+  // 155 W sprint against 105 W sustained cooling: 50 W into the PCM.
+  EXPECT_TRUE(pcm.absorb(Watts(155.0), Seconds(60.0)));
+  EXPECT_NEAR(pcm.stored().value(), 50.0 * 60.0, 1e-9);
+}
+
+TEST(Pcm, PaperAssumptionHourLongSprintFits) {
+  // The paper assumes PCM "can delay the onset of thermal limits by hours";
+  // the default package must carry a 60-minute maximal sprint.
+  PcmBuffer pcm({});
+  bool ok = true;
+  for (int m = 0; m < 60; ++m) {
+    ok = ok && pcm.absorb(Watts(155.0), Seconds(60.0));
+  }
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(pcm.saturated());
+}
+
+TEST(Pcm, SaturatesWhenUndersized) {
+  PcmConfig cfg;
+  cfg.latent_capacity = Joules(10000.0);  // tiny package
+  PcmBuffer pcm(cfg);
+  bool ok = true;
+  int minutes = 0;
+  while (ok && minutes < 600) {
+    ok = pcm.absorb(Watts(155.0), Seconds(60.0));
+    ++minutes;
+  }
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(pcm.saturated());
+  EXPECT_LT(minutes, 10);
+}
+
+TEST(Pcm, RefreezesDuringNormalOperation) {
+  PcmBuffer pcm({});
+  pcm.absorb(Watts(155.0), Seconds(600.0));
+  const double stored = pcm.stored().value();
+  ASSERT_GT(stored, 0.0);
+  pcm.absorb(Watts(90.0), Seconds(600.0));  // below sustained cooling
+  EXPECT_LT(pcm.stored().value(), stored);
+}
+
+TEST(Pcm, NeverGoesNegative) {
+  PcmBuffer pcm({});
+  pcm.absorb(Watts(0.0), Seconds(36000.0));
+  EXPECT_DOUBLE_EQ(pcm.stored().value(), 0.0);
+}
+
+TEST(Pcm, TimeToSaturation) {
+  PcmConfig cfg;
+  cfg.sustained_cooling = Watts(100.0);
+  cfg.latent_capacity = Joules(60000.0);
+  PcmBuffer pcm(cfg);
+  // 50 W excess into 60 kJ: 1200 s.
+  EXPECT_NEAR(pcm.time_to_saturation(Watts(150.0)).value(), 1200.0, 1e-9);
+  // Below cooling capacity: never saturates.
+  EXPECT_TRUE(std::isinf(pcm.time_to_saturation(Watts(90.0)).value()));
+}
+
+TEST(Pcm, InvalidConfigThrows) {
+  PcmConfig cfg;
+  cfg.latent_capacity = Joules(0.0);
+  EXPECT_THROW((void)(PcmBuffer{cfg}), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::thermal

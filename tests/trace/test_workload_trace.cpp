@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "trace/workload_trace.hpp"
+
+namespace gs::trace {
+namespace {
+
+TEST(DiurnalTrace, NonNegativeEverywhere) {
+  DiurnalTrace tr({}, Seconds(86400.0));
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    EXPECT_GE(tr.at(Seconds(t)), 0.0);
+  }
+}
+
+TEST(DiurnalTrace, PeaksNearConfiguredHour) {
+  DiurnalConfig cfg;
+  cfg.noise = 0.0;
+  cfg.peak_hour = 14.0;
+  DiurnalTrace tr(cfg, Seconds(86400.0));
+  const double at_peak = tr.at(Seconds(14.0 * 3600.0));
+  const double at_night = tr.at(Seconds(2.0 * 3600.0));
+  EXPECT_GT(at_peak, at_night);
+  EXPECT_NEAR(at_peak, cfg.base_level + cfg.swing, 1e-6);
+}
+
+TEST(DiurnalTrace, BurstRaisesLoadOnlyDuringBurst) {
+  DiurnalConfig cfg;
+  cfg.noise = 0.0;
+  const BurstPattern burst{Seconds(3600.0), Seconds(600.0), 1.4};
+  DiurnalTrace tr(cfg, Seconds(7200.0), {burst});
+  EXPECT_NEAR(tr.at(Seconds(3900.0)), 1.4, 1e-9);   // mid-burst
+  EXPECT_LT(tr.at(Seconds(3000.0)), 1.0);           // before
+  EXPECT_LT(tr.at(Seconds(4300.0)), 1.0);           // after
+}
+
+TEST(DiurnalTrace, BurstIntensityIsAFloorNotAnAdd) {
+  DiurnalConfig cfg;
+  cfg.noise = 0.0;
+  cfg.base_level = 2.0;  // base above the burst level
+  cfg.swing = 0.0;
+  const BurstPattern burst{Seconds(0.0), Seconds(600.0), 1.0};
+  DiurnalTrace tr(cfg, Seconds(1200.0), {burst});
+  EXPECT_NEAR(tr.at(Seconds(300.0)), 2.0, 1e-9);
+}
+
+TEST(DiurnalTrace, DeterministicPerSeed) {
+  DiurnalTrace a({}, Seconds(3600.0));
+  DiurnalTrace b({}, Seconds(3600.0));
+  for (double t = 0.0; t < 3600.0; t += 60.0) {
+    EXPECT_DOUBLE_EQ(a.at(Seconds(t)), b.at(Seconds(t)));
+  }
+}
+
+TEST(DiurnalTrace, ZeroDurationThrows) {
+  EXPECT_THROW((void)(DiurnalTrace({}, Seconds(0.0))), gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::trace

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "workload/app.hpp"
+
+namespace gs::workload {
+namespace {
+
+TEST(App, TableTwoDescriptors) {
+  const auto jbb = specjbb();
+  EXPECT_EQ(jbb.name, "SPECjbb");
+  EXPECT_EQ(jbb.metric, "jops");
+  EXPECT_DOUBLE_EQ(jbb.memory_gb, 10.0);
+  EXPECT_DOUBLE_EQ(jbb.qos.percentile, 0.99);
+  EXPECT_DOUBLE_EQ(jbb.qos.limit.value(), 0.5);
+
+  const auto ws = websearch();
+  EXPECT_EQ(ws.metric, "ops");
+  EXPECT_DOUBLE_EQ(ws.qos.percentile, 0.90);
+  EXPECT_DOUBLE_EQ(ws.memory_gb, 20.0);
+
+  const auto mc = memcached();
+  EXPECT_EQ(mc.metric, "rps");
+  EXPECT_DOUBLE_EQ(mc.qos.percentile, 0.95);
+  EXPECT_DOUBLE_EQ(mc.qos.limit.value(), 0.010);
+}
+
+TEST(App, MeasuredSprintPeaks) {
+  EXPECT_DOUBLE_EQ(specjbb().sprint_peak_power.value(), 155.0);
+  EXPECT_DOUBLE_EQ(websearch().sprint_peak_power.value(), 156.0);
+  EXPECT_DOUBLE_EQ(memcached().sprint_peak_power.value(), 146.0);
+}
+
+TEST(App, SpeedupIsOneAtReference) {
+  for (const auto& app : all_apps()) {
+    EXPECT_NEAR(app.speedup(reference_frequency()), 1.0, 1e-12)
+        << app.name;
+  }
+}
+
+TEST(App, SpeedupMonotoneInFrequency) {
+  for (const auto& app : all_apps()) {
+    double prev = 0.0;
+    for (double f = 1.2; f <= 2.01; f += 0.1) {
+      const double s = app.speedup(Gigahertz(f));
+      EXPECT_GT(s, prev) << app.name;
+      prev = s;
+    }
+  }
+}
+
+TEST(App, FrequencySensitivityOrdering) {
+  // Web-Search is the most compute-bound (scoring/sorting), Memcached the
+  // least; the paper's Parallel-vs-Pacing results hinge on this ordering.
+  const double drop_ws = websearch().speedup(Gigahertz(1.2));
+  const double drop_jbb = specjbb().speedup(Gigahertz(1.2));
+  const double drop_mc = memcached().speedup(Gigahertz(1.2));
+  EXPECT_LT(drop_ws, drop_jbb);
+  EXPECT_LT(drop_jbb, drop_mc);
+}
+
+TEST(App, ServiceRateScalesWithSpeedup) {
+  const auto app = specjbb();
+  const double base = 1.0 / app.base_service_s;
+  EXPECT_NEAR(app.service_rate(reference_frequency()), base, 1e-9);
+  EXPECT_LT(app.service_rate(Gigahertz(1.2)), base);
+}
+
+TEST(App, PowerAnchorsCalibrateActivity) {
+  for (const auto& app : all_apps()) {
+    server::ServerPowerModel m(Watts(76.0));
+    EXPECT_NEAR(m.power(server::normal_mode(), 1.0, app.activity).value(),
+                app.normal_full_power.value(), 1e-9)
+        << app.name;
+    EXPECT_NEAR(m.power(server::max_sprint(), 1.0, app.activity).value(),
+                app.sprint_peak_power.value(), 1e-9)
+        << app.name;
+  }
+}
+
+TEST(App, MemcachedSlaIsTight) {
+  // 10 ms SLA on a 1 ms service: the SLA-vs-service headroom is ~10x,
+  // comparable to the other apps (500 ms / 40-60 ms).
+  const auto mc = memcached();
+  EXPECT_NEAR(mc.qos.limit.value() / mc.base_service_s, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace gs::workload

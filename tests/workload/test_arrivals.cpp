@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/des.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::workload {
+namespace {
+
+TEST(PoissonArrivalsTest, MeanRate) {
+  PoissonArrivals p(50.0);
+  EXPECT_DOUBLE_EQ(p.mean_rate(), 50.0);
+  Rng rng(1);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += p.next_gap(rng);
+  EXPECT_NEAR(double(n) / total, 50.0, 1.0);
+}
+
+TEST(PoissonArrivalsTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonArrivals(0.0), gs::ContractError);
+}
+
+TEST(MmppArrivalsTest, MeanRateFormula) {
+  MmppArrivals m(10.0, 90.0, Seconds(2.0), Seconds(2.0));
+  EXPECT_DOUBLE_EQ(m.mean_rate(), 50.0);
+  MmppArrivals skewed(10.0, 90.0, Seconds(3.0), Seconds(1.0));
+  EXPECT_DOUBLE_EQ(skewed.mean_rate(), (10.0 * 3.0 + 90.0 * 1.0) / 4.0);
+}
+
+TEST(MmppArrivalsTest, EmpiricalRateMatches) {
+  MmppArrivals m(20.0, 180.0, Seconds(1.0), Seconds(1.0));
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += m.next_gap(rng);
+  EXPECT_NEAR(double(n) / total, m.mean_rate(), 0.05 * m.mean_rate());
+}
+
+TEST(MmppArrivalsTest, BurstierThanPoisson) {
+  // Index of dispersion of counts: MMPP > 1, Poisson ~ 1.
+  auto dispersion = [](ArrivalProcess& proc, Rng& rng) {
+    const double window = 1.0;
+    RunningStats counts;
+    double t = 0.0;
+    int count = 0;
+    double next_window = window;
+    for (int i = 0; i < 300000; ++i) {
+      t += proc.next_gap(rng);
+      while (t > next_window) {
+        counts.add(double(count));
+        count = 0;
+        next_window += window;
+      }
+      ++count;
+    }
+    return counts.variance() / counts.mean();
+  };
+  Rng r1(3), r2(3);
+  PoissonArrivals poisson(100.0);
+  MmppArrivals mmpp(20.0, 180.0, Seconds(2.0), Seconds(2.0));
+  const double d_poisson = dispersion(poisson, r1);
+  const double d_mmpp = dispersion(mmpp, r2);
+  EXPECT_NEAR(d_poisson, 1.0, 0.2);
+  EXPECT_GT(d_mmpp, 2.0);
+}
+
+TEST(MmppArrivalsTest, InvalidConfigThrows) {
+  EXPECT_THROW(MmppArrivals(0.0, 10.0, Seconds(1.0), Seconds(1.0)),
+               gs::ContractError);
+  EXPECT_THROW(MmppArrivals(10.0, 5.0, Seconds(1.0), Seconds(1.0)),
+               gs::ContractError);
+  EXPECT_THROW(MmppArrivals(1.0, 2.0, Seconds(0.0), Seconds(1.0)),
+               gs::ContractError);
+}
+
+TEST(MakeBursty, PreservesMeanRate) {
+  for (double b : {1.0, 2.0, 3.0}) {
+    const auto m = make_bursty(100.0, b, Seconds(2.0));
+    EXPECT_NEAR(m->mean_rate(), 100.0, b >= 2.0 ? 1e-6 : 1e-9) << b;
+  }
+  EXPECT_THROW((void)make_bursty(100.0, 0.5, Seconds(1.0)),
+               gs::ContractError);
+}
+
+TEST(DrawService, ExponentialMean) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(draw_service(rng, ServiceDistribution::Exponential, 0.04));
+  }
+  EXPECT_NEAR(s.mean(), 0.04, 0.001);
+}
+
+TEST(DrawService, LogNormalMeanAndCv) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) {
+    s.add(draw_service(rng, ServiceDistribution::LogNormal, 0.04, 1.5));
+  }
+  EXPECT_NEAR(s.mean(), 0.04, 0.002);
+  EXPECT_NEAR(s.stddev() / s.mean(), 1.5, 0.1);
+}
+
+TEST(DesProcess, PoissonProcessMatchesClassicEntryPoint) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const double lambda = 0.7 * m.capacity(server::max_sprint());
+  Rng r1 = Rng::stream(5, {1});
+  Rng r2 = Rng::stream(5, {1});
+  PoissonArrivals arrivals(lambda);
+  const auto a = simulate_epoch(r1, app, server::max_sprint(), lambda,
+                                Seconds(300.0));
+  const auto b = simulate_epoch_process(r2, app, server::max_sprint(),
+                                        arrivals, Seconds(300.0));
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.sla_met, b.sla_met);
+}
+
+TEST(DesProcess, BurstyArrivalsHurtTailLatency) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const auto s = server::max_sprint();
+  const double lambda = 0.8 * m.capacity(s);
+  Rng r1 = Rng::stream(9, {1});
+  Rng r2 = Rng::stream(9, {2});
+  PoissonArrivals poisson(lambda);
+  auto bursty = make_bursty(lambda, 2.0, Seconds(5.0));
+  const auto smooth =
+      simulate_epoch_process(r1, app, s, poisson, Seconds(1800.0));
+  const auto rough =
+      simulate_epoch_process(r2, app, s, *bursty, Seconds(1800.0));
+  EXPECT_GT(rough.tail_latency.value(), smooth.tail_latency.value());
+  EXPECT_LT(rough.goodput_rate, smooth.goodput_rate + 1.0);
+}
+
+TEST(DesProcess, HeavyTailedServiceHurtsTailLatency) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const auto s = server::max_sprint();
+  const double lambda = 0.8 * m.capacity(s);
+  Rng r1 = Rng::stream(21, {1});
+  Rng r2 = Rng::stream(21, {2});
+  PoissonArrivals a1(lambda), a2(lambda);
+  const auto exp_svc = simulate_epoch_process(r1, app, s, a1,
+                                              Seconds(1800.0), {});
+  const auto ln_svc = simulate_epoch_process(
+      r2, app, s, a2, Seconds(1800.0),
+      {ServiceDistribution::LogNormal, 2.0});
+  EXPECT_GT(ln_svc.tail_latency.value(), exp_svc.tail_latency.value());
+}
+
+}  // namespace
+}  // namespace gs::workload

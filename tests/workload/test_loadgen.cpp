@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/perf_model.hpp"
+
+namespace gs::workload {
+namespace {
+
+ClosedLoopResult run(int clients, const server::ServerSetting& s,
+                     double think_s = 1.0, std::uint64_t seed = 1) {
+  Rng rng = Rng::stream(seed, {std::uint64_t(clients)});
+  return simulate_closed_loop(rng, specjbb(), s,
+                              {clients, Seconds(think_s)}, Seconds(1200.0));
+}
+
+TEST(ClosedLoop, LightLoadFollowsInteractiveLaw) {
+  // X = N / (R + Z): with few clients the system is think-dominated.
+  const auto r = run(10, server::max_sprint());
+  const double expected =
+      10.0 / (r.mean_latency.value() + 1.0);
+  EXPECT_NEAR(r.throughput, expected, 0.1 * expected);
+}
+
+TEST(ClosedLoop, ThroughputSaturatesAtCapacity) {
+  const PerfModel m(specjbb());
+  const auto s = server::max_sprint();
+  const double cap = m.capacity(s);
+  const auto big = run(2000, s);
+  EXPECT_LT(big.throughput, cap * 1.02);
+  EXPECT_GT(big.throughput, cap * 0.9);
+}
+
+TEST(ClosedLoop, ThroughputMonotoneInClientsUntilSaturation) {
+  const auto s = server::max_sprint();
+  double prev = 0.0;
+  for (int n : {25, 50, 100, 200}) {
+    const auto r = run(n, s);
+    EXPECT_GT(r.throughput, prev) << n;
+    prev = r.throughput;
+  }
+}
+
+TEST(ClosedLoop, LatencyRisesPastSaturation) {
+  const auto s = server::normal_mode();
+  const auto light = run(20, s);
+  const auto heavy = run(1000, s);
+  EXPECT_GT(heavy.mean_latency.value(), 3.0 * light.mean_latency.value());
+}
+
+TEST(ClosedLoop, SelfLimitingUnlikeOpenLoop) {
+  // The closed loop keeps a saturated Normal-mode server near capacity
+  // with bounded latency growth (clients stop issuing while waiting) —
+  // the behaviour the paper's Faban harness exhibits under overload.
+  const PerfModel m(specjbb());
+  const auto s = server::normal_mode();
+  const auto r = run(1000, s, /*think_s=*/0.5);
+  EXPECT_NEAR(r.throughput, m.capacity(s), 0.1 * m.capacity(s));
+  // Latency is queue-bound: ~N / capacity.
+  EXPECT_LT(r.mean_latency.value(), 1000.0 / m.capacity(s) * 1.5);
+}
+
+TEST(ClosedLoop, SprintingServesMoreClientsWithinSla) {
+  const auto normal = run(400, server::normal_mode());
+  const auto sprint = run(400, server::max_sprint());
+  EXPECT_GT(sprint.goodput_rate, 1.5 * normal.goodput_rate);
+  EXPECT_LT(sprint.tail_latency.value(), normal.tail_latency.value());
+}
+
+TEST(ClosedLoop, ZeroThinkIsBatchMode) {
+  const PerfModel m(specjbb());
+  const auto s = server::max_sprint();
+  const auto r = run(50, s, /*think_s=*/0.0);
+  // 50 always-ready clients on 12 cores: server runs at capacity.
+  EXPECT_NEAR(r.throughput, m.capacity(s), 0.05 * m.capacity(s));
+}
+
+TEST(ClosedLoop, Deterministic) {
+  const auto a = run(100, server::max_sprint(), 1.0, 7);
+  const auto b = run(100, server::max_sprint(), 1.0, 7);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(ClosedLoop, Contracts) {
+  Rng rng(1);
+  EXPECT_THROW((void)simulate_closed_loop(rng, specjbb(),
+                                          server::normal_mode(),
+                                          {0, Seconds(1.0)}, Seconds(60.0)),
+               gs::ContractError);
+  EXPECT_THROW((void)simulate_closed_loop(rng, specjbb(),
+                                          server::normal_mode(),
+                                          {10, Seconds(-1.0)},
+                                          Seconds(60.0)),
+               gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::workload

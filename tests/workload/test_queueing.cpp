@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workload/queueing.hpp"
+
+namespace gs::workload {
+namespace {
+
+TEST(ErlangC, SingleServerMatchesMM1) {
+  // In M/M/1 the probability of waiting equals the utilization rho.
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangC, ZeroLoadNeverWaits) { EXPECT_DOUBLE_EQ(erlang_c(8, 0.0), 0.0); }
+
+TEST(ErlangC, ApproachesOneNearSaturation) {
+  EXPECT_GT(erlang_c(4, 3.999), 0.99);
+}
+
+TEST(ErlangC, MoreServersWaitLessAtSameUtilization) {
+  // Classic pooling effect: at rho = 0.8, a 12-server system queues less
+  // often than a 2-server system.
+  EXPECT_LT(erlang_c(12, 0.8 * 12), erlang_c(2, 0.8 * 2));
+}
+
+TEST(ErlangC, UnstableThrows) {
+  EXPECT_THROW((void)(erlang_c(2, 2.0)), gs::ContractError);
+}
+
+TEST(ResponseTail, AtZeroIsOne) {
+  EXPECT_DOUBLE_EQ(response_tail(4, 1.0, 2.0, 0.0), 1.0);
+}
+
+TEST(ResponseTail, DecreasesInT) {
+  double prev = 1.0;
+  for (double t = 0.1; t < 5.0; t += 0.1) {
+    const double p = response_tail(4, 1.0, 2.0, t);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ResponseTail, MM1ClosedForm) {
+  // M/M/1: P(T > t) = exp(-(mu - lambda) t).
+  const double mu = 2.0, lambda = 1.0;
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(response_tail(1, mu, lambda, t),
+                std::exp(-(mu - lambda) * t), 1e-10);
+  }
+}
+
+TEST(ResponseTail, ZeroLoadIsServiceTail) {
+  // Without queueing, T = S ~ Exp(mu).
+  const double mu = 3.0;
+  for (double t : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(response_tail(5, mu, 0.0, t), std::exp(-mu * t), 1e-10);
+  }
+}
+
+TEST(ResponseTail, MuEqualsThetaLimitIsContinuous) {
+  // Pick lambda so k*mu - lambda == mu exactly and compare against nearby
+  // lambdas: the special-case branch must line up with the general one.
+  const int k = 4;
+  const double mu = 1.0;
+  const double lambda = double(k) * mu - mu;  // theta == mu
+  const double t = 1.3;
+  const double at = response_tail(k, mu, lambda, t);
+  const double below = response_tail(k, mu, lambda - 1e-6, t);
+  const double above = response_tail(k, mu, lambda + 1e-6, t);
+  EXPECT_NEAR(at, below, 1e-5);
+  EXPECT_NEAR(at, above, 1e-5);
+}
+
+TEST(LatencyQuantile, InvertsResponseTail) {
+  const int k = 6;
+  const double mu = 25.0, lambda = 100.0, q = 0.99;
+  const Seconds t = latency_quantile(k, mu, lambda, q);
+  EXPECT_NEAR(response_tail(k, mu, lambda, t.value()), 1.0 - q, 1e-6);
+}
+
+TEST(LatencyQuantile, GrowsWithLoad) {
+  const int k = 6;
+  const double mu = 25.0;
+  double prev = 0.0;
+  for (double lambda = 10.0; lambda < 145.0; lambda += 20.0) {
+    const double t = latency_quantile(k, mu, lambda, 0.99).value();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LatencyQuantile, GrowsWithQuantile) {
+  const int k = 6;
+  const double mu = 25.0, lambda = 100.0;
+  EXPECT_LT(latency_quantile(k, mu, lambda, 0.5).value(),
+            latency_quantile(k, mu, lambda, 0.99).value());
+}
+
+TEST(SlaCapacity, ZeroWhenServiceAloneViolates) {
+  // Service-time 99th percentile of Exp(mu=2) is ~2.3 s > 1 s SLA.
+  EXPECT_DOUBLE_EQ(sla_capacity(4, 2.0, 0.99, Seconds(1.0)), 0.0);
+}
+
+TEST(SlaCapacity, BelowRawCapacity) {
+  const int k = 12;
+  const double mu = 25.0;
+  const double c = sla_capacity(k, mu, 0.99, Seconds(0.5));
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, double(k) * mu);
+}
+
+TEST(SlaCapacity, QuantileAtCapacityHitsTheLimit) {
+  const int k = 12;
+  const double mu = 25.0;
+  const Seconds limit(0.5);
+  const double c = sla_capacity(k, mu, 0.99, limit);
+  const Seconds at_c = latency_quantile(k, mu, c, 0.99);
+  EXPECT_NEAR(at_c.value(), limit.value(), 1e-3 * limit.value());
+}
+
+TEST(SlaCapacity, LooserSlaAdmitsMore) {
+  const int k = 12;
+  const double mu = 25.0;
+  EXPECT_LT(sla_capacity(k, mu, 0.99, Seconds(0.2)),
+            sla_capacity(k, mu, 0.99, Seconds(1.0)));
+}
+
+TEST(SlaCapacity, MoreCoresAdmitMore) {
+  const double mu = 25.0;
+  EXPECT_LT(sla_capacity(6, mu, 0.99, Seconds(0.5)),
+            sla_capacity(12, mu, 0.99, Seconds(0.5)));
+}
+
+TEST(MeanValues, MM1ClosedForms) {
+  // M/M/1: W = rho / (mu - lambda), T = 1 / (mu - lambda), L = rho/(1-rho).
+  const double mu = 2.0, lambda = 1.0;
+  EXPECT_NEAR(mean_wait(1, mu, lambda).value(),
+              (lambda / mu) / (mu - lambda), 1e-12);
+  EXPECT_NEAR(mean_response(1, mu, lambda).value(), 1.0 / (mu - lambda),
+              1e-12);
+  EXPECT_NEAR(mean_in_system(1, mu, lambda), 1.0, 1e-12);
+}
+
+TEST(MeanValues, ZeroLoadIsPureService) {
+  EXPECT_DOUBLE_EQ(mean_wait(4, 3.0, 0.0).value(), 0.0);
+  EXPECT_NEAR(mean_response(4, 3.0, 0.0).value(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_in_system(4, 3.0, 0.0), 0.0);
+}
+
+TEST(MeanValues, WaitGrowsWithLoad) {
+  const int k = 12;
+  const double mu = 25.0;
+  double prev = -1.0;
+  for (double rho = 0.1; rho < 1.0; rho += 0.2) {
+    const double w = mean_wait(k, mu, rho * k * mu).value();
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(MeanValues, UnstableThrows) {
+  EXPECT_THROW((void)mean_wait(2, 1.0, 2.0), gs::ContractError);
+}
+
+TEST(MeanValues, LittlesLawConsistency) {
+  const int k = 6;
+  const double mu = 25.0, lambda = 100.0;
+  EXPECT_NEAR(mean_in_system(k, mu, lambda),
+              lambda * mean_response(k, mu, lambda).value(), 1e-12);
+}
+
+class SlaCapacityUtilization
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SlaCapacityUtilization, AdmissibleUtilizationIsHighButBelowOne) {
+  // For SLAs ~10x the mean service time, the SLA-constrained utilization
+  // should land well above 50% but strictly below saturation.
+  const auto [k, mu] = GetParam();
+  const Seconds limit(10.0 / mu);
+  const double c = sla_capacity(k, mu, 0.95, limit);
+  const double rho = c / (double(k) * mu);
+  EXPECT_GT(rho, 0.5);
+  EXPECT_LT(rho, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SlaCapacityUtilization,
+                         ::testing::Combine(::testing::Values(6, 9, 12),
+                                            ::testing::Values(15.0, 25.0,
+                                                              1000.0)));
+
+}  // namespace
+}  // namespace gs::workload

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "workload/perf_model.hpp"
+#include "workload/server_des.hpp"
+
+namespace gs::workload {
+namespace {
+
+TEST(ServerDes, MatchesStatelessDesWhenStable) {
+  // Below saturation the queue drains every epoch, so the carry-over
+  // simulator's long-run goodput matches the per-epoch one.
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const auto s = server::max_sprint();
+  const double lambda = 0.7 * m.capacity(s);
+  ServerDes des(app);
+  Rng r1 = Rng::stream(1, {1});
+  double carry_goodput = 0.0;
+  for (int e = 0; e < 20; ++e) {
+    carry_goodput += des.run_epoch(r1, s, lambda, Seconds(60.0)).goodput_rate;
+  }
+  carry_goodput /= 20.0;
+  Rng r2 = Rng::stream(1, {2});
+  const auto stateless =
+      simulate_epoch(r2, app, s, lambda, Seconds(1200.0));
+  EXPECT_NEAR(carry_goodput, stateless.goodput_rate, 0.05 * lambda);
+  // A stable queue can still hold a handful of requests at a boundary.
+  EXPECT_LT(des.backlog(), 10u);
+}
+
+TEST(ServerDes, BacklogAccumulatesUnderOverload) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const auto normal = server::normal_mode();
+  const double lambda = m.intensity_load(12);  // deep overload at Normal
+  ServerDes des(app);
+  Rng rng = Rng::stream(2, {1});
+  std::size_t prev = 0;
+  for (int e = 0; e < 5; ++e) {
+    (void)des.run_epoch(rng, normal, lambda, Seconds(60.0));
+    EXPECT_GT(des.backlog(), prev);  // strictly growing queue
+    prev = des.backlog();
+  }
+}
+
+TEST(ServerDes, SprintUpgradeDrainsTheBacklog) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  // Int=6 load: ~1.5x Normal capacity, half of max-sprint capacity, so a
+  // sprint has ~150 req/s of drain margin against the queue.
+  const double lambda = m.intensity_load(6);
+  ServerDes des(app);
+  Rng rng = Rng::stream(3, {1});
+  // Build a queue at Normal mode...
+  for (int e = 0; e < 3; ++e) {
+    (void)des.run_epoch(rng, server::normal_mode(), lambda, Seconds(60.0));
+  }
+  const std::size_t backlog = des.backlog();
+  ASSERT_GT(backlog, 1000u);
+  // ...then sprint: the queue must drain within a few epochs.
+  for (int e = 0; e < 5; ++e) {
+    (void)des.run_epoch(rng, server::max_sprint(), lambda, Seconds(60.0));
+  }
+  EXPECT_LT(des.backlog(), 10u);
+}
+
+TEST(ServerDes, CarriedRequestsPayCrossEpochLatency) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const double lambda = m.intensity_load(12);
+  ServerDes des(app);
+  Rng rng = Rng::stream(4, {1});
+  (void)des.run_epoch(rng, server::normal_mode(), lambda, Seconds(60.0));
+  // Epoch 2 at max sprint serves the backlog; its completions include
+  // requests that waited through epoch 1, so the tail latency exceeds a
+  // fresh-queue epoch's.
+  const auto drained =
+      des.run_epoch(rng, server::max_sprint(), lambda, Seconds(60.0));
+  Rng fresh_rng = Rng::stream(4, {2});
+  const auto fresh = simulate_epoch(fresh_rng, app, server::max_sprint(),
+                                    lambda, Seconds(60.0));
+  EXPECT_GT(drained.tail_latency.value(), fresh.tail_latency.value());
+}
+
+TEST(ServerDes, CompletionsConserveAcrossEpochs) {
+  // Total completed <= total arrivals + initial backlog; after a long
+  // drain at high capacity everything offered is eventually served.
+  const auto app = memcached();
+  const PerfModel m(app);
+  const double lambda = 0.5 * m.capacity(server::max_sprint());
+  ServerDes des(app);
+  Rng rng = Rng::stream(5, {1});
+  std::uint64_t arrivals = 0, completed = 0;
+  for (int e = 0; e < 10; ++e) {
+    const auto r =
+        des.run_epoch(rng, server::max_sprint(), lambda, Seconds(10.0));
+    arrivals += r.arrivals;
+    completed += r.completed;
+  }
+  // Drain with zero load.
+  for (int e = 0; e < 5; ++e) {
+    completed +=
+        des.run_epoch(rng, server::max_sprint(), 0.0, Seconds(10.0))
+            .completed;
+  }
+  EXPECT_EQ(completed, arrivals);
+  EXPECT_EQ(des.backlog(), 0u);
+}
+
+TEST(ServerDes, ResetClearsState) {
+  const auto app = specjbb();
+  const PerfModel m(app);
+  ServerDes des(app);
+  Rng rng = Rng::stream(6, {1});
+  (void)des.run_epoch(rng, server::normal_mode(), m.intensity_load(12),
+                      Seconds(60.0));
+  ASSERT_GT(des.backlog(), 0u);
+  des.reset();
+  EXPECT_EQ(des.backlog(), 0u);
+}
+
+TEST(ServerDes, ZeroLoadIdleEpochs) {
+  ServerDes des(specjbb());
+  Rng rng(7);
+  const auto r =
+      des.run_epoch(rng, server::normal_mode(), 0.0, Seconds(60.0));
+  EXPECT_EQ(r.arrivals, 0u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_utilization, 0.0);
+}
+
+TEST(ServerDes, ContractsOnInputs) {
+  ServerDes des(specjbb());
+  Rng rng(8);
+  EXPECT_THROW((void)des.run_epoch(rng, server::normal_mode(), -1.0,
+                                   Seconds(60.0)),
+               gs::ContractError);
+  EXPECT_THROW((void)des.run_epoch(rng, server::normal_mode(), 1.0,
+                                   Seconds(0.0)),
+               gs::ContractError);
+}
+
+}  // namespace
+}  // namespace gs::workload
