@@ -1,0 +1,79 @@
+// Extension: resilience sweep — fault intensity x sprinting strategy.
+// GreenSprint's evaluation assumes a healthy plant; a green data center's
+// supply is exactly the part that fails in practice (brownouts, panel
+// dropouts, battery fade, switchgear glitches). This bench drives the
+// burst simulator through the src/faults injector at increasing fault
+// intensity and reports how gracefully each strategy sheds performance.
+//
+// Fault schedules are *nested by intensity* (same seed at a higher
+// intensity is a superset of events with larger magnitudes), so each
+// strategy's QoS column is monotone non-increasing down the table — any
+// inversion would flag a real control-loop bug, not sampling noise.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "faults/fault_spec.hpp"
+#include "sim/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  const std::uint64_t base_seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const int replicas = 5;  // fault seeds base_seed .. base_seed+4
+  const auto app = workload::specjbb();
+  const auto green = sim::re_sbatt();
+  const auto strategies = core::sprinting_strategies();
+  const std::vector<double> intensities = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  std::cout << "Extension: fault-intensity sweep (SPECjbb, " << green.name
+            << ", Med availability, 30-min burst, mean over " << replicas
+            << " fault seeds from " << base_seed << ")\n";
+  std::cout << "(uniform FaultSpec across all fault classes; per-seed "
+               "schedules are nested by intensity, so the mean columns "
+               "fall monotonically)\n\n";
+
+  std::vector<sim::Scenario> cells;
+  for (double fi : intensities) {
+    for (auto k : strategies) {
+      for (int rep = 0; rep < replicas; ++rep) {
+        auto sc = bench::scenario(app, green, k, trace::Availability::Med,
+                                  30.0);
+        sc.faults = faults::FaultSpec::uniform(fi, base_seed + rep);
+        cells.push_back(sc);
+      }
+    }
+  }
+  const auto results = sim::run_sweep(cells);
+
+  TextTable t({"Fault int.", "Greedy", "Parallel", "Pacing", "Hybrid",
+               "Degraded ep.", "Crash ep.", "Downtime (s)"});
+  std::size_t i = 0;
+  for (double fi : intensities) {
+    std::vector<std::string> row{TextTable::num(fi, 1)};
+    double degraded = 0.0, crashes = 0.0, downtime = 0.0;
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      double perf_sum = 0.0;
+      for (int rep = 0; rep < replicas; ++rep) {
+        const auto& r = results[i++];
+        perf_sum += r.normalized_perf;
+        degraded += double(r.degraded_epochs);
+        crashes += double(r.crash_epochs);
+        downtime += r.fault_downtime.value();
+      }
+      row.push_back(TextTable::num(perf_sum / double(replicas)));
+    }
+    row.push_back(TextTable::num(degraded / double(replicas), 1));
+    row.push_back(TextTable::num(crashes / double(replicas), 1));
+    row.push_back(TextTable::num(downtime / double(replicas), 0));
+    t.add_row(std::move(row));
+  }
+  t.render(std::cout);
+  std::cout << "\nReading: sprinting value decays with supply faults but "
+               "never below the grid-backstopped Normal floor; the "
+               "degraded-mode clamp trades peak QoS for invariant safety "
+               "(DoD cap and power balance hold at every intensity).\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 //   greensprint_cli --app=specjbb --config=RE-Batt --strategy=Hybrid
 //       --availability=med --minutes=30 --intensity=12
 //       [--epoch=60] [--seed=1] [--des] [--thermal] [--csv]
+//       [--faults=brownout=0.3,panel=0.2] [--fault-seed=7]
 //
 // Prints a per-epoch table (or CSV with --csv) plus the summary line the
 // paper's figures plot. Also supports --oracle to print the offline
@@ -12,6 +13,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "faults/fault_spec.hpp"
 #include "sim/burst_runner.hpp"
 #include "sim/oracle_runner.hpp"
 
@@ -73,7 +75,12 @@ int main(int argc, char** argv) {
                  "  [--strategy=Normal|Greedy|Parallel|Pacing|Hybrid]"
                  " [--availability=min|med|max]\n"
                  "  [--minutes=N] [--intensity=7..12] [--epoch=seconds]"
-                 " [--seed=N] [--des] [--thermal] [--csv] [--oracle]\n";
+                 " [--seed=N] [--des] [--thermal] [--csv] [--oracle]\n"
+                 "  [--faults=SPEC] [--fault-seed=N]\n"
+                 "fault SPEC: comma list of class=intensity in [0,1]; "
+                 "classes: brownout panel cloud fade charge pss_stuck\n"
+                 "  pss_latency crash straggler sensor_noise sensor_dropout,"
+                 " or all=x; e.g. --faults=brownout=0.4,panel=0.2\n";
     return 0;
   }
 
@@ -89,13 +96,21 @@ int main(int argc, char** argv) {
   sc.seed = std::uint64_t(args.get("seed", 1));
   sc.use_des = args.flag("des");
   sc.thermal_model = args.flag("thermal");
+  const auto fault_spec = args.get("faults", std::string());
+  if (!fault_spec.empty()) {
+    sc.faults = faults::FaultSpec::parse(fault_spec);
+  }
+  if (args.has("fault-seed")) {
+    sc.faults.seed = std::uint64_t(args.get("fault-seed", 7));
+  }
 
   const auto r = sim::run_burst(sc);
 
   if (args.flag("csv")) {
     CsvWriter csv(std::cout);
     csv.row({"t_s", "setting", "case", "demand_w", "re_w", "batt_w",
-             "grid_w", "soc", "goodput", "latency_s"});
+             "grid_w", "soc", "goodput", "latency_s", "faulted", "crashed",
+             "degraded"});
     for (const auto& e : r.epochs) {
       csv.row({TextTable::num((e.time - r.window_start).value(), 0),
                server::to_string(e.setting), power::to_string(e.power_case),
@@ -105,7 +120,9 @@ int main(int argc, char** argv) {
                TextTable::num(e.grid_used.value(), 1),
                TextTable::num(e.battery_soc, 3),
                TextTable::num(e.goodput, 1),
-               TextTable::num(e.latency.value(), 4)});
+               TextTable::num(e.latency.value(), 4),
+               e.faulted ? "1" : "0", e.crashed ? "1" : "0",
+               e.degraded ? "1" : "0"});
     }
   } else {
     TextTable t({"t(min)", "Setting", "Case", "Demand", "RE", "Batt",

@@ -1,8 +1,21 @@
 #include "core/greensprint.hpp"
 
 #include "common/assert.hpp"
+#include "server/setting.hpp"
 
 namespace gs::core {
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::Healthy:
+      return "Healthy";
+    case HealthState::Degraded:
+      return "Degraded";
+    case HealthState::Recovering:
+      return "Recovering";
+  }
+  return "?";
+}
 
 GreenSprintController::GreenSprintController(
     const workload::AppDescriptor& app, const ProfileTable& profile,
@@ -29,6 +42,10 @@ server::ServerSetting GreenSprintController::begin_epoch(
   pending_ = Pending{};
   pending_.ctx = ctx;
   pending_.action = strategy_->decide(ctx);
+  // Degraded mode: with untrusted supply or telemetry the only safe plan
+  // is the grid-backed Normal floor. The clamped action is what executes,
+  // so it is also what the learning step records.
+  if (degraded()) pending_.action = server::normal_mode();
   pending_.observed_load = observed_load;
   pending_.armed = true;
   return pending_.action;
@@ -39,6 +56,7 @@ server::ServerSetting GreenSprintController::replan(Watts actual_supply) {
   EpochContext ctx = pending_.ctx;
   ctx.supply = actual_supply;
   pending_.action = strategy_->decide(ctx);
+  if (degraded()) pending_.action = server::normal_mode();
   return pending_.action;
 }
 
@@ -59,6 +77,22 @@ void GreenSprintController::observe_idle(double observed_load,
   predictor_.observe_load(observed_load);
   predictor_.observe_renewable(re_observed);
   pending_ = Pending{};
+}
+
+void GreenSprintController::notify_health(bool supply_shortfall,
+                                          bool stale_telemetry) {
+  if (supply_shortfall || stale_telemetry) {
+    health_ = HealthState::Degraded;
+    healthy_streak_ = 0;
+    return;
+  }
+  if (health_ == HealthState::Healthy) return;
+  health_ = HealthState::Recovering;
+  ++healthy_streak_;
+  if (healthy_streak_ >= cfg_.recovery_epochs) {
+    health_ = HealthState::Healthy;
+    healthy_streak_ = 0;
+  }
 }
 
 Watts GreenSprintController::demand(double load,

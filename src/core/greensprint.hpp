@@ -33,7 +33,24 @@ struct ControllerConfig {
   StrategyKind strategy = StrategyKind::Hybrid;
   PredictorConfig predictor;
   Seconds epoch{60.0};
+  /// Consecutive healthy epochs required to leave degraded mode (the
+  /// recovery hysteresis of the fault-tolerant control loop).
+  int recovery_epochs = 3;
 };
+
+/// Degraded-mode state machine (fault handling):
+///
+///   Healthy ──(shortfall / stale telemetry)──▶ Degraded
+///   Degraded ──(healthy epoch)──▶ Recovering
+///   Recovering ──(recovery_epochs consecutive healthy)──▶ Healthy
+///   Recovering ──(any disturbance)──▶ Degraded
+///
+/// While not Healthy, the PMK clamps to the safe Normal setting: the
+/// server never plans a sprint against supply or telemetry it cannot
+/// trust, and re-enters sprinting only after the hysteresis expires.
+enum class HealthState { Healthy, Degraded, Recovering };
+
+[[nodiscard]] const char* to_string(HealthState s);
 
 class GreenSprintController {
  public:
@@ -59,6 +76,21 @@ class GreenSprintController {
   /// Non-sprinting epoch (warmup, or between bursts): update the forecasts
   /// without making or learning from a decision.
   void observe_idle(double observed_load, Watts re_observed);
+
+  /// Feed the degraded-mode state machine one epoch's health signals:
+  /// `supply_shortfall` when the settled sources could not carry the
+  /// chosen setting, `stale_telemetry` when the Monitor sample driving
+  /// the Predictor was dropped or known-bad. Call once per epoch (before
+  /// begin_epoch) while fault injection is active; never calling it
+  /// leaves the controller permanently Healthy, preserving the exact
+  /// fault-free behavior.
+  void notify_health(bool supply_shortfall, bool stale_telemetry);
+
+  [[nodiscard]] HealthState health() const { return health_; }
+  /// True when the PMK is clamped to Normal by the state machine.
+  [[nodiscard]] bool degraded() const {
+    return health_ != HealthState::Healthy;
+  }
 
   /// Electrical demand of a setting at an offered load (profile lookup).
   [[nodiscard]] Watts demand(double load, const server::ServerSetting& s) const;
@@ -89,6 +121,8 @@ class GreenSprintController {
     bool closed = false;  ///< end_epoch ran
   };
   Pending pending_;
+  HealthState health_ = HealthState::Healthy;
+  int healthy_streak_ = 0;
 };
 
 }  // namespace gs::core

@@ -1,0 +1,79 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gs::faults {
+
+bool EpochFaults::any() const {
+  if (grid_budget_factor < 1.0 || solar_factor < 1.0 ||
+      battery_capacity_factor < 1.0 || charge_efficiency_factor < 1.0 ||
+      battery_offline || switch_latency_fraction > 0.0 ||
+      sensor_load_factor != 1.0 || sensor_dropout) {
+    return true;
+  }
+  for (bool c : server_crashed) {
+    if (c) return true;
+  }
+  for (double s : server_speed) {
+    if (s < 1.0) return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, Seconds horizon,
+                             Seconds epoch, int servers)
+    : schedule_(FaultSchedule::generate(spec, horizon, epoch, servers)),
+      servers_(servers),
+      enabled_(spec.any()) {}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, int servers)
+    : schedule_(std::move(schedule)),
+      servers_(servers),
+      enabled_(!schedule_.empty()) {
+  GS_REQUIRE(servers >= 1, "fault injector needs at least one server");
+}
+
+EpochFaults FaultInjector::at(Seconds t) const {
+  EpochFaults f;
+  if (!enabled_) return f;
+  f.grid_budget_factor =
+      1.0 - schedule_.magnitude_at(FaultClass::GridBrownout, t);
+  f.solar_factor =
+      (1.0 - schedule_.magnitude_at(FaultClass::PanelDropout, t)) *
+      (1.0 - schedule_.magnitude_at(FaultClass::CloudTransient, t));
+  f.battery_capacity_factor =
+      1.0 - schedule_.magnitude_at(FaultClass::BatteryFade, t);
+  f.charge_efficiency_factor =
+      1.0 - schedule_.magnitude_at(FaultClass::ChargeLoss, t);
+  f.battery_offline = schedule_.active(FaultClass::PssStuck, t);
+  // A settlement still needs a sliver of the epoch: cap the lost slice.
+  f.switch_latency_fraction =
+      std::min(0.5, schedule_.magnitude_at(FaultClass::PssLatency, t));
+  f.sensor_dropout = schedule_.active(FaultClass::SensorDropout, t);
+  const double noise_sigma =
+      schedule_.magnitude_at(FaultClass::SensorNoise, t);
+  if (noise_sigma > 0.0) {
+    // Per-epoch hashed stream: the draw depends only on (seed, t), not on
+    // how many epochs were queried before this one.
+    Rng noise = Rng::stream(
+        schedule_.spec().seed,
+        {0x5e45ull, std::uint64_t(std::llround(t.value() * 1000.0))});
+    f.sensor_load_factor =
+        std::max(0.0, 1.0 + 0.5 * noise_sigma * noise.normal());
+  }
+  f.server_crashed.resize(std::size_t(std::max(servers_, 0)), false);
+  f.server_speed.resize(std::size_t(std::max(servers_, 0)), 1.0);
+  for (int s = 0; s < servers_; ++s) {
+    f.server_crashed[std::size_t(s)] =
+        schedule_.active(FaultClass::ServerCrash, t, s);
+    f.server_speed[std::size_t(s)] =
+        1.0 - schedule_.magnitude_at(FaultClass::ServerStraggler, t, s);
+  }
+  return f;
+}
+
+}  // namespace gs::faults

@@ -1,0 +1,183 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gs::faults {
+
+namespace {
+
+constexpr std::uint64_t kFaultStreamTag = 0xfa170ull;
+
+/// Boolean classes are either fully in effect or absent.
+bool is_boolean(FaultClass c) {
+  return c == FaultClass::PssStuck || c == FaultClass::ServerCrash ||
+         c == FaultClass::SensorDropout;
+}
+
+bool is_server_targeted(FaultClass c) {
+  return c == FaultClass::ServerCrash || c == FaultClass::ServerStraggler;
+}
+
+/// Mean spacing between candidate events, in epochs. Wear-like classes
+/// (fade, charge loss) occur rarely but persist long.
+double candidate_spacing_epochs(FaultClass c) {
+  switch (c) {
+    case FaultClass::BatteryFade:
+    case FaultClass::ChargeLoss:
+      return 16.0;
+    case FaultClass::CloudTransient:
+    case FaultClass::SensorNoise:
+      return 4.0;
+    default:
+      return 8.0;
+  }
+}
+
+/// Duration of one candidate, in epochs (uniform in [lo, hi]).
+std::pair<int, int> duration_epochs(FaultClass c) {
+  switch (c) {
+    case FaultClass::BatteryFade:
+    case FaultClass::ChargeLoss:
+      return {4, 20};
+    case FaultClass::PssLatency:
+    case FaultClass::SensorNoise:
+    case FaultClass::SensorDropout:
+      return {1, 3};
+    default:
+      return {1, 8};
+  }
+}
+
+FaultClass class_from_name(const std::string& name) {
+  for (FaultClass c : all_fault_classes()) {
+    if (name == to_string(c)) return c;
+  }
+  GS_REQUIRE(false, "unknown fault class name '" + name + "'");
+  return FaultClass::GridBrownout;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const FaultSpec& spec, Seconds horizon,
+                                      Seconds epoch, int servers) {
+  GS_REQUIRE(horizon.value() >= 0.0, "fault horizon must be non-negative");
+  GS_REQUIRE(epoch.value() > 0.0, "fault epoch must be positive");
+  GS_REQUIRE(servers >= 1, "fault schedule needs at least one server");
+  FaultSchedule sched;
+  sched.spec_ = spec;
+  if (!spec.any() || horizon.value() <= 0.0) return sched;
+
+  const double n_epochs = horizon.value() / epoch.value();
+  for (FaultClass c : all_fault_classes()) {
+    const double intensity = spec.intensity(c);
+    // Candidate population is intensity-independent so that schedules at
+    // different intensities of the same seed nest (see header).
+    Rng rng = Rng::stream(spec.seed, {kFaultStreamTag, std::uint64_t(c)});
+    const auto n_candidates = std::max<std::uint64_t>(
+        1, std::uint64_t(n_epochs / candidate_spacing_epochs(c)));
+    const auto [dur_lo, dur_hi] = duration_epochs(c);
+    for (std::uint64_t i = 0; i < n_candidates; ++i) {
+      // Draw every field unconditionally: the stream position must not
+      // depend on which candidates activate.
+      const double start_frac = rng.uniform();
+      const auto dur_epochs =
+          dur_lo + std::int64_t(rng.uniform_int(
+                       std::uint64_t(dur_hi - dur_lo + 1)));
+      const double severity_base = rng.uniform(0.3, 1.0);
+      const double activation = rng.uniform();
+      const int target =
+          is_server_targeted(c) ? int(rng.uniform_int(std::uint64_t(servers)))
+                                : -1;
+      if (intensity <= 0.0 || activation >= intensity) continue;
+      FaultEvent ev;
+      ev.cls = c;
+      ev.start = Seconds(start_frac * horizon.value());
+      ev.duration = epoch * double(dur_epochs);
+      ev.magnitude =
+          is_boolean(c) ? 1.0 : std::min(0.95, severity_base * intensity);
+      ev.target = target;
+      sched.events_.push_back(ev);
+    }
+  }
+  std::stable_sort(sched.events_.begin(), sched.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start.value() < b.start.value();
+                   });
+  return sched;
+}
+
+double FaultSchedule::magnitude_at(FaultClass c, Seconds t, int target) const {
+  double survive = 1.0;
+  for (const auto& ev : events_) {
+    if (ev.cls != c || !ev.covers(t)) continue;
+    if (ev.target >= 0 && target >= 0 && ev.target != target) continue;
+    survive *= 1.0 - ev.magnitude;
+  }
+  return 1.0 - survive;
+}
+
+bool FaultSchedule::active(FaultClass c, Seconds t, int target) const {
+  for (const auto& ev : events_) {
+    if (ev.cls != c || !ev.covers(t)) continue;
+    if (ev.target >= 0 && target >= 0 && ev.target != target) continue;
+    return true;
+  }
+  return false;
+}
+
+std::string FaultSchedule::to_csv() const {
+  std::ostringstream out;
+  // Shortest-exact doubles: a replayed incident must re-run bit for bit.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "class,start_s,duration_s,magnitude,target\n";
+  for (const auto& ev : events_) {
+    out << to_string(ev.cls) << "," << ev.start.value() << ","
+        << ev.duration.value() << "," << ev.magnitude << "," << ev.target
+        << "\n";
+  }
+  return out.str();
+}
+
+FaultSchedule FaultSchedule::from_csv(const std::string& text) {
+  FaultSchedule sched;
+  std::istringstream in(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string cls, start, dur, mag, target;
+    GS_REQUIRE(std::getline(fields, cls, ',') &&
+                   std::getline(fields, start, ',') &&
+                   std::getline(fields, dur, ',') &&
+                   std::getline(fields, mag, ',') &&
+                   std::getline(fields, target, ','),
+               "fault schedule CSV row needs 5 fields: " + line);
+    FaultEvent ev;
+    ev.cls = class_from_name(cls);
+    try {
+      ev.start = Seconds(std::stod(start));
+      ev.duration = Seconds(std::stod(dur));
+      ev.magnitude = std::stod(mag);
+      ev.target = std::stoi(target);
+    } catch (...) {
+      GS_REQUIRE(false, "bad numeric field in fault schedule CSV: " + line);
+    }
+    GS_REQUIRE(ev.magnitude >= 0.0 && ev.magnitude <= 1.0,
+               "fault magnitude must be in [0,1]");
+    sched.events_.push_back(ev);
+  }
+  return sched;
+}
+
+}  // namespace gs::faults

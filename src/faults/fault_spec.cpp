@@ -1,0 +1,222 @@
+#include "faults/fault_spec.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gs::faults {
+
+namespace {
+
+constexpr std::array<FaultClass, kNumFaultClasses> kAllClasses = {
+    FaultClass::GridBrownout,   FaultClass::PanelDropout,
+    FaultClass::CloudTransient, FaultClass::BatteryFade,
+    FaultClass::ChargeLoss,     FaultClass::PssStuck,
+    FaultClass::PssLatency,     FaultClass::ServerCrash,
+    FaultClass::ServerStraggler, FaultClass::SensorNoise,
+    FaultClass::SensorDropout,
+};
+
+}  // namespace
+
+const std::array<FaultClass, kNumFaultClasses>& all_fault_classes() {
+  return kAllClasses;
+}
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::GridBrownout:
+      return "GridBrownout";
+    case FaultClass::PanelDropout:
+      return "PanelDropout";
+    case FaultClass::CloudTransient:
+      return "CloudTransient";
+    case FaultClass::BatteryFade:
+      return "BatteryFade";
+    case FaultClass::ChargeLoss:
+      return "ChargeLoss";
+    case FaultClass::PssStuck:
+      return "PssStuck";
+    case FaultClass::PssLatency:
+      return "PssLatency";
+    case FaultClass::ServerCrash:
+      return "ServerCrash";
+    case FaultClass::ServerStraggler:
+      return "ServerStraggler";
+    case FaultClass::SensorNoise:
+      return "SensorNoise";
+    case FaultClass::SensorDropout:
+      return "SensorDropout";
+  }
+  return "?";
+}
+
+const char* spec_key(FaultClass c) {
+  switch (c) {
+    case FaultClass::GridBrownout:
+      return "brownout";
+    case FaultClass::PanelDropout:
+      return "panel";
+    case FaultClass::CloudTransient:
+      return "cloud";
+    case FaultClass::BatteryFade:
+      return "fade";
+    case FaultClass::ChargeLoss:
+      return "charge";
+    case FaultClass::PssStuck:
+      return "pss_stuck";
+    case FaultClass::PssLatency:
+      return "pss_latency";
+    case FaultClass::ServerCrash:
+      return "crash";
+    case FaultClass::ServerStraggler:
+      return "straggler";
+    case FaultClass::SensorNoise:
+      return "sensor_noise";
+    case FaultClass::SensorDropout:
+      return "sensor_dropout";
+  }
+  return "?";
+}
+
+bool FaultSpec::any() const {
+  for (FaultClass c : kAllClasses) {
+    if (intensity(c) > 0.0) return true;
+  }
+  return false;
+}
+
+double FaultSpec::intensity(FaultClass c) const {
+  switch (c) {
+    case FaultClass::GridBrownout:
+      return brownout;
+    case FaultClass::PanelDropout:
+      return panel;
+    case FaultClass::CloudTransient:
+      return cloud;
+    case FaultClass::BatteryFade:
+      return fade;
+    case FaultClass::ChargeLoss:
+      return charge;
+    case FaultClass::PssStuck:
+      return pss_stuck;
+    case FaultClass::PssLatency:
+      return pss_latency;
+    case FaultClass::ServerCrash:
+      return crash;
+    case FaultClass::ServerStraggler:
+      return straggler;
+    case FaultClass::SensorNoise:
+      return sensor_noise;
+    case FaultClass::SensorDropout:
+      return sensor_dropout;
+  }
+  return 0.0;
+}
+
+void FaultSpec::set_intensity(FaultClass c, double v) {
+  GS_REQUIRE(v >= 0.0 && v <= 1.0, "fault intensity must be in [0,1]");
+  switch (c) {
+    case FaultClass::GridBrownout:
+      brownout = v;
+      return;
+    case FaultClass::PanelDropout:
+      panel = v;
+      return;
+    case FaultClass::CloudTransient:
+      cloud = v;
+      return;
+    case FaultClass::BatteryFade:
+      fade = v;
+      return;
+    case FaultClass::ChargeLoss:
+      charge = v;
+      return;
+    case FaultClass::PssStuck:
+      pss_stuck = v;
+      return;
+    case FaultClass::PssLatency:
+      pss_latency = v;
+      return;
+    case FaultClass::ServerCrash:
+      crash = v;
+      return;
+    case FaultClass::ServerStraggler:
+      straggler = v;
+      return;
+    case FaultClass::SensorNoise:
+      sensor_noise = v;
+      return;
+    case FaultClass::SensorDropout:
+      sensor_dropout = v;
+      return;
+  }
+}
+
+FaultSpec FaultSpec::uniform(double intensity, std::uint64_t seed) {
+  FaultSpec s;
+  for (FaultClass c : kAllClasses) s.set_intensity(c, intensity);
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    GS_REQUIRE(eq != std::string::npos,
+               "fault spec entry '" + item + "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    double num = 0.0;
+    try {
+      num = std::stod(val);
+    } catch (...) {
+      GS_REQUIRE(false, "fault spec value '" + val + "' is not a number");
+    }
+    if (key == "seed") {
+      GS_REQUIRE(num >= 0.0, "fault seed must be non-negative");
+      spec.seed = std::uint64_t(num);
+      continue;
+    }
+    if (key == "all") {
+      GS_REQUIRE(num >= 0.0 && num <= 1.0,
+                 "fault intensity must be in [0,1]");
+      for (FaultClass c : kAllClasses) spec.set_intensity(c, num);
+      continue;
+    }
+    bool known = false;
+    for (FaultClass c : kAllClasses) {
+      if (key == spec_key(c)) {
+        spec.set_intensity(c, num);
+        known = true;
+        break;
+      }
+    }
+    GS_REQUIRE(known, "unknown fault class '" + key + "' in fault spec");
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (FaultClass c : kAllClasses) {
+    const double v = intensity(c);
+    if (v <= 0.0) continue;
+    if (!first) out << ",";
+    out << spec_key(c) << "=" << v;
+    first = false;
+  }
+  if (seed != 0) {
+    if (!first) out << ",";
+    out << "seed=" << seed;
+  }
+  return out.str();
+}
+
+}  // namespace gs::faults

@@ -1,0 +1,78 @@
+// Fault model specification (the knobs of the resilience evaluation).
+//
+// The paper's prototype assumes healthy infrastructure; GreenSprint's
+// premise — riding out volatility — only holds if the controller also
+// survives *component* failures. A FaultSpec names one intensity in [0,1]
+// per fault class; 0 disables the class and an all-zero spec disables the
+// whole subsystem (the runners then behave bit-identically to a build
+// without it). Specs are parseable from a compact `key=value,...` string
+// so CLI flags and bench sweeps can express them, and carry their own seed
+// so (scenario seed, fault seed) pairs replay exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gs::faults {
+
+/// The component-boundary fault classes injected by the FaultInjector.
+enum class FaultClass {
+  GridBrownout,     ///< Grid budget droop (utility brownout).
+  PanelDropout,     ///< Solar panels offline (connector / inverter string).
+  CloudTransient,   ///< Extra derating of solar output (soiling, icing).
+  BatteryFade,      ///< Capacity fade (aged / hot cells).
+  ChargeLoss,       ///< Charge-efficiency loss (sulfation).
+  PssStuck,         ///< PSS stuck on the grid path: battery unreachable.
+  PssLatency,       ///< PSS switch latency: a slice of the epoch unpowered.
+  ServerCrash,      ///< Green server down for the event.
+  ServerStraggler,  ///< Green server serving at derated speed.
+  SensorNoise,      ///< Multiplicative noise on Monitor load samples.
+  SensorDropout,    ///< Stale telemetry: the Monitor repeats its last sample.
+};
+
+inline constexpr int kNumFaultClasses = 11;
+
+[[nodiscard]] const char* to_string(FaultClass c);
+/// Short spec-string key for a class ("brownout", "panel", ...).
+[[nodiscard]] const char* spec_key(FaultClass c);
+/// All classes, in declaration order (for iteration).
+[[nodiscard]] const std::array<FaultClass, kNumFaultClasses>&
+all_fault_classes();
+
+/// Per-class fault intensities in [0,1] plus the schedule seed.
+struct FaultSpec {
+  double brownout = 0.0;
+  double panel = 0.0;
+  double cloud = 0.0;
+  double fade = 0.0;
+  double charge = 0.0;
+  double pss_stuck = 0.0;
+  double pss_latency = 0.0;
+  double crash = 0.0;
+  double straggler = 0.0;
+  double sensor_noise = 0.0;
+  double sensor_dropout = 0.0;
+  std::uint64_t seed = 0;
+
+  /// Any class enabled? An all-zero spec keeps every runner on the
+  /// pre-fault code path.
+  [[nodiscard]] bool any() const;
+
+  [[nodiscard]] double intensity(FaultClass c) const;
+  void set_intensity(FaultClass c, double v);
+
+  /// All classes at the same intensity (the resilience bench's x-axis).
+  [[nodiscard]] static FaultSpec uniform(double intensity,
+                                         std::uint64_t seed = 0);
+
+  /// Parse "brownout=0.3,panel=0.2,seed=7" (keys per spec_key(); "all="
+  /// sets every class). Throws gs::ContractError on unknown keys or
+  /// out-of-range intensities.
+  [[nodiscard]] static FaultSpec parse(const std::string& text);
+
+  /// Inverse of parse(): only non-zero fields are emitted.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gs::faults

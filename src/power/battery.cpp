@@ -40,8 +40,12 @@ bool Battery::exhausted() const {
   return usable_remaining().value() <= 1e-9;
 }
 
+double Battery::faded_capacity_ah() const {
+  return cfg_.capacity.value() * capacity_fade_;
+}
+
 AmpHours Battery::usable_remaining() const {
-  const double usable = cfg_.max_dod * cfg_.capacity.value() - used_ah_;
+  const double usable = cfg_.max_dod * faded_capacity_ah() - used_ah_;
   return AmpHours(std::max(0.0, usable));
 }
 
@@ -61,7 +65,7 @@ Watts Battery::max_discharge_power(Seconds dt) const {
   double i = budget_eff <= i_rated
                  ? budget_eff
                  : std::pow(budget_eff * std::pow(i_rated, k - 1.0), 1.0 / k);
-  i = std::min(i, cfg_.max_discharge_c_rate * cfg_.capacity.value());
+  i = std::min(i, cfg_.max_discharge_c_rate * faded_capacity_ah());
   return Watts(i * cfg_.nominal_voltage.value());
 }
 
@@ -77,7 +81,7 @@ Joules Battery::discharge(Watts p, Seconds dt) {
   used_ah_ += drained_ah;
   lifetime_discharge_ah_ += drained_ah;
   // Numerical guard: never exceed the DoD cap by accumulation error.
-  used_ah_ = std::min(used_ah_, cfg_.max_dod * cfg_.capacity.value());
+  used_ah_ = std::min(used_ah_, cfg_.max_dod * faded_capacity_ah());
   return p * dt;
 }
 
@@ -86,8 +90,8 @@ Watts Battery::charge(Watts p, Seconds dt) {
   GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
   if (p.value() == 0.0 || used_ah_ <= 0.0) return Watts(0.0);
   const double offered = std::min(p.value(), cfg_.max_charge_power.value());
-  const double ah_in = offered * cfg_.charge_efficiency * dt.value() /
-                       3600.0 / cfg_.nominal_voltage.value();
+  const double ah_in = offered * cfg_.charge_efficiency * charge_derate_ *
+                       dt.value() / 3600.0 / cfg_.nominal_voltage.value();
   const double accepted_ah = std::min(ah_in, used_ah_);
   used_ah_ -= accepted_ah;
   // Report the wall power that produced the accepted charge.
@@ -99,7 +103,7 @@ Seconds Battery::supply_time_from_full(Watts p) const {
   GS_REQUIRE(p.value() > 0.0, "supply time needs positive power");
   const Amps i = p / cfg_.nominal_voltage;
   const Amps i_eff = effective_current(i);
-  const double usable = cfg_.max_dod * cfg_.capacity.value();
+  const double usable = cfg_.max_dod * faded_capacity_ah();
   return Seconds(usable / i_eff.value() * 3600.0);
 }
 
@@ -117,5 +121,17 @@ double Battery::equivalent_cycles() const {
 }
 
 void Battery::reset_full() { used_ah_ = 0.0; }
+
+void Battery::set_capacity_fade(double factor) {
+  GS_REQUIRE(factor > 0.0 && factor <= 1.0,
+             "capacity fade factor must be in (0,1]");
+  capacity_fade_ = factor;
+}
+
+void Battery::set_charge_derate(double factor) {
+  GS_REQUIRE(factor > 0.0 && factor <= 1.0,
+             "charge derate factor must be in (0,1]");
+  charge_derate_ = factor;
+}
 
 }  // namespace gs::power

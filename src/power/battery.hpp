@@ -72,14 +72,33 @@ class Battery {
   /// Refill to full instantly (test / scenario setup helper).
   void reset_full();
 
+  // --- Fault hooks (src/faults) -------------------------------------------
+  // Capacity fade shrinks the *usable* window (the DoD cap applies to the
+  // faded capacity) so depth_of_discharge stays a fraction of the rated
+  // capacity and the 40% lifetime cap remains a hard invariant even while
+  // faulted. Both factors are 1.0 in healthy operation, where every
+  // computation reduces exactly to the unfaulted formulas.
+
+  /// Set the usable-capacity multiplier in (0, 1].
+  void set_capacity_fade(double factor);
+  [[nodiscard]] double capacity_fade() const { return capacity_fade_; }
+
+  /// Set the charge-efficiency multiplier in (0, 1].
+  void set_charge_derate(double factor);
+  [[nodiscard]] double charge_derate() const { return charge_derate_; }
+
  private:
   /// Effective (Peukert-corrected) current for a real current draw.
   [[nodiscard]] Amps effective_current(Amps i) const;
   [[nodiscard]] Amps rated_current() const;
+  /// Rated capacity times the current fade factor.
+  [[nodiscard]] double faded_capacity_ah() const;
 
   BatteryConfig cfg_;
   double used_ah_ = 0.0;             ///< Effective Ah consumed since full.
   double lifetime_discharge_ah_ = 0.0;
+  double capacity_fade_ = 1.0;
+  double charge_derate_ = 1.0;
 };
 
 }  // namespace gs::power

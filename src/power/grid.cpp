@@ -16,9 +16,10 @@ Watts Grid::draw(Watts p, Seconds dt) {
   GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
   if (tripped_) return Watts(0.0);
   Watts granted = p;
-  const Watts cap = cfg_.budget * cfg_.overload_factor;
+  const Watts budget = effective_budget();
+  const Watts cap = budget * cfg_.overload_factor;
   granted = std::min(granted, cap);
-  if (granted > cfg_.budget) {
+  if (granted > budget) {
     overload_time_ += dt;
     if (overload_time_ > cfg_.max_overload_time) {
       tripped_ = true;
@@ -32,6 +33,12 @@ Watts Grid::draw(Watts p, Seconds dt) {
 void Grid::reset_breaker() {
   tripped_ = false;
   overload_time_ = Seconds(0.0);
+}
+
+void Grid::set_budget_derate(double factor) {
+  GS_REQUIRE(factor >= 0.0 && factor <= 1.0,
+             "grid budget derate must be in [0,1]");
+  budget_derate_ = factor;
 }
 
 }  // namespace gs::power

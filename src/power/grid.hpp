@@ -34,11 +34,23 @@ class Grid {
   /// Manual reset after a trip (maintenance action).
   void reset_breaker();
 
+  // --- Fault hooks (src/faults) -------------------------------------------
+
+  /// Brownout: scale the effective budget (and with it the overload
+  /// ceiling) by `factor` in [0, 1]. 1.0 restores the rated feed.
+  void set_budget_derate(double factor);
+  [[nodiscard]] double budget_derate() const { return budget_derate_; }
+  /// Budget currently in force (rated budget x brownout derate).
+  [[nodiscard]] Watts effective_budget() const {
+    return cfg_.budget * budget_derate_;
+  }
+
  private:
   GridConfig cfg_;
   Joules energy_{0.0};
   Seconds overload_time_{0.0};
   bool tripped_ = false;
+  double budget_derate_ = 1.0;
 };
 
 }  // namespace gs::power

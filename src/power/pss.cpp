@@ -25,21 +25,37 @@ const char* to_string(PowerCase c) {
 PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
                                           Battery& battery, Grid& grid,
                                           Seconds dt, bool bursting,
-                                          Watts grid_fallback_cap) const {
+                                          Watts grid_fallback_cap,
+                                          const PssFaultState& fault) const {
   GS_REQUIRE(demand.value() >= 0.0, "demand must be non-negative");
   GS_REQUIRE(re_supply.value() >= 0.0, "RE supply must be non-negative");
+  GS_REQUIRE(fault.switch_latency_fraction >= 0.0 &&
+                 fault.switch_latency_fraction < 1.0,
+             "PSS switch latency fraction must be in [0,1)");
 
   PssSettlement s;
   s.demand = demand;
   s.re_available = re_supply;
 
+  // Switch latency burns a slice of the epoch before the green sources
+  // engage: their deliverable epoch-average power shrinks accordingly.
+  const Watts re_deliverable =
+      fault.switch_latency_fraction > 0.0
+          ? re_supply * (1.0 - fault.switch_latency_fraction)
+          : re_supply;
+
   // 1) Renewable first (Case 1).
-  s.re_used = std::min(demand, re_supply);
+  s.re_used = std::min(demand, re_deliverable);
   Watts residual = demand - s.re_used;
 
   // 2) Battery covers the shortfall (Cases 2/3), limited by what it can
-  //    sustain for the whole epoch.
-  const Watts batt_capable = battery.max_discharge_power(dt);
+  //    sustain for the whole epoch. A stuck source selector can cut the
+  //    battery path entirely.
+  Watts batt_capable =
+      fault.battery_offline ? Watts(0.0) : battery.max_discharge_power(dt);
+  if (fault.switch_latency_fraction > 0.0) {
+    batt_capable = batt_capable * (1.0 - fault.switch_latency_fraction);
+  }
   s.batt_used = std::min(residual, batt_capable);
   residual -= s.batt_used;
 
@@ -59,11 +75,12 @@ PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
 
   // 4) Charging. Surplus renewable charges the battery whenever present
   //    (Case 1 tail); the grid recharges it only outside bursts (Case 3).
-  const Watts surplus_re = re_supply - s.re_used;
-  if (surplus_re.value() > 1e-9) {
+  //    A stuck selector blocks the charge path along with discharge.
+  const Watts surplus_re = re_deliverable - s.re_used;
+  if (surplus_re.value() > 1e-9 && !fault.battery_offline) {
     s.re_to_battery = battery.charge(surplus_re, dt);
   }
-  if (!bursting && cfg_.grid_charging &&
+  if (!bursting && cfg_.grid_charging && !fault.battery_offline &&
       battery.depth_of_discharge() > 1e-9) {
     const Watts offer = battery.config().max_charge_power;
     const Watts granted = grid.draw(offer, dt);

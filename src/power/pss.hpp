@@ -53,6 +53,17 @@ struct PssConfig {
   bool grid_charging = true;
 };
 
+/// Fault state applied to one settlement (src/faults). The default is
+/// healthy and leaves the settlement arithmetic untouched.
+struct PssFaultState {
+  /// Stuck source selector: the battery path is unreachable — no
+  /// discharge, no charging — for the epoch.
+  bool battery_offline = false;
+  /// Fraction of the epoch lost to source switching; the green sources
+  /// deliver only the remaining fraction of their power over the epoch.
+  double switch_latency_fraction = 0.0;
+};
+
 class PowerSourceSelector {
  public:
   explicit PowerSourceSelector(PssConfig cfg = {}) : cfg_(cfg) {}
@@ -65,7 +76,8 @@ class PowerSourceSelector {
   /// Normal mode, ~0 while they sprint on the dedicated green bus.
   PssSettlement settle(Watts demand, Watts re_supply, Battery& battery,
                        Grid& grid, Seconds dt, bool bursting,
-                       Watts grid_fallback_cap = Watts(0.0)) const;
+                       Watts grid_fallback_cap = Watts(0.0),
+                       const PssFaultState& fault = {}) const;
 
   /// Power the strategies may plan against for the next epoch: predicted
   /// renewable + sustainable battery power (green bus only; the grid

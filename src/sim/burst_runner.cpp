@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/greensprint.hpp"
+#include "faults/fault_injector.hpp"
 #include "power/battery.hpp"
 #include "power/grid.hpp"
 #include "power/solar_array.hpp"
@@ -94,6 +95,14 @@ BurstResult run_burst(const Scenario& sc) {
   monitor.set_epoch(sc.epoch);
   Rng des_rng = Rng::stream(sc.seed, {0xde5ull});
 
+  // Fault injection (strictly opt-in): with the default all-zero spec the
+  // injector is disabled and every step below follows the exact fault-free
+  // arithmetic. Fault times are burst-relative.
+  const faults::FaultInjector injector(sc.faults, sc.burst_duration,
+                                       sc.epoch, /*servers=*/1);
+  bool prev_disturbance = false;
+  double last_sensed_load = lambda_background;
+
   thermal::PcmConfig pcm_cfg;
   pcm_cfg.latent_capacity = Joules(sc.pcm_capacity_j);
   thermal::PcmBuffer pcm(pcm_cfg);
@@ -106,15 +115,78 @@ BurstResult run_burst(const Scenario& sc) {
     const double lambda_burst =
         lambda_peak * trace::burst_shape_factor(sc.burst_shape, progress);
     normal_goodput_sum += perf.goodput(normal, lambda_burst);
-    const Watts re_obs = re_share(array, solar, t, sc.green.green_servers);
-    const Watts batt_power =
+
+    // Fault state for this epoch, applied at the component boundaries
+    // before anything is measured or decided.
+    faults::EpochFaults ef;
+    const Seconds rel_t = sc.epoch * double(e);
+    if (injector.enabled()) {
+      ef = injector.at(rel_t);
+      batt.set_capacity_fade(ef.battery_capacity_factor);
+      batt.set_charge_derate(ef.charge_efficiency_factor);
+      grid.set_budget_derate(ef.grid_budget_factor);
+      for (faults::FaultClass cls : faults::all_fault_classes()) {
+        if (injector.schedule().active(cls, rel_t)) monitor.record_fault(cls);
+      }
+    }
+
+    Watts re_obs = re_share(array, solar, t, sc.green.green_servers);
+    if (injector.enabled()) re_obs = re_obs * ef.solar_factor;
+
+    // Crashed green server: the epoch is a total outage. Rack telemetry
+    // keeps flowing and surplus renewable still charges the battery; the
+    // reboot re-enters sprinting through the recovery hysteresis.
+    if (injector.enabled() && ef.crashed(0)) {
+      controller.observe_idle(lambda_burst, re_obs);
+      const auto settle =
+          pss.settle(Watts(0.0), re_obs, batt, grid, sc.epoch,
+                     /*bursting=*/true, Watts(0.0));
+      monitor.record_crash_epoch();
+      MonitorSample sample;
+      sample.time = t;
+      sample.setting = normal;
+      sample.power_case = settle.power_case;
+      sample.offered_load = lambda_burst;
+      sample.battery_soc = battery ? battery->state_of_charge() : 0.0;
+      monitor.record(sample);
+      EpochRecord rec;
+      rec.time = t;
+      rec.setting = normal;
+      rec.power_case = settle.power_case;
+      rec.offered_load = lambda_burst;
+      rec.re_available = re_obs;
+      rec.battery_soc = sample.battery_soc;
+      rec.faulted = true;
+      rec.crashed = true;
+      result.epochs.push_back(rec);
+      prev_disturbance = true;
+      continue;
+    }
+
+    const Watts batt_capable =
         battery ? battery->max_discharge_power(sc.epoch) : Watts(0.0);
+    const Watts batt_power =
+        injector.enabled() && ef.battery_offline ? Watts(0.0) : batt_capable;
+
+    // Degraded-mode input: last epoch's supply shortfall plus this
+    // epoch's telemetry quality. Never invoked on fault-free runs, so the
+    // controller stays permanently Healthy there.
+    double sensed_load = lambda_burst;
+    if (injector.enabled()) {
+      controller.notify_health(prev_disturbance, ef.sensor_dropout);
+      sensed_load = ef.sensor_dropout
+                        ? last_sensed_load
+                        : lambda_burst * ef.sensor_load_factor;
+    }
+    if (!(injector.enabled() && ef.sensor_dropout)) {
+      last_sensed_load = sensed_load;
+    }
 
     // The Monitor measures the arrival rate at the head of the epoch (a
     // queue-length spike is visible within seconds); renewable output over
     // the epoch remains a genuine forecast from past production (Eq. 1).
     server::ServerSetting setting =
-        controller.begin_epoch(lambda_burst, batt_power);
+        controller.begin_epoch(sensed_load, batt_power);
 
     // Emergency downgrade: the supply that materialized may be below the
     // prediction; the PMK must keep the server within the actual budget.
@@ -144,8 +216,13 @@ BurstResult run_burst(const Scenario& sc) {
 
     const Watts grid_cap =
         setting == normal ? sc.app.normal_full_power : Watts(0.0);
+    power::PssFaultState pss_fault;
+    if (injector.enabled()) {
+      pss_fault.battery_offline = ef.battery_offline;
+      pss_fault.switch_latency_fraction = ef.switch_latency_fraction;
+    }
     const auto settle = pss.settle(demand, re_obs, batt, grid, sc.epoch,
-                                   /*bursting=*/true, grid_cap);
+                                   /*bursting=*/true, grid_cap, pss_fault);
 
     // Workload evaluation for this epoch. In DES mode the service runs
     // with admission control sized to its SLA window (an interactive
@@ -160,6 +237,7 @@ BurstResult run_burst(const Scenario& sc) {
       o.admit_wait_limit_s =
           std::max(0.1 * sc.app.qos.limit.value(),
                    sc.app.qos.limit.value() - 3.0 * mean_service);
+      if (injector.enabled()) o.service_derate = ef.speed(0);
       return o;
     };
     double goodput = 0.0;
@@ -173,6 +251,12 @@ BurstResult run_burst(const Scenario& sc) {
     } else {
       goodput = perf.goodput(setting, lambda_burst);
       latency = perf.latency(setting, lambda_burst);
+      // Straggler fault on the analytic path: completions scale with the
+      // derated service rate (the DES path models it request-level).
+      if (injector.enabled() && ef.speed(0) < 1.0) {
+        goodput *= ef.speed(0);
+        latency = latency / ef.speed(0);
+      }
     }
     if (settle.deficit()) {
       // Sources could not actually carry the chosen setting (e.g. breaker
@@ -185,6 +269,10 @@ BurstResult run_burst(const Scenario& sc) {
     }
 
     controller.end_epoch(re_obs, demand, green_avail, latency);
+
+    const bool is_degraded = injector.enabled() && controller.degraded();
+    if (is_degraded) monitor.record_degraded_epoch();
+    prev_disturbance = settle.deficit();
 
     // Telemetry.
     MonitorSample sample;
@@ -215,6 +303,8 @@ BurstResult run_burst(const Scenario& sc) {
     rec.re_available = re_obs;
     rec.battery_soc = sample.battery_soc;
     rec.downgraded = downgraded;
+    rec.faulted = injector.enabled() && ef.any();
+    rec.degraded = is_degraded;
     result.epochs.push_back(rec);
   }
 
@@ -252,6 +342,9 @@ BurstResult run_burst(const Scenario& sc) {
     result.final_battery_dod = battery->depth_of_discharge();
     result.battery_cycles = battery->equivalent_cycles();
   }
+  result.degraded_epochs = monitor.degraded_epochs();
+  result.crash_epochs = monitor.crash_epochs();
+  result.fault_downtime = monitor.total_fault_downtime();
   return result;
 }
 

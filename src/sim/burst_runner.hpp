@@ -36,6 +36,9 @@ struct EpochRecord {
   Watts re_available{0.0};         ///< Green supply before settlement.
   double battery_soc = 1.0;
   bool downgraded = false;         ///< Emergency PMK downgrade fired.
+  bool faulted = false;            ///< Any fault event active this epoch.
+  bool crashed = false;            ///< Green server down this epoch.
+  bool degraded = false;           ///< Controller clamped to Normal.
 };
 
 /// Result of one scenario run.
@@ -50,6 +53,10 @@ struct BurstResult {
   Joules batt_energy_used{0.0};
   Joules grid_energy_used{0.0};
   Seconds window_start{0.0};             ///< Trace time the burst started.
+  // Fault / degraded-mode telemetry (all zero on fault-free runs).
+  std::size_t degraded_epochs = 0;       ///< Epochs clamped to Normal.
+  std::size_t crash_epochs = 0;          ///< Epochs the server was down.
+  Seconds fault_downtime{0.0};           ///< Downtime over all fault classes.
 };
 
 /// Execute the scenario. Throws gs::ContractError if the solar trace has

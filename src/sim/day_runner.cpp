@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "faults/fault_injector.hpp"
 #include "power/solar_array.hpp"
 
 namespace gs::sim {
@@ -38,6 +39,9 @@ DayRunResult run_days(const DayRunConfig& cfg) {
   const Seconds horizon(double(cfg.days) * 86400.0);
   out.simulated = horizon;
 
+  const faults::FaultInjector injector(cfg.faults, horizon, epoch,
+                                       cfg.cluster.servers);
+
   double burst_goodput_sum = 0.0;
   std::size_t burst_epochs = 0;
   bool in_burst_prev = false;
@@ -50,16 +54,26 @@ DayRunResult run_days(const DayRunConfig& cfg) {
           return day_offset >= b.start.value() &&
                  day_offset < b.start.value() + b.duration.value();
         });
-    const Watts re_total = array.ac_output(solar.at(t));
+    faults::EpochFaults ef;
+    const faults::EpochFaults* ef_ptr = nullptr;
+    Watts re_total = array.ac_output(solar.at(t));
+    if (injector.enabled()) {
+      ef = injector.at(t);
+      ef_ptr = &ef;
+      re_total = re_total * ef.solar_factor;
+      cluster.apply_component_faults(ef);
+    }
     if (in_burst) {
       if (!in_burst_prev) ++out.bursts_served;
-      const auto ep = cluster.step(re_total, lambda_burst, true);
+      const auto ep = cluster.step(re_total, lambda_burst, true, ef_ptr);
       burst_goodput_sum += ep.total_goodput / double(cluster.servers());
       ++burst_epochs;
       out.sprint_time += epoch * double(ep.servers_sprinting);
       out.re_energy += ep.re_used * epoch;
       out.batt_energy += ep.batt_used * epoch;
       out.grid_energy += ep.grid_used * epoch;
+      out.crash_epochs += std::size_t(ep.servers_crashed);
+      out.degraded_epochs += std::size_t(ep.servers_degraded);
     } else {
       cluster.idle_step(re_total, lambda_background);
     }

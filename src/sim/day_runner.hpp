@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "faults/fault_spec.hpp"
 #include "sim/green_cluster.hpp"
 #include "trace/solar.hpp"
 #include "trace/workload_trace.hpp"
@@ -25,6 +26,10 @@ struct DayRunConfig {
   std::uint64_t solar_seed = 42;
   /// Background load fraction of Normal capacity between bursts.
   double background_load = 0.3;
+  /// Fault-injection spec (src/faults). All-zero default = no injection
+  /// and a bit-identical fault-free run. Fault times are run-relative
+  /// (t = 0 at the first simulated epoch).
+  faults::FaultSpec faults;
 };
 
 struct DayRunResult {
@@ -39,6 +44,9 @@ struct DayRunResult {
   Joules grid_energy{0.0};
   double battery_cycles = 0.0;       ///< Summed over the green servers.
   int bursts_served = 0;
+  // Fault telemetry (zero on fault-free runs).
+  std::size_t crash_epochs = 0;      ///< Server-epochs lost to crashes.
+  std::size_t degraded_epochs = 0;   ///< Server-epochs clamped to Normal.
 };
 
 /// Returns the default burst schedule used by the examples: morning,

@@ -11,7 +11,7 @@ void export_epochs_csv(std::ostream& os, const BurstResult& result) {
   CsvWriter csv(os);
   csv.row({"t_s", "cores", "freq_ghz", "power_case", "demand_w", "re_w",
            "batt_w", "grid_w", "soc", "offered_load", "goodput",
-           "latency_s", "downgraded"});
+           "latency_s", "downgraded", "faulted", "crashed", "degraded"});
   for (const auto& e : result.epochs) {
     csv.row({TextTable::num((e.time - result.window_start).value(), 0),
              std::to_string(e.setting.cores),
@@ -25,7 +25,10 @@ void export_epochs_csv(std::ostream& os, const BurstResult& result) {
              TextTable::num(e.offered_load, 2),
              TextTable::num(e.goodput, 2),
              TextTable::num(e.latency.value(), 5),
-             e.downgraded ? "1" : "0"});
+             e.downgraded ? "1" : "0",
+             e.faulted ? "1" : "0",
+             e.crashed ? "1" : "0",
+             e.degraded ? "1" : "0"});
   }
 }
 
@@ -40,7 +43,8 @@ void export_summary_header(std::ostream& os) {
   CsvWriter csv(os);
   csv.row({"app", "config", "strategy", "availability", "minutes",
            "intensity", "normalized_perf", "mean_goodput", "re_wh",
-           "batt_wh", "grid_wh", "battery_dod"});
+           "batt_wh", "grid_wh", "battery_dod", "faults",
+           "degraded_epochs", "crash_epochs", "fault_downtime_s"});
 }
 
 void export_summary_row(std::ostream& os, const Scenario& scenario,
@@ -56,7 +60,11 @@ void export_summary_row(std::ostream& os, const Scenario& scenario,
            TextTable::num(to_watt_hours(result.re_energy_used).value(), 1),
            TextTable::num(to_watt_hours(result.batt_energy_used).value(), 1),
            TextTable::num(to_watt_hours(result.grid_energy_used).value(), 1),
-           TextTable::num(result.final_battery_dod, 4)});
+           TextTable::num(result.final_battery_dod, 4),
+           scenario.faults.any() ? scenario.faults.to_string() : "none",
+           std::to_string(result.degraded_epochs),
+           std::to_string(result.crash_epochs),
+           TextTable::num(result.fault_downtime.value(), 0)});
 }
 
 }  // namespace gs::sim

@@ -45,7 +45,8 @@ GreenCluster::GreenCluster(const workload::AppDescriptor& app,
       pss_(power::PssConfig{cfg.grid_charging}),
       batteries_(),
       controllers_(),
-      grid_(cluster_grid_config(app, cfg.servers)) {
+      grid_(cluster_grid_config(app, cfg.servers)),
+      prev_deficit_(std::size_t(std::max(cfg.servers, 0)), false) {
   GS_REQUIRE(cfg_.servers > 0, "cluster needs at least one green server");
   batteries_.reserve(std::size_t(cfg_.servers));
   controllers_.reserve(std::size_t(cfg_.servers));
@@ -84,15 +85,26 @@ std::vector<Watts> GreenCluster::allocate(Watts re_total,
 }
 
 ClusterEpoch GreenCluster::step(Watts re_total, double lambda,
-                                bool bursting) {
+                                bool bursting,
+                                const faults::EpochFaults* epoch_faults) {
   return step_hetero(re_total,
                      std::vector<double>(std::size_t(cfg_.servers), lambda),
-                     bursting);
+                     bursting, epoch_faults);
+}
+
+void GreenCluster::apply_component_faults(
+    const faults::EpochFaults& epoch_faults) {
+  for (auto& b : batteries_) {
+    b.set_capacity_fade(epoch_faults.battery_capacity_factor);
+    b.set_charge_derate(epoch_faults.charge_efficiency_factor);
+  }
+  grid_.set_budget_derate(epoch_faults.grid_budget_factor);
 }
 
 ClusterEpoch GreenCluster::step_hetero(Watts re_total,
                                        const std::vector<double>& lambdas,
-                                       bool bursting) {
+                                       bool bursting,
+                                       const faults::EpochFaults* epoch_faults) {
   GS_REQUIRE(re_total.value() >= 0.0, "RE supply must be non-negative");
   GS_REQUIRE(lambdas.size() == std::size_t(cfg_.servers),
              "one arrival rate per green server required");
@@ -110,11 +122,36 @@ ClusterEpoch GreenCluster::step_hetero(Watts re_total,
   const auto shares = allocate(re_total, want);
 
   const server::ServerSetting normal = server::normal_mode();
+  if (epoch_faults != nullptr) apply_component_faults(*epoch_faults);
   for (std::size_t i = 0; i < n; ++i) {
     const double lambda = lambdas[i];
     auto& battery = batteries_[i];
     auto& controller = *controllers_[i];
-    const Watts batt_power = battery.max_discharge_power(cfg_.epoch);
+
+    // Crashed green server: total outage for the epoch; its renewable
+    // share still charges its battery through the PSS.
+    if (epoch_faults != nullptr && epoch_faults->crashed(int(i))) {
+      controller.observe_idle(lambda, shares[i]);
+      const auto settle = pss_.settle(Watts(0.0), shares[i], battery, grid_,
+                                      cfg_.epoch, bursting, Watts(0.0));
+      out.settings[i] = normal;
+      out.re_used += settle.re_used;
+      ++out.servers_crashed;
+      prev_deficit_[i] = true;  // reboot recovers through hysteresis
+      continue;
+    }
+
+    power::PssFaultState pss_fault;
+    if (epoch_faults != nullptr) {
+      controller.notify_health(prev_deficit_[i], epoch_faults->sensor_dropout);
+      pss_fault.battery_offline = epoch_faults->battery_offline;
+      pss_fault.switch_latency_fraction =
+          epoch_faults->switch_latency_fraction;
+    }
+    const Watts batt_power =
+        epoch_faults != nullptr && epoch_faults->battery_offline
+            ? Watts(0.0)
+            : battery.max_discharge_power(cfg_.epoch);
     // Each controller forecasts its *own* share: it has been observing the
     // policy's per-server allocation epoch after epoch, so the EWMA tracks
     // whatever the allocation policy hands this server.
@@ -129,13 +166,21 @@ ClusterEpoch GreenCluster::step_hetero(Watts re_total,
     const Watts grid_cap =
         setting == normal ? app_.normal_full_power : Watts(0.0);
     const auto settle = pss_.settle(demand, shares[i], battery, grid_,
-                                    cfg_.epoch, bursting, grid_cap);
+                                    cfg_.epoch, bursting, grid_cap,
+                                    pss_fault);
     double goodput = perf_.goodput(setting, lambda);
+    if (epoch_faults != nullptr && epoch_faults->speed(int(i)) < 1.0) {
+      goodput *= epoch_faults->speed(int(i));
+    }
     if (settle.deficit()) {
       goodput = std::min(goodput, perf_.goodput(normal, lambda));
     }
     controller.end_epoch(shares[i], demand, green_avail,
                          perf_.latency(setting, lambda));
+    if (epoch_faults != nullptr) {
+      prev_deficit_[i] = settle.deficit();
+      if (controller.degraded()) ++out.servers_degraded;
+    }
 
     out.settings[i] = setting;
     out.total_goodput += goodput;

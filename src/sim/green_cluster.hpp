@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/greensprint.hpp"
+#include "faults/fault_injector.hpp"
 #include "power/battery.hpp"
 #include "power/grid.hpp"
 #include "power/pss.hpp"
@@ -50,6 +51,8 @@ struct ClusterEpoch {
   Watts batt_used{0.0};
   Watts grid_used{0.0};
   int servers_sprinting = 0;
+  int servers_crashed = 0;   ///< Injected ServerCrash outages this epoch.
+  int servers_degraded = 0;  ///< Controllers clamped to Normal.
 };
 
 class GreenCluster {
@@ -58,14 +61,23 @@ class GreenCluster {
 
   /// Advance one epoch: per-server arrival rate `lambda`, rack-level
   /// renewable output `re_total`, `bursting` gates grid charging.
-  ClusterEpoch step(Watts re_total, double lambda, bool bursting);
+  /// `epoch_faults` (optional) is this epoch's injected fault state; null
+  /// keeps the exact fault-free code path.
+  ClusterEpoch step(Watts re_total, double lambda, bool bursting,
+                    const faults::EpochFaults* epoch_faults = nullptr);
 
   /// Heterogeneous variant (paper Section III-B models per-server L_j and
   /// S_j): one arrival rate per green server. Waterfall allocation sizes
   /// each server's claim by its own maximal-sprint demand at its level.
   ClusterEpoch step_hetero(Watts re_total,
                            const std::vector<double>& lambdas,
-                           bool bursting);
+                           bool bursting,
+                           const faults::EpochFaults* epoch_faults = nullptr);
+
+  /// Apply component-level fault factors (battery fade / charge derate on
+  /// every green battery, grid brownout derate) for the coming epoch.
+  /// Callers pass the neutral factors to clear them on recovery.
+  void apply_component_faults(const faults::EpochFaults& epoch_faults);
 
   /// Idle epoch (no burst): servers at Normal on grid; surplus RE and the
   /// grid recharge the batteries.
@@ -92,6 +104,9 @@ class GreenCluster {
   std::vector<power::Battery> batteries_;
   std::vector<std::unique_ptr<core::GreenSprintController>> controllers_;
   power::Grid grid_;
+  /// Per-server shortfall flags from the previous faulted epoch (feeds the
+  /// degraded-mode hysteresis; untouched on fault-free steps).
+  std::vector<bool> prev_deficit_;
 };
 
 }  // namespace gs::sim

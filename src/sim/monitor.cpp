@@ -23,4 +23,22 @@ const MonitorSample& Monitor::last() const {
   return history_.back();
 }
 
+void Monitor::record_fault(faults::FaultClass cls) {
+  fault_downtime_[std::size_t(cls)] += epoch_;
+}
+
+void Monitor::record_degraded_epoch() { ++degraded_epochs_; }
+
+void Monitor::record_crash_epoch() { ++crash_epochs_; }
+
+Seconds Monitor::fault_downtime(faults::FaultClass cls) const {
+  return fault_downtime_[std::size_t(cls)];
+}
+
+Seconds Monitor::total_fault_downtime() const {
+  Seconds total{0.0};
+  for (const Seconds& s : fault_downtime_) total += s;
+  return total;
+}
+
 }  // namespace gs::sim

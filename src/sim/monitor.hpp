@@ -4,11 +4,13 @@
 // bounded history for the Predictor, and aggregates burst statistics.
 #pragma once
 
+#include <array>
 #include <cstddef>
 
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "faults/fault_spec.hpp"
 #include "power/pss.hpp"
 #include "server/setting.hpp"
 
@@ -52,6 +54,24 @@ class Monitor {
   /// Seconds spent in each sprinting state above Normal mode.
   [[nodiscard]] Seconds sprint_time() const { return sprint_time_; }
 
+  // --- Fault telemetry (src/faults) ---------------------------------------
+
+  /// Account one epoch during which `cls` was actively degrading service.
+  void record_fault(faults::FaultClass cls);
+  /// Account one epoch spent with the controller clamped to Normal.
+  void record_degraded_epoch();
+  /// Account one epoch of total outage (crashed green server).
+  void record_crash_epoch();
+
+  /// Downtime attributed to a fault class (epochs x epoch length).
+  [[nodiscard]] Seconds fault_downtime(faults::FaultClass cls) const;
+  /// Downtime summed over every fault class.
+  [[nodiscard]] Seconds total_fault_downtime() const;
+  [[nodiscard]] std::size_t degraded_epochs() const {
+    return degraded_epochs_;
+  }
+  [[nodiscard]] std::size_t crash_epochs() const { return crash_epochs_; }
+
   /// Record epoch duration used for energy integration.
   void set_epoch(Seconds epoch) { epoch_ = epoch; }
   [[nodiscard]] Seconds epoch() const { return epoch_; }
@@ -67,6 +87,9 @@ class Monitor {
   Joules batt_energy_{0.0};
   Joules grid_energy_{0.0};
   Seconds sprint_time_{0.0};
+  std::array<Seconds, faults::kNumFaultClasses> fault_downtime_{};
+  std::size_t degraded_epochs_ = 0;
+  std::size_t crash_epochs_ = 0;
 };
 
 }  // namespace gs::sim

@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "core/strategy.hpp"
+#include "faults/fault_spec.hpp"
 #include "trace/solar.hpp"
 #include "trace/workload_trace.hpp"
 #include "workload/app.hpp"
@@ -60,6 +61,12 @@ struct Scenario {
   /// package (1.2 MJ, ~6 kg paraffin equivalent) carries hour-scale
   /// maximal sprints, per the paper's "delay thermal limits by hours".
   double pcm_capacity_j = 1.2e6;
+  /// Fault-injection spec (src/faults). The all-zero default disables
+  /// injection entirely: the run is bit-identical to a fault-free build.
+  /// Fault times are burst-relative (t = 0 at the first burst epoch), so
+  /// the same spec replays the same failure history across availability
+  /// windows and scenario seeds.
+  faults::FaultSpec faults;
 };
 
 }  // namespace gs::sim

@@ -14,7 +14,10 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
                                  ArrivalProcess& arrivals, Seconds epoch,
                                  DesOptions options) {
   GS_REQUIRE(epoch.value() > 0.0, "epoch must be positive");
-  const double mu = app.service_rate(setting.frequency());
+  GS_REQUIRE(options.service_derate > 0.0 && options.service_derate <= 1.0,
+             "service derate must be in (0,1]");
+  const double mu = app.service_rate(setting.frequency()) *
+                    options.service_derate;
   const double mean_service = 1.0 / mu;
   const double horizon = epoch.value();
 

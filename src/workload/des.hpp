@@ -32,6 +32,10 @@ struct DesOptions {
   /// their queues so admitted requests finish near the SLA; an unbounded
   /// overloaded queue serves almost nothing within SLA.
   double admit_wait_limit_s = 0.0;
+  /// Straggler fault (src/faults): service rate multiplier in (0, 1]. A
+  /// straggling server completes requests at `service_derate` of the
+  /// healthy rate for the epoch.
+  double service_derate = 1.0;
 };
 
 /// Simulate `epoch` seconds of a k-core server under Poisson(lambda)

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "faults/fault_spec.hpp"
+
+namespace gs::faults {
+namespace {
+
+TEST(FaultSpec, DefaultIsAllZeroAndDisabled) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  for (auto c : all_fault_classes()) {
+    EXPECT_DOUBLE_EQ(spec.intensity(c), 0.0);
+  }
+}
+
+TEST(FaultSpec, UniformSetsEveryClass) {
+  const auto spec = FaultSpec::uniform(0.3, 42);
+  EXPECT_TRUE(spec.any());
+  EXPECT_EQ(spec.seed, 42u);
+  for (auto c : all_fault_classes()) {
+    EXPECT_DOUBLE_EQ(spec.intensity(c), 0.3);
+  }
+}
+
+TEST(FaultSpec, SetIntensityRoundTripsPerClass) {
+  FaultSpec spec;
+  double v = 0.05;
+  for (auto c : all_fault_classes()) {
+    spec.set_intensity(c, v);
+    EXPECT_DOUBLE_EQ(spec.intensity(c), v);
+    v += 0.05;
+  }
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, ParseReadsKeysAndSeed) {
+  const auto spec = FaultSpec::parse("brownout=0.3,panel=0.2,seed=7");
+  EXPECT_DOUBLE_EQ(spec.brownout, 0.3);
+  EXPECT_DOUBLE_EQ(spec.panel, 0.2);
+  EXPECT_DOUBLE_EQ(spec.cloud, 0.0);
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(FaultSpec, ParseAllKeySetsEveryClass) {
+  const auto spec = FaultSpec::parse("all=0.25,seed=3");
+  for (auto c : all_fault_classes()) {
+    EXPECT_DOUBLE_EQ(spec.intensity(c), 0.25);
+  }
+  EXPECT_EQ(spec.seed, 3u);
+}
+
+TEST(FaultSpec, ParseRejectsUnknownKeysAndBadRanges) {
+  EXPECT_THROW((void)FaultSpec::parse("frobnicate=0.5"), gs::ContractError);
+  EXPECT_THROW((void)FaultSpec::parse("brownout=1.5"), gs::ContractError);
+  EXPECT_THROW((void)FaultSpec::parse("panel=-0.1"), gs::ContractError);
+}
+
+TEST(FaultSpec, ToStringParseRoundTrip) {
+  FaultSpec spec;
+  spec.brownout = 0.4;
+  spec.crash = 0.1;
+  spec.sensor_dropout = 0.25;
+  spec.seed = 99;
+  const auto round = FaultSpec::parse(spec.to_string());
+  for (auto c : all_fault_classes()) {
+    EXPECT_DOUBLE_EQ(round.intensity(c), spec.intensity(c)) << to_string(c);
+  }
+  EXPECT_EQ(round.seed, spec.seed);
+}
+
+TEST(FaultSpec, SpecKeysAreUniqueAndNamed) {
+  for (auto c : all_fault_classes()) {
+    EXPECT_STRNE(to_string(c), "?");
+    for (auto d : all_fault_classes()) {
+      if (c != d) {
+        EXPECT_STRNE(spec_key(c), spec_key(d));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::faults

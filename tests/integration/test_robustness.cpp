@@ -61,6 +61,44 @@ TEST(Robustness, FiftyRandomScenariosKeepInvariants) {
   }
 }
 
+faults::FaultSpec random_fault_spec(Rng& rng) {
+  faults::FaultSpec spec;
+  for (auto c : faults::all_fault_classes()) {
+    // Roughly half the classes enabled per draw, at varied intensities.
+    if (rng.uniform() < 0.5) spec.set_intensity(c, rng.uniform());
+  }
+  spec.seed = rng();
+  return spec;
+}
+
+TEST(Robustness, RandomFaultScenariosKeepInvariants) {
+  // Same sweep, now with random fault injection layered on top. Faults may
+  // cost performance (crashes zero out whole epochs) but never crash the
+  // simulator, over-supply the books, or breach the DoD cap.
+  Rng rng(20260805);
+  for (int i = 0; i < 25; ++i) {
+    Scenario sc = random_scenario(rng);
+    sc.faults = random_fault_spec(rng);
+    const BurstResult r = run_burst(sc);
+    SCOPED_TRACE("scenario " + std::to_string(i) + ": " + sc.app.name +
+                 " " + sc.green.name + " " + core::to_string(sc.strategy) +
+                 " faults=" + sc.faults.to_string());
+    EXPECT_GE(r.normalized_perf, 0.0);
+    EXPECT_LT(r.normalized_perf, 7.0);
+    EXPECT_LE(r.final_battery_dod, 0.4 + 1e-9);
+    for (const auto& e : r.epochs) {
+      const double supplied = e.re_used.value() + e.batt_used.value() +
+                              e.grid_used.value();
+      // Shortfalls are allowed under faults; over-supply never is.
+      EXPECT_LE(supplied, e.demand.value() + 1e-6);
+      EXPECT_GE(e.goodput, 0.0);
+      if (sc.green.battery.value() > 0.0) {
+        EXPECT_GE(e.battery_soc, 0.6 - 1e-9);  // SoC floor at 40% DoD
+      }
+    }
+  }
+}
+
 TEST(Robustness, RandomScenariosAreDeterministicGivenSeed) {
   Rng rng(99);
   for (int i = 0; i < 5; ++i) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 #include "power/battery.hpp"
@@ -156,6 +157,87 @@ TEST(Battery, InvalidConfigThrows) {
   c = {};
   c.max_dod = 0.0;
   EXPECT_THROW((void)(Battery{c}), gs::ContractError);
+}
+
+TEST(BatteryFade, RoundTripRestoresUnfadedBehavior) {
+  Battery faded(cfg_ah(10.0));
+  const Battery fresh(cfg_ah(10.0));
+  const Seconds dt(60.0);
+  faded.set_capacity_fade(0.7);
+  EXPECT_DOUBLE_EQ(faded.capacity_fade(), 0.7);
+  EXPECT_LT(faded.max_discharge_power(dt).value(),
+            fresh.max_discharge_power(dt).value());
+  EXPECT_LT(faded.usable_remaining().value(),
+            fresh.usable_remaining().value());
+  // Clearing the fade restores the exact unfaulted numbers.
+  faded.set_capacity_fade(1.0);
+  EXPECT_DOUBLE_EQ(faded.max_discharge_power(dt).value(),
+                   fresh.max_discharge_power(dt).value());
+  EXPECT_DOUBLE_EQ(faded.usable_remaining().value(),
+                   fresh.usable_remaining().value());
+}
+
+TEST(BatteryFade, DodStaysOnRatedCapacityWhileFaded) {
+  // Fade shrinks the usable window, not the DoD bookkeeping: discharging a
+  // faded battery to exhaustion leaves DoD at max_dod * fade <= max_dod,
+  // so the 40% lifetime cap survives any fault pattern.
+  Battery b(cfg_ah(10.0));
+  b.set_capacity_fade(0.5);
+  const Seconds dt(60.0);
+  while (!b.exhausted()) {
+    const Watts p = b.max_discharge_power(dt);
+    if (p.value() <= 1e-9) break;
+    (void)b.discharge(p, dt);
+  }
+  EXPECT_LE(b.depth_of_discharge(), 0.4 + 1e-9);
+  EXPECT_LE(b.depth_of_discharge(), 0.5 * 0.4 + 1e-6);
+}
+
+TEST(BatteryFade, MaxDischargePowerRespectsFadedCapacity) {
+  Battery b(cfg_ah(10.0));
+  const Seconds dt(600.0);
+  const double full = b.max_discharge_power(dt).value();
+  b.set_capacity_fade(0.6);
+  const double faded = b.max_discharge_power(dt).value();
+  EXPECT_LT(faded, full);
+  // Peukert: sustainable power scales as fade^(1/k), gentler than linear
+  // because the smaller current is also more efficient.
+  const double k = b.config().peukert_exponent;
+  EXPECT_LE(faded, full * std::pow(0.6, 1.0 / k) + 1e-9);
+  EXPECT_THROW(b.discharge(Watts(full), dt), gs::ContractError);
+}
+
+TEST(BatteryFade, ChargeDerateLosesEnergy) {
+  Battery healthy(cfg_ah(10.0));
+  Battery derated(cfg_ah(10.0));
+  const Seconds dt(60.0);
+  // Drain both identically, then recharge with the same offered power.
+  for (Battery* b : {&healthy, &derated}) {
+    const Watts p = b->max_discharge_power(dt);
+    (void)b->discharge(p, dt);
+  }
+  derated.set_charge_derate(0.5);
+  for (int i = 0; i < 5; ++i) {
+    (void)healthy.charge(Watts(60.0), dt);
+    (void)derated.charge(Watts(60.0), dt);
+  }
+  EXPECT_GT(healthy.state_of_charge(), derated.state_of_charge());
+  // Clearing the derate restores the healthy charging rate.
+  const double gap =
+      healthy.state_of_charge() - derated.state_of_charge();
+  derated.set_charge_derate(1.0);
+  (void)healthy.charge(Watts(60.0), dt);
+  (void)derated.charge(Watts(60.0), dt);
+  EXPECT_NEAR(
+      healthy.state_of_charge() - derated.state_of_charge(), gap, 1e-9);
+}
+
+TEST(BatteryFade, InvalidFactorsThrow) {
+  Battery b(cfg_ah(10.0));
+  EXPECT_THROW(b.set_capacity_fade(0.0), gs::ContractError);
+  EXPECT_THROW(b.set_capacity_fade(1.1), gs::ContractError);
+  EXPECT_THROW(b.set_charge_derate(-0.5), gs::ContractError);
+  EXPECT_THROW(b.set_charge_derate(2.0), gs::ContractError);
 }
 
 class BatterySupplyTime
