@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build googletest + google-benchmark into an install prefix so CI can
+# cache them (actions/cache keyed on the pinned versions below) instead
+# of rebuilding both on every run. Usage: build_deps.sh <prefix>
+set -euo pipefail
+
+PREFIX="${1:?usage: build_deps.sh <install-prefix>}"
+GTEST_VERSION="${GTEST_VERSION:-v1.14.0}"
+BENCHMARK_VERSION="${BENCHMARK_VERSION:-v1.8.3}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+build() {
+  local url="$1" tag="$2" dir="$3"
+  shift 3
+  git clone --depth 1 --branch "$tag" "$url" "$WORK/$dir"
+  cmake -S "$WORK/$dir" -B "$WORK/$dir/build" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_INSTALL_PREFIX="$PREFIX" \
+    "$@"
+  cmake --build "$WORK/$dir/build" -j "$(nproc)"
+  cmake --install "$WORK/$dir/build"
+}
+
+build https://github.com/google/googletest.git "$GTEST_VERSION" googletest
+build https://github.com/google/benchmark.git "$BENCHMARK_VERSION" benchmark \
+  -DBENCHMARK_ENABLE_TESTING=OFF \
+  -DBENCHMARK_ENABLE_GTEST_TESTS=OFF

@@ -1,8 +1,10 @@
 // Shared helpers for the figure benches: run the (strategy x availability)
 // grid for one application/configuration and print the paper's per-duration
-// panels.
+// panels, plus wall-clock instrumentation for the perf benches.
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -11,6 +13,84 @@
 #include "sim/sweep.hpp"
 
 namespace gs::bench {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One timed run_sweep execution.
+struct SweepTiming {
+  std::size_t cells = 0;
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+  std::uint64_t fingerprint = 0;  ///< sweep_fingerprint of the results.
+};
+
+/// Time one sweep over the grid and digest its results.
+inline SweepTiming time_sweep(const std::vector<sim::Scenario>& grid,
+                              std::size_t threads = 0) {
+  WallTimer timer;
+  const auto results = sim::run_sweep(grid, threads);
+  SweepTiming t;
+  t.cells = grid.size();
+  t.seconds = timer.elapsed_s();
+  t.cells_per_sec = t.seconds > 0.0 ? double(t.cells) / t.seconds : 0.0;
+  t.fingerprint = sim::sweep_fingerprint(results);
+  return t;
+}
+
+/// Minimal order-preserving JSON object writer for BENCH_*.json artifacts
+/// (numbers, strings, booleans; no nesting needed by the perf benches).
+class JsonWriter {
+ public:
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    raw_entries_.push_back("\"" + key + "\": " + buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    raw_entries_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    raw_entries_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void add(const std::string& key, bool value) {
+    raw_entries_.push_back(std::string("\"") + key +
+                           "\": " + (value ? "true" : "false"));
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < raw_entries_.size(); ++i) {
+      out += "  " + raw_entries_[i];
+      if (i + 1 < raw_entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << str();
+    return bool(os);
+  }
+
+ private:
+  std::vector<std::string> raw_entries_;
+};
 
 inline sim::Scenario scenario(workload::AppDescriptor app,
                               sim::GreenConfig cfg, core::StrategyKind k,

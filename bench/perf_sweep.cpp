@@ -1,0 +1,168 @@
+// Timed perf harness for the sweep engine (ISSUE: sweep-scale performance).
+//
+// Runs a fixed 144-cell scenario grid (3 apps x 3 availabilities x
+// 4 strategies x 2 durations x 2 seeds) four times:
+//
+//   1. cold   — substrate caches cleared, default thread count
+//   2. warm   — same sweep again, all substrates cached
+//   3. serial — warm sweep pinned to threads=1
+//   4. cold1  — caches cleared again, threads=1
+//
+// and checks that all four sweeps produce bit-identical results via
+// sim::sweep_fingerprint (the acceptance criterion: results must not depend
+// on thread count or cache state). Emits BENCH_sweep.json recording the
+// pre-change baseline throughput alongside the measured numbers.
+//
+// Usage: perf_sweep [--smoke] [--out PATH]
+//   --smoke   reduced 8-cell grid for CI; skips the speedup gate (the
+//             small grid is not comparable to the recorded full-grid
+//             baseline) but still enforces determinism
+//   --out     where to write the JSON artifact (default BENCH_sweep.json)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hybrid.hpp"
+#include "core/profile_table.hpp"
+#include "trace/solar.hpp"
+
+namespace {
+
+/// Pre-change throughput on this fixed grid (RelWithDebInfo, dev box;
+/// mean of four runs: 95.17 / 98.18 / 96.26 / 97.82 cells/sec), measured
+/// at the commit before the shared-substrate caches and allocation-lean
+/// DES landed. Recorded here so the JSON artifact carries both numbers.
+constexpr double kBaselineCellsPerSec = 96.86;
+
+void clear_substrate_caches() {
+  gs::trace::clear_solar_cache();
+  gs::core::ProfileTable::clear_shared_cache();
+  gs::core::HybridStrategy::clear_seed_cache();
+}
+
+std::vector<gs::sim::Scenario> fixed_grid(bool smoke) {
+  using namespace gs;
+  std::vector<workload::AppDescriptor> apps = {workload::specjbb()};
+  std::vector<trace::Availability> avails = {trace::Availability::Min,
+                                             trace::Availability::Med};
+  std::vector<double> durations = {10.0};
+  std::vector<std::uint64_t> seeds = {1ull};
+  if (!smoke) {
+    apps = {workload::specjbb(), workload::websearch(), workload::memcached()};
+    avails.push_back(trace::Availability::Max);
+    durations.push_back(30.0);
+    seeds.push_back(2ull);
+  }
+  std::vector<sim::Scenario> cells;
+  for (const auto& app : apps) {
+    for (auto a : avails) {
+      for (auto k : core::sprinting_strategies()) {
+        for (double minutes : durations) {
+          for (std::uint64_t seed : seeds) {
+            auto sc = bench::scenario(app, sim::re_sbatt(), k, a, minutes);
+            sc.seed = seed;
+            cells.push_back(sc);
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void print_timing(const char* label, const gs::bench::SweepTiming& t) {
+  std::printf("%-6s  cells=%zu  secs=%7.3f  cells/sec=%8.2f  fp=%016llx\n",
+              label, t.cells, t.seconds, t.cells_per_sec,
+              static_cast<unsigned long long>(t.fingerprint));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  bool smoke = false;
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto grid = fixed_grid(smoke);
+  std::printf("perf_sweep: %zu-cell grid%s\n", grid.size(),
+              smoke ? " (smoke)" : "");
+
+  clear_substrate_caches();
+  const auto cold = bench::time_sweep(grid, 0);
+  print_timing("cold", cold);
+
+  const auto warm = bench::time_sweep(grid, 0);
+  print_timing("warm", warm);
+
+  const auto serial = bench::time_sweep(grid, 1);
+  print_timing("serial", serial);
+
+  clear_substrate_caches();
+  const auto cold1 = bench::time_sweep(grid, 1);
+  print_timing("cold1", cold1);
+
+  const auto solar_stats = trace::solar_cache_stats();
+  const auto profile_stats = core::ProfileTable::shared_cache_stats();
+  const auto seed_stats = core::HybridStrategy::seed_cache_stats();
+
+  const bool deterministic = cold.fingerprint == warm.fingerprint &&
+                             warm.fingerprint == serial.fingerprint &&
+                             serial.fingerprint == cold1.fingerprint;
+  const double speedup = warm.cells_per_sec / kBaselineCellsPerSec;
+
+  bench::JsonWriter json;
+  json.add("bench", std::string("perf_sweep"));
+  json.add("mode", std::string(smoke ? "smoke" : "full"));
+  json.add("cells", std::uint64_t(grid.size()));
+  json.add("baseline_cells_per_sec", kBaselineCellsPerSec);
+  json.add("cold_cells_per_sec", cold.cells_per_sec);
+  json.add("warm_cells_per_sec", warm.cells_per_sec);
+  json.add("serial_cells_per_sec", serial.cells_per_sec);
+  json.add("cold_secs", cold.seconds);
+  json.add("warm_secs", warm.seconds);
+  json.add("speedup_vs_baseline", speedup);
+  json.add("fingerprint", warm.fingerprint);
+  json.add("deterministic", deterministic);
+  json.add("solar_cache_hits", solar_stats.hits);
+  json.add("solar_cache_misses", solar_stats.misses);
+  json.add("profile_cache_hits", profile_stats.hits);
+  json.add("profile_cache_misses", profile_stats.misses);
+  json.add("seed_cache_hits", seed_stats.hits);
+  json.add("seed_cache_misses", seed_stats.misses);
+  if (!json.write(out_path)) {
+    std::fprintf(stderr, "perf_sweep: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+
+  std::printf(
+      "deterministic=%s  speedup_vs_baseline=%.2fx  (baseline %.2f "
+      "cells/sec)\nwrote %s\n",
+      deterministic ? "yes" : "NO", speedup, kBaselineCellsPerSec,
+      out_path.c_str());
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "perf_sweep: FAIL — results differ across thread counts or "
+                 "cache states\n");
+    return 1;
+  }
+  if (!smoke && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "perf_sweep: FAIL — speedup %.2fx below the 2x target\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -86,10 +86,14 @@ class QuantileReservoir {
     return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
   }
 
+  /// clear() keeps the backing store, so a reservoir reused across DES
+  /// epochs reaches a steady state where add() never allocates.
   void clear() {
     data_.clear();
     sorted_ = false;
   }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
 
  private:
   std::vector<double> data_;
@@ -152,6 +156,9 @@ class P2Quantile {
   }
 
   [[nodiscard]] double q() const { return q_; }
+
+  /// Forget all samples; the estimator can be reused for a fresh stream.
+  void reset() { *this = P2Quantile(q_); }
 
  private:
   void adjust(int i) {

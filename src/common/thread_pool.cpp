@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace gs {
 
@@ -57,10 +58,33 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk) {
   if (n == 0) return;
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+  const std::size_t workers = pool.thread_count();
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, n / (workers * 4));
+  }
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (workers == 1 || chunks == 1) {
+    // Nothing to parallelize: run inline and skip the task round-trip.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One resident task per worker; each claims chunk-sized ranges from the
+  // shared counter until the index space is exhausted. The counter and fn
+  // outlive the tasks because wait_idle() blocks below.
+  std::atomic<std::size_t> next{0};
+  const std::size_t tasks = std::min(workers, chunks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([&next, &fn, n, chunk] {
+      for (;;) {
+        const std::size_t start = next.fetch_add(chunk);
+        if (start >= n) return;
+        const std::size_t end = std::min(n, start + chunk);
+        for (std::size_t i = start; i < end; ++i) fn(i);
+      }
+    });
   }
   pool.wait_idle();
 }

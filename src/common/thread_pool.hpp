@@ -44,8 +44,20 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
-/// fn must be safe to invoke concurrently for distinct i.
+/// fn must be safe to invoke concurrently for distinct i and must not
+/// throw (report errors via captured state, as ThreadPool::submit requires).
+///
+/// Chunked execution: instead of one heap-allocated task per index, one
+/// task per worker is submitted and workers claim `chunk`-sized index
+/// ranges from a shared atomic counter until the range is exhausted. The
+/// dynamic claim is the work-stealing tail: a worker stuck on a slow cell
+/// simply claims fewer chunks while the others drain the rest, so uneven
+/// cells don't straggle. chunk == 0 picks ~4 chunks per worker (good for
+/// cheap uniform bodies); pass chunk == 1 for coarse uneven bodies such as
+/// sweep cells. Results are index-addressed, so chunking never affects
+/// determinism.
 void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 0);
 
 }  // namespace gs

@@ -7,8 +7,52 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "common/keyed_cache.hpp"
 
 namespace gs::core {
+
+namespace {
+
+/// Everything the seed bootstrap depends on. The profile is represented by
+/// its content fingerprint, so two controllers over equal tables share one
+/// seeded Q-table even if the ProfileTable instances differ.
+struct SeedKey {
+  std::uint64_t profile_fp;
+  double idle_w;
+  double peak_w;
+  double qos_limit_s;
+  double learning_rate;
+  double discount;
+  double supply_step;
+  double max_violation;
+  double max_qos_reward;
+  int seed_sweeps;
+
+  bool operator==(const SeedKey& o) const = default;
+};
+
+struct SeedKeyHash {
+  std::size_t operator()(const SeedKey& k) const {
+    std::uint64_t h = k.profile_fp;
+    h = hash_combine(h, k.idle_w);
+    h = hash_combine(h, k.peak_w);
+    h = hash_combine(h, k.qos_limit_s);
+    h = hash_combine(h, k.learning_rate);
+    h = hash_combine(h, k.discount);
+    h = hash_combine(h, k.supply_step);
+    h = hash_combine(h, k.max_violation);
+    h = hash_combine(h, k.max_qos_reward);
+    h = hash_combine(h, std::uint64_t(k.seed_sweeps));
+    return std::size_t(h);
+  }
+};
+
+KeyedCache<SeedKey, QTable, SeedKeyHash>& seed_cache() {
+  static KeyedCache<SeedKey, QTable, SeedKeyHash> cache(32);
+  return cache;
+}
+
+}  // namespace
 
 double algorithm1_reward(Watts power_supply, Watts power_demand,
                          Seconds qos_target, Seconds qos_current,
@@ -60,6 +104,10 @@ double QTable::max_value(std::size_t state) const {
   GS_REQUIRE(state < states_, "QTable state range");
   const auto* row = &q_[state * actions_];
   return *std::max_element(row, row + actions_);
+}
+
+bool QTable::all_zero() const {
+  return std::all_of(q_.begin(), q_.end(), [](double v) { return v == 0.0; });
 }
 
 std::size_t QTable::best_action(std::size_t state) const {
@@ -161,7 +209,7 @@ void HybridStrategy::feedback(const EpochFeedback& fb) {
   q_.update(state, action, reward, next_state, cfg_);
 }
 
-void HybridStrategy::seed_from_profile() {
+void HybridStrategy::run_seed_sweeps(QTable& q) const {
   const auto levels = std::size_t(profile_.num_levels());
   const auto actions = profile_.lattice().size();
   for (int sweep = 0; sweep < cfg_.seed_sweeps; ++sweep) {
@@ -176,11 +224,40 @@ void HybridStrategy::seed_from_profile() {
               cfg_.max_qos_reward);
           // Quasi-static bootstrap: the profiling episodes hold the state
           // constant, so the successor state is the state itself.
-          q_.update(state, a, reward, state, cfg_);
+          q.update(state, a, reward, state, cfg_);
         }
       }
     }
   }
 }
+
+void HybridStrategy::seed_from_profile() {
+  if (!q_.all_zero()) {
+    // Seeding on top of learned / loaded values is order-dependent; run
+    // the sweeps in place rather than use the fresh-table cache.
+    run_seed_sweeps(q_);
+    return;
+  }
+  const SeedKey key{profile_.fingerprint(),
+                    idle_.value(),
+                    peak_.value(),
+                    app_.qos.limit.value(),
+                    cfg_.learning_rate,
+                    cfg_.discount,
+                    cfg_.supply_step,
+                    cfg_.max_violation,
+                    cfg_.max_qos_reward,
+                    cfg_.seed_sweeps};
+  const auto seeded = seed_cache().get_or_create(key, [this] {
+    QTable q(q_.num_states(), q_.num_actions());
+    run_seed_sweeps(q);
+    return q;
+  });
+  q_ = *seeded;
+}
+
+CacheStats HybridStrategy::seed_cache_stats() { return seed_cache().stats(); }
+
+void HybridStrategy::clear_seed_cache() { seed_cache().clear(); }
 
 }  // namespace gs::core

@@ -69,6 +69,9 @@ class QTable {
   [[nodiscard]] std::size_t num_states() const { return states_; }
   [[nodiscard]] std::size_t num_actions() const { return actions_; }
 
+  /// True iff no value has been written (fresh table).
+  [[nodiscard]] bool all_zero() const;
+
   /// Persist the table (text format: dimensions then row-major values).
   /// The paper's controller reuses profiling data across runs; this lets a
   /// deployment warm-start Hybrid from a previously learned policy.
@@ -99,12 +102,20 @@ class HybridStrategy final : public Strategy {
   /// Online Algorithm-1 update from the settled epoch.
   void feedback(const EpochFeedback& fb) override;
 
-  /// Seed R(c,a) from the exhaustive profiling table.
+  /// Seed R(c,a) from the exhaustive profiling table. The bootstrap is a
+  /// pure function of (profile contents, QoS/power anchors, config), so a
+  /// freshly-constructed strategy copies a process-wide cached table
+  /// instead of re-running the sweeps; seeding on top of an already
+  /// non-zero table (e.g. after load_policy) runs the sweeps in place.
   void seed_from_profile();
 
   /// Persist / restore the learned policy (delegates to QTable).
   void save_policy(std::ostream& os) const { q_.save(os); }
   void load_policy(std::istream& is) { q_.load(is); }
+
+  /// Bookkeeping for the process-wide seeded-table cache (tests / bench).
+  [[nodiscard]] static CacheStats seed_cache_stats();
+  static void clear_seed_cache();
 
   /// State index for a (supply, load) pair — exposed for tests.
   [[nodiscard]] std::size_t state_index(Watts supply, double lambda) const;
@@ -115,6 +126,8 @@ class HybridStrategy final : public Strategy {
   [[nodiscard]] std::size_t supply_bucket(Watts supply) const;
   /// Representative supply of a bucket (its midpoint).
   [[nodiscard]] Watts bucket_supply(std::size_t bucket) const;
+  /// The Algorithm-1 bootstrap sweeps, applied to an arbitrary table.
+  void run_seed_sweeps(QTable& q) const;
 
   const ProfileTable& profile_;  // NOLINT: non-owning, outlives strategy
   workload::AppDescriptor app_;

@@ -8,8 +8,10 @@
 // from this table exactly as the paper's PMK reads its profiling records.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "common/keyed_cache.hpp"
 #include "server/power_model.hpp"
 #include "server/setting.hpp"
 #include "workload/perf_model.hpp"
@@ -24,6 +26,19 @@ class ProfileTable {
   ProfileTable(const workload::PerfModel& perf,
                const server::ServerPowerModel& power, int num_levels = 12,
                double lambda_max = 0.0);
+
+  /// Memoized construction. Filling the table evaluates the SLA bisection
+  /// over the full (level x setting) grid, which dominates per-cell setup
+  /// in sweeps; cells whose app / power-model parameters match share one
+  /// immutable table. Keyed on the AppDescriptor's model parameters (name
+  /// included), the idle power, and the table shape.
+  [[nodiscard]] static std::shared_ptr<const ProfileTable> shared(
+      const workload::PerfModel& perf, const server::ServerPowerModel& power,
+      int num_levels = 12, double lambda_max = 0.0);
+
+  /// Cache bookkeeping for tests and the perf bench.
+  [[nodiscard]] static CacheStats shared_cache_stats();
+  static void clear_shared_cache();
 
   [[nodiscard]] int num_levels() const { return num_levels_; }
   [[nodiscard]] const server::SettingLattice& lattice() const {
@@ -44,6 +59,11 @@ class ProfileTable {
   /// Achieved tail latency at the level/setting.
   [[nodiscard]] Seconds latency(int level, std::size_t setting) const;
 
+  /// Content digest over the table shape and every profiled value,
+  /// computed once at construction. Anything derived purely from the
+  /// table (e.g. the Hybrid seed bootstrap) can use it as a cache key.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   [[nodiscard]] std::size_t idx(int level, std::size_t setting) const;
 
@@ -53,6 +73,7 @@ class ProfileTable {
   std::vector<double> power_w_;
   std::vector<double> goodput_;
   std::vector<double> latency_s_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace gs::core

@@ -34,11 +34,16 @@ BurstResult run_burst(const Scenario& sc) {
              "burst must span at least one epoch");
 
   // --- Substrate setup ----------------------------------------------------
+  // Trace, window and profile all come from process-wide memo caches: every
+  // sweep cell sharing a (seed, app) substrate reuses one immutable
+  // instance, and a cache hit is bit-identical to regenerating (the
+  // generators are deterministic in their keys).
   trace::SolarTraceConfig trace_cfg;
   trace_cfg.seed = sc.seed;
-  const trace::SolarTrace solar = trace::generate_solar_trace(trace_cfg);
-  const auto window =
-      trace::find_window(solar, sc.burst_duration, sc.availability);
+  const auto solar_ptr = trace::shared_solar_trace(trace_cfg);
+  const trace::SolarTrace& solar = *solar_ptr;
+  const auto window = trace::shared_solar_window(trace_cfg, sc.burst_duration,
+                                                 sc.availability);
   GS_REQUIRE(window.has_value(),
              "solar trace has no window of the requested availability");
   const Seconds start = *window;
@@ -56,7 +61,8 @@ BurstResult run_burst(const Scenario& sc) {
 
   const workload::PerfModel perf(sc.app);
   const server::ServerPowerModel pmodel(Watts(76.0));
-  const core::ProfileTable profile(perf, pmodel);
+  const auto profile_ptr = core::ProfileTable::shared(perf, pmodel);
+  const core::ProfileTable& profile = *profile_ptr;
   core::GreenSprintController controller(
       sc.app, profile, pmodel.idle_power(),
       {sc.strategy, core::PredictorConfig{}, sc.epoch});

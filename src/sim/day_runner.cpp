@@ -22,7 +22,8 @@ DayRunResult run_days(const DayRunConfig& cfg) {
   trace::SolarTraceConfig solar_cfg;
   solar_cfg.seed = cfg.solar_seed;
   solar_cfg.days = std::max(cfg.days, 1);
-  const auto solar = trace::generate_solar_trace(solar_cfg);
+  const auto solar_ptr = trace::shared_solar_trace(solar_cfg);
+  const trace::SolarTrace& solar = *solar_ptr;
   const power::SolarArray array({cfg.panels, Watts(275.0), 0.77});
 
   GreenCluster cluster(workload::specjbb(), cfg.cluster);

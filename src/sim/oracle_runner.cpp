@@ -11,16 +11,18 @@ OracleResult run_oracle(const Scenario& sc) {
   GS_REQUIRE(sc.green.green_servers > 0, "scenario needs green servers");
   trace::SolarTraceConfig trace_cfg;
   trace_cfg.seed = sc.seed;
-  const trace::SolarTrace solar = trace::generate_solar_trace(trace_cfg);
-  const auto window =
-      trace::find_window(solar, sc.burst_duration, sc.availability);
+  const auto solar_ptr = trace::shared_solar_trace(trace_cfg);
+  const trace::SolarTrace& solar = *solar_ptr;
+  const auto window = trace::shared_solar_window(trace_cfg, sc.burst_duration,
+                                                 sc.availability);
   GS_REQUIRE(window.has_value(),
              "solar trace has no window of the requested availability");
 
   const power::SolarArray array({sc.green.panels, Watts(275.0), 0.77});
   const workload::PerfModel perf(sc.app);
   const server::ServerPowerModel pmodel(Watts(76.0));
-  const core::ProfileTable profile(perf, pmodel);
+  const auto profile_ptr = core::ProfileTable::shared(perf, pmodel);
+  const core::ProfileTable& profile = *profile_ptr;
 
   const auto n_epochs =
       std::size_t(sc.burst_duration.value() / sc.epoch.value());

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/assert.hpp"
+#include "common/keyed_cache.hpp"
 #include "common/thread_pool.hpp"
 
 namespace gs::sim {
@@ -17,16 +18,60 @@ std::vector<BurstResult> run_sweep(const std::vector<Scenario>& scenarios,
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  parallel_for(pool, scenarios.size(), [&](std::size_t i) {
-    try {
-      results[i] = run_burst(scenarios[i]);
-    } catch (...) {
-      std::lock_guard lock(error_mu);
-      if (!failed.exchange(true)) first_error = std::current_exception();
-    }
-  });
+  parallel_for(
+      pool, scenarios.size(),
+      [&](std::size_t i) {
+        try {
+          results[i] = run_burst(scenarios[i]);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!failed.exchange(true)) first_error = std::current_exception();
+        }
+      },
+      /*chunk=*/1);
   if (failed) std::rethrow_exception(first_error);
   return results;
+}
+
+std::uint64_t sweep_fingerprint(const std::vector<BurstResult>& results) {
+  std::uint64_t h = 0x5eedf00dull;
+  const auto mix_d = [&h](double v) { h = hash_combine(h, v); };
+  const auto mix_u = [&h](std::uint64_t v) { h = hash_combine(h, v); };
+  mix_u(results.size());
+  for (const auto& r : results) {
+    mix_d(r.mean_goodput);
+    mix_d(r.normal_goodput);
+    mix_d(r.normalized_perf);
+    mix_d(r.final_battery_dod);
+    mix_d(r.battery_cycles);
+    mix_d(r.re_energy_used.value());
+    mix_d(r.batt_energy_used.value());
+    mix_d(r.grid_energy_used.value());
+    mix_d(r.window_start.value());
+    mix_u(r.degraded_epochs);
+    mix_u(r.crash_epochs);
+    mix_d(r.fault_downtime.value());
+    mix_u(r.epochs.size());
+    for (const auto& e : r.epochs) {
+      mix_d(e.time.value());
+      mix_u(std::uint64_t(e.setting.cores));
+      mix_d(e.setting.frequency().value());
+      mix_u(std::uint64_t(e.power_case));
+      mix_d(e.offered_load);
+      mix_d(e.goodput);
+      mix_d(e.latency.value());
+      mix_d(e.demand.value());
+      mix_d(e.re_used.value());
+      mix_d(e.batt_used.value());
+      mix_d(e.grid_used.value());
+      mix_d(e.re_available.value());
+      mix_d(e.battery_soc);
+      mix_u((std::uint64_t(e.downgraded) << 3) |
+            (std::uint64_t(e.faulted) << 2) | (std::uint64_t(e.crashed) << 1) |
+            std::uint64_t(e.degraded));
+    }
+  }
+  return h;
 }
 
 std::vector<double> sweep_normalized_perf(

@@ -4,6 +4,7 @@
 // its own RNG streams from its seed).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -12,8 +13,21 @@
 namespace gs::sim {
 
 /// Run every scenario; results align index-for-index with the input.
+/// Cells are distributed work-stealing style (chunk = 1: cells are coarse
+/// and uneven), and cells sharing a substrate reuse the process-wide trace
+/// / window / profile caches, so a warm sweep skips per-cell setup
+/// entirely. Results are bit-identical across thread counts and cache
+/// states: every cell derives its own Rng streams from its seed and the
+/// cached substrates are deterministic in their keys.
 [[nodiscard]] std::vector<BurstResult> run_sweep(
     const std::vector<Scenario>& scenarios, std::size_t threads = 0);
+
+/// Order-sensitive 64-bit digest of every numeric field of every result
+/// (per-epoch records included), hashed by bit pattern. Two sweeps are
+/// bit-identical iff their fingerprints match; used by the determinism
+/// tests and the perf bench's cross-thread-count check.
+[[nodiscard]] std::uint64_t sweep_fingerprint(
+    const std::vector<BurstResult>& results);
 
 /// Normalized performance per scenario (the paper's y-axis).
 [[nodiscard]] std::vector<double> sweep_normalized_perf(

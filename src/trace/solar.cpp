@@ -113,6 +113,113 @@ SolarTrace generate_solar_trace(const SolarTraceConfig& cfg) {
   return SolarTrace(std::move(out), cfg.sample_period);
 }
 
+bool operator==(const SolarTraceConfig& a, const SolarTraceConfig& b) {
+  return a.days == b.days &&
+         a.sample_period.value() == b.sample_period.value() &&
+         a.sunrise_h == b.sunrise_h && a.sunset_h == b.sunset_h &&
+         a.envelope_exponent == b.envelope_exponent &&
+         a.clear_mean == b.clear_mean && a.variable_mean == b.variable_mean &&
+         a.overcast_mean == b.overcast_mean &&
+         a.cloud_persistence == b.cloud_persistence &&
+         a.clear_sigma == b.clear_sigma &&
+         a.variable_sigma == b.variable_sigma &&
+         a.overcast_sigma == b.overcast_sigma &&
+         a.regime_persistence == b.regime_persistence && a.seed == b.seed;
+}
+
+std::size_t SolarTraceConfigHash::operator()(
+    const SolarTraceConfig& cfg) const {
+  std::uint64_t h = cfg.seed;
+  h = hash_combine(h, std::uint64_t(cfg.days));
+  h = hash_combine(h, cfg.sample_period.value());
+  h = hash_combine(h, cfg.sunrise_h);
+  h = hash_combine(h, cfg.sunset_h);
+  h = hash_combine(h, cfg.envelope_exponent);
+  h = hash_combine(h, cfg.clear_mean);
+  h = hash_combine(h, cfg.variable_mean);
+  h = hash_combine(h, cfg.overcast_mean);
+  h = hash_combine(h, cfg.cloud_persistence);
+  h = hash_combine(h, cfg.clear_sigma);
+  h = hash_combine(h, cfg.variable_sigma);
+  h = hash_combine(h, cfg.overcast_sigma);
+  h = hash_combine(h, cfg.regime_persistence);
+  return std::size_t(h);
+}
+
+namespace {
+
+struct WindowKey {
+  SolarTraceConfig cfg;
+  double len_s;
+  Availability avail;
+  AvailabilityBands bands;
+
+  bool operator==(const WindowKey& o) const {
+    return cfg == o.cfg && len_s == o.len_s && avail == o.avail &&
+           bands.min_below == o.bands.min_below &&
+           bands.med_low == o.bands.med_low &&
+           bands.med_high == o.bands.med_high &&
+           bands.max_above == o.bands.max_above;
+  }
+};
+
+struct WindowKeyHash {
+  std::size_t operator()(const WindowKey& k) const {
+    std::uint64_t h = SolarTraceConfigHash{}(k.cfg);
+    h = hash_combine(h, k.len_s);
+    h = hash_combine(h, std::uint64_t(k.avail));
+    h = hash_combine(h, k.bands.min_below);
+    h = hash_combine(h, k.bands.med_low);
+    h = hash_combine(h, k.bands.med_high);
+    h = hash_combine(h, k.bands.max_above);
+    return std::size_t(h);
+  }
+};
+
+// Process-wide substrate caches. A week-long default trace is ~80 KB, a
+// window result one double: capacities are sized for the biggest multi-seed
+// replicate sweeps in bench/ with room to spare.
+KeyedCache<SolarTraceConfig, SolarTrace, SolarTraceConfigHash>& trace_cache() {
+  static KeyedCache<SolarTraceConfig, SolarTrace, SolarTraceConfigHash> cache(
+      64);
+  return cache;
+}
+
+KeyedCache<WindowKey, std::optional<Seconds>, WindowKeyHash>& window_cache() {
+  static KeyedCache<WindowKey, std::optional<Seconds>, WindowKeyHash> cache(
+      512);
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const SolarTrace> shared_solar_trace(
+    const SolarTraceConfig& cfg) {
+  return trace_cache().get_or_create(
+      cfg, [&cfg] { return generate_solar_trace(cfg); });
+}
+
+std::optional<Seconds> shared_solar_window(const SolarTraceConfig& cfg,
+                                           Seconds len, Availability a,
+                                           const AvailabilityBands& bands) {
+  const WindowKey key{cfg, len.value(), a, bands};
+  const auto result = window_cache().get_or_create(key, [&] {
+    return find_window(*shared_solar_trace(cfg), len, a, bands);
+  });
+  return *result;
+}
+
+CacheStats solar_cache_stats() {
+  const CacheStats t = trace_cache().stats();
+  const CacheStats w = window_cache().stats();
+  return {t.hits + w.hits, t.misses + w.misses};
+}
+
+void clear_solar_cache() {
+  trace_cache().clear();
+  window_cache().clear();
+}
+
 const char* to_string(Availability a) {
   switch (a) {
     case Availability::Min:

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/keyed_cache.hpp"
 #include "common/units.hpp"
 
 namespace gs::trace {
@@ -64,10 +66,31 @@ class SolarTrace {
   Seconds period_;
 };
 
+/// Configs are substrate-cache keys: equal iff every field (including the
+/// seed) is bit-identical, so a cache hit replays the exact same weather.
+[[nodiscard]] bool operator==(const SolarTraceConfig& a,
+                              const SolarTraceConfig& b);
+
+struct SolarTraceConfigHash {
+  [[nodiscard]] std::size_t operator()(const SolarTraceConfig& cfg) const;
+};
+
 /// Generate a synthetic trace. The generator guarantees at least one clear
 /// day and one overcast day per week so that all three availability classes
 /// (min / med / max) exist in every trace.
 [[nodiscard]] SolarTrace generate_solar_trace(const SolarTraceConfig& cfg);
+
+/// Memoized generate_solar_trace: sweep cells sharing a trace config reuse
+/// one immutable instance through a process-wide thread-safe cache instead
+/// of regenerating the week per cell.
+[[nodiscard]] std::shared_ptr<const SolarTrace> shared_solar_trace(
+    const SolarTraceConfig& cfg);
+
+/// Cache bookkeeping (tests and the perf bench): combined hit/miss counts
+/// over the trace and window caches, and a full reset (entries already
+/// handed out stay alive; later lookups rebuild).
+[[nodiscard]] CacheStats solar_cache_stats();
+void clear_solar_cache();
 
 /// Deterministic clear-sky envelope at an hour of day (0..24): the maximum
 /// normalized production a cloudless sky would allow. Exposed for the
@@ -100,5 +123,13 @@ struct AvailabilityBands {
                                                  Seconds len, Availability a,
                                                  const AvailabilityBands& bands =
                                                      AvailabilityBands{});
+
+/// Memoized trace generation + window search for one substrate config. The
+/// window scan is linear in the week; a sweep grid asks for the same
+/// (seed, duration, availability) triple once per strategy, so the scan is
+/// paid once and the answer shared.
+[[nodiscard]] std::optional<Seconds> shared_solar_window(
+    const SolarTraceConfig& cfg, Seconds len, Availability a,
+    const AvailabilityBands& bands = AvailabilityBands{});
 
 }  // namespace gs::trace

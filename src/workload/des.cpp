@@ -1,13 +1,32 @@
 #include "workload/des.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/stats.hpp"
 
 namespace gs::workload {
+
+namespace {
+
+// Per-thread scratch reused across epochs: the sweep runner calls the DES
+// once per epoch per cell, and the backing stores (core heap, latency
+// reservoir) would otherwise be reallocated each call. thread_local keeps
+// the reuse safe under the sweep pool without sharing state across cells
+// (the contents are fully reset at the top of every call).
+std::vector<double>& core_heap_scratch() {
+  thread_local std::vector<double> heap;
+  return heap;
+}
+
+QuantileReservoir& latency_scratch() {
+  thread_local QuantileReservoir reservoir;
+  return reservoir;
+}
+
+}  // namespace
 
 DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
                                  const server::ServerSetting& setting,
@@ -24,16 +43,25 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
   DesResult res;
 
   // FCFS M/G/k-style dispatch: each arrival goes to the earliest-free
-  // core. A min-heap of core free times implements this exactly for FCFS.
-  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
-  for (int c = 0; c < setting.cores; ++c) free_at.push(0.0);
+  // core. A min-heap of core free times implements this exactly for FCFS;
+  // the heap lives in reused scratch storage with std::push_heap /
+  // std::pop_heap in place of a per-call std::priority_queue.
+  auto& free_at = core_heap_scratch();
+  free_at.clear();
+  free_at.assign(std::size_t(setting.cores), 0.0);
+  const auto heap_cmp = std::greater<>{};
 
-  QuantileReservoir latencies;
+  const bool exact_tail = options.tail_estimator == TailEstimator::Exact;
+  auto& latencies = latency_scratch();
+  latencies.clear();
+  P2Quantile p2(app.qos.percentile);
+  std::uint64_t n_latencies = 0;
+
   double busy_core_time = 0.0;
   double t = arrivals.next_gap(rng);
   while (t < horizon) {
     ++res.arrivals;
-    const double core_free = free_at.top();
+    const double core_free = free_at.front();
     // Admission control: shed the request if its queueing delay alone
     // would blow the admission budget.
     if (options.admit_wait_limit_s > 0.0 &&
@@ -42,28 +70,37 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
       t += arrivals.next_gap(rng);
       continue;
     }
-    free_at.pop();
+    std::pop_heap(free_at.begin(), free_at.end(), heap_cmp);
     const double start = std::max(t, core_free);
     const double service = draw_service(rng, options.service, mean_service,
                                         options.lognormal_cv);
     const double done = start + service;
-    free_at.push(done);
+    free_at.back() = done;
+    std::push_heap(free_at.begin(), free_at.end(), heap_cmp);
     if (done <= horizon) {
       ++res.completed;
       busy_core_time += service;
       const double latency = done - t;
-      latencies.add(latency);
+      if (exact_tail) {
+        latencies.add(latency);
+      } else {
+        p2.add(latency);
+      }
+      ++n_latencies;
       if (latency <= app.qos.limit.value()) ++res.sla_met;
     }
     t += arrivals.next_gap(rng);
   }
 
-  if (!latencies.empty()) {
-    res.tail_latency = Seconds(latencies.quantile(app.qos.percentile));
+  if (n_latencies > 0) {
+    res.tail_latency = Seconds(exact_tail ? latencies.quantile(app.qos.percentile)
+                                          : p2.value());
   }
   res.goodput_rate = double(res.sla_met) / horizon;
-  res.mean_utilization =
-      busy_core_time / (double(setting.cores) * horizon);
+  // Clamp like ServerDes does: service straddling the epoch boundary can
+  // nudge the busy-time ratio past 1.
+  res.mean_utilization = std::min(
+      1.0, busy_core_time / (double(setting.cores) * horizon));
   return res;
 }
 

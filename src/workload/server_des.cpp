@@ -1,10 +1,9 @@
 #include "workload/server_des.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "common/assert.hpp"
-#include "common/stats.hpp"
 
 namespace gs::workload {
 
@@ -21,52 +20,68 @@ DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
                                DesOptions opts) {
   GS_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
   GS_REQUIRE(epoch.value() > 0.0, "epoch must be positive");
+  GS_REQUIRE(opts.service_derate > 0.0 && opts.service_derate <= 1.0,
+             "service derate must be in (0,1]");
   const double horizon = epoch.value();
-  const double mu = app_.service_rate(setting.frequency());
+  // Faults derate the stateful path exactly like the stateless one: a
+  // straggling server serves at a fraction of the healthy rate all epoch.
+  const double mu = app_.service_rate(setting.frequency()) *
+                    opts.service_derate;
   const double mean_service = 1.0 / mu;
+  const auto heap_cmp = std::greater<>{};
 
   DesResult res;
-  QuantileReservoir latencies;
+  const bool exact_tail = opts.tail_estimator == TailEstimator::Exact;
+  latencies_.clear();  // reused backing store; epochs allocate nothing
+  P2Quantile p2(app_.qos.percentile);
+  std::uint64_t n_latencies = 0;
+  const auto record_completion = [&](double latency) {
+    if (exact_tail) {
+      latencies_.add(latency);
+    } else {
+      p2.add(latency);
+    }
+    ++n_latencies;
+    if (latency <= app_.qos.limit.value()) ++res.sla_met;
+  };
   double busy_core_time = 0.0;
 
   // 1) Requests that were in flight at the boundary: those finishing
   //    inside this epoch complete now (their latency spans epochs).
-  std::vector<Request> still_running;
+  scratch_running_.clear();
   for (const auto& r : in_flight_) {
     if (r.done <= horizon) {
       ++res.completed;
       busy_core_time += std::max(0.0, r.done);
-      const double latency = r.done - r.arrival;
-      latencies.add(latency);
-      if (latency <= app_.qos.limit.value()) ++res.sla_met;
+      record_completion(r.done - r.arrival);
     } else {
-      still_running.push_back(r);
+      scratch_running_.push_back(r);
     }
   }
-  in_flight_ = std::move(still_running);
+  std::swap(in_flight_, scratch_running_);
 
-  // 2) Rebuild the core heap for this epoch's core count. Extra cores come
-  //    up idle; when the count shrinks, the busiest cores are parked — an
-  //    approximation FCFS absorbs by keeping the earliest-free cores.
+  // 2) Re-heap the persisted core times for this epoch's core count. Extra
+  //    cores come up idle; when the count shrinks, the busiest cores are
+  //    parked — an approximation FCFS absorbs by keeping the earliest-free
+  //    cores. core_free_ itself is the heap's backing store (no per-epoch
+  //    priority_queue rebuild).
   std::sort(core_free_.begin(), core_free_.end());
   core_free_.resize(std::size_t(setting.cores), 0.0);
-  std::priority_queue<double, std::vector<double>, std::greater<>> free_at(
-      core_free_.begin(), core_free_.end());
+  std::make_heap(core_free_.begin(), core_free_.end(), heap_cmp);
 
   auto dispatch = [&](double arrival) {
-    const double core_free = free_at.top();
-    free_at.pop();
+    const double core_free = core_free_.front();
+    std::pop_heap(core_free_.begin(), core_free_.end(), heap_cmp);
     const double start = std::max(arrival, core_free);
     const double service =
         draw_service(rng, opts.service, mean_service, opts.lognormal_cv);
     const double done = start + service;
-    free_at.push(done);
+    core_free_.back() = done;
+    std::push_heap(core_free_.begin(), core_free_.end(), heap_cmp);
     if (done <= horizon) {
       ++res.completed;
       busy_core_time += service;
-      const double latency = done - arrival;
-      latencies.add(latency);
-      if (latency <= app_.qos.limit.value()) ++res.sla_met;
+      record_completion(done - arrival);
     } else {
       // Straddles the boundary: completes (and is accounted) next epoch.
       busy_core_time += std::max(0.0, horizon - std::max(start, 0.0));
@@ -76,10 +91,13 @@ DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
 
   // 3) Backlogged queue goes first (arrival stamps are <= 0), then fresh
   //    arrivals; anything the cores cannot reach this epoch stays queued.
-  std::deque<double> carried;
-  std::swap(carried, waiting_);
-  for (double arrival : carried) {
-    if (free_at.top() >= horizon) {
+  //    The carried prefix is consumed from the deque's front in place;
+  //    re-queued stamps go to the back, past the prefix.
+  const std::size_t n_carried = waiting_.size();
+  for (std::size_t i = 0; i < n_carried; ++i) {
+    const double arrival = waiting_.front();
+    waiting_.pop_front();
+    if (core_free_.front() >= horizon) {
       waiting_.push_back(arrival - horizon);
     } else {
       dispatch(arrival);
@@ -89,7 +107,7 @@ DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
     double t = rng.exponential(lambda);
     while (t < horizon) {
       ++res.arrivals;
-      if (free_at.top() >= horizon) {
+      if (core_free_.front() >= horizon) {
         waiting_.push_back(t - horizon);
       } else {
         dispatch(t);
@@ -98,15 +116,13 @@ DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
     }
   }
 
-  // 4) Persist core state rebased to the next epoch's origin.
-  core_free_.clear();
-  while (!free_at.empty()) {
-    core_free_.push_back(std::max(0.0, free_at.top() - horizon));
-    free_at.pop();
-  }
+  // 4) Rebase the persisted core times to the next epoch's origin (step 2
+  //    re-sorts, so the heap layout needn't be preserved here).
+  for (double& v : core_free_) v = std::max(0.0, v - horizon);
 
-  if (!latencies.empty()) {
-    res.tail_latency = Seconds(latencies.quantile(app_.qos.percentile));
+  if (n_latencies > 0) {
+    res.tail_latency = Seconds(
+        exact_tail ? latencies_.quantile(app_.qos.percentile) : p2.value());
   }
   res.goodput_rate = double(res.sla_met) / horizon;
   res.mean_utilization = std::min(

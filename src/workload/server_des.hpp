@@ -12,6 +12,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "workload/des.hpp"
 
 namespace gs::workload {
@@ -43,10 +44,15 @@ class ServerDes {
   /// requests that have already waited across a boundary).
   std::deque<double> waiting_;
   /// Per-core times at which the current request finishes (relative to
-  /// the next epoch's start; may exceed the epoch length).
+  /// the next epoch's start; may exceed the epoch length). Doubles as the
+  /// dispatch min-heap's backing store during an epoch.
   std::vector<double> core_free_;
   /// Requests started but not finished at the boundary.
   std::vector<Request> in_flight_;
+  /// Reused scratch (run_epoch resets them): survivors of the in-flight
+  /// filter, and the exact-tail latency reservoir.
+  std::vector<Request> scratch_running_;
+  QuantileReservoir latencies_;
 };
 
 }  // namespace gs::workload

@@ -44,6 +44,43 @@ TEST(ThreadPool, ParallelForZeroIterations) {
   SUCCEED();
 }
 
+TEST(ThreadPool, ParallelForChunkLargerThanRange) {
+  // n < chunk collapses to a single chunk and runs inline on the caller.
+  ThreadPool pool(4);
+  std::vector<int> hit(5, 0);
+  parallel_for(
+      pool, hit.size(), [&](std::size_t i) { hit[i] += 1; }, /*chunk=*/100);
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsWithChunk) {
+  ThreadPool pool(2);
+  parallel_for(
+      pool, 0, [](std::size_t) { FAIL(); }, /*chunk=*/8);
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForManyChunksFewThreads) {
+  // n >> threads with a chunk that does not divide n: every index is
+  // visited exactly once, including the short tail chunk.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hit(10000);
+  parallel_for(
+      pool, hit.size(), [&](std::size_t i) { hit[i].fetch_add(1); },
+      /*chunk=*/7);
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkOfOne) {
+  // chunk=1 is the sweep's configuration: pure work stealing per index.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hit(257);
+  parallel_for(
+      pool, hit.size(), [&](std::size_t i) { hit[i].fetch_add(1); },
+      /*chunk=*/1);
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

@@ -2,10 +2,19 @@
 
 #include "common/assert.hpp"
 
+#include "core/hybrid.hpp"
+#include "core/profile_table.hpp"
 #include "sim/sweep.hpp"
+#include "trace/solar.hpp"
 
 namespace gs::sim {
 namespace {
+
+void clear_substrate_caches() {
+  trace::clear_solar_cache();
+  core::ProfileTable::clear_shared_cache();
+  core::HybridStrategy::clear_seed_cache();
+}
 
 std::vector<Scenario> small_grid() {
   std::vector<Scenario> out;
@@ -42,6 +51,71 @@ TEST(Sweep, IndependentOfThreadCount) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "cell " << i;
   }
+}
+
+std::vector<Scenario> all_strategy_grid() {
+  // Includes Hybrid (exercises the seed-table cache) and two apps / seeds
+  // (exercises the profile and solar caches on distinct keys).
+  std::vector<Scenario> out;
+  for (const auto& app : {workload::specjbb(), workload::memcached()}) {
+    for (auto kind : core::sprinting_strategies()) {
+      Scenario sc;
+      sc.app = app;
+      sc.green = re_sbatt();
+      sc.strategy = kind;
+      sc.availability = trace::Availability::Med;
+      sc.burst_duration = Seconds(600.0);
+      sc.seed = 7;
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+TEST(Sweep, BitIdenticalAcrossThreadCounts) {
+  const auto scenarios = all_strategy_grid();
+  const auto fp1 = sweep_fingerprint(run_sweep(scenarios, 1));
+  const auto fp4 = sweep_fingerprint(run_sweep(scenarios, 4));
+  EXPECT_EQ(fp1, fp4);
+}
+
+TEST(Sweep, BitIdenticalWarmAndColdCaches) {
+  const auto scenarios = all_strategy_grid();
+  clear_substrate_caches();
+  const auto cold = run_sweep(scenarios, 2);
+  // The cold sweep populated the substrate caches; the warm sweep must
+  // actually hit them and still reproduce every field bit-for-bit.
+  const auto hits_before = trace::solar_cache_stats().hits;
+  const auto warm = run_sweep(scenarios, 2);
+  EXPECT_GT(trace::solar_cache_stats().hits, hits_before);
+  ASSERT_EQ(cold.size(), warm.size());
+  EXPECT_EQ(sweep_fingerprint(cold), sweep_fingerprint(warm));
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cold[i].normalized_perf, warm[i].normalized_perf);
+    EXPECT_DOUBLE_EQ(cold[i].re_energy_used.value(),
+                     warm[i].re_energy_used.value());
+    EXPECT_DOUBLE_EQ(cold[i].final_battery_dod, warm[i].final_battery_dod);
+    ASSERT_EQ(cold[i].epochs.size(), warm[i].epochs.size());
+  }
+}
+
+TEST(Sweep, FingerprintDetectsDifferences) {
+  const auto scenarios = all_strategy_grid();
+  auto perturbed = scenarios;
+  perturbed[0].seed += 1;
+  EXPECT_NE(sweep_fingerprint(run_sweep(scenarios, 1)),
+            sweep_fingerprint(run_sweep(perturbed, 1)));
+}
+
+TEST(Sweep, SharedCachesReuseSubstrates) {
+  const auto scenarios = all_strategy_grid();
+  clear_substrate_caches();
+  (void)run_sweep(scenarios, 1);
+  // 8 cells over 2 apps and one availability: one solar trace config per
+  // availability band, one profile per app, one seed table per app.
+  EXPECT_EQ(core::ProfileTable::shared_cache_stats().misses, 2u);
+  EXPECT_EQ(core::HybridStrategy::seed_cache_stats().misses, 2u);
+  EXPECT_GT(trace::solar_cache_stats().hits, 0u);
 }
 
 TEST(Sweep, EmptyInputYieldsEmptyOutput) {

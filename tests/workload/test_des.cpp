@@ -47,6 +47,38 @@ TEST(Des, UtilizationMatchesOfferedLoad) {
   EXPECT_NEAR(r.mean_utilization, rho, 0.05);
 }
 
+TEST(Des, UtilizationClampedUnderOverload) {
+  // Deep overload: cores stay busy past the epoch boundary, but reported
+  // utilization is a fraction of the epoch and must clamp at 1.0 (matching
+  // the stateful ServerDes path).
+  Rng rng(40);
+  const PerfModel m(specjbb());
+  const auto s = server::normal_mode();
+  const auto r = simulate_epoch(rng, specjbb(), s, 3.0 * m.capacity(s),
+                                Seconds(120.0));
+  EXPECT_LE(r.mean_utilization, 1.0);
+  EXPECT_GT(r.mean_utilization, 0.95);
+}
+
+TEST(Des, P2TailEstimatorTracksExact) {
+  // The constant-space P-square estimator is an opt-in for very long runs;
+  // on a well-populated epoch it must land near the exact reservoir tail.
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const auto s = server::max_sprint();
+  const double lambda = 0.8 * m.capacity(s);
+  Rng r1 = Rng::stream(41, {1});
+  Rng r2 = Rng::stream(41, {1});
+  DesOptions p2;
+  p2.tail_estimator = TailEstimator::P2;
+  const auto exact = simulate_epoch(r1, app, s, lambda, Seconds(1200.0));
+  const auto approx = simulate_epoch(r2, app, s, lambda, Seconds(1200.0), p2);
+  EXPECT_EQ(exact.arrivals, approx.arrivals);
+  EXPECT_EQ(exact.completed, approx.completed);
+  EXPECT_NEAR(approx.tail_latency.value(), exact.tail_latency.value(),
+              0.10 * exact.tail_latency.value());
+}
+
 TEST(Des, TailLatencyMatchesAnalyticModel) {
   // Cross-validation of the DES against the M/M/k quantile formula.
   Rng rng(5);

@@ -130,6 +130,41 @@ TEST(ServerDes, ZeroLoadIdleEpochs) {
   EXPECT_DOUBLE_EQ(r.mean_utilization, 0.0);
 }
 
+TEST(ServerDes, ServiceDerateSlowsCompletions) {
+  // A derated (straggling) server must serve strictly slower than a
+  // healthy one — run_epoch honors DesOptions::service_derate just like
+  // the stateless path.
+  const auto app = specjbb();
+  const PerfModel m(app);
+  const double lambda = 0.6 * m.capacity(server::normal_mode());
+  ServerDes healthy(app);
+  ServerDes straggler(app);
+  DesOptions derated;
+  derated.service_derate = 0.5;
+  Rng r1 = Rng::stream(9, {1});
+  Rng r2 = Rng::stream(9, {1});  // identical draws
+  const auto h =
+      healthy.run_epoch(r1, server::normal_mode(), lambda, Seconds(120.0));
+  const auto s = straggler.run_epoch(r2, server::normal_mode(), lambda,
+                                     Seconds(120.0), derated);
+  EXPECT_GT(s.tail_latency.value(), h.tail_latency.value());
+  EXPECT_LE(s.completed, h.completed);
+}
+
+TEST(ServerDes, RejectsBadDerate) {
+  ServerDes des(specjbb());
+  Rng rng(10);
+  DesOptions bad;
+  bad.service_derate = 0.0;
+  EXPECT_THROW((void)des.run_epoch(rng, server::normal_mode(), 1.0,
+                                   Seconds(60.0), bad),
+               gs::ContractError);
+  bad.service_derate = 1.5;
+  EXPECT_THROW((void)des.run_epoch(rng, server::normal_mode(), 1.0,
+                                   Seconds(60.0), bad),
+               gs::ContractError);
+}
+
 TEST(ServerDes, ContractsOnInputs) {
   ServerDes des(specjbb());
   Rng rng(8);
