@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Stage pinned clang-tidy / clang-format binaries into the dependency
+# prefix that build_deps.sh populates, so one actions/cache entry covers
+# gtest, google-benchmark, and the LLVM tools and warm runs skip apt
+# entirely.
+#
+# Usage: get_llvm_tools.sh <prefix> [llvm-major]
+set -euo pipefail
+
+PREFIX="${1:?usage: get_llvm_tools.sh <prefix> [llvm-major]}"
+LLVM_MAJOR="${2:-18}"
+mkdir -p "$PREFIX/bin"
+
+if [[ -x "$PREFIX/bin/clang-tidy" && -x "$PREFIX/bin/clang-format" ]]; then
+  echo "llvm tools already staged in $PREFIX/bin (cache hit)"
+  "$PREFIX/bin/clang-tidy" --version | head -n 2
+  exit 0
+fi
+
+apt_updated=0
+for tool in clang-tidy clang-format; do
+  src="$(command -v "${tool}-${LLVM_MAJOR}" || true)"
+  if [[ -z "$src" ]]; then
+    if [[ "$apt_updated" -eq 0 ]]; then
+      sudo apt-get update -qq
+      apt_updated=1
+    fi
+    sudo apt-get install -y -qq "${tool}-${LLVM_MAJOR}"
+    src="$(command -v "${tool}-${LLVM_MAJOR}")"
+  fi
+  cp "$src" "$PREFIX/bin/$tool"
+done
+
+"$PREFIX/bin/clang-tidy" --version | head -n 2
+"$PREFIX/bin/clang-format" --version

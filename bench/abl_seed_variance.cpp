@@ -8,9 +8,9 @@
 
 int main() {
   using namespace gs;
-  std::cout << "Ablation: variance of headline results over 5 synthetic "
-               "weather draws (SPECjbb, Hybrid)\n\n";
-  constexpr int kReplicas = 5;
+  const int kReplicas = bench::smoke() ? 2 : 5;
+  std::cout << "Ablation: variance of headline results over " << kReplicas
+            << " synthetic weather draws (SPECjbb, Hybrid)\n\n";
   TextTable t({"Cell", "mean", "std", "min", "max"});
   struct Cell {
     const char* name;

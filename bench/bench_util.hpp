@@ -4,15 +4,28 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table.hpp"
 #include "sim/sweep.hpp"
 
 namespace gs::bench {
+
+/// True when GS_BENCH_SMOKE is set (non-empty, not "0"). The bench-smoke CI
+/// lane exports it so every bench binary shrinks its grid/replica counts to
+/// a single representative pass; output shape and determinism are unchanged.
+inline bool smoke() {
+  static const bool v = [] {
+    const char* e = std::getenv("GS_BENCH_SMOKE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }();
+  return v;
+}
 
 /// Monotonic wall-clock stopwatch.
 class WallTimer {
@@ -118,7 +131,10 @@ inline void print_strategy_panels(const std::string& title,
   const std::vector<trace::Availability> avails = {
       trace::Availability::Min, trace::Availability::Med,
       trace::Availability::Max};
-  for (double minutes : {10.0, 15.0, 30.0, 60.0}) {
+  const std::vector<double> durations =
+      smoke() ? std::vector<double>{10.0}
+              : std::vector<double>{10.0, 15.0, 30.0, 60.0};
+  for (double minutes : durations) {
     // Build the cell grid and run it in parallel.
     std::vector<sim::Scenario> cells;
     for (auto a : avails) {

@@ -22,11 +22,14 @@ int main(int argc, char** argv) {
   using namespace gs;
   const std::uint64_t base_seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
-  const int replicas = 5;  // fault seeds base_seed .. base_seed+4
+  // fault seeds base_seed .. base_seed+replicas-1
+  const int replicas = bench::smoke() ? 2 : 5;
   const auto app = workload::specjbb();
   const auto green = sim::re_sbatt();
   const auto strategies = core::sprinting_strategies();
-  const std::vector<double> intensities = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<double> intensities =
+      bench::smoke() ? std::vector<double>{0.0, 0.3}
+                     : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
 
   std::cout << "Extension: fault-intensity sweep (SPECjbb, " << green.name
             << ", Med availability, 30-min burst, mean over " << replicas

@@ -13,11 +13,11 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gs {
 
@@ -37,9 +37,10 @@ class KeyedCache {
 
   /// Return the cached value for `key`, building it with `make()` on miss.
   template <typename Factory>
-  std::shared_ptr<const Value> get_or_create(const Key& key, Factory&& make) {
+  std::shared_ptr<const Value> get_or_create(const Key& key, Factory&& make)
+      GS_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
         ++stats_.hits;
@@ -49,7 +50,7 @@ class KeyedCache {
       ++stats_.misses;
     }
     auto built = std::make_shared<const Value>(make());
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = map_.try_emplace(key, Entry{built, ++tick_});
     if (!inserted) {
       // Lost a build race: keep the incumbent so all holders share one
@@ -61,18 +62,18 @@ class KeyedCache {
     return built;
   }
 
-  [[nodiscard]] std::size_t size() {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return map_.size();
   }
 
-  [[nodiscard]] CacheStats stats() {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] CacheStats stats() const GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return stats_;
   }
 
-  void clear() {
-    std::lock_guard lock(mu_);
+  void clear() GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     map_.clear();
     stats_ = CacheStats{};
   }
@@ -83,7 +84,7 @@ class KeyedCache {
     std::uint64_t last_used = 0;
   };
 
-  void evict_lru() {  // caller holds mu_
+  void evict_lru() GS_REQUIRES(mu_) {
     auto victim = map_.begin();
     for (auto it = map_.begin(); it != map_.end(); ++it) {
       if (it->second.last_used < victim->second.last_used) victim = it;
@@ -91,11 +92,11 @@ class KeyedCache {
     map_.erase(victim);
   }
 
-  std::mutex mu_;
-  std::unordered_map<Key, Entry, Hash> map_;
-  CacheStats stats_;
-  std::uint64_t tick_ = 0;
-  std::size_t capacity_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, Hash> map_ GS_GUARDED_BY(mu_);
+  CacheStats stats_ GS_GUARDED_BY(mu_);
+  std::uint64_t tick_ GS_GUARDED_BY(mu_) = 0;
+  const std::size_t capacity_;  // immutable after construction: unguarded
 };
 
 namespace detail {

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -26,23 +26,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || in_flight_ != 0) cv_idle_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -50,7 +50,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -3,13 +3,13 @@
 // depend on the schedule: every cell derives its own Rng stream.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace gs {
 
@@ -26,21 +26,21 @@ class ThreadPool {
 
   /// Enqueue a task; tasks must not throw (exceptions terminate the pool's
   /// worker). Wrap risky work and report errors via the captured state.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) GS_EXCLUDES(mu_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() GS_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() GS_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only by the ctor/dtor thread
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> tasks_ GS_GUARDED_BY(mu_);
+  std::size_t in_flight_ GS_GUARDED_BY(mu_) = 0;
+  bool stop_ GS_GUARDED_BY(mu_) = false;
 };
 
 /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.

@@ -47,6 +47,10 @@ struct SeedKeyHash {
   }
 };
 
+// Process-wide Algorithm-1 seed-table cache. Thread safety: race-free
+// static initialization plus an internally synchronized
+// (capability-annotated) KeyedCache; safe to call from concurrent sweep
+// cells.
 KeyedCache<SeedKey, QTable, SeedKeyHash>& seed_cache() {
   static KeyedCache<SeedKey, QTable, SeedKeyHash> cache(32);
   return cache;

@@ -50,6 +50,9 @@ struct ProfileKeyHash {
   }
 };
 
+// Process-wide shared-table cache. Thread safety: race-free static
+// initialization plus an internally synchronized (capability-annotated)
+// KeyedCache; safe to call from concurrent sweep cells.
 KeyedCache<ProfileKey, ProfileTable, ProfileKeyHash>& profile_cache() {
   static KeyedCache<ProfileKey, ProfileTable, ProfileKeyHash> cache(32);
   return cache;

@@ -7,6 +7,7 @@ namespace gs::sim {
 Monitor::Monitor(std::size_t history) : history_(history) {}
 
 void Monitor::record(const MonitorSample& s) {
+  MutexLock lock(mu_);
   history_.push(s);
   ++count_;
   goodput_.add(s.goodput);
@@ -18,27 +19,102 @@ void Monitor::record(const MonitorSample& s) {
   if (s.setting != server::normal_mode()) sprint_time_ += epoch_;
 }
 
-const MonitorSample& Monitor::last() const {
+std::size_t Monitor::epochs() const {
+  MutexLock lock(mu_);
+  return count_;
+}
+
+RingBuffer<MonitorSample> Monitor::history() const {
+  MutexLock lock(mu_);
+  return history_;
+}
+
+MonitorSample Monitor::last() const {
+  MutexLock lock(mu_);
   GS_REQUIRE(!history_.empty(), "Monitor has no samples yet");
   return history_.back();
 }
 
+RunningStats Monitor::goodput_stats() const {
+  MutexLock lock(mu_);
+  return goodput_;
+}
+
+RunningStats Monitor::latency_stats() const {
+  MutexLock lock(mu_);
+  return latency_;
+}
+
+RunningStats Monitor::demand_stats() const {
+  MutexLock lock(mu_);
+  return demand_;
+}
+
+Joules Monitor::re_energy() const {
+  MutexLock lock(mu_);
+  return re_energy_;
+}
+
+Joules Monitor::batt_energy() const {
+  MutexLock lock(mu_);
+  return batt_energy_;
+}
+
+Joules Monitor::grid_energy() const {
+  MutexLock lock(mu_);
+  return grid_energy_;
+}
+
+Seconds Monitor::sprint_time() const {
+  MutexLock lock(mu_);
+  return sprint_time_;
+}
+
 void Monitor::record_fault(faults::FaultClass cls) {
+  MutexLock lock(mu_);
   fault_downtime_[std::size_t(cls)] += epoch_;
 }
 
-void Monitor::record_degraded_epoch() { ++degraded_epochs_; }
+void Monitor::record_degraded_epoch() {
+  MutexLock lock(mu_);
+  ++degraded_epochs_;
+}
 
-void Monitor::record_crash_epoch() { ++crash_epochs_; }
+void Monitor::record_crash_epoch() {
+  MutexLock lock(mu_);
+  ++crash_epochs_;
+}
 
 Seconds Monitor::fault_downtime(faults::FaultClass cls) const {
+  MutexLock lock(mu_);
   return fault_downtime_[std::size_t(cls)];
 }
 
 Seconds Monitor::total_fault_downtime() const {
+  MutexLock lock(mu_);
   Seconds total{0.0};
   for (const Seconds& s : fault_downtime_) total += s;
   return total;
+}
+
+std::size_t Monitor::degraded_epochs() const {
+  MutexLock lock(mu_);
+  return degraded_epochs_;
+}
+
+std::size_t Monitor::crash_epochs() const {
+  MutexLock lock(mu_);
+  return crash_epochs_;
+}
+
+void Monitor::set_epoch(Seconds epoch) {
+  MutexLock lock(mu_);
+  epoch_ = epoch;
+}
+
+Seconds Monitor::epoch() const {
+  MutexLock lock(mu_);
+  return epoch_;
 }
 
 }  // namespace gs::sim

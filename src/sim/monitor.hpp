@@ -2,6 +2,12 @@
 // workload performance (latency, throughput) and power telemetry (battery
 // energy, renewable power, server power) per scheduling epoch, keeps a
 // bounded history for the Predictor, and aggregates burst statistics.
+//
+// Thread safety: all recording and query paths are internally synchronized
+// (clang -Wthread-safety enforces the lock discipline), so one Monitor can
+// be shared by concurrently simulated servers — e.g. a rack runner fanning
+// epochs across the thread pool. Queries return snapshots by value; there
+// are no references into guarded state.
 #pragma once
 
 #include <array>
@@ -9,6 +15,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "faults/fault_spec.hpp"
 #include "power/pss.hpp"
@@ -35,61 +42,61 @@ class Monitor {
  public:
   explicit Monitor(std::size_t history = 256);
 
-  void record(const MonitorSample& s);
+  void record(const MonitorSample& s) GS_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t epochs() const { return count_; }
-  [[nodiscard]] const RingBuffer<MonitorSample>& history() const {
-    return history_;
-  }
+  [[nodiscard]] std::size_t epochs() const GS_EXCLUDES(mu_);
+  /// Snapshot of the retained history (index 0 is the oldest sample).
+  [[nodiscard]] RingBuffer<MonitorSample> history() const GS_EXCLUDES(mu_);
   /// Most recent sample; requires at least one record().
-  [[nodiscard]] const MonitorSample& last() const;
+  [[nodiscard]] MonitorSample last() const GS_EXCLUDES(mu_);
 
   // Aggregates over the whole recording (not just retained history).
-  [[nodiscard]] const RunningStats& goodput_stats() const { return goodput_; }
-  [[nodiscard]] const RunningStats& latency_stats() const { return latency_; }
-  [[nodiscard]] const RunningStats& demand_stats() const { return demand_; }
-  [[nodiscard]] Joules re_energy() const { return re_energy_; }
-  [[nodiscard]] Joules batt_energy() const { return batt_energy_; }
-  [[nodiscard]] Joules grid_energy() const { return grid_energy_; }
+  [[nodiscard]] RunningStats goodput_stats() const GS_EXCLUDES(mu_);
+  [[nodiscard]] RunningStats latency_stats() const GS_EXCLUDES(mu_);
+  [[nodiscard]] RunningStats demand_stats() const GS_EXCLUDES(mu_);
+  [[nodiscard]] Joules re_energy() const GS_EXCLUDES(mu_);
+  [[nodiscard]] Joules batt_energy() const GS_EXCLUDES(mu_);
+  [[nodiscard]] Joules grid_energy() const GS_EXCLUDES(mu_);
   /// Seconds spent in each sprinting state above Normal mode.
-  [[nodiscard]] Seconds sprint_time() const { return sprint_time_; }
+  [[nodiscard]] Seconds sprint_time() const GS_EXCLUDES(mu_);
 
   // --- Fault telemetry (src/faults) ---------------------------------------
 
   /// Account one epoch during which `cls` was actively degrading service.
-  void record_fault(faults::FaultClass cls);
+  void record_fault(faults::FaultClass cls) GS_EXCLUDES(mu_);
   /// Account one epoch spent with the controller clamped to Normal.
-  void record_degraded_epoch();
+  void record_degraded_epoch() GS_EXCLUDES(mu_);
   /// Account one epoch of total outage (crashed green server).
-  void record_crash_epoch();
+  void record_crash_epoch() GS_EXCLUDES(mu_);
 
   /// Downtime attributed to a fault class (epochs x epoch length).
-  [[nodiscard]] Seconds fault_downtime(faults::FaultClass cls) const;
+  [[nodiscard]] Seconds fault_downtime(faults::FaultClass cls) const
+      GS_EXCLUDES(mu_);
   /// Downtime summed over every fault class.
-  [[nodiscard]] Seconds total_fault_downtime() const;
-  [[nodiscard]] std::size_t degraded_epochs() const {
-    return degraded_epochs_;
-  }
-  [[nodiscard]] std::size_t crash_epochs() const { return crash_epochs_; }
+  [[nodiscard]] Seconds total_fault_downtime() const GS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t degraded_epochs() const GS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t crash_epochs() const GS_EXCLUDES(mu_);
 
   /// Record epoch duration used for energy integration.
-  void set_epoch(Seconds epoch) { epoch_ = epoch; }
-  [[nodiscard]] Seconds epoch() const { return epoch_; }
+  void set_epoch(Seconds epoch) GS_EXCLUDES(mu_);
+  [[nodiscard]] Seconds epoch() const GS_EXCLUDES(mu_);
 
  private:
-  RingBuffer<MonitorSample> history_;
-  std::size_t count_ = 0;
-  Seconds epoch_{60.0};
-  RunningStats goodput_;
-  RunningStats latency_;
-  RunningStats demand_;
-  Joules re_energy_{0.0};
-  Joules batt_energy_{0.0};
-  Joules grid_energy_{0.0};
-  Seconds sprint_time_{0.0};
-  std::array<Seconds, faults::kNumFaultClasses> fault_downtime_{};
-  std::size_t degraded_epochs_ = 0;
-  std::size_t crash_epochs_ = 0;
+  mutable Mutex mu_;
+  RingBuffer<MonitorSample> history_ GS_GUARDED_BY(mu_);
+  std::size_t count_ GS_GUARDED_BY(mu_) = 0;
+  Seconds epoch_ GS_GUARDED_BY(mu_){60.0};
+  RunningStats goodput_ GS_GUARDED_BY(mu_);
+  RunningStats latency_ GS_GUARDED_BY(mu_);
+  RunningStats demand_ GS_GUARDED_BY(mu_);
+  Joules re_energy_ GS_GUARDED_BY(mu_){0.0};
+  Joules batt_energy_ GS_GUARDED_BY(mu_){0.0};
+  Joules grid_energy_ GS_GUARDED_BY(mu_){0.0};
+  Seconds sprint_time_ GS_GUARDED_BY(mu_){0.0};
+  std::array<Seconds, faults::kNumFaultClasses> fault_downtime_
+      GS_GUARDED_BY(mu_){};
+  std::size_t degraded_epochs_ GS_GUARDED_BY(mu_) = 0;
+  std::size_t crash_epochs_ GS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gs::sim

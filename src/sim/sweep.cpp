@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 
 #include "common/assert.hpp"
 #include "common/keyed_cache.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace gs::sim {
@@ -17,14 +17,14 @@ std::vector<BurstResult> run_sweep(const std::vector<Scenario>& scenarios,
   ThreadPool pool(threads);
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu;  // guards first_error across worker threads
   parallel_for(
       pool, scenarios.size(),
       [&](std::size_t i) {
         try {
           results[i] = run_burst(scenarios[i]);
         } catch (...) {
-          std::lock_guard lock(error_mu);
+          MutexLock lock(error_mu);
           if (!failed.exchange(true)) first_error = std::current_exception();
         }
       },

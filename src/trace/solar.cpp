@@ -179,6 +179,12 @@ struct WindowKeyHash {
 // Process-wide substrate caches. A week-long default trace is ~80 KB, a
 // window result one double: capacities are sized for the biggest multi-seed
 // replicate sweeps in bench/ with room to spare.
+//
+// Thread safety: the function-local statics initialize race-free
+// ([stmt.dcl]) and KeyedCache is internally synchronized behind a
+// capability-annotated gs::Mutex, so sweep cells on the thread pool may
+// call these accessors freely; the TSan CI lane runs the sweep
+// bit-identity tests over exactly these paths.
 KeyedCache<SolarTraceConfig, SolarTrace, SolarTraceConfigHash>& trace_cache() {
   static KeyedCache<SolarTraceConfig, SolarTrace, SolarTraceConfigHash> cache(
       64);

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/keyed_cache.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gs {
+namespace {
+
+TEST(KeyedCache, InvalidCapacityThrowsContractError) {
+  using IntCache = KeyedCache<int, int>;
+  EXPECT_THROW(IntCache(0), ContractError);
+}
+
+TEST(KeyedCache, MissBuildsThenHitsShareOneInstance) {
+  KeyedCache<int, std::string> cache(4);
+  int builds = 0;
+  const auto make = [&builds] {
+    ++builds;
+    return std::string("value");
+  };
+  const auto a = cache.get_or_create(7, make);
+  const auto b = cache.get_or_create(7, make);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(KeyedCache, EvictsLeastRecentlyUsed) {
+  KeyedCache<int, int> cache(2);
+  const auto make = [](int v) { return [v] { return v; }; };
+  (void)cache.get_or_create(1, make(10));
+  (void)cache.get_or_create(2, make(20));
+  (void)cache.get_or_create(1, make(10));  // refresh key 1
+  (void)cache.get_or_create(3, make(30));  // evicts key 2
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get_or_create(1, make(10));
+  EXPECT_EQ(cache.stats().hits, 2u);  // key 1 stayed resident
+  (void)cache.get_or_create(2, make(20));
+  EXPECT_EQ(cache.stats().misses, 4u);  // key 2 was rebuilt
+}
+
+TEST(KeyedCache, EvictedValueStaysAliveForHolders) {
+  KeyedCache<int, int> cache(1);
+  const auto held = cache.get_or_create(1, [] { return 11; });
+  (void)cache.get_or_create(2, [] { return 22; });  // evicts key 1
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*held, 11);  // shared_ptr keeps the evicted entry alive
+}
+
+TEST(KeyedCache, ClearResetsContentsAndStats) {
+  KeyedCache<int, int> cache(4);
+  (void)cache.get_or_create(1, [] { return 1; });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+// Concurrency hammer: many threads resolving a small key set must agree on
+// one shared instance per key and never lose counter updates. This is the
+// keyed-cache test the TSan CI lane leans on.
+TEST(KeyedCache, ConcurrentGetOrCreateYieldsOneValuePerKey) {
+  constexpr std::size_t kKeys = 8;
+  constexpr std::size_t kLookups = 512;
+  KeyedCache<std::size_t, std::size_t> cache(kKeys);
+  ThreadPool pool(4);
+  std::vector<std::shared_ptr<const std::size_t>> seen(kLookups);
+  std::atomic<int> builds{0};
+  parallel_for(pool, kLookups, [&](std::size_t i) {
+    const std::size_t key = i % kKeys;
+    seen[i] = cache.get_or_create(key, [&builds, key] {
+      builds.fetch_add(1, std::memory_order_relaxed);
+      return key * 100;
+    });
+  });
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    ASSERT_TRUE(seen[i]);
+    EXPECT_EQ(*seen[i], (i % kKeys) * 100);
+    // Whoever resolved the same key got the same instance.
+    EXPECT_EQ(seen[i].get(), seen[i % kKeys].get());
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kLookups);
+  // Lost build races are allowed (both results identical), but every miss
+  // accounted a build and the cache kept every key resident.
+  EXPECT_GE(int(s.misses), int(kKeys));
+  EXPECT_EQ(cache.size(), kKeys);
+}
+
+TEST(KeyedCache, HashCombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1.0), 2.0),
+            hash_combine(hash_combine(0, 2.0), 1.0));
+  EXPECT_NE(hash_combine(0, 0.0), hash_combine(0, -0.0));  // bit-exact keys
+}
+
+}  // namespace
+}  // namespace gs

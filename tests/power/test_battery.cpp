@@ -240,6 +240,30 @@ TEST(BatteryFade, InvalidFactorsThrow) {
   EXPECT_THROW(b.set_charge_derate(2.0), gs::ContractError);
 }
 
+TEST(Battery, DodCapConfigViolationThrowsContractError) {
+  BatteryConfig c = cfg_ah(10.0);
+  c.max_dod = 0.0;
+  EXPECT_THROW(Battery{c}, gs::ContractError);
+  c.max_dod = 1.5;
+  EXPECT_THROW(Battery{c}, gs::ContractError);
+}
+
+TEST(Battery, DischargeBeyondDodCapThrowsContractError) {
+  Battery b(cfg_ah(10.0));
+  const Seconds hour(3600.0);
+  // The sustainable ceiling derives from the DoD-capped usable capacity;
+  // drawing above it for the epoch violates the discharge contract.
+  const Watts cap = b.max_discharge_power(hour);
+  EXPECT_THROW(b.discharge(Watts(cap.value() * 1.01), hour),
+               gs::ContractError);
+  // At (just under) the ceiling the draw is accepted and pins the battery
+  // to exactly the DoD cap, not beyond.
+  b.discharge(Watts(cap.value() * (1.0 - 1e-9)), hour);
+  EXPECT_LE(b.depth_of_discharge(), 0.40 + 1e-12);
+  // Exhausted battery: any further positive draw violates the contract.
+  EXPECT_THROW(b.discharge(Watts(1.0), hour), gs::ContractError);
+}
+
 class BatterySupplyTime
     : public ::testing::TestWithParam<std::tuple<double, double>> {};
 

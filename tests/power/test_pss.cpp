@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/assert.hpp"
 #include "power/pss.hpp"
 
 namespace gs::power {
@@ -130,6 +131,27 @@ TEST_F(PssFixture, CaseTransitionSequenceMatchesFigureFour) {
 TEST(PssNames, ToString) {
   EXPECT_STREQ(to_string(PowerCase::RenewableOnly), "RenewableOnly");
   EXPECT_STREQ(to_string(PowerCase::BatteryOnly), "BatteryOnly");
+}
+
+TEST_F(PssFixture, OverBudgetDrawContractViolationsThrow) {
+  // Negative demand / supply are contract violations, not silent clamps.
+  EXPECT_THROW(pss.settle(Watts(-1.0), Watts(0.0), battery, grid, epoch,
+                          /*bursting=*/true),
+               gs::ContractError);
+  EXPECT_THROW(pss.settle(Watts(10.0), Watts(-1.0), battery, grid, epoch,
+                          /*bursting=*/true),
+               gs::ContractError);
+  // A switch-latency fraction outside [0,1) would burn more than the epoch.
+  PssFaultState fault;
+  fault.switch_latency_fraction = 1.0;
+  EXPECT_THROW(pss.settle(Watts(10.0), Watts(10.0), battery, grid, epoch,
+                          /*bursting=*/true, Watts(0.0), fault),
+               gs::ContractError);
+}
+
+TEST_F(PssFixture, GridDrawContractViolationsThrow) {
+  EXPECT_THROW(grid.draw(Watts(-5.0), epoch), gs::ContractError);
+  EXPECT_THROW(grid.draw(Watts(5.0), Seconds(0.0)), gs::ContractError);
 }
 
 }  // namespace

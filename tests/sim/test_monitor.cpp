@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/monitor.hpp"
 
 namespace gs::sim {
@@ -54,6 +55,32 @@ TEST(MonitorTest, EpochLengthScalesEnergy) {
   m.set_epoch(Seconds(30.0));
   m.record(sample(0.0, 0.0, 100.0, false));
   EXPECT_DOUBLE_EQ(m.re_energy().value(), 3000.0);
+}
+
+// Monitor is internally synchronized so concurrently simulated servers can
+// share one instance; no sample or counter update may be lost. Exercised
+// under ThreadSanitizer by the TSan CI lane.
+TEST(MonitorTest, ConcurrentRecordingLosesNothing) {
+  constexpr std::size_t kEpochs = 2000;
+  Monitor m(64);
+  m.set_epoch(Seconds(60.0));
+  ThreadPool pool(4);
+  parallel_for(pool, kEpochs, [&](std::size_t i) {
+    m.record(sample(1.0, 2.0, 3.0, i % 2 == 0));
+    if (i % 4 == 0) m.record_degraded_epoch();
+    if (i % 8 == 0) m.record_crash_epoch();
+    if (i % 2 == 0) m.record_fault(faults::FaultClass::GridBrownout);
+  });
+  EXPECT_EQ(m.epochs(), kEpochs);
+  EXPECT_DOUBLE_EQ(m.goodput_stats().mean(), 1.0);
+  EXPECT_DOUBLE_EQ(m.re_energy().value(), double(kEpochs) * 3.0 * 60.0);
+  EXPECT_DOUBLE_EQ(m.sprint_time().value(), double(kEpochs) / 2.0 * 60.0);
+  EXPECT_EQ(m.degraded_epochs(), kEpochs / 4);
+  EXPECT_EQ(m.crash_epochs(), kEpochs / 8);
+  EXPECT_DOUBLE_EQ(
+      m.fault_downtime(faults::FaultClass::GridBrownout).value(),
+      double(kEpochs) / 2.0 * 60.0);
+  EXPECT_EQ(m.history().size(), 64u);  // bounded history retained
 }
 
 }  // namespace

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""gs-lint: repo-specific concurrency & determinism rule pack.
+
+Enforces the invariants clang-tidy cannot express for this codebase:
+
+  raw-thread        std::thread / std::jthread / std::async belong only in
+                    common/thread_pool.* — everything else fans work through
+                    the pool so sweeps stay schedulable and deterministic.
+  raw-mutex         <mutex> primitives (std::mutex, lock_guard, ...) belong
+                    only in common/thread_annotations.hpp; the rest of src/
+                    uses the capability-annotated gs::Mutex / gs::MutexLock
+                    so clang -Wthread-safety can prove lock discipline.
+  mutex-annotations a gs::Mutex member must actually guard something: the
+                    declaring file needs at least one GS_GUARDED_BY /
+                    GS_REQUIRES / GS_ACQUIRE referencing it.
+  raw-random        rand()/srand(), std:: engines, std::random_device and
+                    std:: distributions are forbidden outside common/rng.hpp:
+                    sweep_fingerprint guarantees bit-identical sweeps, which
+                    only holds when every sample comes from gs::Rng streams.
+  wall-clock        time(nullptr) / std::chrono::system_clock in simulation
+                    code breaks replayability; simulated time comes from the
+                    scenario clock (wall timing lives in bench/, not src/).
+  use-gs-assert     <cassert>/assert() abort without a message and vanish
+                    under NDEBUG; src/ uses GS_REQUIRE / GS_ENSURE from
+                    common/assert.hpp, which throw gs::ContractError.
+
+Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
+with a comment explaining why. Usage:
+
+  tools/gs_lint.py [--list-rules] [PATH ...]   (default PATH: src)
+
+Exits non-zero if any finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"gs-lint:\s*allow\(([a-z\-, ]+)\)")
+
+
+class Rule:
+    def __init__(self, name, message, pattern, exempt=()):
+        self.name = name
+        self.message = message
+        self.pattern = re.compile(pattern)
+        self.exempt = tuple(exempt)
+
+    def applies_to(self, path: str) -> bool:
+        return not any(path.endswith(e) for e in self.exempt)
+
+
+RULES = [
+    Rule(
+        "raw-thread",
+        "raw std::thread/std::async outside common/thread_pool; submit work "
+        "to gs::ThreadPool / parallel_for instead",
+        r"std::(thread|jthread|async)\b",
+        exempt=(
+            "common/thread_pool.hpp",
+            "common/thread_pool.cpp",
+        ),
+    ),
+    Rule(
+        "raw-mutex",
+        "raw <mutex>/<condition_variable> primitive outside "
+        "common/thread_annotations.hpp; use the capability-annotated "
+        "gs::Mutex / gs::MutexLock / gs::CondVar",
+        r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+        r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+        r"shared_lock|condition_variable|condition_variable_any)\b",
+        exempt=("common/thread_annotations.hpp",),
+    ),
+    Rule(
+        "raw-random",
+        "non-gs randomness outside common/rng.hpp; derive a gs::Rng stream "
+        "(determinism guard for sweep_fingerprint)",
+        r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+|"
+        r"knuth_b|random_device|(uniform_int|uniform_real|normal|poisson|"
+        r"exponential|bernoulli|geometric)_distribution)\b"
+        r"|(?<![\w_])s?rand\s*\(",
+        exempt=("common/rng.hpp",),
+    ),
+    Rule(
+        "wall-clock",
+        "wall-clock time in simulation code; simulated time comes from the "
+        "scenario clock (wall timing belongs in bench/)",
+        r"std::chrono::system_clock\b|(?<![\w_])time\s*\(\s*(nullptr|NULL|0)"
+        r"\s*\)",
+    ),
+    Rule(
+        "use-gs-assert",
+        "<cassert>/assert() in src/; use GS_REQUIRE / GS_ENSURE from "
+        "common/assert.hpp (throws gs::ContractError, active in release)",
+        r"#\s*include\s*<(cassert|assert\.h)>|(?<![\w_.])assert\s*\(",
+    ),
+]
+
+MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+_)\s*;")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line structure and column offsets."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string / char literal
+            if c == "\\":
+                out.append(c)
+                out.append(nxt)
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+    findings = []
+
+    for rule in RULES:
+        if not rule.applies_to(rel):
+            continue
+        for lineno, line in enumerate(code_lines, 1):
+            if not rule.pattern.search(line):
+                continue
+            if rule.name in allowed_rules(raw_lines[lineno - 1]):
+                continue
+            findings.append(f"{rel}:{lineno}: [{rule.name}] {rule.message}")
+
+    # mutex-annotations: every gs::Mutex member must be referenced by a
+    # capability annotation somewhere in the file that declares it.
+    for lineno, line in enumerate(code_lines, 1):
+        m = MUTEX_MEMBER_RE.search(line)
+        if not m:
+            continue
+        name = m.group(1)
+        ann = re.compile(
+            r"GS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+            r"TRY_ACQUIRE|EXCLUDES|RETURN_CAPABILITY)\(\s*" + name + r"\s*"
+        )
+        if ann.search(code):
+            continue
+        if "mutex-annotations" in allowed_rules(raw_lines[lineno - 1]):
+            continue
+        findings.append(
+            f"{rel}:{lineno}: [mutex-annotations] gs::Mutex member '{name}' "
+            "has no GS_GUARDED_BY/GS_REQUIRES/... referencing it; annotate "
+            "what it guards"
+        )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=["src"])
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.message}")
+        print(
+            "mutex-annotations: gs::Mutex members must be referenced by a "
+            "capability annotation in the declaring file"
+        )
+        return 0
+
+    root = Path(__file__).resolve().parent.parent
+    files = []
+    for p in args.paths or ["src"]:
+        path = Path(p)
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(sorted(path.rglob("*.hpp")))
+            files.extend(sorted(path.rglob("*.cpp")))
+
+    findings = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        findings.extend(lint_file(f, rel.replace("\\", "/")))
+
+    for finding in sorted(findings):
+        print(finding)
+    if findings:
+        print(f"gs-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"gs-lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
