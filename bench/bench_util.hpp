@@ -105,6 +105,55 @@ class JsonWriter {
   std::vector<std::string> raw_entries_;
 };
 
+/// Shared checkpoint/resume CLI for the long-campaign benches:
+///
+///   --checkpoint-dir DIR   enable checkpointing into DIR
+///   --checkpoint-every N   persist every Nth completed cell (default 1)
+///   --resume               load completed cells from DIR before running
+///
+/// Wire it into an argv loop with parse(), then call run() instead of
+/// sim::run_sweep — without --checkpoint-dir it is a plain run_sweep, so
+/// benches keep their exact unflagged behavior.
+struct CheckpointCli {
+  sim::SweepCheckpointOptions options;
+
+  [[nodiscard]] bool enabled() const { return !options.dir.empty(); }
+
+  /// Consume argv[i] (and its value argument, if any) when it is one of
+  /// the checkpoint flags; returns false to let the bench handle it.
+  bool parse(int argc, char** argv, int& i) {
+    const std::string_view a = argv[i];
+    if (a == "--checkpoint-dir" && i + 1 < argc) {
+      options.dir = argv[++i];
+      return true;
+    }
+    if (a == "--checkpoint-every" && i + 1 < argc) {
+      options.every = std::strtoull(argv[++i], nullptr, 10);
+      if (options.every == 0) options.every = 1;
+      return true;
+    }
+    if (a == "--resume") {
+      options.resume = true;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<sim::BurstResult> run(
+      const std::vector<sim::Scenario>& cells, std::size_t threads = 0,
+      sim::SweepCheckpointStats* stats = nullptr) const {
+    if (!enabled()) {
+      if (stats != nullptr) {
+        stats->cells_total = cells.size();
+        stats->cells_resumed = 0;
+        stats->cells_run = cells.size();
+      }
+      return sim::run_sweep(cells, threads);
+    }
+    return sim::run_sweep_checkpointed(cells, options, threads, stats);
+  }
+};
+
 inline sim::Scenario scenario(workload::AppDescriptor app,
                               sim::GreenConfig cfg, core::StrategyKind k,
                               trace::Availability a, double minutes,

@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "faults/fault_spec.hpp"
+#include "sim/export.hpp"
 #include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
@@ -78,5 +79,36 @@ int main(int argc, char** argv) {
                "never below the grid-backstopped Normal floor; the "
                "degraded-mode clamp trades peak QoS for invariant safety "
                "(DoD cap and power balance hold at every intensity).\n";
+
+  // Availability summary (MTTR/MTBF from the Monitor's per-class incident
+  // and downtime telemetry) at the highest fault intensity, Hybrid
+  // strategy, representative fault seed.
+  const std::size_t hybrid_idx = strategies.size() - 1;
+  const std::size_t worst =
+      ((intensities.size() - 1) * strategies.size() + hybrid_idx) *
+      std::size_t(replicas);
+  const auto rep = sim::availability_report(results[worst], Seconds(60.0));
+  std::cout << "\nAvailability at fault intensity "
+            << TextTable::num(intensities.back(), 1) << " (Hybrid, seed "
+            << base_seed << "): "
+            << TextTable::num(100.0 * rep.availability, 2) << "% over "
+            << TextTable::num(rep.observed.value(), 0) << " s, "
+            << rep.incidents << " incidents\n";
+  if (rep.incidents > 0) {
+    TextTable avail({"Fault class", "Incidents", "Downtime (s)", "MTTR (s)",
+                     "MTBF (s)"});
+    for (const auto& row : rep.per_class) {
+      avail.add_row({faults::to_string(row.cls),
+                     std::to_string(row.incidents),
+                     TextTable::num(row.downtime.value(), 0),
+                     TextTable::num(row.mttr.value(), 1),
+                     TextTable::num(row.mtbf.value(), 1)});
+    }
+    avail.add_row({"total", std::to_string(rep.incidents),
+                   TextTable::num(rep.downtime.value(), 0),
+                   TextTable::num(rep.mttr.value(), 1),
+                   TextTable::num(rep.mtbf.value(), 1)});
+    avail.render(std::cout);
+  }
   return 0;
 }

@@ -13,11 +13,22 @@
 // on thread count or cache state). Emits BENCH_sweep.json recording the
 // pre-change baseline throughput alongside the measured numbers.
 //
-// Usage: perf_sweep [--smoke] [--out PATH]
+// Usage: perf_sweep [--smoke] [--out PATH] [--cells N]
+//                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //   --smoke   reduced 8-cell grid for CI; skips the speedup gate (the
 //             small grid is not comparable to the recorded full-grid
 //             baseline) but still enforces determinism
 //   --out     where to write the JSON artifact (default BENCH_sweep.json)
+//   --cells   replicate the grid (fresh seeds) to exactly N cells — used
+//             by the resume-integrity lane to make the run long enough to
+//             kill mid-flight
+//
+// With --checkpoint-dir the bench switches to a single checkpointed sweep
+// (src/ckpt): completed cells are persisted as cell-NNNNNN.gsck snapshots,
+// a re-run with --resume skips them, and the JSON artifact records the
+// sweep fingerprint plus resumed/run cell counts. The CI resume-integrity
+// lane SIGKILLs such a run mid-sweep, resumes it, and requires the resumed
+// fingerprint to match an uninterrupted reference bit-for-bit.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -72,6 +83,20 @@ std::vector<gs::sim::Scenario> fixed_grid(bool smoke) {
   return cells;
 }
 
+/// Cycle the base grid out to exactly n cells, bumping the seed on each
+/// pass so every cell is a distinct (substrate-cold) simulation.
+std::vector<gs::sim::Scenario> replicate_grid(
+    const std::vector<gs::sim::Scenario>& base, std::size_t n) {
+  std::vector<gs::sim::Scenario> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sc = base[i % base.size()];
+    sc.seed += std::uint64_t(i / base.size()) * 1000ull;
+    out.push_back(sc);
+  }
+  return out;
+}
+
 void print_timing(const char* label, const gs::bench::SweepTiming& t) {
   std::printf("%-6s  cells=%zu  secs=%7.3f  cells/sec=%8.2f  fp=%016llx\n",
               label, t.cells, t.seconds, t.cells_per_sec,
@@ -84,20 +109,65 @@ int main(int argc, char** argv) {
   using namespace gs;
   bool smoke = false;
   std::string out_path = "BENCH_sweep.json";
+  std::size_t n_cells = 0;
+  bench::CheckpointCli ckpt;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
+    if (ckpt.parse(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      n_cells = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH] [--cells N]\n"
+                   "          [--checkpoint-dir DIR] [--checkpoint-every N] "
+                   "[--resume]\n",
+                   argv[0]);
       return 2;
     }
   }
 
-  const auto grid = fixed_grid(smoke);
+  auto grid = fixed_grid(smoke);
+  if (n_cells > 0) grid = replicate_grid(grid, n_cells);
   std::printf("perf_sweep: %zu-cell grid%s\n", grid.size(),
               smoke ? " (smoke)" : "");
+
+  if (ckpt.enabled()) {
+    // Checkpointed single-pass mode for the resume-integrity lane: one
+    // sweep with per-cell persistence, fingerprint + resume telemetry in
+    // the JSON artifact. The 4-phase timing harness below stays the
+    // default unflagged behavior.
+    clear_substrate_caches();
+    bench::WallTimer timer;
+    sim::SweepCheckpointStats stats;
+    const auto results = sim::run_sweep_checkpointed(grid, ckpt.options, 0,
+                                                     &stats);
+    const std::uint64_t fp = sim::sweep_fingerprint(results);
+    const double secs = timer.elapsed_s();
+    std::printf(
+        "ckpt    cells=%zu  resumed=%zu  run=%zu  secs=%7.3f  fp=%016llx\n",
+        stats.cells_total, stats.cells_resumed, stats.cells_run, secs,
+        static_cast<unsigned long long>(fp));
+    bench::JsonWriter json;
+    json.add("bench", std::string("perf_sweep"));
+    json.add("mode", std::string("checkpoint"));
+    json.add("cells", std::uint64_t(stats.cells_total));
+    json.add("cells_resumed", std::uint64_t(stats.cells_resumed));
+    json.add("cells_run", std::uint64_t(stats.cells_run));
+    json.add("secs", secs);
+    json.add("fingerprint", fp);
+    json.add("checkpoint_dir", ckpt.options.dir);
+    json.add("resume", ckpt.options.resume);
+    if (!json.write(out_path)) {
+      std::fprintf(stderr, "perf_sweep: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
 
   clear_substrate_caches();
   const auto cold = bench::time_sweep(grid, 0);

@@ -1,0 +1,9 @@
+// Forward declarations for the checkpoint subsystem, so component headers
+// can declare save_state/load_state without pulling in the full state-io
+// machinery (and without creating include cycles back into src/ckpt).
+#pragma once
+
+namespace gs::ckpt {
+class StateWriter;
+class StateReader;
+}  // namespace gs::ckpt

@@ -1,0 +1,36 @@
+// Snapshot file container: a small header (magic, container format version,
+// payload size, FNV-1a checksum) around a StateWriter payload. The header
+// catches the boring failure modes — wrong file, torn write, bit rot —
+// before any component attempts to decode state; writes go through a
+// temp-file + rename so a kill mid-write never leaves a half-written
+// snapshot under the final name.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "ckpt/state_io.hpp"
+
+namespace gs::ckpt {
+
+/// Bumped only when the *container* layout changes; component schema
+/// evolution is carried by per-section versions inside the payload.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// FNV-1a 64-bit over the payload bytes.
+std::uint64_t payload_checksum(std::string_view payload);
+
+/// Atomically write `payload` (a StateWriter buffer) to `path`: the bytes
+/// land in a temp file first and are renamed over the target, so readers
+/// either see the previous snapshot or the complete new one.
+void write_snapshot_file(const std::filesystem::path& path,
+                         std::string_view payload);
+
+/// Read and validate a snapshot file; returns the payload ready for a
+/// StateReader. Throws SnapshotError on missing file, bad magic, unknown
+/// format version, truncation, or checksum mismatch.
+std::string read_snapshot_file(const std::filesystem::path& path);
+
+}  // namespace gs::ckpt

@@ -1,0 +1,138 @@
+#include "ckpt/state_io.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace gs::ckpt {
+namespace {
+
+// Section payloads are length-prefixed with a fixed-width u64 so
+// end_section() can patch the size in place once the payload is known.
+constexpr std::size_t kSizeFieldBytes = sizeof(std::uint64_t);
+
+// Sanity bound on string lengths; real section names and component strings
+// are tiny, so anything larger is a corrupt length field.
+constexpr std::uint64_t kMaxStringBytes = 1ull << 20;
+
+}  // namespace
+
+void StateWriter::append(const void* p, std::size_t n) {
+  buf_.append(static_cast<const char*>(p), n);
+}
+
+void StateWriter::str(std::string_view s) {
+  u64(s.size());
+  append(s.data(), s.size());
+}
+
+void StateWriter::begin_section(std::string_view name,
+                                std::uint32_t schema_version) {
+  str(name);
+  u32(schema_version);
+  open_.push_back(buf_.size());
+  u64(0);  // payload size, patched by end_section()
+}
+
+void StateWriter::end_section() {
+  GS_ENSURE(!open_.empty(), "end_section without begin_section");
+  const std::size_t at = open_.back();
+  open_.pop_back();
+  const std::uint64_t payload = buf_.size() - at - kSizeFieldBytes;
+  std::memcpy(buf_.data() + at, &payload, kSizeFieldBytes);
+}
+
+const std::string& StateWriter::buffer() const {
+  GS_ENSURE(open_.empty(), "buffer() with unclosed sections");
+  return buf_;
+}
+
+void StateReader::take(void* out, std::size_t n) {
+  // Reads are bounded by the innermost open section, so a reader that
+  // disagrees with the writer's layout fails at the overrunning read
+  // instead of silently consuming a sibling section's bytes.
+  const std::size_t limit = open_.empty() ? buf_.size() : open_.back();
+  if (limit - pos_ < n) {
+    throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_));
+  }
+  std::memcpy(out, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint8_t StateReader::u8() {
+  std::uint8_t v = 0;
+  take(&v, sizeof v);
+  return v;
+}
+
+std::uint32_t StateReader::u32() {
+  std::uint32_t v = 0;
+  take(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t StateReader::u64() {
+  std::uint64_t v = 0;
+  take(&v, sizeof v);
+  return v;
+}
+
+bool StateReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    throw SnapshotError("snapshot corrupt: boolean byte " +
+                        std::to_string(int(v)));
+  }
+  return v == 1;
+}
+
+std::string StateReader::str() {
+  const std::uint64_t n = u64();
+  if (n > kMaxStringBytes) {
+    throw SnapshotError("snapshot corrupt: string length " +
+                        std::to_string(n));
+  }
+  std::string s(std::size_t(n), '\0');
+  take(s.data(), std::size_t(n));
+  return s;
+}
+
+std::uint32_t StateReader::begin_section(std::string_view expected_name,
+                                         std::uint32_t expected_version) {
+  const std::string name = str();
+  if (name != expected_name) {
+    throw SnapshotError("snapshot section mismatch: expected '" +
+                        std::string(expected_name) + "', found '" + name +
+                        "'");
+  }
+  const std::uint32_t version = u32();
+  if (version != expected_version) {
+    throw SnapshotError("snapshot schema version mismatch in '" + name +
+                        "': expected " + std::to_string(expected_version) +
+                        ", found " + std::to_string(version));
+  }
+  const std::uint64_t payload = u64();
+  if (buf_.size() - pos_ < payload) {
+    throw SnapshotError("snapshot truncated: section '" + name + "' claims " +
+                        std::to_string(payload) + " bytes, " +
+                        std::to_string(buf_.size() - pos_) + " remain");
+  }
+  open_.push_back(pos_ + std::size_t(payload));
+  return version;
+}
+
+void StateReader::end_section() {
+  if (open_.empty()) {
+    throw SnapshotError("end_section without begin_section");
+  }
+  const std::size_t end = open_.back();
+  open_.pop_back();
+  if (pos_ != end) {
+    throw SnapshotError("snapshot section size mismatch: reader at offset " +
+                        std::to_string(pos_) + ", section ends at " +
+                        std::to_string(end));
+  }
+}
+
+}  // namespace gs::ckpt

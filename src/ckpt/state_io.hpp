@@ -1,0 +1,93 @@
+// Binary state serialization for checkpoint/restore.
+//
+// Components implement `save_state(StateWriter&)` / `load_state(StateReader&)`
+// pairs. Each component wraps its payload in a named, versioned section
+// (begin_section / end_section); the reader verifies both the section name
+// and the schema version, and that the component consumed exactly the bytes
+// the writer produced, so a stale or corrupt snapshot fails with a clean
+// SnapshotError instead of silently mis-reading downstream state.
+//
+// Encoding is fixed-width little-endian (the only byte order the supported
+// targets use); doubles are bit-cast to u64 so round-trips are bit-exact,
+// which the resume-integrity guarantee (byte-identical exports after
+// kill + resume) depends on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gs::ckpt {
+
+/// Thrown on any malformed, truncated, or version-mismatched snapshot.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Append-only binary encoder producing a snapshot payload.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(char(v)); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s);
+
+  /// Open a named, versioned section. Sections nest; every begin must be
+  /// matched by an end_section() after the payload is written.
+  void begin_section(std::string_view name, std::uint32_t schema_version);
+  void end_section();
+
+  [[nodiscard]] const std::string& buffer() const;
+
+ private:
+  void append(const void* p, std::size_t n);
+
+  std::string buf_;
+  std::vector<std::size_t> open_;  // offsets of unpatched section sizes
+};
+
+/// Decoder over a snapshot payload; every accessor throws SnapshotError on
+/// truncation, and sections enforce name/version/length agreement.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view payload) : buf_(payload) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean();
+
+  std::string str();
+
+  /// Enter a section, requiring the stored name and schema version to match
+  /// exactly. Returns the stored version (== expected_version).
+  std::uint32_t begin_section(std::string_view expected_name,
+                              std::uint32_t expected_version);
+  /// Leave the innermost section, requiring its payload to be fully
+  /// consumed (a partial read means writer and reader disagree on layout).
+  void end_section();
+
+  [[nodiscard]] bool at_end() const {
+    return pos_ == buf_.size() && open_.empty();
+  }
+
+ private:
+  void take(void* out, std::size_t n);
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> open_;  // end offsets of open sections
+};
+
+}  // namespace gs::ckpt

@@ -37,6 +37,15 @@ class Ewma {
 
   void reset() { primed_ = false; value_ = 0.0; }
 
+  /// Raw value regardless of primed state, for checkpoint/restore.
+  [[nodiscard]] double raw_value() const { return value_; }
+
+  /// Restore from checkpointed state; alpha stays as constructed.
+  void restore(double value, bool primed) {
+    value_ = value;
+    primed_ = primed;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

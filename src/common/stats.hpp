@@ -36,6 +36,21 @@ class RunningStats {
   [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return mean_ * double(n_); }
 
+  /// Raw Welford accumulators, for checkpoint/restore (mean()/min()/max()
+  /// mask the n == 0 sentinels, so round-tripping needs the raw fields).
+  [[nodiscard]] double raw_mean() const { return mean_; }
+  [[nodiscard]] double raw_m2() const { return m2_; }
+  [[nodiscard]] double raw_min() const { return min_; }
+  [[nodiscard]] double raw_max() const { return max_; }
+
+  void restore(std::size_t n, double mean, double m2, double mn, double mx) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = mn;
+    max_ = mx;
+  }
+
   void merge(const RunningStats& o) {
     if (o.n_ == 0) return;
     if (n_ == 0) {
@@ -147,10 +162,19 @@ class P2Quantile {
   [[nodiscard]] double value() const {
     if (n_ == 0) return 0.0;
     if (n_ < 5) {
+      // Insertion sort over the (at most 4) warmup samples. std::sort here
+      // trips a gcc-12 -Warray-bounds false positive when inlined into
+      // large callers; for this size insertion sort is also faster.
+      const std::size_t n = std::min(n_, std::size_t(4));
       std::array<double, 5> tmp = initial_;
-      std::sort(tmp.begin(), tmp.begin() + std::ptrdiff_t(n_));
-      const auto idx = std::size_t(q_ * double(n_ - 1) + 0.5);
-      return tmp[std::min(idx, n_ - 1)];
+      for (std::size_t i = 1; i < n; ++i) {
+        const double x = tmp[i];
+        std::size_t j = i;
+        for (; j > 0 && tmp[j - 1] > x; --j) tmp[j] = tmp[j - 1];
+        tmp[j] = x;
+      }
+      const auto idx = std::size_t(q_ * double(n - 1) + 0.5);
+      return tmp[std::min(idx, n - 1)];
     }
     return heights_[2];
   }

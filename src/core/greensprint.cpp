@@ -1,5 +1,6 @@
 #include "core/greensprint.hpp"
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "server/setting.hpp"
 
@@ -99,6 +100,51 @@ Watts GreenSprintController::demand(double load,
                                     const server::ServerSetting& s) const {
   const int level = profile_.level_for(load);
   return profile_.power(level, profile_.lattice().index_of(s));
+}
+
+void GreenSprintController::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("controller", kStateVersion);
+  predictor_.save_state(w);
+  w.f64(pending_.ctx.predicted_load);
+  w.f64(pending_.ctx.supply.value());
+  w.f64(pending_.ctx.epoch.value());
+  w.i64(pending_.action.cores);
+  w.i64(pending_.action.freq_idx);
+  w.f64(pending_.demand.value());
+  w.f64(pending_.supply.value());
+  w.f64(pending_.latency.value());
+  w.f64(pending_.observed_load);
+  w.boolean(pending_.armed);
+  w.boolean(pending_.closed);
+  w.u8(std::uint8_t(health_));
+  w.i64(healthy_streak_);
+  strategy_->save_state(w);
+  w.end_section();
+}
+
+void GreenSprintController::load_state(ckpt::StateReader& r) {
+  r.begin_section("controller", kStateVersion);
+  predictor_.load_state(r);
+  pending_.ctx.predicted_load = r.f64();
+  pending_.ctx.supply = Watts(r.f64());
+  pending_.ctx.epoch = Seconds(r.f64());
+  pending_.action.cores = int(r.i64());
+  pending_.action.freq_idx = int(r.i64());
+  pending_.demand = Watts(r.f64());
+  pending_.supply = Watts(r.f64());
+  pending_.latency = Seconds(r.f64());
+  pending_.observed_load = r.f64();
+  pending_.armed = r.boolean();
+  pending_.closed = r.boolean();
+  const std::uint8_t health = r.u8();
+  if (health > std::uint8_t(HealthState::Recovering)) {
+    throw ckpt::SnapshotError("controller snapshot holds invalid health "
+                              "state " + std::to_string(int(health)));
+  }
+  health_ = HealthState(health);
+  healthy_streak_ = int(r.i64());
+  strategy_->load_state(r);
+  r.end_section();
 }
 
 }  // namespace gs::core

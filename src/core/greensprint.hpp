@@ -21,8 +21,10 @@
 // software PMK/PSS pair.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "ckpt/fwd.hpp"
 #include "core/predictor.hpp"
 #include "core/profile_table.hpp"
 #include "core/strategy.hpp"
@@ -103,6 +105,16 @@ class GreenSprintController {
   }
   [[nodiscard]] const Strategy& strategy() const { return *strategy_; }
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  // Covers the full control-loop state: predictor EWMAs, the pending
+  // learning record, the degraded-mode state machine, and the strategy's
+  // learned state. The controller must be reconstructed from the same
+  // (app, profile, config) before load_state; the snapshot carries only
+  // dynamic state.
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   const ProfileTable& profile_;  // NOLINT: non-owning, outlives controller

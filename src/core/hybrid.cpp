@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "common/keyed_cache.hpp"
 
@@ -263,5 +264,36 @@ void HybridStrategy::seed_from_profile() {
 CacheStats HybridStrategy::seed_cache_stats() { return seed_cache().stats(); }
 
 void HybridStrategy::clear_seed_cache() { seed_cache().clear(); }
+
+void HybridStrategy::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("strategy.hybrid", kStateVersion);
+  w.u64(q_.num_states());
+  w.u64(q_.num_actions());
+  for (std::size_t s = 0; s < q_.num_states(); ++s) {
+    for (std::size_t a = 0; a < q_.num_actions(); ++a) {
+      w.f64(q_.value(s, a));
+    }
+  }
+  w.end_section();
+}
+
+void HybridStrategy::load_state(ckpt::StateReader& r) {
+  r.begin_section("strategy.hybrid", kStateVersion);
+  const auto states = std::size_t(r.u64());
+  const auto actions = std::size_t(r.u64());
+  if (states != q_.num_states() || actions != q_.num_actions()) {
+    throw ckpt::SnapshotError(
+        "hybrid Q-table dimension mismatch: snapshot " +
+        std::to_string(states) + "x" + std::to_string(actions) +
+        ", strategy " + std::to_string(q_.num_states()) + "x" +
+        std::to_string(q_.num_actions()));
+  }
+  for (std::size_t s = 0; s < states; ++s) {
+    for (std::size_t a = 0; a < actions; ++a) {
+      q_.set(s, a, r.f64());
+    }
+  }
+  r.end_section();
+}
 
 }  // namespace gs::core

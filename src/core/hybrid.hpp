@@ -113,6 +113,14 @@ class HybridStrategy final : public Strategy {
   void save_policy(std::ostream& os) const { q_.save(os); }
   void load_policy(std::istream& is) { q_.load(is); }
 
+  /// Checkpoint/restore: the learned Q-table, bit-exact (unlike the text
+  /// save_policy round-trip). Dimensions are validated against this
+  /// strategy's lattice on load.
+  // Schema version inherited from Strategy::kStateVersion.
+  // gs-lint: allow(ckpt-schema-version)
+  void save_state(ckpt::StateWriter& w) const override;
+  void load_state(ckpt::StateReader& r) override;
+
   /// Bookkeeping for the process-wide seeded-table cache (tests / bench).
   [[nodiscard]] static CacheStats seed_cache_stats();
   static void clear_seed_cache();

@@ -3,6 +3,9 @@
 // the next scheduling epoch. The paper finds alpha = 0.3 most consistent.
 #pragma once
 
+#include <cstdint>
+
+#include "ckpt/common_state.hpp"
 #include "common/ewma.hpp"
 #include "common/units.hpp"
 
@@ -35,6 +38,23 @@ class Predictor {
   }
 
   [[nodiscard]] bool primed() const { return re_.primed() && load_.primed(); }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  static constexpr std::uint32_t kStateVersion = 1;
+
+  void save_state(ckpt::StateWriter& w) const {
+    w.begin_section("predictor", kStateVersion);
+    ckpt::save_ewma(w, re_);
+    ckpt::save_ewma(w, load_);
+    w.end_section();
+  }
+
+  void load_state(ckpt::StateReader& r) {
+    r.begin_section("predictor", kStateVersion);
+    ckpt::load_ewma(r, re_);
+    ckpt::load_ewma(r, load_);
+    r.end_section();
+  }
 
  private:
   Ewma re_;

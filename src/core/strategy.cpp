@@ -1,9 +1,27 @@
 #include "core/strategy.hpp"
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "core/hybrid.hpp"
 
 namespace gs::core {
+
+void Strategy::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("strategy", kStateVersion);
+  w.str(name());
+  w.end_section();
+}
+
+void Strategy::load_state(ckpt::StateReader& r) {
+  r.begin_section("strategy", kStateVersion);
+  const std::string saved = r.str();
+  r.end_section();
+  if (saved != name()) {
+    throw ckpt::SnapshotError("strategy mismatch: snapshot holds '" + saved +
+                              "', controller runs '" + std::string(name()) +
+                              "'");
+  }
+}
 
 const char* to_string(StrategyKind k) {
   switch (k) {

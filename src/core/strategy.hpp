@@ -14,9 +14,11 @@
 //               hybrid.hpp.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
+#include "ckpt/fwd.hpp"
 #include "common/units.hpp"
 #include "core/profile_table.hpp"
 #include "server/setting.hpp"
@@ -51,6 +53,15 @@ class Strategy {
       const EpochContext& ctx) = 0;
   /// Online learning hook; default no-op.
   virtual void feedback(const EpochFeedback& fb) { (void)fb; }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  // The default covers the stateless strategies: the section records only
+  // the strategy name, and loading verifies the snapshot was produced by
+  // the same kind of strategy. Learning strategies (Hybrid) override both
+  // to carry their learned state.
+  static constexpr std::uint32_t kStateVersion = 1;
+  virtual void save_state(ckpt::StateWriter& w) const;
+  virtual void load_state(ckpt::StateReader& r);
 };
 
 /// Efficiency is the paper's "best-efficiency policy" contrast case

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 
@@ -74,6 +75,22 @@ EpochFaults FaultInjector::at(Seconds t) const {
         1.0 - schedule_.magnitude_at(FaultClass::ServerStraggler, t, s);
   }
   return f;
+}
+
+void FaultInjector::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("fault_injector", kStateVersion);
+  schedule_.save_state(w);
+  w.i64(servers_);
+  w.boolean(enabled_);
+  w.end_section();
+}
+
+void FaultInjector::load_state(ckpt::StateReader& r) {
+  r.begin_section("fault_injector", kStateVersion);
+  schedule_.load_state(r);
+  servers_ = int(r.i64());
+  enabled_ = r.boolean();
+  r.end_section();
 }
 
 }  // namespace gs::faults

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 
@@ -178,6 +179,50 @@ FaultSchedule FaultSchedule::from_csv(const std::string& text) {
     sched.events_.push_back(ev);
   }
   return sched;
+}
+
+void FaultSchedule::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("fault_schedule", kStateVersion);
+  for (const FaultClass c : all_fault_classes()) w.f64(spec_.intensity(c));
+  w.u64(spec_.seed);
+  w.u64(events_.size());
+  for (const FaultEvent& ev : events_) {
+    w.u8(std::uint8_t(ev.cls));
+    w.f64(ev.start.value());
+    w.f64(ev.duration.value());
+    w.f64(ev.magnitude);
+    w.i64(ev.target);
+  }
+  w.end_section();
+}
+
+void FaultSchedule::load_state(ckpt::StateReader& r) {
+  r.begin_section("fault_schedule", kStateVersion);
+  FaultSpec spec;
+  for (const FaultClass c : all_fault_classes()) {
+    spec.set_intensity(c, r.f64());
+  }
+  spec.seed = r.u64();
+  const auto n = std::size_t(r.u64());
+  std::vector<FaultEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultEvent ev;
+    const std::uint8_t cls = r.u8();
+    if (cls >= std::uint8_t(kNumFaultClasses)) {
+      throw ckpt::SnapshotError("fault schedule snapshot holds invalid "
+                                "class " + std::to_string(int(cls)));
+    }
+    ev.cls = FaultClass(cls);
+    ev.start = Seconds(r.f64());
+    ev.duration = Seconds(r.f64());
+    ev.magnitude = r.f64();
+    ev.target = int(r.i64());
+    events.push_back(ev);
+  }
+  r.end_section();
+  spec_ = spec;
+  events_ = std::move(events);
 }
 
 }  // namespace gs::faults

@@ -17,9 +17,11 @@
 // bug report and re-run exactly.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ckpt/fwd.hpp"
 #include "common/units.hpp"
 #include "faults/fault_spec.hpp"
 
@@ -69,6 +71,12 @@ class FaultSchedule {
   [[nodiscard]] static FaultSchedule from_csv(const std::string& text);
 
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  // --- Checkpoint/restore (src/ckpt): binary round-trip of the spec and
+  // the full event stream (bit-exact, unlike the human-readable CSV).
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   std::vector<FaultEvent> events_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 
 namespace gs::power {
@@ -39,6 +40,24 @@ void Grid::set_budget_derate(double factor) {
   GS_REQUIRE(factor >= 0.0 && factor <= 1.0,
              "grid budget derate must be in [0,1]");
   budget_derate_ = factor;
+}
+
+void Grid::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("grid", kStateVersion);
+  w.f64(energy_.value());
+  w.f64(overload_time_.value());
+  w.boolean(tripped_);
+  w.f64(budget_derate_);
+  w.end_section();
+}
+
+void Grid::load_state(ckpt::StateReader& r) {
+  r.begin_section("grid", kStateVersion);
+  energy_ = Joules(r.f64());
+  overload_time_ = Seconds(r.f64());
+  tripped_ = r.boolean();
+  budget_derate_ = r.f64();
+  r.end_section();
 }
 
 }  // namespace gs::power

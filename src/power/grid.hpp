@@ -5,6 +5,9 @@
 // deliberate short CB overload as the "last resort" (Section III-A Case 3).
 #pragma once
 
+#include <cstdint>
+
+#include "ckpt/fwd.hpp"
 #include "common/units.hpp"
 
 namespace gs::power {
@@ -44,6 +47,11 @@ class Grid {
   [[nodiscard]] Watts effective_budget() const {
     return cfg_.budget * budget_derate_;
   }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   GridConfig cfg_;

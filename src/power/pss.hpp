@@ -18,6 +18,9 @@
 // sprint intensity.
 #pragma once
 
+#include <cstdint>
+
+#include "ckpt/fwd.hpp"
 #include "common/units.hpp"
 #include "power/battery.hpp"
 #include "power/grid.hpp"
@@ -87,6 +90,14 @@ class PowerSourceSelector {
                                               Seconds dt);
 
   [[nodiscard]] const PssConfig& config() const { return cfg_; }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  // The PSS carries no dynamic state (settle() is const); the snapshot
+  // records the configuration so a resume against a PSS wired differently
+  // fails loudly instead of settling epochs with different arithmetic.
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   PssConfig cfg_;

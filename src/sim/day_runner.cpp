@@ -1,10 +1,11 @@
 #include "sim/day_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
-#include "faults/fault_injector.hpp"
-#include "power/solar_array.hpp"
+#include "common/keyed_cache.hpp"
 
 namespace gs::sim {
 
@@ -17,78 +18,161 @@ std::vector<trace::BurstPattern> default_daily_bursts() {
   };
 }
 
-DayRunResult run_days(const DayRunConfig& cfg) {
+std::uint64_t day_run_fingerprint(const DayRunConfig& cfg) {
+  std::uint64_t h = 0xda15c0deull;
+  h = hash_combine(h, std::uint64_t(cfg.days));
+  h = hash_combine(h, std::uint64_t(cfg.cluster.servers));
+  h = hash_combine(h, cfg.cluster.battery_per_server.value());
+  h = hash_combine(h, std::uint64_t(cfg.cluster.strategy));
+  h = hash_combine(h, std::uint64_t(cfg.cluster.allocation));
+  h = hash_combine(h, cfg.cluster.epoch.value());
+  h = hash_combine(h, std::uint64_t(cfg.cluster.grid_charging));
+  h = hash_combine(h, std::uint64_t(cfg.panels));
+  h = hash_combine(h, std::uint64_t(cfg.daily_bursts.size()));
+  for (const trace::BurstPattern& b : cfg.daily_bursts) {
+    h = hash_combine(h, b.start.value());
+    h = hash_combine(h, b.duration.value());
+    h = hash_combine(h, b.intensity);
+  }
+  h = hash_combine(h, cfg.diurnal.base_level);
+  h = hash_combine(h, cfg.diurnal.swing);
+  h = hash_combine(h, cfg.diurnal.peak_hour);
+  h = hash_combine(h, cfg.diurnal.noise);
+  h = hash_combine(h, cfg.diurnal.seed);
+  h = hash_combine(h, cfg.solar_seed);
+  h = hash_combine(h, cfg.background_load);
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    h = hash_combine(h, cfg.faults.intensity(cls));
+  }
+  h = hash_combine(h, cfg.faults.seed);
+  return h;
+}
+
+namespace {
+
+DayRunConfig validated(DayRunConfig cfg) {
   GS_REQUIRE(cfg.days >= 1, "need at least one day");
+  return cfg;
+}
+
+trace::SolarTraceConfig day_solar_config(const DayRunConfig& cfg) {
   trace::SolarTraceConfig solar_cfg;
   solar_cfg.seed = cfg.solar_seed;
   solar_cfg.days = std::max(cfg.days, 1);
-  const auto solar_ptr = trace::shared_solar_trace(solar_cfg);
-  const trace::SolarTrace& solar = *solar_ptr;
-  const power::SolarArray array({cfg.panels, Watts(275.0), 0.77});
+  return solar_cfg;
+}
 
-  GreenCluster cluster(workload::specjbb(), cfg.cluster);
-  const auto& perf = cluster.perf();
-  const double lambda_burst = perf.intensity_load(server::kMaxCores);
-  const double lambda_background =
-      cfg.background_load * perf.capacity(server::normal_mode());
-  const double normal_goodput =
-      perf.goodput(server::normal_mode(), lambda_burst);
+}  // namespace
 
-  DayRunResult out;
-  out.normal_goodput = normal_goodput;
-  const Seconds epoch = cfg.cluster.epoch;
-  const Seconds horizon(double(cfg.days) * 86400.0);
-  out.simulated = horizon;
+DaySim::DaySim(const DayRunConfig& cfg)
+    : cfg_(validated(cfg)),
+      solar_(trace::shared_solar_trace(day_solar_config(cfg_))),
+      array_({cfg_.panels, Watts(275.0), 0.77}),
+      cluster_(workload::specjbb(), cfg_.cluster),
+      lambda_burst_(cluster_.perf().intensity_load(server::kMaxCores)),
+      lambda_background_(cfg_.background_load *
+                         cluster_.perf().capacity(server::normal_mode())),
+      epoch_(cfg_.cluster.epoch),
+      horizon_(double(cfg_.days) * 86400.0),
+      injector_(cfg_.faults, horizon_, epoch_, cfg_.cluster.servers) {
+  out_.normal_goodput =
+      cluster_.perf().goodput(server::normal_mode(), lambda_burst_);
+  out_.simulated = horizon_;
+}
 
-  const faults::FaultInjector injector(cfg.faults, horizon, epoch,
-                                       cfg.cluster.servers);
-
-  double burst_goodput_sum = 0.0;
-  std::size_t burst_epochs = 0;
-  bool in_burst_prev = false;
-
-  for (Seconds t(0.0); t < horizon; t += epoch) {
-    const double day_offset = std::fmod(t.value(), 86400.0);
-    const bool in_burst = std::any_of(
-        cfg.daily_bursts.begin(), cfg.daily_bursts.end(),
-        [&](const trace::BurstPattern& b) {
-          return day_offset >= b.start.value() &&
-                 day_offset < b.start.value() + b.duration.value();
-        });
-    faults::EpochFaults ef;
-    const faults::EpochFaults* ef_ptr = nullptr;
-    Watts re_total = array.ac_output(solar.at(t));
-    if (injector.enabled()) {
-      ef = injector.at(t);
-      ef_ptr = &ef;
-      re_total = re_total * ef.solar_factor;
-      cluster.apply_component_faults(ef);
-    }
-    if (in_burst) {
-      if (!in_burst_prev) ++out.bursts_served;
-      const auto ep = cluster.step(re_total, lambda_burst, true, ef_ptr);
-      burst_goodput_sum += ep.total_goodput / double(cluster.servers());
-      ++burst_epochs;
-      out.sprint_time += epoch * double(ep.servers_sprinting);
-      out.re_energy += ep.re_used * epoch;
-      out.batt_energy += ep.batt_used * epoch;
-      out.grid_energy += ep.grid_used * epoch;
-      out.crash_epochs += std::size_t(ep.servers_crashed);
-      out.degraded_epochs += std::size_t(ep.servers_degraded);
-    } else {
-      cluster.idle_step(re_total, lambda_background);
-    }
-    in_burst_prev = in_burst;
+void DaySim::step() {
+  GS_REQUIRE(!done(), "step() past the campaign horizon");
+  const Seconds t = t_;
+  const double day_offset = std::fmod(t.value(), 86400.0);
+  const bool in_burst = std::any_of(
+      cfg_.daily_bursts.begin(), cfg_.daily_bursts.end(),
+      [&](const trace::BurstPattern& b) {
+        return day_offset >= b.start.value() &&
+               day_offset < b.start.value() + b.duration.value();
+      });
+  faults::EpochFaults ef;
+  const faults::EpochFaults* ef_ptr = nullptr;
+  Watts re_total = array_.ac_output(solar_->at(t));
+  if (injector_.enabled()) {
+    ef = injector_.at(t);
+    ef_ptr = &ef;
+    re_total = re_total * ef.solar_factor;
+    cluster_.apply_component_faults(ef);
   }
-
-  if (burst_epochs > 0) {
-    out.mean_burst_goodput = burst_goodput_sum / double(burst_epochs);
-    out.burst_speedup = out.mean_burst_goodput / normal_goodput;
+  if (in_burst) {
+    if (!in_burst_prev_) ++out_.bursts_served;
+    const auto ep = cluster_.step(re_total, lambda_burst_, true, ef_ptr);
+    burst_goodput_sum_ += ep.total_goodput / double(cluster_.servers());
+    ++burst_epochs_;
+    out_.sprint_time += epoch_ * double(ep.servers_sprinting);
+    out_.re_energy += ep.re_used * epoch_;
+    out_.batt_energy += ep.batt_used * epoch_;
+    out_.grid_energy += ep.grid_used * epoch_;
+    out_.crash_epochs += std::size_t(ep.servers_crashed);
+    out_.degraded_epochs += std::size_t(ep.servers_degraded);
+  } else {
+    cluster_.idle_step(re_total, lambda_background_);
   }
-  out.sprint_hours_per_server =
-      out.sprint_time.value() / 3600.0 / double(cluster.servers());
-  out.battery_cycles = cluster.total_equivalent_cycles();
-  return out;
+  in_burst_prev_ = in_burst;
+  t_ += epoch_;
+}
+
+DayRunResult DaySim::finish() {
+  GS_REQUIRE(done(), "finish() before the campaign completed");
+  if (burst_epochs_ > 0) {
+    out_.mean_burst_goodput = burst_goodput_sum_ / double(burst_epochs_);
+    out_.burst_speedup = out_.mean_burst_goodput / out_.normal_goodput;
+  }
+  out_.sprint_hours_per_server =
+      out_.sprint_time.value() / 3600.0 / double(cluster_.servers());
+  out_.battery_cycles = cluster_.total_equivalent_cycles();
+  return out_;
+}
+
+void DaySim::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("day_sim", kStateVersion);
+  w.u64(day_run_fingerprint(cfg_));
+  w.f64(t_.value());
+  w.boolean(in_burst_prev_);
+  w.f64(burst_goodput_sum_);
+  w.u64(burst_epochs_);
+  w.f64(out_.sprint_time.value());
+  w.f64(out_.re_energy.value());
+  w.f64(out_.batt_energy.value());
+  w.f64(out_.grid_energy.value());
+  w.i64(out_.bursts_served);
+  w.u64(out_.crash_epochs);
+  w.u64(out_.degraded_epochs);
+  cluster_.save_state(w);
+  w.end_section();
+}
+
+void DaySim::load_state(ckpt::StateReader& r) {
+  r.begin_section("day_sim", kStateVersion);
+  if (r.u64() != day_run_fingerprint(cfg_)) {
+    throw ckpt::SnapshotError(
+        "day snapshot was taken under a different campaign config "
+        "(fingerprint mismatch)");
+  }
+  t_ = Seconds(r.f64());
+  in_burst_prev_ = r.boolean();
+  burst_goodput_sum_ = r.f64();
+  burst_epochs_ = std::size_t(r.u64());
+  out_.sprint_time = Seconds(r.f64());
+  out_.re_energy = Joules(r.f64());
+  out_.batt_energy = Joules(r.f64());
+  out_.grid_energy = Joules(r.f64());
+  out_.bursts_served = int(r.i64());
+  out_.crash_epochs = std::size_t(r.u64());
+  out_.degraded_epochs = std::size_t(r.u64());
+  cluster_.load_state(r);
+  r.end_section();
+}
+
+DayRunResult run_days(const DayRunConfig& cfg) {
+  DaySim sim(cfg);
+  while (!sim.done()) sim.step();
+  return sim.finish();
 }
 
 double yearly_sprint_hours(const DayRunResult& r) {

@@ -7,9 +7,15 @@
 // (Fig. 11), measured instead of assumed.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "ckpt/fwd.hpp"
+#include "faults/fault_injector.hpp"
 #include "faults/fault_spec.hpp"
+#include "power/solar_array.hpp"
 #include "sim/green_cluster.hpp"
 #include "trace/solar.hpp"
 #include "trace/workload_trace.hpp"
@@ -52,6 +58,51 @@ struct DayRunResult {
 /// Returns the default burst schedule used by the examples: morning,
 /// midday and evening bursts as in the paper's Fig. 1 narrative.
 [[nodiscard]] std::vector<trace::BurstPattern> default_daily_bursts();
+
+/// Digest over every DayRunConfig field that influences the run; day
+/// snapshots embed it so a checkpoint cannot resume a different campaign.
+[[nodiscard]] std::uint64_t day_run_fingerprint(const DayRunConfig& cfg);
+
+/// Stepwise multi-day simulation behind run_days(): construct, step() one
+/// epoch at a time until done(), then finish(). save_state/load_state
+/// snapshot the full dynamic state (cluster batteries and controllers,
+/// accumulators, clock), so a killed campaign resumes bit-identically on a
+/// DaySim constructed from the same config (src/ckpt).
+class DaySim {
+ public:
+  explicit DaySim(const DayRunConfig& cfg);
+
+  [[nodiscard]] Seconds now() const { return t_; }
+  [[nodiscard]] Seconds horizon() const { return horizon_; }
+  [[nodiscard]] bool done() const { return !(t_ < horizon_); }
+
+  /// Simulate the next epoch (burst or idle). Requires !done().
+  void step();
+
+  /// Aggregate the campaign statistics. Requires done().
+  [[nodiscard]] DayRunResult finish();
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+
+ private:
+  DayRunConfig cfg_;
+  std::shared_ptr<const trace::SolarTrace> solar_;
+  power::SolarArray array_;
+  GreenCluster cluster_;
+  double lambda_burst_ = 0.0;
+  double lambda_background_ = 0.0;
+  Seconds epoch_{60.0};
+  Seconds horizon_{0.0};
+  faults::FaultInjector injector_;
+  Seconds t_{0.0};
+  bool in_burst_prev_ = false;
+  double burst_goodput_sum_ = 0.0;
+  std::size_t burst_epochs_ = 0;
+  DayRunResult out_;
+};
 
 [[nodiscard]] DayRunResult run_days(const DayRunConfig& cfg);
 

@@ -1,5 +1,6 @@
 #include "sim/export.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/assert.hpp"
@@ -65,6 +66,72 @@ void export_summary_row(std::ostream& os, const Scenario& scenario,
            std::to_string(result.degraded_epochs),
            std::to_string(result.crash_epochs),
            TextTable::num(result.fault_downtime.value(), 0)});
+}
+
+AvailabilityReport availability_report(const BurstResult& result,
+                                       Seconds epoch) {
+  GS_REQUIRE(epoch.value() > 0.0, "epoch must be positive");
+  AvailabilityReport rep;
+  rep.observed = epoch * double(result.epochs.size());
+  for (const auto& e : result.epochs) {
+    if (e.faulted || e.crashed) rep.impaired += epoch;
+  }
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    const auto idx = std::size_t(cls);
+    const std::size_t incidents = result.fault_incidents[idx];
+    const Seconds downtime = result.fault_class_downtime[idx];
+    rep.incidents += incidents;
+    rep.downtime += downtime;
+    if (incidents == 0) continue;
+    AvailabilityRow row;
+    row.cls = cls;
+    row.incidents = incidents;
+    row.downtime = downtime;
+    row.mttr = Seconds(downtime.value() / double(incidents));
+    row.mtbf = Seconds(
+        std::max(0.0, (rep.observed - downtime).value()) / double(incidents));
+    rep.per_class.push_back(row);
+  }
+  if (rep.observed.value() > 0.0) {
+    rep.availability = std::clamp(
+        1.0 - rep.impaired.value() / rep.observed.value(), 0.0, 1.0);
+  }
+  if (rep.incidents > 0) {
+    rep.mttr = Seconds(rep.downtime.value() / double(rep.incidents));
+    rep.mtbf = Seconds(std::max(0.0, (rep.observed - rep.downtime).value()) /
+                       double(rep.incidents));
+  }
+  return rep;
+}
+
+void export_availability_csv(std::ostream& os, const AvailabilityReport& rep) {
+  CsvWriter csv(os);
+  csv.row({"fault_class", "incidents", "downtime_s", "mttr_s", "mtbf_s",
+           "availability"});
+  for (const AvailabilityRow& row : rep.per_class) {
+    const double avail =
+        rep.observed.value() > 0.0
+            ? std::clamp(1.0 - row.downtime.value() / rep.observed.value(),
+                         0.0, 1.0)
+            : 1.0;
+    csv.row({faults::to_string(row.cls), std::to_string(row.incidents),
+             TextTable::num(row.downtime.value(), 0),
+             TextTable::num(row.mttr.value(), 1),
+             TextTable::num(row.mtbf.value(), 1),
+             TextTable::num(avail, 6)});
+  }
+  csv.row({"total", std::to_string(rep.incidents),
+           TextTable::num(rep.downtime.value(), 0),
+           TextTable::num(rep.mttr.value(), 1),
+           TextTable::num(rep.mtbf.value(), 1),
+           TextTable::num(rep.availability, 6)});
+}
+
+void export_availability_csv_file(const std::string& path,
+                                  const AvailabilityReport& rep) {
+  std::ofstream out(path);
+  GS_REQUIRE(out.good(), "cannot open export file: " + path);
+  export_availability_csv(out, rep);
 }
 
 }  // namespace gs::sim

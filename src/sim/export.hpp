@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/burst_runner.hpp"
 
@@ -21,5 +22,43 @@ void export_epochs_csv_file(const std::string& path,
 void export_summary_header(std::ostream& os);
 void export_summary_row(std::ostream& os, const Scenario& scenario,
                         const BurstResult& result);
+
+// --- Availability (MTTR/MTBF) reporting -----------------------------------
+
+/// Availability of one fault class over a burst.
+struct AvailabilityRow {
+  faults::FaultClass cls = faults::FaultClass(0);
+  std::size_t incidents = 0;   ///< Activation edges of the class.
+  Seconds downtime{0.0};       ///< Epochs the class was active.
+  Seconds mttr{0.0};           ///< downtime / incidents.
+  Seconds mtbf{0.0};           ///< (observed - downtime) / incidents.
+};
+
+/// MTTR/MTBF summary derived from a BurstResult's per-class incident and
+/// downtime telemetry. Downtime of concurrently-active classes is counted
+/// once per class, so the class-summed `downtime` can exceed the
+/// observation window; the aggregate availability therefore uses the
+/// *union* of impaired time (epochs with any fault active or the server
+/// crashed, from the epoch flags), like an SRE availability report.
+struct AvailabilityReport {
+  Seconds observed{0.0};       ///< Burst length (epochs x epoch).
+  Seconds downtime{0.0};       ///< Summed over every class (may overlap).
+  Seconds impaired{0.0};       ///< Union: epochs with any class active.
+  std::size_t incidents = 0;
+  double availability = 1.0;   ///< 1 - impaired/observed, in [0,1].
+  Seconds mttr{0.0};
+  Seconds mtbf{0.0};
+  std::vector<AvailabilityRow> per_class;  ///< Classes with incidents only.
+};
+
+/// Build the report; `epoch` is the scenario's scheduling-epoch length
+/// (the result records downtime in whole epochs).
+[[nodiscard]] AvailabilityReport availability_report(const BurstResult& result,
+                                                     Seconds epoch);
+
+/// One row per fault class with incidents, plus a trailing "total" row.
+void export_availability_csv(std::ostream& os, const AvailabilityReport& rep);
+void export_availability_csv_file(const std::string& path,
+                                  const AvailabilityReport& rep);
 
 }  // namespace gs::sim

@@ -1,7 +1,9 @@
 #include "sim/green_cluster.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "workload/perf_model.hpp"
 
@@ -222,6 +224,36 @@ double GreenCluster::total_equivalent_cycles() const {
   double sum = 0.0;
   for (const auto& b : batteries_) sum += b.equivalent_cycles();
   return sum;
+}
+
+void GreenCluster::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("green_cluster", kStateVersion);
+  w.u64(std::uint64_t(cfg_.servers));
+  grid_.save_state(w);
+  for (const power::Battery& b : batteries_) b.save_state(w);
+  for (const auto& c : controllers_) c->save_state(w);
+  for (std::size_t i = 0; i < prev_deficit_.size(); ++i) {
+    w.boolean(prev_deficit_[i]);
+  }
+  w.end_section();
+}
+
+void GreenCluster::load_state(ckpt::StateReader& r) {
+  r.begin_section("green_cluster", kStateVersion);
+  const std::uint64_t servers = r.u64();
+  if (servers != std::uint64_t(cfg_.servers)) {
+    throw ckpt::SnapshotError(
+        "cluster snapshot holds " + std::to_string(servers) +
+        " green servers, cluster is configured for " +
+        std::to_string(cfg_.servers));
+  }
+  grid_.load_state(r);
+  for (power::Battery& b : batteries_) b.load_state(r);
+  for (const auto& c : controllers_) c->load_state(r);
+  for (std::size_t i = 0; i < prev_deficit_.size(); ++i) {
+    prev_deficit_[i] = r.boolean();
+  }
+  r.end_section();
 }
 
 }  // namespace gs::sim

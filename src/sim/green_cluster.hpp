@@ -13,9 +13,11 @@
 //    difference.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "ckpt/fwd.hpp"
 #include "core/greensprint.hpp"
 #include "faults/fault_injector.hpp"
 #include "power/battery.hpp"
@@ -88,6 +90,15 @@ class GreenCluster {
   [[nodiscard]] double total_equivalent_cycles() const;
   [[nodiscard]] const GreenClusterConfig& config() const { return cfg_; }
   [[nodiscard]] const workload::PerfModel& perf() const { return perf_; }
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  // The snapshot carries the dynamic state only (batteries, controllers,
+  // grid, deficit flags); load_state requires a cluster constructed from
+  // the same (app, config) and throws ckpt::SnapshotError on a server-count
+  // mismatch.
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   /// RE split for this epoch according to the policy.

@@ -1,5 +1,6 @@
 #include "sim/monitor.hpp"
 
+#include "ckpt/common_state.hpp"
 #include "common/assert.hpp"
 
 namespace gs::sim {
@@ -75,6 +76,11 @@ void Monitor::record_fault(faults::FaultClass cls) {
   fault_downtime_[std::size_t(cls)] += epoch_;
 }
 
+void Monitor::record_fault_incident(faults::FaultClass cls) {
+  MutexLock lock(mu_);
+  ++fault_incidents_[std::size_t(cls)];
+}
+
 void Monitor::record_degraded_epoch() {
   MutexLock lock(mu_);
   ++degraded_epochs_;
@@ -97,6 +103,18 @@ Seconds Monitor::total_fault_downtime() const {
   return total;
 }
 
+std::size_t Monitor::fault_incidents(faults::FaultClass cls) const {
+  MutexLock lock(mu_);
+  return fault_incidents_[std::size_t(cls)];
+}
+
+std::size_t Monitor::total_fault_incidents() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const std::size_t n : fault_incidents_) total += n;
+  return total;
+}
+
 std::size_t Monitor::degraded_epochs() const {
   MutexLock lock(mu_);
   return degraded_epochs_;
@@ -115,6 +133,85 @@ void Monitor::set_epoch(Seconds epoch) {
 Seconds Monitor::epoch() const {
   MutexLock lock(mu_);
   return epoch_;
+}
+
+namespace {
+
+void save_sample(ckpt::StateWriter& w, const MonitorSample& s) {
+  w.f64(s.time.value());
+  w.i64(s.setting.cores);
+  w.i64(s.setting.freq_idx);
+  w.u8(std::uint8_t(s.power_case));
+  w.f64(s.offered_load);
+  w.f64(s.goodput);
+  w.f64(s.latency.value());
+  w.f64(s.demand.value());
+  w.f64(s.re_used.value());
+  w.f64(s.batt_used.value());
+  w.f64(s.grid_used.value());
+  w.f64(s.battery_soc);
+}
+
+void load_sample(ckpt::StateReader& r, MonitorSample& s) {
+  s.time = Seconds(r.f64());
+  s.setting.cores = int(r.i64());
+  s.setting.freq_idx = int(r.i64());
+  const std::uint8_t pc = r.u8();
+  if (pc > std::uint8_t(power::PowerCase::GridFallback)) {
+    throw ckpt::SnapshotError("monitor snapshot holds invalid power case " +
+                              std::to_string(int(pc)));
+  }
+  s.power_case = power::PowerCase(pc);
+  s.offered_load = r.f64();
+  s.goodput = r.f64();
+  s.latency = Seconds(r.f64());
+  s.demand = Watts(r.f64());
+  s.re_used = Watts(r.f64());
+  s.batt_used = Watts(r.f64());
+  s.grid_used = Watts(r.f64());
+  s.battery_soc = r.f64();
+}
+
+}  // namespace
+
+void Monitor::save_state(ckpt::StateWriter& w) const {
+  MutexLock lock(mu_);
+  w.begin_section("monitor", kStateVersion);
+  ckpt::save_ring_buffer(w, history_, save_sample);
+  w.u64(count_);
+  w.f64(epoch_.value());
+  ckpt::save_running_stats(w, goodput_);
+  ckpt::save_running_stats(w, latency_);
+  ckpt::save_running_stats(w, demand_);
+  w.f64(re_energy_.value());
+  w.f64(batt_energy_.value());
+  w.f64(grid_energy_.value());
+  w.f64(sprint_time_.value());
+  for (const Seconds& s : fault_downtime_) w.f64(s.value());
+  for (const std::size_t n : fault_incidents_) w.u64(n);
+  w.u64(degraded_epochs_);
+  w.u64(crash_epochs_);
+  w.end_section();
+}
+
+void Monitor::load_state(ckpt::StateReader& r) {
+  MutexLock lock(mu_);
+  r.begin_section("monitor", kStateVersion);
+  ckpt::load_ring_buffer(r, history_, load_sample);
+  count_ = std::size_t(r.u64());
+  epoch_ = Seconds(r.f64());
+  ckpt::load_running_stats(r, goodput_);
+  ckpt::load_running_stats(r, latency_);
+  ckpt::load_running_stats(r, demand_);
+  re_energy_ = Joules(r.f64());
+  batt_energy_ = Joules(r.f64());
+  grid_energy_ = Joules(r.f64());
+  sprint_time_ = Seconds(r.f64());
+  for (Seconds& s : fault_downtime_) s = Seconds(r.f64());
+  for (std::size_t& n : fault_incidents_) n = std::size_t(r.u64());
+  degraded_epochs_ = std::size_t(r.u64());
+  crash_epochs_ = std::size_t(r.u64());
+  r.end_section();
 }
 
 }  // namespace gs::sim

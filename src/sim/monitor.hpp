@@ -12,7 +12,9 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
+#include "ckpt/fwd.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "common/thread_annotations.hpp"
@@ -64,6 +66,10 @@ class Monitor {
 
   /// Account one epoch during which `cls` was actively degrading service.
   void record_fault(faults::FaultClass cls) GS_EXCLUDES(mu_);
+  /// Account one *incident* of `cls`: the rising edge where the class went
+  /// from inactive to active (the runner detects the edge; the Monitor
+  /// just counts). Incident counts + downtime give MTTR/MTBF.
+  void record_fault_incident(faults::FaultClass cls) GS_EXCLUDES(mu_);
   /// Account one epoch spent with the controller clamped to Normal.
   void record_degraded_epoch() GS_EXCLUDES(mu_);
   /// Account one epoch of total outage (crashed green server).
@@ -74,12 +80,21 @@ class Monitor {
       GS_EXCLUDES(mu_);
   /// Downtime summed over every fault class.
   [[nodiscard]] Seconds total_fault_downtime() const GS_EXCLUDES(mu_);
+  /// Incidents (activation edges) of a fault class.
+  [[nodiscard]] std::size_t fault_incidents(faults::FaultClass cls) const
+      GS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t total_fault_incidents() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t degraded_epochs() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t crash_epochs() const GS_EXCLUDES(mu_);
 
   /// Record epoch duration used for energy integration.
   void set_epoch(Seconds epoch) GS_EXCLUDES(mu_);
   [[nodiscard]] Seconds epoch() const GS_EXCLUDES(mu_);
+
+  // --- Checkpoint/restore (src/ckpt) --------------------------------------
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const GS_EXCLUDES(mu_);
+  void load_state(ckpt::StateReader& r) GS_EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;
@@ -94,6 +109,8 @@ class Monitor {
   Joules grid_energy_ GS_GUARDED_BY(mu_){0.0};
   Seconds sprint_time_ GS_GUARDED_BY(mu_){0.0};
   std::array<Seconds, faults::kNumFaultClasses> fault_downtime_
+      GS_GUARDED_BY(mu_){};
+  std::array<std::size_t, faults::kNumFaultClasses> fault_incidents_
       GS_GUARDED_BY(mu_){};
   std::size_t degraded_epochs_ GS_GUARDED_BY(mu_) = 0;
   std::size_t crash_epochs_ GS_GUARDED_BY(mu_) = 0;

@@ -1,6 +1,9 @@
 #include "sim/oracle_runner.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
+#include "faults/fault_injector.hpp"
 #include "power/solar_array.hpp"
 #include "server/power_model.hpp"
 #include "workload/perf_model.hpp"
@@ -24,14 +27,29 @@ OracleResult run_oracle(const Scenario& sc) {
   const auto profile_ptr = core::ProfileTable::shared(perf, pmodel);
   const core::ProfileTable& profile = *profile_ptr;
 
+  // Fault injection: the oracle is clairvoyant, so it plans against the
+  // *faulted* renewable supply (per-epoch solar derate) and the worst
+  // battery fade seen over the burst — the offline-optimal bound under the
+  // same failure history the online strategies face. The all-zero default
+  // spec keeps the exact fault-free arithmetic.
+  const faults::FaultInjector injector(sc.faults, sc.burst_duration, sc.epoch,
+                                       /*servers=*/1);
+  double min_battery_factor = 1.0;
+
   const auto n_epochs =
       std::size_t(sc.burst_duration.value() / sc.epoch.value());
   std::vector<Watts> supply;
   supply.reserve(n_epochs);
   for (std::size_t e = 0; e < n_epochs; ++e) {
     const Seconds t = *window + sc.epoch * double(e);
-    supply.push_back(array.ac_output(solar.at(t)) /
-                     double(sc.green.green_servers));
+    Watts s = array.ac_output(solar.at(t)) / double(sc.green.green_servers);
+    if (injector.enabled()) {
+      const faults::EpochFaults ef = injector.at(sc.epoch * double(e));
+      s = s * ef.solar_factor;
+      min_battery_factor =
+          std::min(min_battery_factor, ef.battery_capacity_factor);
+    }
+    supply.push_back(s);
   }
 
   power::BatteryConfig bc;
@@ -39,6 +57,9 @@ OracleResult run_oracle(const Scenario& sc) {
   // then has no battery energy to spend).
   bc.capacity = sc.green.battery.value() > 0.0 ? sc.green.battery
                                                : AmpHours(1e-9);
+  if (injector.enabled()) {
+    bc.capacity = AmpHours(bc.capacity.value() * min_battery_factor);
+  }
 
   const double lambda = perf.intensity_load(sc.burst_intensity);
   OracleResult out;

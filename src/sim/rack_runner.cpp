@@ -22,11 +22,17 @@ RackRunner::RackRunner(const workload::AppDescriptor& app, RackConfig cfg)
              "rack needs grid-powered servers");
 }
 
-RackEpoch RackRunner::step(Watts re_total, double lambda) {
+RackEpoch RackRunner::step(Watts re_total, double lambda,
+                           const faults::EpochFaults* epoch_faults) {
   RackEpoch out;
   // Grid side: the whole budget carries the non-green servers at the best
-  // uniform setting that fits their per-server share.
-  const Watts share = grid_share_per_server(cfg_.cluster);
+  // uniform setting that fits their per-server share. A brownout derates
+  // that share the same way it derates the green group's grid backstop.
+  Watts share = grid_share_per_server(cfg_.cluster);
+  if (epoch_faults != nullptr) {
+    share = share * epoch_faults->grid_budget_factor;
+    green_.apply_component_faults(*epoch_faults);
+  }
   out.grid_setting = best_setting_under_cap(perf_, power_model_, lambda,
                                             share);
   const double per_grid_goodput = perf_.goodput(out.grid_setting, lambda);
@@ -38,7 +44,7 @@ RackEpoch RackRunner::step(Watts re_total, double lambda) {
       double(n_grid);
 
   // Green side: per-server controllers against the green bus.
-  out.green = green_.step(re_total, lambda, /*bursting=*/true);
+  out.green = green_.step(re_total, lambda, /*bursting=*/true, epoch_faults);
   out.cluster_goodput = out.grid_goodput + out.green.total_goodput;
   out.rack_power = out.grid_servers_power + out.green.total_demand;
   return out;

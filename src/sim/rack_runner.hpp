@@ -8,6 +8,7 @@
 // cluster-wide speedup the per-green-server figures do not show.
 #pragma once
 
+#include "faults/fault_injector.hpp"
 #include "sim/cluster.hpp"
 #include "sim/green_cluster.hpp"
 
@@ -34,8 +35,12 @@ class RackRunner {
   RackRunner(const workload::AppDescriptor& app, RackConfig cfg);
 
   /// One burst epoch at per-server offered load `lambda` under rack-level
-  /// renewable output `re_total`.
-  RackEpoch step(Watts re_total, double lambda);
+  /// renewable output `re_total`. `epoch_faults` (optional) is this epoch's
+  /// injected fault state: a grid brownout shrinks the PDU share carrying
+  /// the grid servers, and the green group sees the full per-server fault
+  /// set through GreenCluster::step. Null keeps the exact fault-free path.
+  RackEpoch step(Watts re_total, double lambda,
+                 const faults::EpochFaults* epoch_faults = nullptr);
 
   /// Idle epoch: everything at Normal, batteries recharge.
   void idle_step(Watts re_total, double background_lambda);

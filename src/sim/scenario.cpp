@@ -1,6 +1,53 @@
 #include "sim/scenario.hpp"
 
+#include "common/keyed_cache.hpp"
+
 namespace gs::sim {
+
+namespace {
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  h = hash_combine(h, std::uint64_t(s.size()));
+  for (const char c : s) h = hash_combine(h, std::uint64_t(std::uint8_t(c)));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const Scenario& sc) {
+  std::uint64_t h = 0x5ce9a610ull;
+  h = hash_string(h, sc.app.name);
+  h = hash_string(h, sc.app.metric);
+  h = hash_combine(h, sc.app.memory_gb);
+  h = hash_combine(h, sc.app.qos.percentile);
+  h = hash_combine(h, sc.app.qos.limit.value());
+  h = hash_combine(h, sc.app.base_service_s);
+  h = hash_combine(h, sc.app.freq_sensitivity);
+  h = hash_combine(h, sc.app.congestion_delta);
+  h = hash_combine(h, sc.app.normal_full_power.value());
+  h = hash_combine(h, sc.app.sprint_peak_power.value());
+  h = hash_string(h, sc.green.name);
+  h = hash_combine(h, std::uint64_t(sc.green.green_servers));
+  h = hash_combine(h, std::uint64_t(sc.green.panels));
+  h = hash_combine(h, sc.green.battery.value());
+  h = hash_combine(h, std::uint64_t(sc.strategy));
+  h = hash_combine(h, std::uint64_t(sc.availability));
+  h = hash_combine(h, sc.burst_duration.value());
+  h = hash_combine(h, std::uint64_t(sc.burst_intensity));
+  h = hash_combine(h, std::uint64_t(sc.burst_shape));
+  h = hash_combine(h, sc.epoch.value());
+  h = hash_combine(h, sc.warmup.value());
+  h = hash_combine(h, sc.background_load);
+  h = hash_combine(h, sc.seed);
+  h = hash_combine(h, std::uint64_t(sc.use_des));
+  h = hash_combine(h, std::uint64_t(sc.thermal_model));
+  h = hash_combine(h, sc.pcm_capacity_j);
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    h = hash_combine(h, sc.faults.intensity(cls));
+  }
+  h = hash_combine(h, sc.faults.seed);
+  return h;
+}
 
 GreenConfig re_batt() { return {"RE-Batt", 3, 3, AmpHours(10.0)}; }
 GreenConfig re_only() { return {"REOnly", 3, 3, AmpHours(0.0)}; }

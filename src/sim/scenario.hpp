@@ -69,4 +69,10 @@ struct Scenario {
   faults::FaultSpec faults;
 };
 
+/// Order-sensitive digest over every field that influences a run. Burst
+/// snapshots embed it so that loading a checkpoint against a different
+/// scenario fails loudly instead of resuming into the wrong simulation;
+/// the checkpointed sweep keys its per-cell files the same way.
+[[nodiscard]] std::uint64_t scenario_fingerprint(const Scenario& sc);
+
 }  // namespace gs::sim

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <exception>
+#include <filesystem>
 
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "common/keyed_cache.hpp"
 #include "common/thread_annotations.hpp"
@@ -23,6 +26,127 @@ std::vector<BurstResult> run_sweep(const std::vector<Scenario>& scenarios,
       [&](std::size_t i) {
         try {
           results[i] = run_burst(scenarios[i]);
+        } catch (...) {
+          MutexLock lock(error_mu);
+          if (!failed.exchange(true)) first_error = std::current_exception();
+        }
+      },
+      /*chunk=*/1);
+  if (failed) std::rethrow_exception(first_error);
+  return results;
+}
+
+namespace {
+
+constexpr std::uint32_t kSweepManifestVersion = 1;
+constexpr std::uint32_t kSweepCellVersion = 1;
+
+std::string cell_file_name(std::size_t i) {
+  std::string idx = std::to_string(i);
+  while (idx.size() < 6) idx.insert(idx.begin(), '0');
+  return "cell-" + idx + ".gsck";
+}
+
+void write_sweep_manifest(const std::filesystem::path& path,
+                          const std::vector<Scenario>& scenarios) {
+  ckpt::StateWriter w;
+  w.begin_section("sweep_manifest", kSweepManifestVersion);
+  w.u64(scenarios.size());
+  for (const Scenario& sc : scenarios) w.u64(scenario_fingerprint(sc));
+  w.end_section();
+  ckpt::write_snapshot_file(path, w.buffer());
+}
+
+void check_sweep_manifest(const std::filesystem::path& path,
+                          const std::vector<Scenario>& scenarios) {
+  const std::string payload = ckpt::read_snapshot_file(path);
+  ckpt::StateReader r(payload);
+  r.begin_section("sweep_manifest", kSweepManifestVersion);
+  const std::uint64_t cells = r.u64();
+  if (cells != scenarios.size()) {
+    throw ckpt::SnapshotError(
+        "sweep manifest describes " + std::to_string(cells) +
+        " cells, the requested sweep has " +
+        std::to_string(scenarios.size()));
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (r.u64() != scenario_fingerprint(scenarios[i])) {
+      throw ckpt::SnapshotError(
+          "sweep manifest cell " + std::to_string(i) +
+          " was produced by a different scenario; delete the checkpoint "
+          "directory to start a new campaign");
+    }
+  }
+  r.end_section();
+}
+
+}  // namespace
+
+std::vector<BurstResult> run_sweep_checkpointed(
+    const std::vector<Scenario>& scenarios, const SweepCheckpointOptions& opts,
+    std::size_t threads, SweepCheckpointStats* stats) {
+  GS_REQUIRE(!opts.dir.empty(), "checkpointed sweep needs a directory");
+  GS_REQUIRE(opts.every >= 1, "checkpoint interval must be >= 1");
+  namespace fs = std::filesystem;
+  const fs::path dir(opts.dir);
+  fs::create_directories(dir);
+  const fs::path manifest = dir / "sweep.manifest";
+  if (opts.resume && fs::exists(manifest)) {
+    check_sweep_manifest(manifest, scenarios);
+  } else {
+    write_sweep_manifest(manifest, scenarios);
+  }
+
+  std::vector<BurstResult> results(scenarios.size());
+  std::vector<char> loaded(scenarios.size(), 0);
+  std::size_t resumed = 0;
+  if (opts.resume) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const fs::path cell = dir / cell_file_name(i);
+      if (!fs::exists(cell)) continue;
+      try {
+        const std::string payload = ckpt::read_snapshot_file(cell);
+        ckpt::StateReader r(payload);
+        r.begin_section("sweep_cell", kSweepCellVersion);
+        if (r.u64() != scenario_fingerprint(scenarios[i])) {
+          throw ckpt::SnapshotError("sweep cell fingerprint mismatch");
+        }
+        results[i] = load_burst_result(r);
+        r.end_section();
+        loaded[i] = 1;
+        ++resumed;
+      } catch (const ckpt::SnapshotError&) {
+        // Missing, stale, or corrupt cell snapshot: recompute the cell.
+      }
+    }
+  }
+  if (stats) {
+    stats->cells_total = scenarios.size();
+    stats->cells_resumed = resumed;
+    stats->cells_run = scenarios.size() - resumed;
+  }
+  if (scenarios.empty()) return results;
+
+  ThreadPool pool(threads);
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  Mutex error_mu;  // guards first_error across worker threads
+  parallel_for(
+      pool, scenarios.size(),
+      [&](std::size_t i) {
+        if (loaded[i]) return;
+        try {
+          results[i] = run_burst(scenarios[i]);
+          // Cells write to distinct paths and write_snapshot_file is
+          // atomic (temp + rename), so workers need no coordination.
+          if (i % opts.every == 0) {
+            ckpt::StateWriter w;
+            w.begin_section("sweep_cell", kSweepCellVersion);
+            w.u64(scenario_fingerprint(scenarios[i]));
+            save_burst_result(w, results[i]);
+            w.end_section();
+            ckpt::write_snapshot_file(dir / cell_file_name(i), w.buffer());
+          }
         } catch (...) {
           MutexLock lock(error_mu);
           if (!failed.exchange(true)) first_error = std::current_exception();

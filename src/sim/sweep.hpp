@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -21,6 +22,39 @@ namespace gs::sim {
 /// cached substrates are deterministic in their keys.
 [[nodiscard]] std::vector<BurstResult> run_sweep(
     const std::vector<Scenario>& scenarios, std::size_t threads = 0);
+
+/// Checkpointing for long sweeps (src/ckpt). The sweep directory holds a
+/// `sweep.manifest` describing the campaign (cell count + per-cell scenario
+/// fingerprints) and one `cell-NNNNNN.gsck` snapshot per completed cell,
+/// each written atomically. A killed sweep restarted with `resume = true`
+/// loads every intact cell snapshot and recomputes only the missing or
+/// corrupt ones; because the cell encoding is bit-exact, the resumed
+/// sweep's sweep_fingerprint() matches the uninterrupted run exactly (the
+/// CI resume-integrity lane enforces this).
+struct SweepCheckpointOptions {
+  std::string dir;    ///< Checkpoint directory (created if missing).
+  bool resume = false;  ///< Load completed cells before running the rest.
+  /// Persist every Nth cell (by index). 1 = persist all completed cells;
+  /// larger values trade resume coverage for less checkpoint IO (skipped
+  /// cells are simply recomputed on resume).
+  std::size_t every = 1;
+};
+
+/// Telemetry from a checkpointed sweep (how much work the resume skipped).
+struct SweepCheckpointStats {
+  std::size_t cells_total = 0;
+  std::size_t cells_resumed = 0;
+  std::size_t cells_run = 0;
+};
+
+/// run_sweep with kill-and-resume checkpointing. Results are bit-identical
+/// to run_sweep over the same scenarios, whatever mix of resumed and
+/// freshly-computed cells produced them. Throws ckpt::SnapshotError if
+/// `resume` finds a manifest from a *different* campaign (changed cell
+/// count or scenario fingerprints) — delete the directory to start over.
+[[nodiscard]] std::vector<BurstResult> run_sweep_checkpointed(
+    const std::vector<Scenario>& scenarios, const SweepCheckpointOptions& opts,
+    std::size_t threads = 0, SweepCheckpointStats* stats = nullptr);
 
 /// Order-sensitive 64-bit digest of every numeric field of every result
 /// (per-epoch records included), hashed by bit pattern. Two sweeps are

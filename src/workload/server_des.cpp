@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 
 namespace gs::workload {
@@ -128,6 +129,41 @@ DesResult ServerDes::run_epoch(Rng& rng, const server::ServerSetting& setting,
   res.mean_utilization = std::min(
       1.0, busy_core_time / (double(setting.cores) * horizon));
   return res;
+}
+
+void ServerDes::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("server_des", kStateVersion);
+  w.u64(waiting_.size());
+  for (const double t : waiting_) w.f64(t);
+  w.u64(core_free_.size());
+  for (const double t : core_free_) w.f64(t);
+  w.u64(in_flight_.size());
+  for (const Request& rq : in_flight_) {
+    w.f64(rq.arrival);
+    w.f64(rq.done);
+  }
+  w.end_section();
+}
+
+void ServerDes::load_state(ckpt::StateReader& r) {
+  r.begin_section("server_des", kStateVersion);
+  waiting_.clear();
+  const auto n_wait = std::size_t(r.u64());
+  for (std::size_t i = 0; i < n_wait; ++i) waiting_.push_back(r.f64());
+  core_free_.clear();
+  const auto n_core = std::size_t(r.u64());
+  core_free_.reserve(n_core);
+  for (std::size_t i = 0; i < n_core; ++i) core_free_.push_back(r.f64());
+  in_flight_.clear();
+  const auto n_fly = std::size_t(r.u64());
+  in_flight_.reserve(n_fly);
+  for (std::size_t i = 0; i < n_fly; ++i) {
+    Request rq{};
+    rq.arrival = r.f64();
+    rq.done = r.f64();
+    in_flight_.push_back(rq);
+  }
+  r.end_section();
 }
 
 }  // namespace gs::workload

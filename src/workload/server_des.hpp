@@ -9,9 +9,11 @@
 // captured. Used by the fidelity path and the queue-dynamics tests.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "ckpt/fwd.hpp"
 #include "common/stats.hpp"
 #include "workload/des.hpp"
 
@@ -32,6 +34,13 @@ class ServerDes {
   void reset();
 
   [[nodiscard]] const AppDescriptor& app() const { return app_; }
+
+  // --- Checkpoint/restore (src/ckpt): the cross-epoch queue state (waiting
+  // arrivals, per-core busy times, in-flight requests). The scratch
+  // buffers are re-initialized by run_epoch and are not part of the state.
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
 
  private:
   struct Request {

@@ -1,0 +1,280 @@
+// The kill-at-any-epoch resume guarantee: a simulation snapshotted mid-run
+// and continued on a freshly constructed instance must finish bit-identical
+// to the uninterrupted run, and a checkpointed sweep resumed from a partial
+// (or partially corrupted) directory must reproduce the uninterrupted
+// sweep_fingerprint exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_io.hpp"
+#include "faults/fault_spec.hpp"
+#include "sim/burst_runner.hpp"
+#include "sim/day_runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace gs::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+Scenario base_scenario() {
+  Scenario sc;
+  sc.app = workload::specjbb();
+  sc.green = re_sbatt();
+  sc.strategy = core::StrategyKind::Hybrid;
+  sc.availability = trace::Availability::Med;
+  sc.burst_duration = Seconds(1200.0);
+  return sc;
+}
+
+std::uint64_t result_fingerprint(const BurstResult& r) {
+  return sweep_fingerprint({r});
+}
+
+/// Run to completion in one piece.
+BurstResult run_whole(const Scenario& sc) {
+  BurstSim sim(sc);
+  while (!sim.done()) sim.step();
+  return sim.finish();
+}
+
+/// Run `k` epochs, snapshot, restore onto a fresh BurstSim, and finish.
+BurstResult run_interrupted(const Scenario& sc, std::size_t k) {
+  BurstSim first(sc);
+  for (std::size_t i = 0; i < k && !first.done(); ++i) first.step();
+  ckpt::StateWriter w;
+  first.save_state(w);
+  // `first` is abandoned here — the kill. Only the snapshot survives.
+  BurstSim resumed(sc);
+  ckpt::StateReader r(w.buffer());
+  resumed.load_state(r);
+  while (!resumed.done()) resumed.step();
+  return resumed.finish();
+}
+
+TEST(Resume, BurstSimMatchesRunBurst) {
+  const auto stepwise = run_whole(base_scenario());
+  const auto oneshot = run_burst(base_scenario());
+  EXPECT_EQ(result_fingerprint(stepwise), result_fingerprint(oneshot));
+}
+
+TEST(Resume, BurstSimResumesBitIdenticallyAtEveryEpoch) {
+  const auto sc = base_scenario();
+  const auto reference = run_whole(sc);
+  const auto ref_fp = result_fingerprint(reference);
+  BurstSim probe(sc);
+  const std::size_t n = probe.num_epochs();
+  for (std::size_t k = 0; k <= n; ++k) {
+    const auto resumed = run_interrupted(sc, k);
+    EXPECT_EQ(result_fingerprint(resumed), ref_fp)
+        << "diverged when killed after epoch " << k;
+  }
+}
+
+TEST(Resume, BurstSimResumesWithFaultsAndDes) {
+  auto sc = base_scenario();
+  sc.use_des = true;
+  sc.faults = faults::FaultSpec::uniform(0.4, 11);
+  const auto ref_fp = result_fingerprint(run_whole(sc));
+  // Mid-run kill exercises the DES RNG, fault edge state, and monitor
+  // incident counters across the snapshot boundary.
+  EXPECT_EQ(result_fingerprint(run_interrupted(sc, 7)), ref_fp);
+}
+
+TEST(Resume, BurstSimSnapshotRejectsDifferentScenario) {
+  BurstSim sim(base_scenario());
+  sim.step();
+  ckpt::StateWriter w;
+  sim.save_state(w);
+
+  auto other = base_scenario();
+  other.seed += 1;
+  BurstSim victim(other);
+  ckpt::StateReader r(w.buffer());
+  EXPECT_THROW(victim.load_state(r), ckpt::SnapshotError);
+}
+
+DayRunConfig day_config() {
+  DayRunConfig cfg;
+  cfg.days = 1;
+  cfg.daily_bursts = default_daily_bursts();
+  return cfg;
+}
+
+TEST(Resume, DaySimResumesBitIdentically) {
+  const auto cfg = day_config();
+  DaySim whole(cfg);
+  while (!whole.done()) whole.step();
+  const auto reference = whole.finish();
+
+  DaySim first(cfg);
+  for (int i = 0; i < 500 && !first.done(); ++i) first.step();
+  ckpt::StateWriter w;
+  first.save_state(w);
+  DaySim resumed(cfg);
+  ckpt::StateReader r(w.buffer());
+  resumed.load_state(r);
+  while (!resumed.done()) resumed.step();
+  const auto continued = resumed.finish();
+
+  EXPECT_EQ(continued.sprint_time.value(), reference.sprint_time.value());
+  EXPECT_EQ(continued.mean_burst_goodput, reference.mean_burst_goodput);
+  EXPECT_EQ(continued.burst_speedup, reference.burst_speedup);
+  EXPECT_EQ(continued.re_energy.value(), reference.re_energy.value());
+  EXPECT_EQ(continued.batt_energy.value(), reference.batt_energy.value());
+  EXPECT_EQ(continued.grid_energy.value(), reference.grid_energy.value());
+  EXPECT_EQ(continued.battery_cycles, reference.battery_cycles);
+  EXPECT_EQ(continued.bursts_served, reference.bursts_served);
+}
+
+TEST(Resume, DaySimSnapshotRejectsDifferentConfig) {
+  const auto cfg = day_config();
+  DaySim sim(cfg);
+  sim.step();
+  ckpt::StateWriter w;
+  sim.save_state(w);
+
+  auto other = cfg;
+  other.solar_seed += 1;
+  DaySim victim(other);
+  ckpt::StateReader r(w.buffer());
+  EXPECT_THROW(victim.load_state(r), ckpt::SnapshotError);
+}
+
+TEST(Resume, BurstResultRoundTripIsBitExact) {
+  auto sc = base_scenario();
+  sc.faults = faults::FaultSpec::uniform(0.3, 5);
+  const auto original = run_burst(sc);
+
+  ckpt::StateWriter w;
+  save_burst_result(w, original);
+  ckpt::StateReader r(w.buffer());
+  const auto restored = load_burst_result(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(result_fingerprint(restored), result_fingerprint(original));
+  // Fields outside the fingerprint must survive too.
+  EXPECT_EQ(restored.fault_incidents, original.fault_incidents);
+  for (int i = 0; i < faults::kNumFaultClasses; ++i) {
+    EXPECT_EQ(restored.fault_class_downtime[std::size_t(i)].value(),
+              original.fault_class_downtime[std::size_t(i)].value());
+  }
+}
+
+class CheckpointedSweep : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("gs_resume_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<Scenario> small_grid() {
+    std::vector<Scenario> cells;
+    for (auto k : {core::StrategyKind::Greedy, core::StrategyKind::Pacing}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        auto sc = base_scenario();
+        sc.burst_duration = Seconds(600.0);
+        sc.strategy = k;
+        sc.seed = seed;
+        cells.push_back(sc);
+      }
+    }
+    return cells;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointedSweep, MatchesPlainSweepAndFullResumeRunsNothing) {
+  const auto grid = small_grid();
+  const auto plain_fp = sweep_fingerprint(run_sweep(grid));
+
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  SweepCheckpointStats stats;
+  const auto first = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(first), plain_fp);
+  EXPECT_EQ(stats.cells_run, grid.size());
+  EXPECT_EQ(stats.cells_resumed, 0u);
+
+  opts.resume = true;
+  const auto second = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(second), plain_fp);
+  EXPECT_EQ(stats.cells_resumed, grid.size());
+  EXPECT_EQ(stats.cells_run, 0u);
+}
+
+TEST_F(CheckpointedSweep, PartialAndCorruptCellsAreRecomputed) {
+  const auto grid = small_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  const auto reference = run_sweep_checkpointed(grid, opts);
+  const auto ref_fp = sweep_fingerprint(reference);
+
+  // Simulate a kill plus disk damage: drop one cell, corrupt another.
+  fs::remove(dir_ / "cell-000002.gsck");
+  {
+    std::ofstream os(dir_ / "cell-000004.gsck",
+                     std::ios::binary | std::ios::trunc);
+    os << "not a snapshot";
+  }
+
+  opts.resume = true;
+  SweepCheckpointStats stats;
+  const auto resumed = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(resumed), ref_fp);
+  EXPECT_EQ(stats.cells_resumed, grid.size() - 2);
+  EXPECT_EQ(stats.cells_run, 2u);
+}
+
+TEST_F(CheckpointedSweep, EveryThrottleSkipsPersistenceNotResults) {
+  const auto grid = small_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  opts.every = 3;  // persist cells 0 and 3 only
+  const auto results = run_sweep_checkpointed(grid, opts);
+
+  std::size_t persisted = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().extension() == ".gsck") ++persisted;
+  }
+  EXPECT_EQ(persisted, 2u);
+
+  opts.resume = true;
+  SweepCheckpointStats stats;
+  const auto resumed = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(resumed), sweep_fingerprint(results));
+  EXPECT_EQ(stats.cells_resumed, 2u);
+}
+
+TEST_F(CheckpointedSweep, ResumingADifferentCampaignThrows) {
+  const auto grid = small_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  (void)run_sweep_checkpointed(grid, opts);
+
+  auto other = grid;
+  other.pop_back();
+  opts.resume = true;
+  EXPECT_THROW((void)run_sweep_checkpointed(other, opts),
+               ckpt::SnapshotError);
+
+  auto reseeded = grid;
+  reseeded[0].seed += 99;
+  EXPECT_THROW((void)run_sweep_checkpointed(reseeded, opts),
+               ckpt::SnapshotError);
+}
+
+}  // namespace
+}  // namespace gs::sim

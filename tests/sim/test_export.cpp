@@ -73,5 +73,59 @@ TEST(Export, BadPathThrows) {
                gs::ContractError);
 }
 
+TEST(Export, AvailabilityReportOnHealthyRunIsPerfect) {
+  const auto r = run_burst(small_scenario());
+  const auto rep = availability_report(r, Seconds(60.0));
+  EXPECT_DOUBLE_EQ(rep.availability, 1.0);
+  EXPECT_EQ(rep.incidents, 0u);
+  EXPECT_DOUBLE_EQ(rep.downtime.value(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.impaired.value(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.observed.value(), 60.0 * double(r.epochs.size()));
+  EXPECT_TRUE(rep.per_class.empty());
+}
+
+TEST(Export, AvailabilityReportUnderFaults) {
+  auto sc = small_scenario();
+  sc.burst_duration = Seconds(1800.0);
+  sc.faults = faults::FaultSpec::uniform(0.4, 7);
+  const auto r = run_burst(sc);
+  const auto rep = availability_report(r, Seconds(60.0));
+  ASSERT_GT(rep.incidents, 0u);
+  EXPECT_LT(rep.availability, 1.0);
+  EXPECT_GE(rep.availability, 0.0);
+  // The union of impaired time never exceeds the window even when the
+  // per-class sum does (concurrently active classes).
+  EXPECT_LE(rep.impaired.value(), rep.observed.value() + 1e-9);
+  EXPECT_GE(rep.downtime.value(), rep.impaired.value() - 1e-9);
+  for (const auto& row : rep.per_class) {
+    EXPECT_GT(row.incidents, 0u);
+    EXPECT_GT(row.downtime.value(), 0.0);
+    EXPECT_DOUBLE_EQ(row.mttr.value(),
+                     row.downtime.value() / double(row.incidents));
+    EXPECT_GE(row.mtbf.value(), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(rep.mttr.value(),
+                   rep.downtime.value() / double(rep.incidents));
+}
+
+TEST(Export, AvailabilityCsvHasPerClassAndTotalRows) {
+  auto sc = small_scenario();
+  sc.burst_duration = Seconds(1800.0);
+  sc.faults = faults::FaultSpec::uniform(0.4, 7);
+  const auto rep = availability_report(run_burst(sc), Seconds(60.0));
+  std::ostringstream os;
+  export_availability_csv(os, rep);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("fault_class,incidents,downtime_s", 0), 0u);
+  EXPECT_NE(out.find("\ntotal,"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::ptrdiff_t(rep.per_class.size()) + 2);  // header + total
+}
+
+TEST(Export, AvailabilityRejectsNonPositiveEpoch) {
+  const auto r = run_burst(small_scenario());
+  EXPECT_THROW((void)availability_report(r, Seconds(0.0)), gs::ContractError);
+}
+
 }  // namespace
 }  // namespace gs::sim

@@ -23,6 +23,11 @@ Enforces the invariants clang-tidy cannot express for this codebase:
   use-gs-assert     <cassert>/assert() abort without a message and vanish
                     under NDEBUG; src/ uses GS_REQUIRE / GS_ENSURE from
                     common/assert.hpp, which throw gs::ContractError.
+  ckpt-schema-version
+                    a header that declares save_state/load_state must also
+                    declare a kStateVersion schema field; versioned sections
+                    are what lets a resumed campaign reject snapshots written
+                    by an older layout instead of misreading them.
 
 Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
 with a comment explaining why. Usage:
@@ -100,6 +105,8 @@ RULES = [
 ]
 
 MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+_)\s*;")
+
+CKPT_DECL_RE = re.compile(r"\b(?:save_state|load_state)\s*\(")
 
 
 def strip_comments(text: str) -> str:
@@ -198,6 +205,30 @@ def lint_file(path: Path, rel: str) -> list[str]:
             "has no GS_GUARDED_BY/GS_REQUIRES/... referencing it; annotate "
             "what it guards"
         )
+
+    # ckpt-schema-version: a header that declares save_state/load_state
+    # must declare kStateVersion so every snapshot section is schema-
+    # versioned (allow() the declaration when the version is inherited
+    # from a base class).
+    if rel.endswith(".hpp") and not re.search(r"\bkStateVersion\b", code):
+        decl_lines = [
+            lineno
+            for lineno, line in enumerate(code_lines, 1)
+            if CKPT_DECL_RE.search(line)
+        ]
+        # File-level rule, file-level suppression: an allow() comment
+        # anywhere in the header waives it (e.g. version inherited from a
+        # base class).
+        suppressed = any(
+            "ckpt-schema-version" in allowed_rules(raw_line)
+            for raw_line in raw_lines
+        )
+        if decl_lines and not suppressed:
+            findings.append(
+                f"{rel}:{decl_lines[0]}: [ckpt-schema-version] save_state/"
+                "load_state declared without a kStateVersion schema field; "
+                "snapshot sections must be versioned (ckpt/state_io.hpp)"
+            )
     return findings
 
 
@@ -213,6 +244,10 @@ def main(argv: list[str]) -> int:
         print(
             "mutex-annotations: gs::Mutex members must be referenced by a "
             "capability annotation in the declaring file"
+        )
+        print(
+            "ckpt-schema-version: headers declaring save_state/load_state "
+            "must declare a kStateVersion schema field"
         )
         return 0
 
