@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Kill-and-resume integrity check for the checkpoint subsystem (src/ckpt).
 #
+# For each lane (baseline, and a --storm lane with correlated fault storms
+# plus health-aware Hybrid recovery):
+#
 #   1. Run a checkpointed perf_sweep to completion (reference fingerprint).
 #   2. Start the same sweep in a fresh checkpoint directory and SIGKILL it
 #      mid-run, once a few cell snapshots have been persisted.
@@ -8,13 +11,19 @@
 #   4. Fail unless the resumed sweep's fingerprint is bit-identical to the
 #      uninterrupted reference.
 #
+# The storm lane makes the kill land inside active storm windows, so the
+# resume path must reconstruct the StormModel, the per-class correlated
+# edge detectors and the health-extended Q-table exactly.
+#
 # Usage: resume_integrity.sh [path-to-perf_sweep] [work-dir]
-#   CELLS (env) — sweep size; larger values widen the kill window.
+#   CELLS (env)       — baseline sweep size; larger widens the kill window.
+#   STORM_CELLS (env) — storm-lane sweep size (storm cells run slower).
 set -euo pipefail
 
 BIN="${1:-./build/bench/perf_sweep}"
 WORK="${2:-resume-integrity}"
 CELLS="${CELLS:-400}"
+STORM_CELLS="${STORM_CELLS:-120}"
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -27,46 +36,61 @@ cells_persisted() {
   find "$1" -name '*.gsck' 2>/dev/null | wc -l | tr -d ' '
 }
 
-echo "== reference run (uninterrupted, $CELLS cells) =="
-"$BIN" --cells "$CELLS" --checkpoint-dir "$WORK/ref-ckpt" \
-    --out "$WORK/ref.json"
-REF_FP="$(fingerprint "$WORK/ref.json")"
-echo "reference fingerprint: $REF_FP"
+# run_lane <label> <cells> [extra perf_sweep flags...]
+run_lane() {
+  local label="$1" cells="$2"
+  shift 2
 
-echo "== interrupted run (SIGKILL mid-sweep) =="
-"$BIN" --cells "$CELLS" --checkpoint-dir "$WORK/kill-ckpt" \
-    --out "$WORK/interrupted.json" &
-PID=$!
-# Wait for the first few cell snapshots to land, then kill -9: the process
-# gets no chance to clean up, exactly like a preempted batch job.
-for _ in $(seq 1 200); do
-  n="$(cells_persisted "$WORK/kill-ckpt")"
-  [ "${n:-0}" -ge 5 ] && break
-  kill -0 "$PID" 2>/dev/null || break
-  sleep 0.05
-done
-kill -9 "$PID" 2>/dev/null || true
-wait "$PID" 2>/dev/null || true
+  echo "== [$label] reference run (uninterrupted, $cells cells) =="
+  "$BIN" --cells "$cells" "$@" --checkpoint-dir "$WORK/$label-ref-ckpt" \
+      --out "$WORK/$label-ref.json"
+  local ref_fp
+  ref_fp="$(fingerprint "$WORK/$label-ref.json")"
+  echo "[$label] reference fingerprint: $ref_fp"
 
-DONE="$(cells_persisted "$WORK/kill-ckpt")"
-echo "cells persisted at kill: ${DONE:-0} of $CELLS"
-if [ "${DONE:-0}" -ge "$CELLS" ]; then
-  echo "warning: the sweep finished before the kill landed; the resume" \
-       "below still checks the full-restore path, but consider raising" \
-       "CELLS to widen the kill window"
-fi
+  echo "== [$label] interrupted run (SIGKILL mid-sweep) =="
+  "$BIN" --cells "$cells" "$@" --checkpoint-dir "$WORK/$label-kill-ckpt" \
+      --out "$WORK/$label-interrupted.json" &
+  local pid=$!
+  # Wait for the first few cell snapshots to land, then kill -9: the
+  # process gets no chance to clean up, exactly like a preempted batch job.
+  for _ in $(seq 1 200); do
+    local n
+    n="$(cells_persisted "$WORK/$label-kill-ckpt")"
+    [ "${n:-0}" -ge 5 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+  done
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
 
-echo "== resumed run =="
-"$BIN" --cells "$CELLS" --checkpoint-dir "$WORK/kill-ckpt" --resume \
-    --out "$WORK/resumed.json"
-RES_FP="$(fingerprint "$WORK/resumed.json")"
-RESUMED="$(grep -o '"cells_resumed": [0-9]*' "$WORK/resumed.json" \
-    | grep -o '[0-9]*$')"
-echo "resumed fingerprint:   $RES_FP (cells resumed: $RESUMED)"
+  local persisted
+  persisted="$(cells_persisted "$WORK/$label-kill-ckpt")"
+  echo "[$label] cells persisted at kill: ${persisted:-0} of $cells"
+  if [ "${persisted:-0}" -ge "$cells" ]; then
+    echo "warning: the sweep finished before the kill landed; the resume" \
+         "below still checks the full-restore path, but consider raising" \
+         "the cell count to widen the kill window"
+  fi
 
-if [ "$REF_FP" != "$RES_FP" ]; then
-  echo "FAIL: resumed sweep fingerprint differs from the uninterrupted" \
-       "reference ($RES_FP != $REF_FP)"
-  exit 1
-fi
-echo "PASS: kill-and-resume reproduced the reference bit-for-bit"
+  echo "== [$label] resumed run =="
+  "$BIN" --cells "$cells" "$@" --checkpoint-dir "$WORK/$label-kill-ckpt" \
+      --resume --out "$WORK/$label-resumed.json"
+  local res_fp resumed
+  res_fp="$(fingerprint "$WORK/$label-resumed.json")"
+  resumed="$(grep -o '"cells_resumed": [0-9]*' "$WORK/$label-resumed.json" \
+      | grep -o '[0-9]*$')"
+  echo "[$label] resumed fingerprint:   $res_fp (cells resumed: $resumed)"
+
+  if [ "$ref_fp" != "$res_fp" ]; then
+    echo "FAIL[$label]: resumed sweep fingerprint differs from the" \
+         "uninterrupted reference ($res_fp != $ref_fp)"
+    exit 1
+  fi
+  echo "PASS[$label]: kill-and-resume reproduced the reference bit-for-bit"
+}
+
+run_lane baseline "$CELLS"
+run_lane storm "$STORM_CELLS" --storm
+
+echo "PASS: both lanes reproduced their references bit-for-bit"

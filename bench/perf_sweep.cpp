@@ -22,6 +22,10 @@
 //   --cells   replicate the grid (fresh seeds) to exactly N cells — used
 //             by the resume-integrity lane to make the run long enough to
 //             kill mid-flight
+//   --storm   inject correlated fault storms into every cell (uniform
+//             faults + weather fronts/cascades/regimes, health-aware
+//             Hybrid) so the resume-integrity lane also kills and resumes
+//             through active storm windows
 //
 // With --checkpoint-dir the bench switches to a single checkpointed sweep
 // (src/ckpt): completed cells are persisted as cell-NNNNNN.gsck snapshots,
@@ -37,6 +41,8 @@
 #include "bench_util.hpp"
 #include "core/hybrid.hpp"
 #include "core/profile_table.hpp"
+#include "faults/correlation.hpp"
+#include "faults/fault_spec.hpp"
 #include "trace/solar.hpp"
 
 namespace {
@@ -83,6 +89,22 @@ std::vector<gs::sim::Scenario> fixed_grid(bool smoke) {
   return cells;
 }
 
+/// Overlay correlated fault storms on every cell: uniform faults whose
+/// seed varies per cell, the full correlation spec (fronts + cascades +
+/// regime bursts), and health-aware Hybrid recovery. Exercised by the
+/// resume-integrity lane so kill-and-resume also crosses storm windows.
+void add_storms(std::vector<gs::sim::Scenario>& cells) {
+  using namespace gs;
+  const auto corr =
+      faults::CorrelationSpec::parse("storm=0.8,cascade=0.5,regime_on=0.15");
+  std::uint64_t i = 0;
+  for (auto& sc : cells) {
+    sc.faults = faults::FaultSpec::uniform(0.3, sc.seed + 31ull * i++);
+    sc.fault_correlation = corr;
+    sc.health_aware = true;
+  }
+}
+
 /// Cycle the base grid out to exactly n cells, bumping the seed on each
 /// pass so every cell is a distinct (substrate-cold) simulation.
 std::vector<gs::sim::Scenario> replicate_grid(
@@ -108,6 +130,7 @@ void print_timing(const char* label, const gs::bench::SweepTiming& t) {
 int main(int argc, char** argv) {
   using namespace gs;
   bool smoke = false;
+  bool storm = false;
   std::string out_path = "BENCH_sweep.json";
   std::size_t n_cells = 0;
   bench::CheckpointCli ckpt;
@@ -116,13 +139,15 @@ int main(int argc, char** argv) {
       continue;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--storm") == 0) {
+      storm = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
       n_cells = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--out PATH] [--cells N]\n"
+                   "usage: %s [--smoke] [--storm] [--out PATH] [--cells N]\n"
                    "          [--checkpoint-dir DIR] [--checkpoint-every N] "
                    "[--resume]\n",
                    argv[0]);
@@ -132,8 +157,9 @@ int main(int argc, char** argv) {
 
   auto grid = fixed_grid(smoke);
   if (n_cells > 0) grid = replicate_grid(grid, n_cells);
-  std::printf("perf_sweep: %zu-cell grid%s\n", grid.size(),
-              smoke ? " (smoke)" : "");
+  if (storm) add_storms(grid);
+  std::printf("perf_sweep: %zu-cell grid%s%s\n", grid.size(),
+              smoke ? " (smoke)" : "", storm ? " (storm)" : "");
 
   if (ckpt.enabled()) {
     // Checkpointed single-pass mode for the resume-integrity lane: one
@@ -161,6 +187,7 @@ int main(int argc, char** argv) {
     json.add("fingerprint", fp);
     json.add("checkpoint_dir", ckpt.options.dir);
     json.add("resume", ckpt.options.resume);
+    json.add("storm", storm);
     if (!json.write(out_path)) {
       std::fprintf(stderr, "perf_sweep: cannot write %s\n", out_path.c_str());
       return 2;
@@ -195,6 +222,7 @@ int main(int argc, char** argv) {
   bench::JsonWriter json;
   json.add("bench", std::string("perf_sweep"));
   json.add("mode", std::string(smoke ? "smoke" : "full"));
+  json.add("storm", storm);
   json.add("cells", std::uint64_t(grid.size()));
   json.add("baseline_cells_per_sec", kBaselineCellsPerSec);
   json.add("cold_cells_per_sec", cold.cells_per_sec);

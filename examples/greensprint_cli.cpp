@@ -4,6 +4,7 @@
 //       --availability=med --minutes=30 --intensity=12
 //       [--epoch=60] [--seed=1] [--des] [--thermal] [--csv]
 //       [--faults=brownout=0.3,panel=0.2] [--fault-seed=7]
+//       [--fault-corr=storm=0.8,cascade=0.5] [--health-aware]
 //
 // Prints a per-epoch table (or CSV with --csv) plus the summary line the
 // paper's figures plot. Also supports --oracle to print the offline
@@ -13,6 +14,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "faults/correlation.hpp"
 #include "faults/fault_spec.hpp"
 #include "sim/burst_runner.hpp"
 #include "sim/oracle_runner.hpp"
@@ -76,11 +78,20 @@ int main(int argc, char** argv) {
                  " [--availability=min|med|max]\n"
                  "  [--minutes=N] [--intensity=7..12] [--epoch=seconds]"
                  " [--seed=N] [--des] [--thermal] [--csv] [--oracle]\n"
-                 "  [--faults=SPEC] [--fault-seed=N]\n"
+                 "  [--faults=SPEC] [--fault-seed=N] [--fault-corr=CORR]"
+                 " [--health-aware]\n"
                  "fault SPEC: comma list of class=intensity in [0,1]; "
                  "classes: brownout panel cloud fade charge pss_stuck\n"
                  "  pss_latency crash straggler sensor_noise sensor_dropout,"
-                 " or all=x; e.g. --faults=brownout=0.4,panel=0.2\n";
+                 " or all=x; e.g. --faults=brownout=0.4,panel=0.2\n"
+                 "fault CORR: comma list of key=value correlating the "
+                 "schedule (faults/correlation.hpp); keys: storm\n"
+                 "  front_spacing front_min front_max front_boost cascade "
+                 "cascade_window rack regime_on regime_off\n"
+                 "  regime_boost regime_damp seed; e.g. "
+                 "--fault-corr=storm=0.8,cascade=0.5,regime_on=0.15\n"
+                 "--health-aware: Hybrid learns recovery actions from the "
+                 "controller health state instead of clamping to Normal\n";
     return 0;
   }
 
@@ -103,6 +114,11 @@ int main(int argc, char** argv) {
   if (args.has("fault-seed")) {
     sc.faults.seed = std::uint64_t(args.get("fault-seed", 7));
   }
+  const auto corr_spec = args.get("fault-corr", std::string());
+  if (!corr_spec.empty()) {
+    sc.fault_correlation = faults::CorrelationSpec::parse(corr_spec);
+  }
+  sc.health_aware = args.flag("health-aware");
 
   const auto r = sim::run_burst(sc);
 

@@ -32,7 +32,8 @@ server::ServerSetting GreenSprintController::begin_epoch(
   predictor_.observe_load(observed_load);
   const EpochContext ctx{predictor_.predicted_load(),
                          predictor_.predicted_renewable() + battery_power,
-                         cfg_.epoch};
+                         cfg_.epoch,
+                         health_aware_active() ? int(health_) : 0};
   // The new context is the successor state of the previous epoch's
   // decision: complete that learning step now.
   if (pending_.armed && pending_.closed) {
@@ -45,8 +46,13 @@ server::ServerSetting GreenSprintController::begin_epoch(
   pending_.action = strategy_->decide(ctx);
   // Degraded mode: with untrusted supply or telemetry the only safe plan
   // is the grid-backed Normal floor. The clamped action is what executes,
-  // so it is also what the learning step records.
-  if (degraded()) pending_.action = server::normal_mode();
+  // so it is also what the learning step records. A health-aware Hybrid
+  // instead sees the health state in its Q-state and learns the recovery
+  // action itself (the feasibility mask and the runner's replan path stay
+  // as the safety floor).
+  if (degraded() && !health_aware_active()) {
+    pending_.action = server::normal_mode();
+  }
   pending_.observed_load = observed_load;
   pending_.armed = true;
   return pending_.action;
@@ -57,7 +63,9 @@ server::ServerSetting GreenSprintController::replan(Watts actual_supply) {
   EpochContext ctx = pending_.ctx;
   ctx.supply = actual_supply;
   pending_.action = strategy_->decide(ctx);
-  if (degraded()) pending_.action = server::normal_mode();
+  if (degraded() && !health_aware_active()) {
+    pending_.action = server::normal_mode();
+  }
   return pending_.action;
 }
 
@@ -108,6 +116,7 @@ void GreenSprintController::save_state(ckpt::StateWriter& w) const {
   w.f64(pending_.ctx.predicted_load);
   w.f64(pending_.ctx.supply.value());
   w.f64(pending_.ctx.epoch.value());
+  w.i64(pending_.ctx.health);
   w.i64(pending_.action.cores);
   w.i64(pending_.action.freq_idx);
   w.f64(pending_.demand.value());
@@ -128,6 +137,7 @@ void GreenSprintController::load_state(ckpt::StateReader& r) {
   pending_.ctx.predicted_load = r.f64();
   pending_.ctx.supply = Watts(r.f64());
   pending_.ctx.epoch = Seconds(r.f64());
+  pending_.ctx.health = int(r.i64());
   pending_.action.cores = int(r.i64());
   pending_.action.freq_idx = int(r.i64());
   pending_.demand = Watts(r.f64());

@@ -38,6 +38,14 @@ struct ControllerConfig {
   /// Consecutive healthy epochs required to leave degraded mode (the
   /// recovery hysteresis of the fault-tolerant control loop).
   int recovery_epochs = 3;
+  /// Health-aware recovery (Hybrid only): instead of clamping to Normal
+  /// while degraded, feed the quantized HealthState into the Q-state so
+  /// the learner chooses the recovery action — partial sprint under a
+  /// fade, shed-then-resprint after a brownout. The feasibility mask and
+  /// the runner's replan-against-actual-supply path remain the safety
+  /// floor; non-Hybrid strategies keep the clamp regardless. Default off:
+  /// behavior is bit-identical to the clamped controller.
+  bool health_aware = false;
 };
 
 /// Degraded-mode state machine (fault handling):
@@ -89,9 +97,15 @@ class GreenSprintController {
   void notify_health(bool supply_shortfall, bool stale_telemetry);
 
   [[nodiscard]] HealthState health() const { return health_; }
-  /// True when the PMK is clamped to Normal by the state machine.
+  /// True when the state machine is not Healthy. With health_aware off
+  /// (or a non-Hybrid strategy) this clamps the PMK to Normal.
   [[nodiscard]] bool degraded() const {
     return health_ != HealthState::Healthy;
+  }
+  /// True when the learned health-aware recovery path is in effect (the
+  /// config asks for it and the strategy can learn from the dimension).
+  [[nodiscard]] bool health_aware_active() const {
+    return cfg_.health_aware && cfg_.strategy == StrategyKind::Hybrid;
   }
 
   /// Electrical demand of a setting at an offered load (profile lookup).
@@ -111,8 +125,8 @@ class GreenSprintController {
   // learning record, the degraded-mode state machine, and the strategy's
   // learned state. The controller must be reconstructed from the same
   // (app, profile, config) before load_state; the snapshot carries only
-  // dynamic state.
-  static constexpr std::uint32_t kStateVersion = 1;
+  // dynamic state. v2 adds the pending context's health dimension.
+  static constexpr std::uint32_t kStateVersion = 2;
   void save_state(ckpt::StateWriter& w) const;
   void load_state(ckpt::StateReader& r);
 

@@ -156,7 +156,7 @@ HybridStrategy::HybridStrategy(const ProfileTable& profile,
       idle_(idle_power),
       peak_(app.sprint_peak_power),
       buckets_(std::size_t(std::ceil(1.0 / cfg.supply_step)) + 1),
-      q_(buckets_ * std::size_t(profile.num_levels()),
+      q_(buckets_ * std::size_t(profile.num_levels()) * kNumHealthStates,
          profile.lattice().size()) {
   GS_REQUIRE(peak_ > idle_, "sprint peak must exceed idle power");
 }
@@ -176,13 +176,19 @@ Watts HybridStrategy::bucket_supply(std::size_t bucket) const {
   return idle_ + Watts(span * frac);
 }
 
-std::size_t HybridStrategy::state_index(Watts supply, double lambda) const {
+std::size_t HybridStrategy::state_index(Watts supply, double lambda,
+                                        int health) const {
   const auto level = std::size_t(profile_.level_for(lambda));
-  return supply_bucket(supply) * std::size_t(profile_.num_levels()) + level;
+  const auto h = std::size_t(
+      std::clamp(health, 0, int(kNumHealthStates) - 1));
+  return (supply_bucket(supply) * std::size_t(profile_.num_levels()) + level) *
+             kNumHealthStates +
+         h;
 }
 
 server::ServerSetting HybridStrategy::decide(const EpochContext& ctx) {
-  const std::size_t state = state_index(ctx.supply, ctx.predicted_load);
+  const std::size_t state =
+      state_index(ctx.supply, ctx.predicted_load, ctx.health);
   const int level = profile_.level_for(ctx.predicted_load);
   // Feasibility-masked argmax: the PMK cooperates with the PSS to stay
   // within the available supply.
@@ -202,15 +208,16 @@ server::ServerSetting HybridStrategy::decide(const EpochContext& ctx) {
 }
 
 void HybridStrategy::feedback(const EpochFeedback& fb) {
-  const std::size_t state =
-      state_index(fb.context.supply, fb.context.predicted_load);
+  const std::size_t state = state_index(
+      fb.context.supply, fb.context.predicted_load, fb.context.health);
   const std::size_t action = profile_.lattice().index_of(fb.action);
   const double reward =
       algorithm1_reward(fb.actual_supply, fb.power_demand, app_.qos.limit,
                         fb.achieved_latency, cfg_.max_violation,
                         cfg_.max_qos_reward);
   const std::size_t next_state =
-      state_index(fb.next_context.supply, fb.next_context.predicted_load);
+      state_index(fb.next_context.supply, fb.next_context.predicted_load,
+                  fb.next_context.health);
   q_.update(state, action, reward, next_state, cfg_);
 }
 
@@ -221,15 +228,21 @@ void HybridStrategy::run_seed_sweeps(QTable& q) const {
     for (std::size_t b = 0; b < buckets_; ++b) {
       const Watts supply = bucket_supply(b);
       for (std::size_t l = 0; l < levels; ++l) {
-        const std::size_t state = b * levels + l;
-        for (std::size_t a = 0; a < actions; ++a) {
-          const double reward = algorithm1_reward(
-              supply, profile_.power(int(l), a), app_.qos.limit,
-              profile_.latency(int(l), a), cfg_.max_violation,
-              cfg_.max_qos_reward);
-          // Quasi-static bootstrap: the profiling episodes hold the state
-          // constant, so the successor state is the state itself.
-          q.update(state, a, reward, state, cfg_);
+        // Profiling episodes carry no health signal, so every health slice
+        // is seeded with the same update sequence: a health-unaware run
+        // (always slice 0) behaves exactly as it did before the dimension
+        // existed, and online feedback alone differentiates the slices.
+        for (std::size_t h = 0; h < kNumHealthStates; ++h) {
+          const std::size_t state = (b * levels + l) * kNumHealthStates + h;
+          for (std::size_t a = 0; a < actions; ++a) {
+            const double reward = algorithm1_reward(
+                supply, profile_.power(int(l), a), app_.qos.limit,
+                profile_.latency(int(l), a), cfg_.max_violation,
+                cfg_.max_qos_reward);
+            // Quasi-static bootstrap: the profiling episodes hold the state
+            // constant, so the successor state is the state itself.
+            q.update(state, a, reward, state, cfg_);
+          }
         }
       }
     }

@@ -1,9 +1,15 @@
 // The Hybrid strategy (paper Section III-B, Algorithm 1): tabular
 // Q-learning over the full (core count, frequency) lattice.
 //
-// State  c_t: (quantized power supply, workload intensity level). The paper
-//         quantizes supply from idle power to maximum sprint power in 5%
-//         steps and reuses the workload levels L1..Lw.
+// State  c_t: (quantized power supply, workload intensity level, controller
+//         health). The paper quantizes supply from idle power to maximum
+//         sprint power in 5% steps and reuses the workload levels L1..Lw.
+//         The health dimension (robustness extension, DESIGN.md §12) lets a
+//         health-aware controller learn recovery actions — partial sprint
+//         under a battery fade, shed-then-resprint after a brownout —
+//         instead of clamping to Normal. Every health slice is seeded
+//         identically and a health-unaware controller only ever visits
+//         slice 0, so behavior without the feature is bit-identical.
 // Action a_t: a ServerSetting from the lattice S.
 // Reward r_t: Algorithm 1, built from Rpower = PowerSupp/PowerCurr and
 //         Rqos = QoStarget/QoScurrent.
@@ -125,8 +131,14 @@ class HybridStrategy final : public Strategy {
   [[nodiscard]] static CacheStats seed_cache_stats();
   static void clear_seed_cache();
 
-  /// State index for a (supply, load) pair — exposed for tests.
-  [[nodiscard]] std::size_t state_index(Watts supply, double lambda) const;
+  /// Distinct values of the Q-state's health dimension (HealthState's
+  /// Healthy / Degraded / Recovering).
+  static constexpr std::size_t kNumHealthStates = 3;
+
+  /// State index for a (supply, load, health) triple — exposed for tests.
+  /// Out-of-range health is clamped into [0, kNumHealthStates).
+  [[nodiscard]] std::size_t state_index(Watts supply, double lambda,
+                                        int health = 0) const;
   [[nodiscard]] std::size_t num_supply_buckets() const { return buckets_; }
   [[nodiscard]] const QTable& table() const { return q_; }
 

@@ -30,6 +30,11 @@ struct EpochContext {
   double predicted_load = 0.0;  ///< Predicted per-server arrival rate.
   Watts supply{0.0};            ///< Plannable green power per server.
   Seconds epoch{60.0};
+  /// Quantized controller health (core::HealthState as an int: 0 Healthy,
+  /// 1 Degraded, 2 Recovering). The controller feeds it only when running
+  /// health-aware (ControllerConfig::health_aware with Hybrid); it stays 0
+  /// otherwise, and non-learning strategies ignore it entirely.
+  int health = 0;
 };
 
 /// Telemetry handed back after the epoch settles; only Hybrid learns from
@@ -58,8 +63,9 @@ class Strategy {
   // The default covers the stateless strategies: the section records only
   // the strategy name, and loading verifies the snapshot was produced by
   // the same kind of strategy. Learning strategies (Hybrid) override both
-  // to carry their learned state.
-  static constexpr std::uint32_t kStateVersion = 1;
+  // to carry their learned state. v2: the Hybrid Q-state gained the health
+  // dimension, changing the table dimensions.
+  static constexpr std::uint32_t kStateVersion = 2;
   virtual void save_state(ckpt::StateWriter& w) const;
   virtual void load_state(ckpt::StateReader& r);
 };

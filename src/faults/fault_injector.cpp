@@ -27,8 +27,16 @@ bool EpochFaults::any() const {
 
 FaultInjector::FaultInjector(const FaultSpec& spec, Seconds horizon,
                              Seconds epoch, int servers)
-    : schedule_(FaultSchedule::generate(spec, horizon, epoch, servers)),
+    : FaultInjector(spec, CorrelationSpec{}, horizon, epoch, servers) {}
+
+FaultInjector::FaultInjector(const FaultSpec& spec,
+                             const CorrelationSpec& corr, Seconds horizon,
+                             Seconds epoch, int servers)
+    : schedule_(FaultSchedule::generate_correlated(spec, corr, horizon, epoch,
+                                                   servers)),
       servers_(servers),
+      // Correlation only modulates the spec's intensities; an all-zero spec
+      // stays disabled like the plain constructor.
       enabled_(spec.any()) {}
 
 FaultInjector::FaultInjector(FaultSchedule schedule, int servers)

@@ -56,6 +56,12 @@ class FaultInjector {
   FaultInjector(const FaultSpec& spec, Seconds horizon, Seconds epoch,
                 int servers);
 
+  /// As above with correlated fault processes layered on (weather fronts,
+  /// rack cascades, burst regimes); a disabled `corr` makes this identical
+  /// to the plain spec constructor.
+  FaultInjector(const FaultSpec& spec, const CorrelationSpec& corr,
+                Seconds horizon, Seconds epoch, int servers);
+
   /// Adopt a pre-built (e.g. CSV-replayed) schedule.
   FaultInjector(FaultSchedule schedule, int servers);
 

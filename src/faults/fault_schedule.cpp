@@ -14,6 +14,9 @@ namespace gs::faults {
 namespace {
 
 constexpr std::uint64_t kFaultStreamTag = 0xfa170ull;
+// Per-(trigger, neighbour) cascade draws; disjoint from the candidate and
+// latent-process streams so cascades never perturb either.
+constexpr std::uint64_t kCascadeStreamTag = 0xca5cull;
 
 /// Boolean classes are either fully in effect or absent.
 bool is_boolean(FaultClass c) {
@@ -65,6 +68,18 @@ FaultClass class_from_name(const std::string& name) {
 
 }  // namespace
 
+const char* to_string(FaultOrigin o) {
+  switch (o) {
+    case FaultOrigin::Independent:
+      return "Independent";
+    case FaultOrigin::Storm:
+      return "Storm";
+    case FaultOrigin::Cascade:
+      return "Cascade";
+  }
+  return "?";
+}
+
 FaultSchedule FaultSchedule::generate(const FaultSpec& spec, Seconds horizon,
                                       Seconds epoch, int servers) {
   GS_REQUIRE(horizon.value() >= 0.0, "fault horizon must be non-negative");
@@ -113,6 +128,111 @@ FaultSchedule FaultSchedule::generate(const FaultSpec& spec, Seconds horizon,
   return sched;
 }
 
+FaultSchedule FaultSchedule::generate_correlated(const FaultSpec& spec,
+                                                 const CorrelationSpec& corr,
+                                                 Seconds horizon, Seconds epoch,
+                                                 int servers) {
+  // Disabled correlation must be the identity: existing schedules, CSV
+  // replays and sweep fingerprints stay bit-identical.
+  if (!corr.enabled()) return generate(spec, horizon, epoch, servers);
+  GS_REQUIRE(horizon.value() >= 0.0, "fault horizon must be non-negative");
+  GS_REQUIRE(epoch.value() > 0.0, "fault epoch must be positive");
+  GS_REQUIRE(servers >= 1, "fault schedule needs at least one server");
+  FaultSchedule sched;
+  sched.spec_ = spec;
+  sched.storm_ = StormModel(spec, corr, horizon, epoch);
+  // A zero spec stays fault-free: correlation modulates intensities, it
+  // cannot conjure faults from none.
+  if (!spec.any() || horizon.value() <= 0.0) return sched;
+
+  const double n_epochs = horizon.value() / epoch.value();
+  for (FaultClass c : all_fault_classes()) {
+    const double intensity = spec.intensity(c);
+    // Same candidate population and draw order as generate(): correlation
+    // reshapes only the activating *subset* (and the applied magnitudes),
+    // never the candidates themselves, so schedules still nest.
+    Rng rng = Rng::stream(spec.seed, {kFaultStreamTag, std::uint64_t(c)});
+    const auto n_candidates = std::max<std::uint64_t>(
+        1, std::uint64_t(n_epochs / candidate_spacing_epochs(c)));
+    const auto [dur_lo, dur_hi] = duration_epochs(c);
+    for (std::uint64_t i = 0; i < n_candidates; ++i) {
+      const double start_frac = rng.uniform();
+      const auto dur_epochs =
+          dur_lo + std::int64_t(rng.uniform_int(
+                       std::uint64_t(dur_hi - dur_lo + 1)));
+      const double severity_base = rng.uniform(0.3, 1.0);
+      const double activation = rng.uniform();
+      const int target =
+          is_server_targeted(c) ? int(rng.uniform_int(std::uint64_t(servers)))
+                                : -1;
+      const Seconds start{start_frac * horizon.value()};
+      const double eff = std::clamp(
+          intensity * sched.storm_.activation_scale(c, start), 0.0, 1.0);
+      if (eff <= 0.0 || activation >= eff) continue;
+      FaultEvent ev;
+      ev.cls = c;
+      ev.start = start;
+      ev.duration = epoch * double(dur_epochs);
+      ev.magnitude = is_boolean(c) ? 1.0 : std::min(0.95, severity_base * eff);
+      ev.target = target;
+      // Would the candidate have fired without the latent boost?
+      ev.origin = activation < intensity ? FaultOrigin::Independent
+                                         : FaultOrigin::Storm;
+      sched.events_.push_back(ev);
+    }
+  }
+
+  if (corr.cascade_hazard > 0.0) {
+    // Single-generation propagation: only the base events above trigger,
+    // cascade crashes never re-trigger, so the storm is bounded by
+    // construction (at most servers-1 children per trigger, each within
+    // cascade_window_epochs of its trigger's start).
+    const std::uint64_t seed = corr.seed != 0 ? corr.seed : spec.seed;
+    const RackTopology topo{servers, corr.servers_per_rack};
+    std::vector<FaultEvent> cascades;
+    std::uint64_t trigger_idx = 0;
+    for (const FaultEvent& trig : sched.events_) {
+      const bool rack_trigger = trig.cls == FaultClass::ServerCrash;
+      const bool pss_trigger = trig.cls == FaultClass::PssStuck;
+      if (!rack_trigger && !pss_trigger) continue;
+      for (int s = 0; s < servers; ++s) {
+        // A crash endangers its rack neighbours; a stuck PSS is shared
+        // infrastructure and endangers every server.
+        if (rack_trigger && trig.target >= 0 &&
+            (s == trig.target || !topo.same_rack(s, trig.target))) {
+          continue;
+        }
+        Rng rng = Rng::stream(
+            seed, {kCascadeStreamTag, trigger_idx, std::uint64_t(s)});
+        const auto window = std::uint64_t(corr.cascade_window_epochs);
+        const auto delay_epochs = 1 + std::int64_t(rng.uniform_int(window));
+        const auto crash_epochs = 1 + std::int64_t(rng.uniform_int(window));
+        const double activation = rng.uniform();
+        if (activation >= corr.cascade_hazard) continue;
+        const Seconds start = trig.start + epoch * double(delay_epochs);
+        if (start.value() >= horizon.value()) continue;
+        FaultEvent ev;
+        ev.cls = FaultClass::ServerCrash;
+        ev.start = start;
+        ev.duration = epoch * double(crash_epochs);
+        ev.magnitude = 1.0;
+        ev.target = s;
+        ev.origin = FaultOrigin::Cascade;
+        cascades.push_back(ev);
+      }
+      ++trigger_idx;
+    }
+    sched.events_.insert(sched.events_.end(), cascades.begin(),
+                         cascades.end());
+  }
+
+  std::stable_sort(sched.events_.begin(), sched.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start.value() < b.start.value();
+                   });
+  return sched;
+}
+
 double FaultSchedule::magnitude_at(FaultClass c, Seconds t, int target) const {
   double survive = 1.0;
   for (const auto& ev : events_) {
@@ -132,15 +252,26 @@ bool FaultSchedule::active(FaultClass c, Seconds t, int target) const {
   return false;
 }
 
+bool FaultSchedule::correlated_active(FaultClass c, Seconds t,
+                                      int target) const {
+  for (const auto& ev : events_) {
+    if (ev.origin == FaultOrigin::Independent) continue;
+    if (ev.cls != c || !ev.covers(t)) continue;
+    if (ev.target >= 0 && target >= 0 && ev.target != target) continue;
+    return true;
+  }
+  return false;
+}
+
 std::string FaultSchedule::to_csv() const {
   std::ostringstream out;
   // Shortest-exact doubles: a replayed incident must re-run bit for bit.
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << "class,start_s,duration_s,magnitude,target\n";
+  out << "class,start_s,duration_s,magnitude,target,origin\n";
   for (const auto& ev : events_) {
     out << to_string(ev.cls) << "," << ev.start.value() << ","
         << ev.duration.value() << "," << ev.magnitude << "," << ev.target
-        << "\n";
+        << "," << int(ev.origin) << "\n";
   }
   return out.str();
 }
@@ -157,23 +288,30 @@ FaultSchedule FaultSchedule::from_csv(const std::string& text) {
       continue;
     }
     std::istringstream fields(line);
-    std::string cls, start, dur, mag, target;
+    std::string cls, start, dur, mag, target, origin;
     GS_REQUIRE(std::getline(fields, cls, ',') &&
                    std::getline(fields, start, ',') &&
                    std::getline(fields, dur, ',') &&
                    std::getline(fields, mag, ',') &&
                    std::getline(fields, target, ','),
                "fault schedule CSV row needs 5 fields: " + line);
+    // The origin column is optional: pre-correlation captures lack it.
+    const bool has_origin = bool(std::getline(fields, origin, ','));
     FaultEvent ev;
     ev.cls = class_from_name(cls);
+    int origin_num = 0;
     try {
       ev.start = Seconds(std::stod(start));
       ev.duration = Seconds(std::stod(dur));
       ev.magnitude = std::stod(mag);
       ev.target = std::stoi(target);
+      if (has_origin) origin_num = std::stoi(origin);
     } catch (...) {
       GS_REQUIRE(false, "bad numeric field in fault schedule CSV: " + line);
     }
+    GS_REQUIRE(origin_num >= 0 && origin_num <= int(FaultOrigin::Cascade),
+               "fault origin out of range in CSV: " + line);
+    ev.origin = FaultOrigin(origin_num);
     GS_REQUIRE(ev.magnitude >= 0.0 && ev.magnitude <= 1.0,
                "fault magnitude must be in [0,1]");
     sched.events_.push_back(ev);
@@ -185,6 +323,9 @@ void FaultSchedule::save_state(ckpt::StateWriter& w) const {
   w.begin_section("fault_schedule", kStateVersion);
   for (const FaultClass c : all_fault_classes()) w.f64(spec_.intensity(c));
   w.u64(spec_.seed);
+  const bool correlated = storm_.spec().enabled();
+  w.boolean(correlated);
+  if (correlated) storm_.save_state(w);
   w.u64(events_.size());
   for (const FaultEvent& ev : events_) {
     w.u8(std::uint8_t(ev.cls));
@@ -192,6 +333,7 @@ void FaultSchedule::save_state(ckpt::StateWriter& w) const {
     w.f64(ev.duration.value());
     w.f64(ev.magnitude);
     w.i64(ev.target);
+    w.u8(std::uint8_t(ev.origin));
   }
   w.end_section();
 }
@@ -203,6 +345,8 @@ void FaultSchedule::load_state(ckpt::StateReader& r) {
     spec.set_intensity(c, r.f64());
   }
   spec.seed = r.u64();
+  StormModel storm;
+  if (r.boolean()) storm.load_state(r);
   const auto n = std::size_t(r.u64());
   std::vector<FaultEvent> events;
   events.reserve(n);
@@ -218,10 +362,17 @@ void FaultSchedule::load_state(ckpt::StateReader& r) {
     ev.duration = Seconds(r.f64());
     ev.magnitude = r.f64();
     ev.target = int(r.i64());
+    const std::uint8_t origin = r.u8();
+    if (origin > std::uint8_t(FaultOrigin::Cascade)) {
+      throw ckpt::SnapshotError("fault schedule snapshot holds invalid "
+                                "origin " + std::to_string(int(origin)));
+    }
+    ev.origin = FaultOrigin(origin);
     events.push_back(ev);
   }
   r.end_section();
   spec_ = spec;
+  storm_ = std::move(storm);
   events_ = std::move(events);
 }
 

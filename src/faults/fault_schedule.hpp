@@ -13,6 +13,12 @@
 //    resilience bench's QoS-vs-intensity curves degrade monotonically
 //    instead of resampling an unrelated failure history per point.
 //
+// generate_correlated() layers the latent processes of faults/correlation.hpp
+// on top: the *same* candidate population and draw order, with only the
+// activation threshold modulated per candidate, plus a single-generation
+// rack-cascade pass. With a disabled CorrelationSpec it returns generate()'s
+// schedule bit for bit.
+//
 // Schedules serialize to CSV so a replayed incident can be attached to a
 // bug report and re-run exactly.
 #pragma once
@@ -23,9 +29,20 @@
 
 #include "ckpt/fwd.hpp"
 #include "common/units.hpp"
+#include "faults/correlation.hpp"
 #include "faults/fault_spec.hpp"
 
 namespace gs::faults {
+
+/// Provenance of an event: drawn independently, activated only because a
+/// latent storm process boosted its class, or propagated by a rack cascade.
+enum class FaultOrigin : std::uint8_t {
+  Independent = 0,
+  Storm = 1,
+  Cascade = 2,
+};
+
+[[nodiscard]] const char* to_string(FaultOrigin o);
 
 /// One timed fault: [start, start + duration) at the given severity.
 /// `target` selects a green server for ServerCrash / ServerStraggler
@@ -36,6 +53,7 @@ struct FaultEvent {
   Seconds duration{0.0};
   double magnitude = 0.0;  ///< Severity in [0,1] (fraction lost / derated).
   int target = -1;
+  FaultOrigin origin = FaultOrigin::Independent;
 
   [[nodiscard]] bool covers(Seconds t) const {
     return t.value() >= start.value() &&
@@ -54,6 +72,15 @@ class FaultSchedule {
                                               Seconds horizon, Seconds epoch,
                                               int servers);
 
+  /// Correlation-aware entry point: realizes a StormModel from `corr` and
+  /// modulates each candidate's activation probability by its latent
+  /// weather-front and regime factors, then runs one rack-cascade
+  /// propagation pass over the trigger events. When `corr` is disabled
+  /// (the default spec) this is generate() bit for bit.
+  [[nodiscard]] static FaultSchedule generate_correlated(
+      const FaultSpec& spec, const CorrelationSpec& corr, Seconds horizon,
+      Seconds epoch, int servers);
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;
   }
@@ -66,21 +93,37 @@ class FaultSchedule {
                                     int target = -1) const;
   [[nodiscard]] bool active(FaultClass c, Seconds t, int target = -1) const;
 
-  /// CSV round-trip for replaying a recorded incident.
+  /// active() restricted to correlated events (origin Storm or Cascade),
+  /// for the Monitor's correlated-burst telemetry.
+  [[nodiscard]] bool correlated_active(FaultClass c, Seconds t,
+                                       int target = -1) const;
+
+  /// CSV round-trip for replaying a recorded incident. The trailing
+  /// `origin` column is optional on input (older captures omit it).
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] static FaultSchedule from_csv(const std::string& text);
 
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  /// The correlation knobs this schedule was realized under (disabled for
+  /// generate() / from_csv() schedules).
+  [[nodiscard]] const CorrelationSpec& correlation() const {
+    return storm_.spec();
+  }
+  /// The realized latent processes (inert unless generate_correlated ran
+  /// with an enabled spec).
+  [[nodiscard]] const StormModel& storm() const { return storm_; }
 
-  // --- Checkpoint/restore (src/ckpt): binary round-trip of the spec and
-  // the full event stream (bit-exact, unlike the human-readable CSV).
-  static constexpr std::uint32_t kStateVersion = 1;
+  // --- Checkpoint/restore (src/ckpt): binary round-trip of the spec, the
+  // realized storm model and the full event stream (bit-exact, unlike the
+  // human-readable CSV). v2 adds per-event origins and the storm model.
+  static constexpr std::uint32_t kStateVersion = 2;
   void save_state(ckpt::StateWriter& w) const;
   void load_state(ckpt::StateReader& r);
 
  private:
   std::vector<FaultEvent> events_;
   FaultSpec spec_;
+  StormModel storm_;
 };
 
 }  // namespace gs::faults

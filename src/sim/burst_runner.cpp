@@ -57,7 +57,16 @@ thermal::PcmBuffer make_pcm(const Scenario& sc) {
   return thermal::PcmBuffer(cfg);
 }
 
-constexpr std::uint32_t kBurstResultVersion = 1;
+core::ControllerConfig controller_config(const Scenario& sc) {
+  core::ControllerConfig cfg;
+  cfg.strategy = sc.strategy;
+  cfg.epoch = sc.epoch;
+  cfg.health_aware = sc.health_aware;
+  return cfg;
+}
+
+// v2 appends the correlated-burst and health-state telemetry.
+constexpr std::uint32_t kBurstResultVersion = 2;
 
 }  // namespace
 
@@ -80,7 +89,7 @@ BurstSim::BurstSim(const Scenario& scenario)
       pmodel_(Watts(76.0)),
       profile_(core::ProfileTable::shared(perf_, pmodel_)),
       controller_(sc_.app, *profile_, pmodel_.idle_power(),
-                  {sc_.strategy, core::PredictorConfig{}, sc_.epoch}),
+                  controller_config(sc_)),
       grid_(make_grid(sc_)),
       normal_(server::normal_mode()),
       lambda_peak_(perf_.intensity_load(sc_.burst_intensity)),
@@ -89,8 +98,11 @@ BurstSim::BurstSim(const Scenario& scenario)
       des_rng_(Rng::stream(sc_.seed, {0xde5ull})),
       // Fault injection (strictly opt-in): with the default all-zero spec
       // the injector is disabled and every step below follows the exact
-      // fault-free arithmetic. Fault times are burst-relative.
-      injector_(sc_.faults, sc_.burst_duration, sc_.epoch, /*servers=*/1),
+      // fault-free arithmetic. Fault times are burst-relative. A disabled
+      // CorrelationSpec is the identity, so the default scenario still
+      // produces the independent schedule bit-for-bit.
+      injector_(sc_.faults, sc_.fault_correlation, sc_.burst_duration,
+                sc_.epoch, /*servers=*/1),
       last_sensed_load_(lambda_background_),
       pcm_(make_pcm(sc_)) {
   monitor_.set_epoch(sc_.epoch);
@@ -123,6 +135,7 @@ void BurstSim::step() {
     batt().set_capacity_fade(ef.battery_capacity_factor);
     batt().set_charge_derate(ef.charge_efficiency_factor);
     grid_.set_budget_derate(ef.grid_budget_factor);
+    const bool corr_on = injector_.schedule().correlation().enabled();
     for (faults::FaultClass cls : faults::all_fault_classes()) {
       const bool active = injector_.schedule().active(cls, rel_t);
       if (active) {
@@ -133,6 +146,16 @@ void BurstSim::step() {
         }
       }
       prev_fault_active_[std::size_t(cls)] = active;
+      // Same edge detector restricted to Storm/Cascade-origin activity,
+      // feeding the correlated-burst telemetry.
+      if (corr_on) {
+        const bool corr_active =
+            injector_.schedule().correlated_active(cls, rel_t);
+        if (corr_active && !prev_corr_active_[std::size_t(cls)]) {
+          monitor_.record_correlated_burst(cls);
+        }
+        prev_corr_active_[std::size_t(cls)] = corr_active;
+      }
     }
   }
 
@@ -148,6 +171,7 @@ void BurstSim::step() {
         pss_.settle(Watts(0.0), re_obs, batt(), grid_, sc_.epoch,
                     /*bursting=*/true, Watts(0.0));
     monitor_.record_crash_epoch();
+    monitor_.record_health_epoch(int(controller_.health()));
     MonitorSample sample;
     sample.time = t;
     sample.setting = normal_;
@@ -181,6 +205,7 @@ void BurstSim::step() {
   double sensed_load = lambda_burst;
   if (injector_.enabled()) {
     controller_.notify_health(prev_disturbance_, ef.sensor_dropout);
+    monitor_.record_health_epoch(int(controller_.health()));
     sensed_load = ef.sensor_dropout
                       ? last_sensed_load_
                       : lambda_burst * ef.sensor_load_factor;
@@ -358,6 +383,11 @@ BurstResult BurstSim::finish() {
     result_.fault_incidents[std::size_t(cls)] = monitor_.fault_incidents(cls);
     result_.fault_class_downtime[std::size_t(cls)] =
         monitor_.fault_downtime(cls);
+    result_.correlated_bursts[std::size_t(cls)] =
+        monitor_.correlated_bursts(cls);
+  }
+  for (std::size_t h = 0; h < Monitor::kNumHealthStates; ++h) {
+    result_.health_state_epochs[h] = monitor_.health_epochs(int(h));
   }
   return std::move(result_);
 }
@@ -380,6 +410,7 @@ void BurstSim::save_state(ckpt::StateWriter& w) const {
   pcm_.save_state(w);
   injector_.save_state(w);
   for (const bool a : prev_fault_active_) w.boolean(a);
+  for (const bool a : prev_corr_active_) w.boolean(a);
   save_burst_result(w, result_);
   w.end_section();
 }
@@ -416,6 +447,7 @@ void BurstSim::load_state(ckpt::StateReader& r) {
   pcm_.load_state(r);
   injector_.load_state(r);
   for (bool& a : prev_fault_active_) a = r.boolean();
+  for (bool& a : prev_corr_active_) a = r.boolean();
   result_ = load_burst_result(r);
   r.end_section();
 }
@@ -466,6 +498,8 @@ void save_burst_result(ckpt::StateWriter& w, const BurstResult& r) {
   w.f64(r.fault_downtime.value());
   for (const std::size_t n : r.fault_incidents) w.u64(n);
   for (const Seconds& s : r.fault_class_downtime) w.f64(s.value());
+  for (const std::size_t n : r.correlated_bursts) w.u64(n);
+  for (const std::size_t n : r.health_state_epochs) w.u64(n);
   w.end_section();
 }
 
@@ -514,6 +548,8 @@ BurstResult load_burst_result(ckpt::StateReader& r) {
   out.fault_downtime = Seconds(r.f64());
   for (std::size_t& v : out.fault_incidents) v = std::size_t(r.u64());
   for (Seconds& s : out.fault_class_downtime) s = Seconds(r.f64());
+  for (std::size_t& v : out.correlated_bursts) v = std::size_t(r.u64());
+  for (std::size_t& v : out.health_state_epochs) v = std::size_t(r.u64());
   r.end_section();
   return out;
 }

@@ -83,6 +83,12 @@ struct BurstResult {
   /// MTTR/MTBF summary. Not part of sweep_fingerprint (which predates it).
   std::array<std::size_t, faults::kNumFaultClasses> fault_incidents{};
   std::array<Seconds, faults::kNumFaultClasses> fault_class_downtime{};
+  /// Correlated-burst edges per class (Storm/Cascade-origin activity,
+  /// faults/correlation.hpp) and epochs spent per controller health state
+  /// (index = core::HealthState). Recorded only while fault injection is
+  /// enabled; not part of sweep_fingerprint.
+  std::array<std::size_t, faults::kNumFaultClasses> correlated_bursts{};
+  std::array<std::size_t, 3> health_state_epochs{};
 };
 
 /// Stepwise burst simulation. Equivalent to run_burst() when driven to
@@ -113,8 +119,9 @@ class BurstSim {
   /// Aggregate the burst statistics. Requires done().
   [[nodiscard]] BurstResult finish();
 
-  // --- Checkpoint/restore (src/ckpt) --------------------------------------
-  static constexpr std::uint32_t kStateVersion = 1;
+  // --- Checkpoint/restore (src/ckpt). v2 adds the correlated-burst edge
+  // detector state.
+  static constexpr std::uint32_t kStateVersion = 2;
   void save_state(ckpt::StateWriter& w) const;
   void load_state(ckpt::StateReader& r);
 
@@ -158,6 +165,8 @@ class BurstSim {
   /// Previous epoch's per-class activity, for incident (rising-edge)
   /// detection feeding the MTTR/MTBF telemetry.
   std::array<bool, faults::kNumFaultClasses> prev_fault_active_{};
+  /// Same, restricted to correlated (Storm/Cascade-origin) activity.
+  std::array<bool, faults::kNumFaultClasses> prev_corr_active_{};
   BurstResult result_;
 };
 

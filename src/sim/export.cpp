@@ -120,10 +120,14 @@ void export_availability_csv(std::ostream& os, const AvailabilityReport& rep) {
              TextTable::num(row.mtbf.value(), 1),
              TextTable::num(avail, 6)});
   }
+  // A zero-incident run has no repairs to average: MTTR/MTBF are
+  // undefined, not 0.0 — report "no-failures" so downstream tooling does
+  // not mistake a perfect run for an instantly-failing one.
+  const bool failure_free = rep.incidents == 0;
   csv.row({"total", std::to_string(rep.incidents),
            TextTable::num(rep.downtime.value(), 0),
-           TextTable::num(rep.mttr.value(), 1),
-           TextTable::num(rep.mtbf.value(), 1),
+           failure_free ? "no-failures" : TextTable::num(rep.mttr.value(), 1),
+           failure_free ? "no-failures" : TextTable::num(rep.mtbf.value(), 1),
            TextTable::num(rep.availability, 6)});
 }
 

@@ -54,10 +54,12 @@ GreenCluster::GreenCluster(const workload::AppDescriptor& app,
   controllers_.reserve(std::size_t(cfg_.servers));
   for (int i = 0; i < cfg_.servers; ++i) {
     batteries_.emplace_back(battery_config(cfg_.battery_per_server));
+    core::ControllerConfig ctl_cfg;
+    ctl_cfg.strategy = cfg_.strategy;
+    ctl_cfg.epoch = cfg_.epoch;
+    ctl_cfg.health_aware = cfg_.health_aware;
     controllers_.push_back(std::make_unique<core::GreenSprintController>(
-        app_, profile_, power_model_.idle_power(),
-        core::ControllerConfig{cfg_.strategy, core::PredictorConfig{},
-                               cfg_.epoch}));
+        app_, profile_, power_model_.idle_power(), ctl_cfg));
   }
 }
 

@@ -42,6 +42,10 @@ struct GreenClusterConfig {
   /// sprints"). Off = renewable-only charging (greener, slower recovery;
   /// bench/abl_charge_policy).
   bool grid_charging = true;
+  /// Forwarded into every per-server core::ControllerConfig: Hybrid
+  /// controllers learn recovery actions from the health dimension instead
+  /// of clamping to Normal while degraded. Default off (bit-identical).
+  bool health_aware = false;
 };
 
 /// Result of one cluster epoch.

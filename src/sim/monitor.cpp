@@ -91,6 +91,18 @@ void Monitor::record_crash_epoch() {
   ++crash_epochs_;
 }
 
+void Monitor::record_correlated_burst(faults::FaultClass cls) {
+  MutexLock lock(mu_);
+  ++correlated_bursts_[std::size_t(cls)];
+}
+
+void Monitor::record_health_epoch(int state) {
+  GS_REQUIRE(state >= 0 && state < int(kNumHealthStates),
+             "health state out of range");
+  MutexLock lock(mu_);
+  ++health_epochs_[std::size_t(state)];
+}
+
 Seconds Monitor::fault_downtime(faults::FaultClass cls) const {
   MutexLock lock(mu_);
   return fault_downtime_[std::size_t(cls)];
@@ -123,6 +135,32 @@ std::size_t Monitor::degraded_epochs() const {
 std::size_t Monitor::crash_epochs() const {
   MutexLock lock(mu_);
   return crash_epochs_;
+}
+
+std::size_t Monitor::correlated_bursts(faults::FaultClass cls) const {
+  MutexLock lock(mu_);
+  return correlated_bursts_[std::size_t(cls)];
+}
+
+std::size_t Monitor::total_correlated_bursts() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const std::size_t n : correlated_bursts_) total += n;
+  return total;
+}
+
+std::size_t Monitor::health_epochs(int state) const {
+  GS_REQUIRE(state >= 0 && state < int(kNumHealthStates),
+             "health state out of range");
+  MutexLock lock(mu_);
+  return health_epochs_[std::size_t(state)];
+}
+
+Seconds Monitor::time_in_health(int state) const {
+  GS_REQUIRE(state >= 0 && state < int(kNumHealthStates),
+             "health state out of range");
+  MutexLock lock(mu_);
+  return epoch_ * double(health_epochs_[std::size_t(state)]);
 }
 
 void Monitor::set_epoch(Seconds epoch) {
@@ -191,6 +229,8 @@ void Monitor::save_state(ckpt::StateWriter& w) const {
   for (const std::size_t n : fault_incidents_) w.u64(n);
   w.u64(degraded_epochs_);
   w.u64(crash_epochs_);
+  for (const std::size_t n : correlated_bursts_) w.u64(n);
+  for (const std::size_t n : health_epochs_) w.u64(n);
   w.end_section();
 }
 
@@ -211,6 +251,8 @@ void Monitor::load_state(ckpt::StateReader& r) {
   for (std::size_t& n : fault_incidents_) n = std::size_t(r.u64());
   degraded_epochs_ = std::size_t(r.u64());
   crash_epochs_ = std::size_t(r.u64());
+  for (std::size_t& n : correlated_bursts_) n = std::size_t(r.u64());
+  for (std::size_t& n : health_epochs_) n = std::size_t(r.u64());
   r.end_section();
 }
 

@@ -74,6 +74,13 @@ class Monitor {
   void record_degraded_epoch() GS_EXCLUDES(mu_);
   /// Account one epoch of total outage (crashed green server).
   void record_crash_epoch() GS_EXCLUDES(mu_);
+  /// Account one correlated burst of `cls`: the rising edge of an epoch
+  /// where a Storm- or Cascade-origin event of the class was active
+  /// (faults/correlation.hpp). Subset of record_fault_incident edges.
+  void record_correlated_burst(faults::FaultClass cls) GS_EXCLUDES(mu_);
+  /// Account one epoch spent in controller health state `state`
+  /// (core::HealthState as an int in [0,3): Healthy/Degraded/Recovering).
+  void record_health_epoch(int state) GS_EXCLUDES(mu_);
 
   /// Downtime attributed to a fault class (epochs x epoch length).
   [[nodiscard]] Seconds fault_downtime(faults::FaultClass cls) const
@@ -86,13 +93,25 @@ class Monitor {
   [[nodiscard]] std::size_t total_fault_incidents() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t degraded_epochs() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t crash_epochs() const GS_EXCLUDES(mu_);
+  /// Correlated bursts (Storm/Cascade rising edges) of a fault class.
+  [[nodiscard]] std::size_t correlated_bursts(faults::FaultClass cls) const
+      GS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t total_correlated_bursts() const GS_EXCLUDES(mu_);
+  /// Epochs spent in a controller health state (index = HealthState).
+  [[nodiscard]] std::size_t health_epochs(int state) const GS_EXCLUDES(mu_);
+  /// health_epochs(state) x epoch length.
+  [[nodiscard]] Seconds time_in_health(int state) const GS_EXCLUDES(mu_);
 
   /// Record epoch duration used for energy integration.
   void set_epoch(Seconds epoch) GS_EXCLUDES(mu_);
   [[nodiscard]] Seconds epoch() const GS_EXCLUDES(mu_);
 
-  // --- Checkpoint/restore (src/ckpt) --------------------------------------
-  static constexpr std::uint32_t kStateVersion = 1;
+  /// Number of tracked health states (mirrors core::HealthState).
+  static constexpr std::size_t kNumHealthStates = 3;
+
+  // --- Checkpoint/restore (src/ckpt). v2 appends the correlated-burst
+  // counters and the time-in-health-state histogram.
+  static constexpr std::uint32_t kStateVersion = 2;
   void save_state(ckpt::StateWriter& w) const GS_EXCLUDES(mu_);
   void load_state(ckpt::StateReader& r) GS_EXCLUDES(mu_);
 
@@ -114,6 +133,10 @@ class Monitor {
       GS_GUARDED_BY(mu_){};
   std::size_t degraded_epochs_ GS_GUARDED_BY(mu_) = 0;
   std::size_t crash_epochs_ GS_GUARDED_BY(mu_) = 0;
+  std::array<std::size_t, faults::kNumFaultClasses> correlated_bursts_
+      GS_GUARDED_BY(mu_){};
+  std::array<std::size_t, kNumHealthStates> health_epochs_
+      GS_GUARDED_BY(mu_){};
 };
 
 }  // namespace gs::sim

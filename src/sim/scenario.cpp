@@ -46,6 +46,27 @@ std::uint64_t scenario_fingerprint(const Scenario& sc) {
     h = hash_combine(h, sc.faults.intensity(cls));
   }
   h = hash_combine(h, sc.faults.seed);
+  // Correlation and health-awareness are mixed in only when non-default so
+  // every pre-existing scenario keeps its fingerprint (and its checkpoint
+  // cell keys) unchanged.
+  if (sc.fault_correlation.enabled() || sc.health_aware) {
+    const faults::CorrelationSpec& c = sc.fault_correlation;
+    h = hash_combine(h, std::uint64_t{0x0c0ffee1ull});
+    h = hash_combine(h, c.storm_intensity);
+    h = hash_combine(h, c.front_spacing_epochs);
+    h = hash_combine(h, std::uint64_t(c.front_min_epochs));
+    h = hash_combine(h, std::uint64_t(c.front_max_epochs));
+    h = hash_combine(h, c.front_boost);
+    h = hash_combine(h, c.cascade_hazard);
+    h = hash_combine(h, std::uint64_t(c.cascade_window_epochs));
+    h = hash_combine(h, std::uint64_t(c.servers_per_rack));
+    h = hash_combine(h, c.regime_on);
+    h = hash_combine(h, c.regime_off);
+    h = hash_combine(h, c.regime_boost);
+    h = hash_combine(h, c.regime_damp);
+    h = hash_combine(h, c.seed);
+    h = hash_combine(h, std::uint64_t(sc.health_aware));
+  }
   return h;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "core/strategy.hpp"
+#include "faults/correlation.hpp"
 #include "faults/fault_spec.hpp"
 #include "trace/solar.hpp"
 #include "trace/workload_trace.hpp"
@@ -67,6 +68,14 @@ struct Scenario {
   /// the same spec replays the same failure history across availability
   /// windows and scenario seeds.
   faults::FaultSpec faults;
+  /// Correlated fault processes layered over `faults` (weather fronts,
+  /// rack cascades, burst regimes — faults/correlation.hpp). The disabled
+  /// default leaves the schedule, and the run's fingerprint, bit-identical
+  /// to independent draws.
+  faults::CorrelationSpec fault_correlation;
+  /// Learned health-aware recovery (core::ControllerConfig::health_aware);
+  /// meaningful only with the Hybrid strategy.
+  bool health_aware = false;
 };
 
 /// Order-sensitive digest over every field that influences a run. Burst

@@ -12,6 +12,7 @@
 
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_io.hpp"
+#include "faults/correlation.hpp"
 #include "faults/fault_spec.hpp"
 #include "sim/burst_runner.hpp"
 #include "sim/day_runner.hpp"
@@ -86,6 +87,32 @@ TEST(Resume, BurstSimResumesWithFaultsAndDes) {
   EXPECT_EQ(result_fingerprint(run_interrupted(sc, 7)), ref_fp);
 }
 
+TEST(Resume, BurstSimResumesThroughAnActiveStormWindow) {
+  // Correlated schedule + health-aware recovery: the snapshot must carry
+  // the StormModel, the per-class correlated-burst edge state, and the
+  // extended (health-sliced) Q-table. Kill at every epoch so at least one
+  // kill lands inside an active storm window.
+  auto sc = base_scenario();
+  sc.faults = faults::FaultSpec::uniform(0.4, 11);
+  sc.fault_correlation =
+      faults::CorrelationSpec::parse("storm=0.9,cascade=0.5,regime_on=0.2");
+  sc.health_aware = true;
+  const auto reference = run_whole(sc);
+  // The storm must actually fire during this run, otherwise the test
+  // exercises nothing new; seed 11 at intensity 0.4 guarantees it.
+  std::size_t bursts = 0;
+  for (const auto b : reference.correlated_bursts) bursts += b;
+  ASSERT_GT(bursts, 0u);
+  const auto ref_fp = result_fingerprint(reference);
+  BurstSim probe(sc);
+  const std::size_t n = probe.num_epochs();
+  for (std::size_t k = 0; k <= n; ++k) {
+    const auto resumed = run_interrupted(sc, k);
+    EXPECT_EQ(result_fingerprint(resumed), ref_fp)
+        << "diverged when killed after epoch " << k;
+  }
+}
+
 TEST(Resume, BurstSimSnapshotRejectsDifferentScenario) {
   BurstSim sim(base_scenario());
   sim.step();
@@ -149,6 +176,8 @@ TEST(Resume, DaySimSnapshotRejectsDifferentConfig) {
 TEST(Resume, BurstResultRoundTripIsBitExact) {
   auto sc = base_scenario();
   sc.faults = faults::FaultSpec::uniform(0.3, 5);
+  sc.fault_correlation = faults::CorrelationSpec::parse("storm=0.9");
+  sc.health_aware = true;
   const auto original = run_burst(sc);
 
   ckpt::StateWriter w;
@@ -163,6 +192,11 @@ TEST(Resume, BurstResultRoundTripIsBitExact) {
   for (int i = 0; i < faults::kNumFaultClasses; ++i) {
     EXPECT_EQ(restored.fault_class_downtime[std::size_t(i)].value(),
               original.fault_class_downtime[std::size_t(i)].value());
+    EXPECT_EQ(restored.correlated_bursts[std::size_t(i)],
+              original.correlated_bursts[std::size_t(i)]);
+  }
+  for (std::size_t h = 0; h < original.health_state_epochs.size(); ++h) {
+    EXPECT_EQ(restored.health_state_epochs[h], original.health_state_epochs[h]);
   }
 }
 

@@ -95,6 +95,60 @@ TEST_F(ControllerFixture, HybridLearnsAcrossEpochs) {
   EXPECT_LT(downgrades, 10);
 }
 
+TEST_F(ControllerFixture, HealthAwareHybridKeepsSprintingWhileDegraded) {
+  // With health_aware on, the Hybrid controller feeds the health state
+  // into the Q-state instead of clamping to Normal: a degraded epoch with
+  // ample supply may still sprint (the learner decides, the feasibility
+  // mask stays the safety floor).
+  GreenSprintController c(app, table, power.idle_power(),
+                          {StrategyKind::Hybrid, PredictorConfig{},
+                           Seconds(60.0), /*recovery_epochs=*/3,
+                           /*health_aware=*/true});
+  EXPECT_TRUE(c.health_aware_active());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 20; ++i) c.observe_idle(lambda, Watts(211.0));
+  c.notify_health(/*supply_shortfall=*/true, /*stale_telemetry=*/false);
+  ASSERT_TRUE(c.degraded());
+  const auto s = c.begin_epoch(lambda, Watts(211.0));
+  // Health slices seed identically, so before any degraded-slice feedback
+  // the learner picks the same sprint it would when healthy.
+  EXPECT_NE(s, server::normal_mode());
+}
+
+TEST_F(ControllerFixture, HealthAwareFlagIsInertForNonHybridStrategies) {
+  // The learned recovery path needs a learner; Greedy keeps the clamp
+  // even when the config asks for health-aware recovery.
+  GreenSprintController c(app, table, power.idle_power(),
+                          {StrategyKind::Greedy, PredictorConfig{},
+                           Seconds(60.0), /*recovery_epochs=*/3,
+                           /*health_aware=*/true});
+  EXPECT_FALSE(c.health_aware_active());
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 20; ++i) c.observe_idle(lambda, Watts(211.0));
+  c.notify_health(true, false);
+  ASSERT_TRUE(c.degraded());
+  EXPECT_EQ(c.begin_epoch(lambda, Watts(211.0)), server::normal_mode());
+}
+
+TEST_F(ControllerFixture, HealthAwareReplanStaysWithinActualSupply) {
+  // The safety floor under health-aware recovery: whatever the learner
+  // plans while degraded, replan() still forces the demand under the
+  // supply that materialized.
+  GreenSprintController c(app, table, power.idle_power(),
+                          {StrategyKind::Hybrid, PredictorConfig{},
+                           Seconds(60.0), /*recovery_epochs=*/3,
+                           /*health_aware=*/true});
+  const double lambda = perf.intensity_load(12);
+  for (int i = 0; i < 20; ++i) c.observe_idle(lambda, Watts(211.0));
+  c.notify_health(true, false);
+  const auto planned = c.begin_epoch(lambda, Watts(0.0));
+  (void)planned;
+  const auto down = c.replan(Watts(110.0));
+  if (down != server::normal_mode()) {
+    EXPECT_LE(c.demand(lambda, down).value(), 110.0 + 1e-6);
+  }
+}
+
 TEST_F(ControllerFixture, NegativeLoadRejected) {
   auto c = make(StrategyKind::Greedy);
   EXPECT_THROW((void)c.begin_epoch(-1.0, Watts(0.0)), gs::ContractError);

@@ -166,6 +166,61 @@ TEST_F(HybridFixture, FeedbackMovesTheTable) {
   EXPECT_LT(after, before);
 }
 
+TEST_F(HybridFixture, StateIndexSeparatesHealthAndClamps) {
+  const Watts supply{150.0};
+  const double load = perf.intensity_load(12);
+  const auto healthy = hybrid.state_index(supply, load, 0);
+  const auto degraded = hybrid.state_index(supply, load, 1);
+  const auto recovering = hybrid.state_index(supply, load, 2);
+  EXPECT_NE(healthy, degraded);
+  EXPECT_NE(degraded, recovering);
+  EXPECT_NE(healthy, recovering);
+  // Out-of-range health clamps instead of indexing out of the table.
+  EXPECT_EQ(hybrid.state_index(supply, load, -1), healthy);
+  EXPECT_EQ(hybrid.state_index(supply, load, 99), recovering);
+  // The default is the healthy slice, so health-unaware callers (who never
+  // set ctx.health) keep their exact pre-health-dimension indices.
+  EXPECT_EQ(hybrid.state_index(supply, load), healthy);
+}
+
+TEST_F(HybridFixture, QTableCarriesTheHealthSlices) {
+  EXPECT_EQ(hybrid.table().num_states() % HybridStrategy::kNumHealthStates,
+            0u);
+  EXPECT_EQ(hybrid.table().num_states(),
+            hybrid.num_supply_buckets() * std::size_t(table.num_levels()) *
+                HybridStrategy::kNumHealthStates);
+}
+
+TEST_F(HybridFixture, HealthSlicesSeedIdenticallyAndDivergeOnFeedback) {
+  hybrid.seed_from_profile();
+  const auto c0 = ctx(150.0);
+  auto c1 = c0;
+  c1.health = 1;
+  // Identical seeding per slice: the degraded slice starts with the same
+  // values, so the first decision matches the healthy one bit-for-bit.
+  const auto s0 = hybrid.state_index(c0.supply, c0.predicted_load, 0);
+  const auto s1 = hybrid.state_index(c1.supply, c1.predicted_load, 1);
+  for (std::size_t a = 0; a < hybrid.table().num_actions(); ++a) {
+    ASSERT_DOUBLE_EQ(hybrid.table().value(s0, a), hybrid.table().value(s1, a));
+  }
+  EXPECT_EQ(hybrid.decide(c0), hybrid.decide(c1));
+  // Feedback against the degraded slice leaves the healthy slice intact:
+  // a health-unaware controller (slice 0 only) is unaffected by the
+  // dimension's existence.
+  const auto action = hybrid.decide(c1);
+  EpochFeedback fb;
+  fb.context = c1;
+  fb.action = action;
+  fb.power_demand = Watts(200.0);
+  fb.actual_supply = Watts(50.0);
+  fb.achieved_latency = Seconds(5.0);
+  fb.observed_load = c1.predicted_load;
+  fb.next_context = c1;
+  hybrid.feedback(fb);
+  const auto a_idx = table.lattice().index_of(action);
+  EXPECT_NE(hybrid.table().value(s1, a_idx), hybrid.table().value(s0, a_idx));
+}
+
 TEST_F(HybridFixture, OnlineLearningAbandonsFailingAction) {
   hybrid.seed_from_profile();
   const auto c = ctx(160.0);

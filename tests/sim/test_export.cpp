@@ -122,6 +122,28 @@ TEST(Export, AvailabilityCsvHasPerClassAndTotalRows) {
             std::ptrdiff_t(rep.per_class.size()) + 2);  // header + total
 }
 
+TEST(Export, AvailabilityCsvReportsNoFailuresInsteadOfZeroMtbf) {
+  // Regression: a failure-free run has undefined MTTR/MTBF; the total row
+  // must say so instead of printing 0.0 (which reads as instant failure).
+  const auto rep = availability_report(run_burst(small_scenario()),
+                                       Seconds(60.0));
+  ASSERT_EQ(rep.incidents, 0u);
+  std::ostringstream os;
+  export_availability_csv(os, rep);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("total,0,0,no-failures,no-failures,"),
+            std::string::npos);
+  // A faulted run keeps the numeric columns.
+  auto sc = small_scenario();
+  sc.burst_duration = Seconds(1800.0);
+  sc.faults = faults::FaultSpec::uniform(0.4, 7);
+  const auto faulted = availability_report(run_burst(sc), Seconds(60.0));
+  ASSERT_GT(faulted.incidents, 0u);
+  std::ostringstream os2;
+  export_availability_csv(os2, faulted);
+  EXPECT_EQ(os2.str().find("no-failures"), std::string::npos);
+}
+
 TEST(Export, AvailabilityRejectsNonPositiveEpoch) {
   const auto r = run_burst(small_scenario());
   EXPECT_THROW((void)availability_report(r, Seconds(0.0)), gs::ContractError);

@@ -28,6 +28,10 @@ Enforces the invariants clang-tidy cannot express for this codebase:
                     declare a kStateVersion schema field; versioned sections
                     are what lets a resumed campaign reject snapshots written
                     by an older layout instead of misreading them.
+  correlated-faults FaultSchedule::generate() outside faults/fault_schedule
+                    bypasses the correlation layer; call generate_correlated
+                    (a disabled CorrelationSpec is the identity), so every
+                    caller honors a scenario's storm configuration.
 
 Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
 with a comment explaining why. Usage:
@@ -101,6 +105,17 @@ RULES = [
         "<cassert>/assert() in src/; use GS_REQUIRE / GS_ENSURE from "
         "common/assert.hpp (throws gs::ContractError, active in release)",
         r"#\s*include\s*<(cassert|assert\.h)>|(?<![\w_.])assert\s*\(",
+    ),
+    Rule(
+        "correlated-faults",
+        "direct FaultSchedule::generate() bypasses the correlation-aware "
+        "entry point; call FaultSchedule::generate_correlated (a disabled "
+        "CorrelationSpec is the identity)",
+        r"FaultSchedule::generate\s*\(",
+        exempt=(
+            "faults/fault_schedule.hpp",
+            "faults/fault_schedule.cpp",
+        ),
     ),
 ]
 
