@@ -1,0 +1,225 @@
+// Timed perf harness for the embedded telemetry engine (src/tsdb).
+//
+// For each storage strategy (MEMORY / WAL / COMPRESSED / CACHE) it ingests
+// a fixed grid of series (16 metrics x 8 servers) with `--samples` samples
+// per series, seals, then runs full-range queries over every metric and
+// counts the rows back out. Reports ingest and query throughput per
+// strategy and emits BENCH_tsdb.json with the measured numbers plus the
+// engine's own counters (spilled chunks, page reads, cache hit rate).
+//
+// Acceptance gate: MEMORY-strategy ingest must sustain at least 1M
+// samples/sec, in smoke and full modes alike (the in-memory append path
+// has no IO to hide behind).
+//
+// Usage: perf_tsdb [--smoke] [--out PATH] [--samples N] [--dir DIR]
+//   --smoke    reduced sample count for CI (also via GS_BENCH_SMOKE=1)
+//   --out      where to write the JSON artifact (default BENCH_tsdb.json)
+//   --samples  samples per series (default 8192, smoke 1024)
+//   --dir      scratch directory for the on-disk strategies (default: a
+//              fresh directory under the system temp dir, wiped per run)
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tsdb/engine.hpp"
+
+namespace {
+
+constexpr std::uint32_t kMetrics = 16;
+constexpr std::uint32_t kServers = 8;
+constexpr double kMinMemoryIngestPerSec = 1.0e6;
+
+struct StrategyTiming {
+  gs::tsdb::Strategy strategy = gs::tsdb::Strategy::MEMORY;
+  std::uint64_t samples = 0;
+  double ingest_per_sec = 0.0;
+  double query_rows_per_sec = 0.0;
+  std::uint64_t rows_read = 0;
+  gs::tsdb::EngineStats stats;
+};
+
+std::string metric_name(std::uint32_t m) {
+  return "bench_metric_" + std::to_string(m);
+}
+
+/// Deterministic telemetry-shaped value stream (no RNG: slowly varying
+/// doubles compress like real power/goodput series).
+double sample_value(std::uint32_t metric, std::uint32_t server,
+                    std::uint64_t i) {
+  return double(metric) * 100.0 + double(server) +
+         double(i % 97) * 0.125 + double(i % 7) * 0.015625;
+}
+
+StrategyTiming run_strategy(gs::tsdb::Strategy strategy,
+                            const std::filesystem::path& scratch,
+                            std::uint64_t samples_per_series) {
+  namespace fs = std::filesystem;
+  using namespace gs;
+
+  const fs::path dir = scratch / tsdb::to_string(strategy);
+  fs::remove_all(dir);
+
+  tsdb::EngineOptions opts;
+  opts.strategy = strategy;
+  opts.dir = dir;
+  opts.chunk_capacity = 512;
+  opts.cache_chunks = 32;
+  tsdb::Engine engine(opts);
+
+  std::vector<tsdb::SeriesId> ids;
+  ids.reserve(std::size_t(kMetrics) * kServers);
+  for (std::uint32_t m = 0; m < kMetrics; ++m) {
+    for (std::uint32_t s = 0; s < kServers; ++s) {
+      ids.push_back(engine.series(metric_name(m), /*rack=*/0, s));
+    }
+  }
+
+  StrategyTiming t;
+  t.strategy = strategy;
+  t.samples = samples_per_series * std::uint64_t(ids.size());
+
+  // Ingest epoch-by-epoch across every series, like a sweep does.
+  bench::WallTimer timer;
+  for (std::uint64_t i = 0; i < samples_per_series; ++i) {
+    const double time_s = double(i) * 60.0;
+    std::size_t k = 0;
+    for (std::uint32_t m = 0; m < kMetrics; ++m) {
+      for (std::uint32_t s = 0; s < kServers; ++s) {
+        engine.append(ids[k++], time_s, sample_value(m, s, i));
+      }
+    }
+  }
+  engine.flush();
+  const double ingest_secs = timer.elapsed_s();
+  t.ingest_per_sec =
+      ingest_secs > 0.0 ? double(t.samples) / ingest_secs : 0.0;
+
+  engine.seal_all();
+
+  // Full-range scan of every metric (all servers per cursor), twice so the
+  // CACHE strategy gets a warm pass.
+  timer.restart();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t m = 0; m < kMetrics; ++m) {
+      auto cur = engine.query(metric_name(m), /*rack=*/0);
+      tsdb::CursorRow row;
+      while (cur.next(row)) ++t.rows_read;
+    }
+  }
+  const double query_secs = timer.elapsed_s();
+  t.query_rows_per_sec =
+      query_secs > 0.0 ? double(t.rows_read) / query_secs : 0.0;
+
+  t.stats = engine.stats();
+  fs::remove_all(dir);
+  return t;
+}
+
+void print_timing(const StrategyTiming& t) {
+  std::printf(
+      "%-10s  samples=%8llu  ingest/s=%12.0f  query-rows/s=%12.0f  "
+      "spilled=%llu  page-reads=%llu  cache=%llu/%llu\n",
+      gs::tsdb::to_string(t.strategy),
+      static_cast<unsigned long long>(t.samples), t.ingest_per_sec,
+      t.query_rows_per_sec,
+      static_cast<unsigned long long>(t.stats.spilled_chunks),
+      static_cast<unsigned long long>(t.stats.page_reads),
+      static_cast<unsigned long long>(t.stats.cache_hits),
+      static_cast<unsigned long long>(t.stats.cache_hits +
+                                      t.stats.cache_misses));
+}
+
+std::string json_key(gs::tsdb::Strategy s, const char* suffix) {
+  std::string key = gs::tsdb::to_string(s);
+  for (char& c : key) c = char(std::tolower(static_cast<unsigned char>(c)));
+  return key + "_" + suffix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  namespace fs = std::filesystem;
+  bool smoke = bench::smoke();
+  std::string out_path = "BENCH_tsdb.json";
+  std::uint64_t samples = 0;
+  fs::path scratch;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      scratch = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH] [--samples N] "
+                   "[--dir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (samples == 0) samples = smoke ? 1024 : 8192;
+  if (scratch.empty()) scratch = fs::temp_directory_path() / "gs_perf_tsdb";
+
+  std::printf("perf_tsdb: %u series x %llu samples%s\n", kMetrics * kServers,
+              static_cast<unsigned long long>(samples),
+              smoke ? " (smoke)" : "");
+
+  const std::uint64_t expected_rows =
+      2ull * samples * std::uint64_t(kMetrics) * kServers;
+  bench::JsonWriter json;
+  json.add("bench", std::string("perf_tsdb"));
+  json.add("mode", std::string(smoke ? "smoke" : "full"));
+  json.add("series", std::uint64_t(kMetrics) * kServers);
+  json.add("samples_per_series", samples);
+
+  bool ok = true;
+  double memory_ingest = 0.0;
+  for (const tsdb::Strategy s :
+       {tsdb::Strategy::MEMORY, tsdb::Strategy::WAL,
+        tsdb::Strategy::COMPRESSED, tsdb::Strategy::CACHE}) {
+    const auto t = run_strategy(s, scratch, samples);
+    print_timing(t);
+    if (t.rows_read != expected_rows) {
+      std::fprintf(stderr,
+                   "perf_tsdb: FAIL — %s queries returned %llu rows, "
+                   "expected %llu\n",
+                   tsdb::to_string(s),
+                   static_cast<unsigned long long>(t.rows_read),
+                   static_cast<unsigned long long>(expected_rows));
+      ok = false;
+    }
+    if (s == tsdb::Strategy::MEMORY) memory_ingest = t.ingest_per_sec;
+    json.add(json_key(s, "ingest_per_sec"), t.ingest_per_sec);
+    json.add(json_key(s, "query_rows_per_sec"), t.query_rows_per_sec);
+    json.add(json_key(s, "spilled_chunks"), t.stats.spilled_chunks);
+    json.add(json_key(s, "page_reads"), t.stats.page_reads);
+    json.add(json_key(s, "cache_hits"), t.stats.cache_hits);
+    json.add(json_key(s, "cache_misses"), t.stats.cache_misses);
+  }
+  json.add("min_memory_ingest_per_sec", kMinMemoryIngestPerSec);
+  json.add("memory_ingest_gate_passed",
+           memory_ingest >= kMinMemoryIngestPerSec);
+  if (!json.write(out_path)) {
+    std::fprintf(stderr, "perf_tsdb: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (memory_ingest < kMinMemoryIngestPerSec) {
+    std::fprintf(stderr,
+                 "perf_tsdb: FAIL — MEMORY ingest %.0f samples/sec below "
+                 "the %.0f gate\n",
+                 memory_ingest, kMinMemoryIngestPerSec);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

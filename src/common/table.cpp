@@ -1,6 +1,8 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <iomanip>
 #include <sstream>
 
@@ -23,6 +25,15 @@ std::string TextTable::num(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
+}
+
+std::string TextTable::exact(double v) {
+  // Shortest round-trip form: 32 chars covers the worst case (17
+  // significant digits, sign, decimal point, e-308 exponent).
+  std::array<char, 32> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  GS_REQUIRE(res.ec == std::errc(), "double formatting failed");
+  return std::string(buf.data(), res.ptr);
 }
 
 void TextTable::render(std::ostream& os) const {

@@ -20,6 +20,11 @@ class TextTable {
   /// Convenience: format doubles with fixed precision.
   static std::string num(double v, int precision = 2);
 
+  /// Shortest decimal string that parses back to exactly `v` (std::to_chars
+  /// round-trip). The CSV exporters use this so files re-ingest without
+  /// losing bits: "2" for 2.0, "0.1" for 0.1, full digits only when needed.
+  static std::string exact(double v);
+
   void render(std::ostream& os) const;
   [[nodiscard]] std::string str() const;
 

@@ -178,6 +178,8 @@ void BurstSim::step() {
     sample.power_case = settle.power_case;
     sample.offered_load = lambda_burst;
     sample.battery_soc = battery_ ? battery_->state_of_charge() : 0.0;
+    sample.faulted = true;
+    sample.crashed = true;
     monitor_.record(sample);
     EpochRecord rec;
     rec.time = t;
@@ -318,6 +320,9 @@ void BurstSim::step() {
   sample.batt_used = settle.batt_used;
   sample.grid_used = settle.grid_used;
   sample.battery_soc = battery_ ? battery_->state_of_charge() : 0.0;
+  sample.downgraded = downgraded;
+  sample.faulted = injector_.enabled() && ef.any();
+  sample.degraded = is_degraded;
   monitor_.record(sample);
 
   EpochRecord rec;

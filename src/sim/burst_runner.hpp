@@ -116,6 +116,14 @@ class BurstSim {
   /// Simulate the next scheduling epoch. Requires !done().
   void step();
 
+  /// Stream every subsequent epoch's telemetry into `engine` (which must
+  /// outlive this sim) under fleet coordinate (rack, server). Not part of
+  /// the checkpoint state: re-attach after a load_state() restore.
+  void attach_tsdb(tsdb::Engine* engine, std::uint32_t rack = 0,
+                   std::uint32_t server = 0) {
+    monitor_.set_tsdb_sink(TsdbSink(engine, rack, server));
+  }
+
   /// Aggregate the burst statistics. Requires done().
   [[nodiscard]] BurstResult finish();
 

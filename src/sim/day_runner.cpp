@@ -6,6 +6,7 @@
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
 #include "common/keyed_cache.hpp"
+#include "sim/tsdb_sink.hpp"
 
 namespace gs::sim {
 
@@ -110,6 +111,9 @@ void DaySim::step() {
     out_.grid_energy += ep.grid_used * epoch_;
     out_.crash_epochs += std::size_t(ep.servers_crashed);
     out_.degraded_epochs += std::size_t(ep.servers_degraded);
+    if (tsdb_ != nullptr) {
+      record_cluster_epoch(*tsdb_, tsdb_rack_, t.value(), ep);
+    }
   } else {
     cluster_.idle_step(re_total, lambda_background_);
   }

@@ -19,6 +19,7 @@
 #include "sim/green_cluster.hpp"
 #include "trace/solar.hpp"
 #include "trace/workload_trace.hpp"
+#include "tsdb/fwd.hpp"
 
 namespace gs::sim {
 
@@ -79,6 +80,14 @@ class DaySim {
   /// Simulate the next epoch (burst or idle). Requires !done().
   void step();
 
+  /// Stream every burst epoch's cluster aggregates into `engine` (which
+  /// must outlive this sim) under `rack`. Runtime plumbing, not state:
+  /// re-attach after a load_state() restore.
+  void attach_tsdb(tsdb::Engine* engine, std::uint32_t rack = 0) {
+    tsdb_ = engine;
+    tsdb_rack_ = rack;
+  }
+
   /// Aggregate the campaign statistics. Requires done().
   [[nodiscard]] DayRunResult finish();
 
@@ -98,6 +107,8 @@ class DaySim {
   Seconds horizon_{0.0};
   faults::FaultInjector injector_;
   Seconds t_{0.0};
+  tsdb::Engine* tsdb_ = nullptr;
+  std::uint32_t tsdb_rack_ = 0;
   bool in_burst_prev_ = false;
   double burst_goodput_sum_ = 0.0;
   std::size_t burst_epochs_ = 0;

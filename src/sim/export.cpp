@@ -1,31 +1,75 @@
 #include "sim/export.hpp"
 
 #include <algorithm>
+#include <array>
+#include <filesystem>
 #include <fstream>
+#include <functional>
+#include <system_error>
 
 #include "common/assert.hpp"
 #include "common/table.hpp"
+#include "sim/tsdb_sink.hpp"
+#include "tsdb/engine.hpp"
+#include "tsdb/error.hpp"
 
 namespace gs::sim {
 
+namespace {
+
+// Temp-file + rename, mirroring ckpt::write_snapshot_file: a crash (or
+// disk-full failure) mid-export never leaves a truncated CSV at the
+// destination path.
+void write_csv_atomic(const std::string& path,
+                      const std::function<void(std::ostream&)>& emit) {
+  namespace fs = std::filesystem;
+  const fs::path dest(path);
+  const fs::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GS_REQUIRE(out.good(), "cannot open export file: " + path);
+    emit(out);
+    out.flush();
+    GS_REQUIRE(out.good(), "failed writing export file: " + path);
+  }
+  std::error_code ec;
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    GS_REQUIRE(false, "cannot move export file into place: " + path);
+  }
+}
+
+const std::array<const char*, 16> kEpochCsvHeader = {
+    "t_s",    "cores",        "freq_ghz", "power_case", "demand_w",
+    "re_w",   "batt_w",       "grid_w",   "soc",        "offered_load",
+    "goodput", "latency_s",   "downgraded", "faulted",  "crashed",
+    "degraded"};
+
+std::vector<std::string> header_row() {
+  return std::vector<std::string>(kEpochCsvHeader.begin(),
+                                  kEpochCsvHeader.end());
+}
+
+}  // namespace
+
 void export_epochs_csv(std::ostream& os, const BurstResult& result) {
   CsvWriter csv(os);
-  csv.row({"t_s", "cores", "freq_ghz", "power_case", "demand_w", "re_w",
-           "batt_w", "grid_w", "soc", "offered_load", "goodput",
-           "latency_s", "downgraded", "faulted", "crashed", "degraded"});
+  csv.row(header_row());
   for (const auto& e : result.epochs) {
-    csv.row({TextTable::num((e.time - result.window_start).value(), 0),
+    csv.row({TextTable::exact((e.time - result.window_start).value()),
              std::to_string(e.setting.cores),
-             TextTable::num(e.setting.frequency().value(), 1),
+             TextTable::exact(e.setting.frequency().value()),
              power::to_string(e.power_case),
-             TextTable::num(e.demand.value(), 2),
-             TextTable::num(e.re_used.value(), 2),
-             TextTable::num(e.batt_used.value(), 2),
-             TextTable::num(e.grid_used.value(), 2),
-             TextTable::num(e.battery_soc, 4),
-             TextTable::num(e.offered_load, 2),
-             TextTable::num(e.goodput, 2),
-             TextTable::num(e.latency.value(), 5),
+             TextTable::exact(e.demand.value()),
+             TextTable::exact(e.re_used.value()),
+             TextTable::exact(e.batt_used.value()),
+             TextTable::exact(e.grid_used.value()),
+             TextTable::exact(e.battery_soc),
+             TextTable::exact(e.offered_load),
+             TextTable::exact(e.goodput),
+             TextTable::exact(e.latency.value()),
              e.downgraded ? "1" : "0",
              e.faulted ? "1" : "0",
              e.crashed ? "1" : "0",
@@ -35,9 +79,65 @@ void export_epochs_csv(std::ostream& os, const BurstResult& result) {
 
 void export_epochs_csv_file(const std::string& path,
                             const BurstResult& result) {
-  std::ofstream out(path);
-  GS_REQUIRE(out.good(), "cannot open export file: " + path);
-  export_epochs_csv(out, result);
+  write_csv_atomic(path,
+                   [&](std::ostream& os) { export_epochs_csv(os, result); });
+}
+
+void export_epochs_csv(std::ostream& os, tsdb::Engine& engine,
+                       std::uint32_t rack, std::uint32_t server,
+                       Seconds window_start) {
+  // Pull each metric column into its own time-aligned vector. The sink
+  // appends every column at the same epoch timestamp, so the columns must
+  // agree sample-for-sample; anything else means the engine holds partial
+  // or foreign telemetry for this coordinate.
+  std::array<std::vector<tsdb::Sample>, kNumTsdbEpochMetrics> cols;
+  for (std::size_t m = 0; m < kNumTsdbEpochMetrics; ++m) {
+    tsdb::Cursor cur =
+        engine.query(kTsdbEpochMetrics[m], rack, tsdb::kMinTimestamp,
+                     tsdb::kMaxTimestamp, server);
+    tsdb::CursorRow row;
+    while (cur.next(row)) cols[m].push_back(row.sample);
+    if (cols[m].size() != cols[0].size()) {
+      throw tsdb::TsdbError(
+          std::string("epoch telemetry misaligned: metric '") +
+          kTsdbEpochMetrics[m] + "' has " + std::to_string(cols[m].size()) +
+          " samples, expected " + std::to_string(cols[0].size()));
+    }
+  }
+  CsvWriter csv(os);
+  csv.row(header_row());
+  for (std::size_t i = 0; i < cols[0].size(); ++i) {
+    const tsdb::Timestamp t = cols[0][i].time;
+    for (std::size_t m = 1; m < kNumTsdbEpochMetrics; ++m) {
+      if (cols[m][i].time != t) {
+        throw tsdb::TsdbError(
+            std::string("epoch telemetry misaligned: metric '") +
+            kTsdbEpochMetrics[m] + "' timestamp diverges at row " +
+            std::to_string(i));
+      }
+    }
+    // Columns 0..14 of cols are the post-t_s CSV columns in order (see
+    // kTsdbEpochMetrics). cores and power_case were stored as small exact
+    // integers; the flags as 0.0/1.0; everything else bit-exact, so each
+    // formatter below reproduces the legacy column byte-for-byte.
+    const auto v = [&](std::size_t m) { return cols[m][i].value; };
+    csv.row({TextTable::exact(tsdb::to_seconds(t) - window_start.value()),
+             std::to_string(int(v(0))),
+             TextTable::exact(v(1)),
+             power::to_string(power::PowerCase(int(v(2)))),
+             TextTable::exact(v(3)),
+             TextTable::exact(v(4)),
+             TextTable::exact(v(5)),
+             TextTable::exact(v(6)),
+             TextTable::exact(v(7)),
+             TextTable::exact(v(8)),
+             TextTable::exact(v(9)),
+             TextTable::exact(v(10)),
+             v(11) != 0.0 ? "1" : "0",
+             v(12) != 0.0 ? "1" : "0",
+             v(13) != 0.0 ? "1" : "0",
+             v(14) != 0.0 ? "1" : "0"});
+  }
 }
 
 void export_summary_header(std::ostream& os) {
@@ -54,18 +154,18 @@ void export_summary_row(std::ostream& os, const Scenario& scenario,
   csv.row({scenario.app.name, scenario.green.name,
            core::to_string(scenario.strategy),
            trace::to_string(scenario.availability),
-           TextTable::num(scenario.burst_duration.value() / 60.0, 0),
+           TextTable::exact(scenario.burst_duration.value() / 60.0),
            std::to_string(scenario.burst_intensity),
-           TextTable::num(result.normalized_perf, 4),
-           TextTable::num(result.mean_goodput, 2),
-           TextTable::num(to_watt_hours(result.re_energy_used).value(), 1),
-           TextTable::num(to_watt_hours(result.batt_energy_used).value(), 1),
-           TextTable::num(to_watt_hours(result.grid_energy_used).value(), 1),
-           TextTable::num(result.final_battery_dod, 4),
+           TextTable::exact(result.normalized_perf),
+           TextTable::exact(result.mean_goodput),
+           TextTable::exact(to_watt_hours(result.re_energy_used).value()),
+           TextTable::exact(to_watt_hours(result.batt_energy_used).value()),
+           TextTable::exact(to_watt_hours(result.grid_energy_used).value()),
+           TextTable::exact(result.final_battery_dod),
            scenario.faults.any() ? scenario.faults.to_string() : "none",
            std::to_string(result.degraded_epochs),
            std::to_string(result.crash_epochs),
-           TextTable::num(result.fault_downtime.value(), 0)});
+           TextTable::exact(result.fault_downtime.value())});
 }
 
 AvailabilityReport availability_report(const BurstResult& result,
@@ -115,27 +215,28 @@ void export_availability_csv(std::ostream& os, const AvailabilityReport& rep) {
                          0.0, 1.0)
             : 1.0;
     csv.row({faults::to_string(row.cls), std::to_string(row.incidents),
-             TextTable::num(row.downtime.value(), 0),
-             TextTable::num(row.mttr.value(), 1),
-             TextTable::num(row.mtbf.value(), 1),
-             TextTable::num(avail, 6)});
+             TextTable::exact(row.downtime.value()),
+             TextTable::exact(row.mttr.value()),
+             TextTable::exact(row.mtbf.value()),
+             TextTable::exact(avail)});
   }
   // A zero-incident run has no repairs to average: MTTR/MTBF are
   // undefined, not 0.0 — report "no-failures" so downstream tooling does
   // not mistake a perfect run for an instantly-failing one.
   const bool failure_free = rep.incidents == 0;
   csv.row({"total", std::to_string(rep.incidents),
-           TextTable::num(rep.downtime.value(), 0),
-           failure_free ? "no-failures" : TextTable::num(rep.mttr.value(), 1),
-           failure_free ? "no-failures" : TextTable::num(rep.mtbf.value(), 1),
-           TextTable::num(rep.availability, 6)});
+           TextTable::exact(rep.downtime.value()),
+           failure_free ? "no-failures"
+                        : TextTable::exact(rep.mttr.value()),
+           failure_free ? "no-failures"
+                        : TextTable::exact(rep.mtbf.value()),
+           TextTable::exact(rep.availability)});
 }
 
 void export_availability_csv_file(const std::string& path,
                                   const AvailabilityReport& rep) {
-  std::ofstream out(path);
-  GS_REQUIRE(out.good(), "cannot open export file: " + path);
-  export_availability_csv(out, rep);
+  write_csv_atomic(
+      path, [&](std::ostream& os) { export_availability_csv(os, rep); });
 }
 
 }  // namespace gs::sim

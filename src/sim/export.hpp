@@ -3,19 +3,33 @@
 // series with the same columns).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "sim/burst_runner.hpp"
+#include "tsdb/fwd.hpp"
 
 namespace gs::sim {
 
 /// One row per epoch: time, setting, power case, per-source watts, SoC,
-/// goodput, latency.
+/// goodput, latency. Numbers are formatted with TextTable::exact, so the
+/// CSV re-ingests without losing bits.
 void export_epochs_csv(std::ostream& os, const BurstResult& result);
 void export_epochs_csv_file(const std::string& path,
                             const BurstResult& result);
+
+/// Same CSV, read back out of the telemetry engine: joins the fifteen
+/// kTsdbEpochMetrics series recorded for (rack, server) on their shared
+/// epoch timestamps. Because the sink stores every column losslessly on an
+/// order-preserving time key, the output is byte-identical to
+/// export_epochs_csv over the BurstResult the sink observed (`window_start`
+/// is the result's window_start — the engine keys absolute time). Throws
+/// tsdb::TsdbError if the fifteen series are absent or misaligned.
+void export_epochs_csv(std::ostream& os, tsdb::Engine& engine,
+                       std::uint32_t rack, std::uint32_t server,
+                       Seconds window_start);
 
 /// One summary row (appendable across scenarios): scenario descriptors
 /// plus normalized performance and energy totals.

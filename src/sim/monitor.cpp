@@ -8,16 +8,23 @@ namespace gs::sim {
 Monitor::Monitor(std::size_t history) : history_(history) {}
 
 void Monitor::record(const MonitorSample& s) {
-  MutexLock lock(mu_);
-  history_.push(s);
-  ++count_;
-  goodput_.add(s.goodput);
-  latency_.add(s.latency.value());
-  demand_.add(s.demand.value());
-  re_energy_ += s.re_used * epoch_;
-  batt_energy_ += s.batt_used * epoch_;
-  grid_energy_ += s.grid_used * epoch_;
-  if (s.setting != server::normal_mode()) sprint_time_ += epoch_;
+  TsdbSink sink;
+  {
+    MutexLock lock(mu_);
+    history_.push(s);
+    ++count_;
+    goodput_.add(s.goodput);
+    latency_.add(s.latency.value());
+    demand_.add(s.demand.value());
+    re_energy_ += s.re_used * epoch_;
+    batt_energy_ += s.batt_used * epoch_;
+    grid_energy_ += s.grid_used * epoch_;
+    if (s.setting != server::normal_mode()) sprint_time_ += epoch_;
+    sink = tsdb_sink_;
+  }
+  // Forward outside the monitor lock: the engine has its own mutex, and
+  // keeping the two disjoint rules out lock-order cycles by construction.
+  if (sink) sink.record(s);
 }
 
 std::size_t Monitor::epochs() const {
@@ -173,6 +180,11 @@ Seconds Monitor::epoch() const {
   return epoch_;
 }
 
+void Monitor::set_tsdb_sink(TsdbSink sink) {
+  MutexLock lock(mu_);
+  tsdb_sink_ = sink;
+}
+
 namespace {
 
 void save_sample(ckpt::StateWriter& w, const MonitorSample& s) {
@@ -188,6 +200,10 @@ void save_sample(ckpt::StateWriter& w, const MonitorSample& s) {
   w.f64(s.batt_used.value());
   w.f64(s.grid_used.value());
   w.f64(s.battery_soc);
+  w.boolean(s.downgraded);
+  w.boolean(s.faulted);
+  w.boolean(s.crashed);
+  w.boolean(s.degraded);
 }
 
 void load_sample(ckpt::StateReader& r, MonitorSample& s) {
@@ -208,6 +224,10 @@ void load_sample(ckpt::StateReader& r, MonitorSample& s) {
   s.batt_used = Watts(r.f64());
   s.grid_used = Watts(r.f64());
   s.battery_soc = r.f64();
+  s.downgraded = r.boolean();
+  s.faulted = r.boolean();
+  s.crashed = r.boolean();
+  s.degraded = r.boolean();
 }
 
 }  // namespace

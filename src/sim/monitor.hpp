@@ -22,6 +22,7 @@
 #include "faults/fault_spec.hpp"
 #include "power/pss.hpp"
 #include "server/setting.hpp"
+#include "sim/tsdb_sink.hpp"
 
 namespace gs::sim {
 
@@ -38,6 +39,12 @@ struct MonitorSample {
   Watts batt_used{0.0};
   Watts grid_used{0.0};
   double battery_soc = 1.0;
+  // Epoch condition flags (mirrors EpochRecord, so the telemetry engine
+  // sees the full CSV column set).
+  bool downgraded = false;  ///< Emergency PMK downgrade fired.
+  bool faulted = false;     ///< Any fault event active this epoch.
+  bool crashed = false;     ///< Green server down this epoch.
+  bool degraded = false;    ///< Controller clamped to Normal.
 };
 
 class Monitor {
@@ -106,12 +113,20 @@ class Monitor {
   void set_epoch(Seconds epoch) GS_EXCLUDES(mu_);
   [[nodiscard]] Seconds epoch() const GS_EXCLUDES(mu_);
 
+  /// Attach a telemetry-engine sink: every record()ed sample is also
+  /// appended to the sink's fifteen metric series. Pass a
+  /// default-constructed sink to detach. The sink is runtime plumbing, not
+  /// state: it is not checkpointed and must be re-attached after a
+  /// restore.
+  void set_tsdb_sink(TsdbSink sink) GS_EXCLUDES(mu_);
+
   /// Number of tracked health states (mirrors core::HealthState).
   static constexpr std::size_t kNumHealthStates = 3;
 
   // --- Checkpoint/restore (src/ckpt). v2 appends the correlated-burst
-  // counters and the time-in-health-state histogram.
-  static constexpr std::uint32_t kStateVersion = 2;
+  // counters and the time-in-health-state histogram; v3 appends the epoch
+  // condition flags to each retained sample.
+  static constexpr std::uint32_t kStateVersion = 3;
   void save_state(ckpt::StateWriter& w) const GS_EXCLUDES(mu_);
   void load_state(ckpt::StateReader& r) GS_EXCLUDES(mu_);
 
@@ -137,6 +152,7 @@ class Monitor {
       GS_GUARDED_BY(mu_){};
   std::array<std::size_t, kNumHealthStates> health_epochs_
       GS_GUARDED_BY(mu_){};
+  TsdbSink tsdb_sink_ GS_GUARDED_BY(mu_);
 };
 
 }  // namespace gs::sim

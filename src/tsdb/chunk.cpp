@@ -1,0 +1,287 @@
+#include "tsdb/chunk.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "ckpt/snapshot.hpp"
+#include "ckpt/state_io.hpp"
+#include "common/assert.hpp"
+
+namespace gs::tsdb {
+namespace {
+
+// Sample bit grammar (version kChunkFormatVersion):
+//   first sample   64-bit timestamp key, 64-bit value image
+//   timestamp      '0'                         delta-of-delta == 0
+//                  '10'  + 7-bit zigzag        |dod| < 64
+//                  '110' + 24-bit zigzag       |dod| < 2^23
+//                  '111' + 64-bit zigzag       anything else
+//   value          '0'                         XOR with previous == 0
+//                  '1' '0' + window bits       XOR fits previous window
+//                  '1' '1' + 6-bit leading + 6-bit (len-1) + len bits
+// All timestamp arithmetic wraps in uint64 so the decoder reverses it
+// exactly even at the extremes of the key range.
+
+constexpr char kPageMagic[8] = {'G', 'S', 'T', 'S', 'D', 'B', 'C', 'H'};
+constexpr std::size_t kPageHeaderBytes =
+    sizeof(kPageMagic) + 4 * sizeof(std::uint32_t) + 4 * sizeof(std::uint64_t);
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (std::uint64_t(v) << 1) ^ std::uint64_t(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t z) {
+  return std::int64_t((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void encode_dod(BitWriter& bits, std::int64_t dod) {
+  if (dod == 0) {
+    bits.bit(false);
+    return;
+  }
+  const std::uint64_t z = zigzag(dod);
+  if (z < (std::uint64_t(1) << 7)) {
+    bits.bits(0b10, 2);
+    bits.bits(z, 7);
+  } else if (z < (std::uint64_t(1) << 24)) {
+    bits.bits(0b110, 3);
+    bits.bits(z, 24);
+  } else {
+    bits.bits(0b111, 3);
+    bits.bits(z, 64);
+  }
+}
+
+std::int64_t decode_dod(BitReader& bits) {
+  if (!bits.bit()) return 0;
+  if (!bits.bit()) return unzigzag(bits.bits(7));
+  if (!bits.bit()) return unzigzag(bits.bits(24));
+  return unzigzag(bits.bits(64));
+}
+
+}  // namespace
+
+void ChunkAppender::append(Timestamp t, double value) {
+  const std::uint64_t value_bits = std::bit_cast<std::uint64_t>(value);
+  if (count_ == 0) {
+    bits_.bits(std::uint64_t(t), 64);
+    bits_.bits(value_bits, 64);
+    t_min_ = t;
+    t_max_ = t;
+    prev_t_ = t;
+    prev_delta_ = 0;
+    prev_value_bits_ = value_bits;
+    prev_leading_ = -1;
+    prev_meaningful_ = 0;
+    count_ = 1;
+    return;
+  }
+  GS_REQUIRE(t >= prev_t_,
+             "tsdb chunks are append-only: timestamps must be non-decreasing");
+
+  const auto delta =
+      std::int64_t(std::uint64_t(t) - std::uint64_t(prev_t_));
+  const auto dod =
+      std::int64_t(std::uint64_t(delta) - std::uint64_t(prev_delta_));
+  encode_dod(bits_, dod);
+  prev_delta_ = delta;
+  prev_t_ = t;
+  t_max_ = t;
+
+  const std::uint64_t x = value_bits ^ prev_value_bits_;
+  if (x == 0) {
+    bits_.bit(false);
+  } else {
+    bits_.bit(true);
+    const int leading = std::countl_zero(x);
+    const int trailing = std::countr_zero(x);
+    const int prev_trailing = 64 - prev_leading_ - prev_meaningful_;
+    if (prev_leading_ >= 0 && leading >= prev_leading_ &&
+        trailing >= prev_trailing) {
+      bits_.bit(false);
+      bits_.bits(x >> prev_trailing, prev_meaningful_);
+    } else {
+      const int meaningful = 64 - leading - trailing;
+      bits_.bit(true);
+      bits_.bits(std::uint64_t(leading), 6);
+      bits_.bits(std::uint64_t(meaningful - 1), 6);
+      bits_.bits(x >> trailing, meaningful);
+      prev_leading_ = leading;
+      prev_meaningful_ = meaningful;
+    }
+  }
+  prev_value_bits_ = value_bits;
+  ++count_;
+}
+
+SealedChunk ChunkAppender::seal() {
+  SealedChunk out(key_, count_, t_min_, t_max_, bits_.bytes());
+  *this = ChunkAppender(key_);
+  return out;
+}
+
+SealedChunk ChunkAppender::snapshot() const {
+  return SealedChunk(key_, count_, t_min_, t_max_, bits_.bytes());
+}
+
+void ChunkAppender::save_state(ckpt::StateWriter& w) const {
+  w.u32(key_.metric_id);
+  w.u32(key_.rack_id);
+  w.u32(key_.server_id);
+  bits_.save_state(w);
+  w.u64(count_);
+  w.i64(t_min_);
+  w.i64(t_max_);
+  w.i64(prev_t_);
+  w.i64(prev_delta_);
+  w.u64(prev_value_bits_);
+  w.i64(prev_leading_);
+  w.i64(prev_meaningful_);
+}
+
+void ChunkAppender::load_state(ckpt::StateReader& r) {
+  key_.metric_id = r.u32();
+  key_.rack_id = r.u32();
+  key_.server_id = r.u32();
+  bits_.load_state(r);
+  count_ = r.u64();
+  t_min_ = r.i64();
+  t_max_ = r.i64();
+  prev_t_ = r.i64();
+  prev_delta_ = r.i64();
+  prev_value_bits_ = r.u64();
+  prev_leading_ = int(r.i64());
+  prev_meaningful_ = int(r.i64());
+}
+
+ChunkCursor::ChunkCursor(std::shared_ptr<const SealedChunk> chunk)
+    : chunk_(std::move(chunk)),
+      bits_(chunk_ ? std::string_view(chunk_->payload())
+                   : std::string_view{}) {
+  GS_REQUIRE(chunk_ != nullptr, "chunk cursor needs a chunk");
+}
+
+bool ChunkCursor::next(Sample& out) {
+  if (index_ >= chunk_->count()) return false;
+  if (index_ == 0) {
+    prev_t_ = std::int64_t(bits_.bits(64));
+    prev_value_bits_ = bits_.bits(64);
+    prev_delta_ = 0;
+    prev_leading_ = 0;
+    prev_meaningful_ = 0;
+  } else {
+    const std::int64_t dod = decode_dod(bits_);
+    prev_delta_ =
+        std::int64_t(std::uint64_t(prev_delta_) + std::uint64_t(dod));
+    prev_t_ =
+        std::int64_t(std::uint64_t(prev_t_) + std::uint64_t(prev_delta_));
+    if (bits_.bit()) {
+      std::uint64_t x = 0;
+      if (bits_.bit()) {
+        const int leading = int(bits_.bits(6));
+        const int meaningful = int(bits_.bits(6)) + 1;
+        if (leading + meaningful > 64) {
+          throw TsdbError("chunk value window exceeds 64 bits");
+        }
+        prev_leading_ = leading;
+        prev_meaningful_ = meaningful;
+        x = bits_.bits(meaningful) << (64 - leading - meaningful);
+      } else {
+        const int trailing = 64 - prev_leading_ - prev_meaningful_;
+        x = bits_.bits(prev_meaningful_) << trailing;
+      }
+      prev_value_bits_ ^= x;
+    }
+  }
+  ++index_;
+  out.time = prev_t_;
+  out.value = std::bit_cast<double>(prev_value_bits_);
+  return true;
+}
+
+std::string encode_page(const SealedChunk& chunk) {
+  std::string page;
+  page.reserve(kPageHeaderBytes + chunk.payload().size());
+  page.append(kPageMagic, sizeof(kPageMagic));
+  const auto put_u32 = [&page](std::uint32_t v) {
+    page.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  const auto put_u64 = [&page](std::uint64_t v) {
+    page.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u32(kChunkFormatVersion);
+  put_u32(chunk.key().metric_id);
+  put_u32(chunk.key().rack_id);
+  put_u32(chunk.key().server_id);
+  put_u64(chunk.count());
+  put_u64(std::uint64_t(chunk.t_min()));
+  put_u64(std::uint64_t(chunk.t_max()));
+  // Payload size and checksum close the header; together they catch torn
+  // writes and bit rot before any sample is decoded.
+  put_u64(chunk.payload().size());
+  page.append(chunk.payload());
+  const std::uint64_t checksum = ckpt::payload_checksum(chunk.payload());
+  page.append(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  return page;
+}
+
+SealedChunk decode_page(std::string_view page, const std::string& origin) {
+  if (page.size() < kPageHeaderBytes) {
+    throw TsdbError("chunk page truncated in " + origin + ": " +
+                    std::to_string(page.size()) + " bytes, header needs " +
+                    std::to_string(kPageHeaderBytes));
+  }
+  if (std::memcmp(page.data(), kPageMagic, sizeof(kPageMagic)) != 0) {
+    throw TsdbError("bad chunk page magic in " + origin);
+  }
+  std::size_t at = sizeof(kPageMagic);
+  const auto get_u32 = [&page, &at] {
+    std::uint32_t v = 0;
+    std::memcpy(&v, page.data() + at, sizeof v);
+    at += sizeof v;
+    return v;
+  };
+  const auto get_u64 = [&page, &at] {
+    std::uint64_t v = 0;
+    std::memcpy(&v, page.data() + at, sizeof v);
+    at += sizeof v;
+    return v;
+  };
+  const std::uint32_t version = get_u32();
+  if (version != kChunkFormatVersion) {
+    throw TsdbError("chunk page format version " + std::to_string(version) +
+                    " in " + origin + ", this build reads version " +
+                    std::to_string(kChunkFormatVersion));
+  }
+  SeriesKey key;
+  key.metric_id = get_u32();
+  key.rack_id = get_u32();
+  key.server_id = get_u32();
+  const std::uint64_t count = get_u64();
+  const auto t_min = Timestamp(get_u64());
+  const auto t_max = Timestamp(get_u64());
+  const std::uint64_t payload_size = get_u64();
+  // Compare without arithmetic on the untrusted size, so a corrupt huge
+  // claim cannot wrap the bounds check.
+  const std::uint64_t remaining = page.size() - at;
+  if (remaining < sizeof(std::uint64_t) ||
+      payload_size != remaining - sizeof(std::uint64_t)) {
+    throw TsdbError("chunk page payload truncated in " + origin +
+                    ": header claims " + std::to_string(payload_size) +
+                    " payload bytes, page holds " + std::to_string(remaining) +
+                    " past the header");
+  }
+  const std::string_view payload = page.substr(at, std::size_t(payload_size));
+  at += std::size_t(payload_size);
+  std::uint64_t checksum = 0;
+  std::memcpy(&checksum, page.data() + at, sizeof checksum);
+  if (ckpt::payload_checksum(payload) != checksum) {
+    throw TsdbError("chunk page checksum mismatch in " + origin);
+  }
+  if (count > 0 && t_min > t_max) {
+    throw TsdbError("chunk page time bounds inverted in " + origin);
+  }
+  return SealedChunk(key, count, t_min, t_max, std::string(payload));
+}
+
+}  // namespace gs::tsdb

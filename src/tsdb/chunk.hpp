@@ -1,0 +1,144 @@
+// The chunk codec: one chunk holds up to `capacity` samples of one series,
+// timestamps delta-of-delta coded and values XOR-coded (Gorilla-style),
+// both bit-packed. An open chunk (ChunkAppender) accepts appends and can
+// snapshot its exact compression state for checkpointing; a sealed chunk
+// is immutable and carries the time bounds the query planner prunes on.
+//
+// On disk a sealed chunk is a *page*: a fixed header (magic, format
+// version, series key, sample count, time bounds, payload size, FNV-1a
+// checksum) followed by the bit-packed payload, written with the same
+// atomic tmp+rename discipline as ckpt snapshots. decode_page() throws
+// TsdbError on truncation, bad magic, version skew, or checksum mismatch.
+//
+// kChunkFormatVersion guards the page layout AND the bit-level sample
+// encoding: bump it whenever either changes (gs-lint's tsdb-chunk-version
+// rule pins this file to the constant).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ckpt/fwd.hpp"
+#include "tsdb/codec.hpp"
+#include "tsdb/series.hpp"
+
+namespace gs::tsdb {
+
+/// Bumped on any change to the page header or the sample bit encoding.
+inline constexpr std::uint32_t kChunkFormatVersion = 1;
+
+/// One decoded point.
+struct Sample {
+  Timestamp time = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+class SealedChunk;
+
+/// Append-side compression state of one open chunk.
+class ChunkAppender {
+ public:
+  explicit ChunkAppender(SeriesKey key = {}) : key_(key) {}
+
+  /// Append one sample. Timestamps must be non-decreasing (append-only
+  /// telemetry); equal stamps are allowed for idempotent re-records.
+  void append(Timestamp t, double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] Timestamp t_min() const { return t_min_; }
+  [[nodiscard]] Timestamp t_max() const { return t_max_; }
+  [[nodiscard]] const SeriesKey& key() const { return key_; }
+
+  /// Freeze into an immutable chunk and reset to empty.
+  [[nodiscard]] SealedChunk seal();
+
+  /// Immutable snapshot of the samples appended so far (the open chunk's
+  /// query path); the appender keeps accepting appends.
+  [[nodiscard]] SealedChunk snapshot() const;
+
+  // Exact compression state, for bit-identical kill-and-resume. The
+  // schema is versioned by the enclosing Engine::kStateVersion section.
+  // gs-lint: allow(ckpt-schema-version)
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+
+ private:
+  SeriesKey key_;
+  BitWriter bits_;
+  std::uint64_t count_ = 0;
+  Timestamp t_min_ = 0;
+  Timestamp t_max_ = 0;
+  Timestamp prev_t_ = 0;
+  std::int64_t prev_delta_ = 0;
+  std::uint64_t prev_value_bits_ = 0;
+  int prev_leading_ = -1;   // -1: no reusable XOR window yet
+  int prev_meaningful_ = 0;
+};
+
+/// Immutable, compressed, time-bounded run of samples.
+class SealedChunk {
+ public:
+  SealedChunk() = default;
+  SealedChunk(SeriesKey key, std::uint64_t count, Timestamp t_min,
+              Timestamp t_max, std::string payload)
+      : key_(key),
+        count_(count),
+        t_min_(t_min),
+        t_max_(t_max),
+        payload_(std::move(payload)) {}
+
+  [[nodiscard]] const SeriesKey& key() const { return key_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Timestamp t_min() const { return t_min_; }
+  [[nodiscard]] Timestamp t_max() const { return t_max_; }
+  [[nodiscard]] const std::string& payload() const { return payload_; }
+
+  /// True when [t_min, t_max] intersects [lo, hi] — the chunk-level prune.
+  [[nodiscard]] bool overlaps(Timestamp lo, Timestamp hi) const {
+    return count_ > 0 && t_max_ >= lo && t_min_ <= hi;
+  }
+
+ private:
+  SeriesKey key_;
+  std::uint64_t count_ = 0;
+  Timestamp t_min_ = 0;
+  Timestamp t_max_ = 0;
+  std::string payload_;
+};
+
+/// Streaming decoder over one sealed chunk.
+class ChunkCursor {
+ public:
+  explicit ChunkCursor(std::shared_ptr<const SealedChunk> chunk);
+
+  /// Decode the next sample; false at the end of the chunk. Throws
+  /// TsdbError if the payload ends mid-sample (truncated page).
+  bool next(Sample& out);
+
+ private:
+  std::shared_ptr<const SealedChunk> chunk_;
+  BitReader bits_;
+  std::uint64_t index_ = 0;
+  Timestamp prev_t_ = 0;
+  std::int64_t prev_delta_ = 0;
+  std::uint64_t prev_value_bits_ = 0;
+  int prev_leading_ = 0;
+  int prev_meaningful_ = 0;
+};
+
+/// Serialize a sealed chunk as an on-disk page (header + checksummed
+/// payload).
+[[nodiscard]] std::string encode_page(const SealedChunk& chunk);
+
+/// Parse and validate a page; throws TsdbError on truncation, bad magic,
+/// version skew, or checksum mismatch. `origin` names the source in error
+/// messages (file path, "wal", ...).
+[[nodiscard]] SealedChunk decode_page(std::string_view page,
+                                      const std::string& origin);
+
+}  // namespace gs::tsdb

@@ -1,0 +1,74 @@
+#include "tsdb/codec.hpp"
+
+#include "ckpt/state_io.hpp"
+#include "common/assert.hpp"
+
+namespace gs::tsdb {
+
+void BitWriter::bits(std::uint64_t v, int n) {
+  GS_REQUIRE(n >= 0 && n <= 64, "bit count out of range");
+  while (n > 0) {
+    const int take = n < (8 - pending_bits_) ? n : (8 - pending_bits_);
+    const std::uint64_t chunk =
+        (v >> (n - take)) & ((std::uint64_t(1) << take) - 1);
+    pending_ = std::uint8_t((pending_ << take) | std::uint8_t(chunk));
+    pending_bits_ += take;
+    n -= take;
+    if (pending_bits_ == 8) {
+      buf_.push_back(char(pending_));
+      pending_ = 0;
+      pending_bits_ = 0;
+    }
+  }
+}
+
+std::string BitWriter::bytes() const {
+  std::string out = buf_;
+  if (pending_bits_ > 0) {
+    out.push_back(char(std::uint8_t(pending_ << (8 - pending_bits_))));
+  }
+  return out;
+}
+
+void BitWriter::save_state(ckpt::StateWriter& w) const {
+  w.str(buf_);
+  w.u8(pending_);
+  w.u8(std::uint8_t(pending_bits_));
+}
+
+void BitWriter::load_state(ckpt::StateReader& r) {
+  buf_ = r.str();
+  pending_ = r.u8();
+  pending_bits_ = int(r.u8());
+  if (pending_bits_ < 0 || pending_bits_ >= 8) {
+    throw TsdbError("bit writer snapshot holds invalid carry width " +
+                    std::to_string(pending_bits_));
+  }
+}
+
+std::uint64_t BitReader::bits(int n) {
+  GS_REQUIRE(n >= 0 && n <= 64, "bit count out of range");
+  if (pos_ + std::uint64_t(n) > std::uint64_t(buf_.size()) * 8) {
+    throw TsdbError("chunk bitstream truncated: need " + std::to_string(n) +
+                    " bits at offset " + std::to_string(pos_) + ", have " +
+                    std::to_string(std::uint64_t(buf_.size()) * 8 - pos_));
+  }
+  std::uint64_t out = 0;
+  int need = n;
+  while (need > 0) {
+    const std::size_t byte = std::size_t(pos_ >> 3);
+    const int offset = int(pos_ & 7);
+    const int avail = 8 - offset;
+    const int take = need < avail ? need : avail;
+    const auto cur = std::uint8_t(buf_[byte]);
+    const std::uint64_t chunk =
+        (std::uint64_t(cur) >> (avail - take)) &
+        ((std::uint64_t(1) << take) - 1);
+    out = (out << take) | chunk;
+    pos_ += std::uint64_t(take);
+    need -= take;
+  }
+  return out;
+}
+
+}  // namespace gs::tsdb

@@ -1,0 +1,59 @@
+// MSB-first bit stream primitives under the chunk codec. The writer packs
+// into a byte buffer with one partial byte of carry; the reader throws
+// TsdbError on any read past the end, so a truncated chunk surfaces as a
+// typed decode error instead of garbage samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ckpt/fwd.hpp"
+#include "tsdb/error.hpp"
+
+namespace gs::tsdb {
+
+class BitWriter {
+ public:
+  /// Append the low `n` bits of `v`, most significant first. n in [0, 64].
+  void bits(std::uint64_t v, int n);
+  void bit(bool b) { bits(b ? 1u : 0u, 1); }
+
+  /// Bits appended so far.
+  [[nodiscard]] std::uint64_t size_bits() const {
+    return std::uint64_t(buf_.size()) * 8 + std::uint64_t(pending_bits_);
+  }
+
+  /// Byte image with the final partial byte zero-padded. Appending may
+  /// continue after a snapshot; the snapshot stays valid for the bits it
+  /// covered (pair it with the sample count, as ChunkAppender does).
+  [[nodiscard]] std::string bytes() const;
+
+  /// Exact internal state, for bit-identical checkpoint round-trips. The
+  /// schema is versioned by the enclosing Engine::kStateVersion section.
+  // gs-lint: allow(ckpt-schema-version)
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+
+ private:
+  std::string buf_;
+  std::uint8_t pending_ = 0;   // carry byte, high bits first
+  int pending_bits_ = 0;       // valid bits in pending_, [0, 8)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view bytes) : buf_(bytes) {}
+
+  /// Read `n` bits, MSB-first; throws TsdbError past the end of the buffer.
+  std::uint64_t bits(int n);
+  bool bit() { return bits(1) != 0; }
+
+  [[nodiscard]] std::uint64_t consumed_bits() const { return pos_; }
+
+ private:
+  std::string_view buf_;
+  std::uint64_t pos_ = 0;  // bit offset
+};
+
+}  // namespace gs::tsdb

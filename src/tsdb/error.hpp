@@ -1,0 +1,19 @@
+// The one exception type of the telemetry engine. Mirrors ckpt's
+// SnapshotError discipline: every malformed, truncated, corrupt or
+// version-skewed on-disk artifact (chunk page, WAL record, manifest entry)
+// fails with a typed TsdbError carrying a human-readable cause, never a
+// silent mis-read. Contract violations (out-of-order appends, bad query
+// arguments) keep throwing gs::ContractError like the rest of src/.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gs::tsdb {
+
+class TsdbError : public std::runtime_error {
+ public:
+  explicit TsdbError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace gs::tsdb

@@ -1,0 +1,20 @@
+// Forward declarations for the telemetry engine, so sim/ headers can carry
+// an optional tsdb hook without pulling the storage machinery into every
+// translation unit (mirrors ckpt/fwd.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace gs::tsdb {
+
+class Engine;
+
+/// Dense handle for one (metric, rack, server) series inside an Engine.
+using SeriesId = std::uint32_t;
+
+/// Engine time axis: a total-order integer mapping of the simulation's
+/// double-seconds clock (see time.hpp). Chunk indexes and range queries
+/// prune on this key; to_seconds() restores the exact double.
+using Timestamp = std::int64_t;
+
+}  // namespace gs::tsdb

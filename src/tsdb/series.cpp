@@ -1,0 +1,45 @@
+#include "tsdb/series.hpp"
+
+#include "ckpt/state_io.hpp"
+#include "common/assert.hpp"
+
+namespace gs::tsdb {
+
+std::uint32_t NameDict::intern(std::string_view name) {
+  GS_REQUIRE(!name.empty(), "metric names must be non-empty");
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = std::uint32_t(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t NameDict::find(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& NameDict::name(std::uint32_t id) const {
+  GS_REQUIRE(id < names_.size(), "metric id out of range");
+  return names_[id];
+}
+
+void NameDict::save_state(ckpt::StateWriter& w) const {
+  w.u64(names_.size());
+  for (const std::string& n : names_) w.str(n);
+}
+
+void NameDict::load_state(ckpt::StateReader& r) {
+  names_.clear();
+  ids_.clear();
+  const auto n = std::size_t(r.u64());
+  names_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    names_.push_back(name);
+    ids_.emplace(name, std::uint32_t(i));
+  }
+}
+
+}  // namespace gs::tsdb

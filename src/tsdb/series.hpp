@@ -1,0 +1,62 @@
+// Series identity. A series is one metric stream of one server in one
+// rack: (metric_id, rack_id, server_id). Metric names are interned in a
+// small append-only dictionary so per-sample bookkeeping is three u32
+// compares, never a string hash; rack/server are numeric fleet coordinates
+// already. The dictionary round-trips through the engine snapshot, so ids
+// are stable across a kill-and-resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/fwd.hpp"
+#include "tsdb/fwd.hpp"
+
+namespace gs::tsdb {
+
+/// Interned-metric series key.
+struct SeriesKey {
+  std::uint32_t metric_id = 0;
+  std::uint32_t rack_id = 0;
+  std::uint32_t server_id = 0;
+
+  friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+};
+
+/// Hash for unordered indexes over SeriesKey.
+struct SeriesKeyHash {
+  std::size_t operator()(const SeriesKey& k) const {
+    std::uint64_t h = (std::uint64_t(k.metric_id) << 32) | k.rack_id;
+    h = (h ^ (std::uint64_t(k.server_id) << 16)) * 0x9e3779b97f4a7c15ull;
+    return std::size_t(h ^ (h >> 29));
+  }
+};
+
+/// Append-only string interner: name -> dense u32 id, id -> name.
+class NameDict {
+ public:
+  /// Return the id for `name`, interning it on first sight.
+  std::uint32_t intern(std::string_view name);
+
+  /// Id for an already-interned name, or kNotFound.
+  [[nodiscard]] std::uint32_t find(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  // Schema versioned by the enclosing Engine::kStateVersion section.
+  // gs-lint: allow(ckpt-schema-version)
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace gs::tsdb

@@ -1,0 +1,46 @@
+// The engine's time axis. Simulation clocks are double seconds (trace
+// time); the storage layer wants integers it can delta-of-delta compress
+// and range-prune on. to_timestamp() is the standard order-preserving bit
+// mapping of IEEE-754 doubles onto int64 (flip the magnitude bits of
+// negatives): it is monotone over the full finite range and exactly
+// invertible, so telemetry read back from the engine reproduces the
+// original double bit-for-bit — the property the byte-identical CSV export
+// guarantee rests on. For the uniform epoch grids the simulators emit,
+// consecutive keys inside one binade differ by a constant, so the
+// delta-of-delta codec still collapses them to single-bit tokens.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "tsdb/fwd.hpp"
+
+namespace gs::tsdb {
+
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Order-preserving, exactly invertible key for a finite double time.
+[[nodiscard]] inline Timestamp to_timestamp(double seconds) {
+  GS_REQUIRE(std::isfinite(seconds), "tsdb timestamps must be finite");
+  const auto b = std::bit_cast<Timestamp>(seconds);
+  return b < 0 ? b ^ std::numeric_limits<Timestamp>::max() : b;
+}
+
+[[nodiscard]] inline Timestamp to_timestamp(Seconds t) {
+  return to_timestamp(t.value());
+}
+
+/// Exact inverse of to_timestamp (the mapping is an involution on the
+/// flipped half).
+[[nodiscard]] inline double to_seconds(Timestamp t) {
+  return std::bit_cast<double>(
+      t < 0 ? t ^ std::numeric_limits<Timestamp>::max() : t);
+}
+
+}  // namespace gs::tsdb

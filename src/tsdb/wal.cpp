@@ -1,0 +1,199 @@
+#include "tsdb/wal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "ckpt/snapshot.hpp"
+#include "common/assert.hpp"
+#include "tsdb/error.hpp"
+
+namespace gs::tsdb {
+namespace {
+
+constexpr char kWalMagic[8] = {'G', 'S', 'W', 'A', 'L', 'O', 'G', '\n'};
+constexpr std::size_t kWalHeaderBytes =
+    sizeof(kWalMagic) + sizeof(std::uint32_t);
+constexpr std::size_t kRecordBodyBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+constexpr std::size_t kRecordBytes = kRecordBodyBytes + sizeof(std::uint32_t);
+
+std::uint32_t record_checksum(const char* body) {
+  const std::uint64_t h =
+      ckpt::payload_checksum(std::string_view(body, kRecordBodyBytes));
+  return std::uint32_t(h) ^ std::uint32_t(h >> 32);
+}
+
+void encode_record(const WalRecord& rec, char out[kRecordBytes]) {
+  std::size_t at = 0;
+  std::memcpy(out + at, &rec.series, sizeof rec.series);
+  at += sizeof rec.series;
+  const auto time = std::uint64_t(rec.time);
+  std::memcpy(out + at, &time, sizeof time);
+  at += sizeof time;
+  std::memcpy(out + at, &rec.value_bits, sizeof rec.value_bits);
+  at += sizeof rec.value_bits;
+  const std::uint32_t check = record_checksum(out);
+  std::memcpy(out + at, &check, sizeof check);
+}
+
+std::filesystem::path segment_path(const std::filesystem::path& dir,
+                                   std::uint64_t seq) {
+  std::ostringstream name;
+  name << "wal-";
+  name.width(6);
+  name.fill('0');
+  name << seq << ".gswal";
+  return dir / name.str();
+}
+
+/// Sequence number from a segment filename, or nullopt for other files.
+std::optional<std::uint64_t> segment_seq(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() < 11 || name.rfind("wal-", 0) != 0 ||
+      name.substr(name.size() - 6) != ".gswal") {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(4, name.size() - 10);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::filesystem::path dir, std::uint64_t segment_bytes)
+    : dir_(std::move(dir)), segment_bytes_(segment_bytes) {
+  GS_REQUIRE(segment_bytes_ >= kWalHeaderBytes + kRecordBytes,
+             "wal segment size too small for one record");
+  std::filesystem::create_directories(dir_);
+  // Never append to an existing segment: its tail may be torn from a
+  // previous kill. Start numbering past whatever is already there.
+  for (const auto& seg : wal_segments(dir_)) {
+    if (const auto seq = segment_seq(seg)) {
+      next_seq_ = std::max(next_seq_, *seq + 1);
+    }
+  }
+  open_segment();
+}
+
+void WalWriter::open_segment() {
+  const std::filesystem::path path = segment_path(dir_, next_seq_++);
+  out_ = std::ofstream(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw TsdbError("cannot open wal segment " + path.string());
+  }
+  out_.write(kWalMagic, sizeof(kWalMagic));
+  const std::uint32_t version = kWalFormatVersion;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof version);
+  if (!out_) {
+    throw TsdbError("short write to wal segment " + path.string());
+  }
+  current_bytes_ = kWalHeaderBytes;
+  ++segments_opened_;
+}
+
+void WalWriter::append(const WalRecord& rec) {
+  if (current_bytes_ + kRecordBytes > segment_bytes_) open_segment();
+  char buf[kRecordBytes];
+  encode_record(rec, buf);
+  out_.write(buf, sizeof buf);
+  if (!out_) {
+    throw TsdbError("short write to wal segment in " + dir_.string());
+  }
+  current_bytes_ += kRecordBytes;
+  ++records_;
+}
+
+void WalWriter::flush() {
+  out_.flush();
+  if (!out_) {
+    throw TsdbError("cannot flush wal segment in " + dir_.string());
+  }
+}
+
+std::vector<std::filesystem::path> wal_segments(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  if (!std::filesystem::is_directory(dir)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && segment_seq(entry.path())) {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return *segment_seq(a) < *segment_seq(b);
+            });
+  return out;
+}
+
+std::vector<WalRecord> replay_wal(const std::filesystem::path& dir) {
+  std::vector<WalRecord> out;
+  const auto segments = wal_segments(dir);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::filesystem::path& seg = segments[i];
+    std::ifstream in(seg, std::ios::binary);
+    if (!in) {
+      throw TsdbError("cannot open wal segment " + seg.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string blob = std::move(ss).str();
+    if (blob.size() < kWalHeaderBytes) {
+      // A kill between segment creation and the header write leaves a
+      // short (possibly empty) header. Like a torn record, that is only
+      // survivable in the final segment.
+      if (i + 1 != segments.size()) {
+        throw TsdbError("wal segment header truncated in " + seg.string() +
+                        " before a later segment");
+      }
+      return out;
+    }
+    if (std::memcmp(blob.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      throw TsdbError("bad wal magic in " + seg.string());
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, blob.data() + sizeof(kWalMagic), sizeof version);
+    if (version != kWalFormatVersion) {
+      throw TsdbError("wal format version " + std::to_string(version) +
+                      " in " + seg.string() + ", this build reads version " +
+                      std::to_string(kWalFormatVersion));
+    }
+    std::size_t at = kWalHeaderBytes;
+    while (at < blob.size()) {
+      if (blob.size() - at < kRecordBytes) {
+        // A kill mid-append tears only the final record of the final
+        // segment; a short tail anywhere else means lost data.
+        if (i + 1 != segments.size()) {
+          throw TsdbError("wal segment " + seg.string() +
+                          " ends mid-record before a later segment");
+        }
+        return out;
+      }
+      WalRecord rec;
+      std::memcpy(&rec.series, blob.data() + at, sizeof rec.series);
+      std::uint64_t time = 0;
+      std::memcpy(&time, blob.data() + at + sizeof rec.series, sizeof time);
+      rec.time = Timestamp(time);
+      std::memcpy(&rec.value_bits,
+                  blob.data() + at + sizeof rec.series + sizeof time,
+                  sizeof rec.value_bits);
+      std::uint32_t stored = 0;
+      std::memcpy(&stored, blob.data() + at + kRecordBodyBytes, sizeof stored);
+      if (stored != record_checksum(blob.data() + at)) {
+        throw TsdbError("wal record checksum mismatch in " + seg.string() +
+                        " at offset " + std::to_string(at));
+      }
+      out.push_back(rec);
+      at += kRecordBytes;
+    }
+  }
+  return out;
+}
+
+}  // namespace gs::tsdb

@@ -1,0 +1,75 @@
+// Write-ahead log for Strategy::WAL: every append lands in an append-only
+// segment file before it is acknowledged, so a killed campaign recovers
+// its telemetry by replay. Segments are never modified after rotation; a
+// new writer always opens a fresh segment past the highest existing one,
+// so a torn tail from a SIGKILL can only live in the last segment, where
+// replay tolerates it (the complete-record prefix is recovered, exactly
+// like the ckpt snapshot discipline of atomic-or-absent).
+//
+// Segment layout (version kWalFormatVersion — gs-lint's tsdb-chunk-version
+// rule pins this file to the constant):
+//   8-byte magic, u32 format version, then records of
+//   u32 series_id | u64 timestamp key | u64 value bits | u32 checksum
+// where the checksum is the folded FNV-1a of the record's 20 body bytes.
+// Replay throws TsdbError on a bad header or a corrupt mid-file record;
+// only an incomplete final record is treated as a clean kill.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "tsdb/fwd.hpp"
+
+namespace gs::tsdb {
+
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+/// One logged append, in arrival order.
+struct WalRecord {
+  std::uint32_t series = 0;   ///< Engine SeriesId at append time.
+  Timestamp time = 0;
+  std::uint64_t value_bits = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+class WalWriter {
+ public:
+  /// Opens a fresh segment in `dir` (created if missing), numbered past
+  /// any existing segment. `segment_bytes` bounds a segment before
+  /// rotation.
+  WalWriter(std::filesystem::path dir, std::uint64_t segment_bytes);
+
+  void append(const WalRecord& rec);
+  /// Push buffered records to the OS (no fsync: the durability unit is
+  /// the complete-record prefix, not the sync).
+  void flush();
+
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+  [[nodiscard]] std::uint64_t segments() const { return segments_opened_; }
+
+ private:
+  void open_segment();
+
+  std::filesystem::path dir_;
+  std::uint64_t segment_bytes_;
+  std::ofstream out_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t current_bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t segments_opened_ = 0;
+};
+
+/// WAL segment files in `dir`, in replay (sequence) order.
+[[nodiscard]] std::vector<std::filesystem::path> wal_segments(
+    const std::filesystem::path& dir);
+
+/// Replay every record across all segments, in append order. A truncated
+/// final record (kill mid-append) ends the replay cleanly; anything else
+/// malformed throws TsdbError.
+[[nodiscard]] std::vector<WalRecord> replay_wal(
+    const std::filesystem::path& dir);
+
+}  // namespace gs::tsdb

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tsdb/error.hpp"
+#include "tsdb/strategy.hpp"
+
+namespace gs::tsdb {
+namespace {
+
+TEST(Strategy, ToStringNamesAllFour) {
+  EXPECT_STREQ(to_string(Strategy::MEMORY), "MEMORY");
+  EXPECT_STREQ(to_string(Strategy::WAL), "WAL");
+  EXPECT_STREQ(to_string(Strategy::COMPRESSED), "COMPRESSED");
+  EXPECT_STREQ(to_string(Strategy::CACHE), "CACHE");
+}
+
+TEST(Strategy, FromStringRoundTripsEveryStrategy) {
+  for (std::uint8_t i = 0; i < kNumStrategies; ++i) {
+    const Strategy s = Strategy(i);
+    EXPECT_EQ(strategy_from_string(to_string(s)), s);
+  }
+}
+
+TEST(Strategy, FromStringIsCaseInsensitive) {
+  EXPECT_EQ(strategy_from_string("memory"), Strategy::MEMORY);
+  EXPECT_EQ(strategy_from_string("Wal"), Strategy::WAL);
+  EXPECT_EQ(strategy_from_string("compressed"), Strategy::COMPRESSED);
+  EXPECT_EQ(strategy_from_string("cAcHe"), Strategy::CACHE);
+}
+
+TEST(Strategy, FromStringRejectsUnknownNames) {
+  EXPECT_THROW((void)strategy_from_string(""), TsdbError);
+  EXPECT_THROW((void)strategy_from_string("DISK"), TsdbError);
+  EXPECT_THROW((void)strategy_from_string("MEMORY "), TsdbError);
+}
+
+TEST(Strategy, StreamRoundTrip) {
+  for (std::uint8_t i = 0; i < kNumStrategies; ++i) {
+    const Strategy in = Strategy(i);
+    std::stringstream ss;
+    ss << in;
+    Strategy out = Strategy::MEMORY;
+    ss >> out;
+    EXPECT_EQ(out, in);
+  }
+}
+
+TEST(Strategy, StreamExtractionConsumesOneTokenAndRejectsBadNames) {
+  std::istringstream ok("wal cache");
+  Strategy a = Strategy::MEMORY;
+  Strategy b = Strategy::MEMORY;
+  ok >> a >> b;
+  EXPECT_EQ(a, Strategy::WAL);
+  EXPECT_EQ(b, Strategy::CACHE);
+
+  std::istringstream bad("floppy");
+  Strategy s = Strategy::MEMORY;
+  EXPECT_THROW(bad >> s, TsdbError);
+}
+
+}  // namespace
+}  // namespace gs::tsdb

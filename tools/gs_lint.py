@@ -32,6 +32,12 @@ Enforces the invariants clang-tidy cannot express for this codebase:
                     bypasses the correlation layer; call generate_correlated
                     (a disabled CorrelationSpec is the identity), so every
                     caller honors a scenario's storm configuration.
+  tsdb-chunk-version
+                    a src/tsdb file that touches the on-disk formats (page
+                    encode/decode, WAL records/replay) must reference the
+                    format-version constant (kChunkFormatVersion /
+                    kWalFormatVersion) it is coupled to, so layout changes
+                    cannot land without a version bump in view.
 
 Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
 with a comment explaining why. Usage:
@@ -122,6 +128,12 @@ RULES = [
 MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+_)\s*;")
 
 CKPT_DECL_RE = re.compile(r"\b(?:save_state|load_state)\s*\(")
+
+TSDB_FORMAT_MARKER_RE = re.compile(
+    r"\b(?:encode_page|decode_page|replay_wal|WalRecord)\b"
+)
+
+TSDB_VERSION_RE = re.compile(r"\bk(?:Chunk|Wal)FormatVersion\b")
 
 
 def strip_comments(text: str) -> str:
@@ -244,6 +256,29 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 "load_state declared without a kStateVersion schema field; "
                 "snapshot sections must be versioned (ckpt/state_io.hpp)"
             )
+
+    # tsdb-chunk-version: telemetry-engine files that touch the on-disk
+    # formats (chunk pages, WAL segments) must keep the owning format-
+    # version constant in view, so a layout change cannot land without the
+    # bump. File-level rule, file-level allow() suppression (e.g. a caller
+    # that only routes bytes and defers validation to chunk.cpp/wal.cpp).
+    if "tsdb/" in rel and not TSDB_VERSION_RE.search(code):
+        marker_lines = [
+            lineno
+            for lineno, line in enumerate(code_lines, 1)
+            if TSDB_FORMAT_MARKER_RE.search(line)
+        ]
+        suppressed = any(
+            "tsdb-chunk-version" in allowed_rules(raw_line)
+            for raw_line in raw_lines
+        )
+        if marker_lines and not suppressed:
+            findings.append(
+                f"{rel}:{marker_lines[0]}: [tsdb-chunk-version] on-disk "
+                "format marker (page/WAL encode, decode, or replay) without "
+                "a kChunkFormatVersion/kWalFormatVersion reference; bump the "
+                "format version with any layout change"
+            )
     return findings
 
 
@@ -263,6 +298,11 @@ def main(argv: list[str]) -> int:
         print(
             "ckpt-schema-version: headers declaring save_state/load_state "
             "must declare a kStateVersion schema field"
+        )
+        print(
+            "tsdb-chunk-version: src/tsdb files touching the on-disk "
+            "page/WAL formats must reference the owning format-version "
+            "constant"
         )
         return 0
 
