@@ -15,15 +15,26 @@
 # resume path must reconstruct the StormModel, the per-class correlated
 # edge detectors and the health-extended Q-table exactly.
 #
+# A further multi-process lane drives the same campaign with two
+# cooperating sweep_worker processes (sim/sweep_mp: lease-file cell
+# claiming over a shared checkpoint directory), SIGKILLs one of them
+# mid-campaign, lets the survivor reclaim its stale leases, and requires
+# the merged fingerprint to equal the single-process reference
+# bit-for-bit.
+#
 # Usage: resume_integrity.sh [path-to-perf_sweep] [work-dir]
 #   CELLS (env)       — baseline sweep size; larger widens the kill window.
 #   STORM_CELLS (env) — storm-lane sweep size (storm cells run slower).
+#   MP_CELLS (env)    — multi-process lane sweep size.
+#   WORKER (env)      — sweep_worker binary (default: next to perf_sweep).
 set -euo pipefail
 
 BIN="${1:-./build/bench/perf_sweep}"
 WORK="${2:-resume-integrity}"
 CELLS="${CELLS:-400}"
 STORM_CELLS="${STORM_CELLS:-120}"
+MP_CELLS="${MP_CELLS:-200}"
+WORKER="${WORKER:-$(dirname "$BIN")/../tools/sweep_worker}"
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -90,7 +101,59 @@ run_lane() {
   echo "PASS[$label]: kill-and-resume reproduced the reference bit-for-bit"
 }
 
+# run_mp_lane <label> <cells> [shared grid flags...]
+#
+# Two sweep_worker processes cooperate on one checkpoint directory; one is
+# SIGKILLed once a few cells have been persisted (leaving a stale lease
+# behind with high probability). The survivor must finish the whole
+# campaign, and the merged fingerprint must equal the single-process
+# reference.
+run_mp_lane() {
+  local label="$1" cells="$2"
+  shift 2
+
+  echo "== [$label] reference run (single process, $cells cells) =="
+  "$BIN" --cells "$cells" "$@" --checkpoint-dir "$WORK/$label-ref-ckpt" \
+      --out "$WORK/$label-ref.json"
+  local ref_fp
+  ref_fp="$(fingerprint "$WORK/$label-ref.json")"
+  echo "[$label] reference fingerprint: $ref_fp"
+
+  echo "== [$label] 2-worker multi-process run, one worker SIGKILLed =="
+  local dir="$WORK/$label-mp-ckpt"
+  "$WORKER" --dir "$dir" --cells "$cells" "$@" &
+  local victim=$!
+  "$WORKER" --dir "$dir" --cells "$cells" "$@" &
+  local survivor=$!
+  for _ in $(seq 1 200); do
+    local n
+    n="$(cells_persisted "$dir")"
+    [ "${n:-0}" -ge 3 ] && break
+    kill -0 "$victim" 2>/dev/null || break
+    sleep 0.05
+  done
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  wait "$survivor"
+
+  echo "== [$label] merge =="
+  "$BIN" --cells "$cells" "$@" --checkpoint-dir "$dir" --resume \
+      --out "$WORK/$label-merged.json"
+  local mp_fp
+  mp_fp="$(fingerprint "$WORK/$label-merged.json")"
+  echo "[$label] merged fingerprint:    $mp_fp"
+
+  if [ "$ref_fp" != "$mp_fp" ]; then
+    echo "FAIL[$label]: multi-process merge differs from the" \
+         "single-process reference ($mp_fp != $ref_fp)"
+    exit 1
+  fi
+  echo "PASS[$label]: 2-worker sweep with a SIGKILLed worker merged" \
+       "bit-for-bit"
+}
+
 run_lane baseline "$CELLS"
 run_lane storm "$STORM_CELLS" --storm
+run_mp_lane mp "$MP_CELLS"
 
-echo "PASS: both lanes reproduced their references bit-for-bit"
+echo "PASS: all lanes reproduced their references bit-for-bit"

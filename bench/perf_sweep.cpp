@@ -41,8 +41,8 @@
 #include "bench_util.hpp"
 #include "core/hybrid.hpp"
 #include "core/profile_table.hpp"
-#include "faults/correlation.hpp"
-#include "faults/fault_spec.hpp"
+#include "sim/sweep_grid.hpp"
+#include "sim/sweep_mp.hpp"
 #include "trace/solar.hpp"
 
 namespace {
@@ -59,66 +59,6 @@ void clear_substrate_caches() {
   gs::core::HybridStrategy::clear_seed_cache();
 }
 
-std::vector<gs::sim::Scenario> fixed_grid(bool smoke) {
-  using namespace gs;
-  std::vector<workload::AppDescriptor> apps = {workload::specjbb()};
-  std::vector<trace::Availability> avails = {trace::Availability::Min,
-                                             trace::Availability::Med};
-  std::vector<double> durations = {10.0};
-  std::vector<std::uint64_t> seeds = {1ull};
-  if (!smoke) {
-    apps = {workload::specjbb(), workload::websearch(), workload::memcached()};
-    avails.push_back(trace::Availability::Max);
-    durations.push_back(30.0);
-    seeds.push_back(2ull);
-  }
-  std::vector<sim::Scenario> cells;
-  for (const auto& app : apps) {
-    for (auto a : avails) {
-      for (auto k : core::sprinting_strategies()) {
-        for (double minutes : durations) {
-          for (std::uint64_t seed : seeds) {
-            auto sc = bench::scenario(app, sim::re_sbatt(), k, a, minutes);
-            sc.seed = seed;
-            cells.push_back(sc);
-          }
-        }
-      }
-    }
-  }
-  return cells;
-}
-
-/// Overlay correlated fault storms on every cell: uniform faults whose
-/// seed varies per cell, the full correlation spec (fronts + cascades +
-/// regime bursts), and health-aware Hybrid recovery. Exercised by the
-/// resume-integrity lane so kill-and-resume also crosses storm windows.
-void add_storms(std::vector<gs::sim::Scenario>& cells) {
-  using namespace gs;
-  const auto corr =
-      faults::CorrelationSpec::parse("storm=0.8,cascade=0.5,regime_on=0.15");
-  std::uint64_t i = 0;
-  for (auto& sc : cells) {
-    sc.faults = faults::FaultSpec::uniform(0.3, sc.seed + 31ull * i++);
-    sc.fault_correlation = corr;
-    sc.health_aware = true;
-  }
-}
-
-/// Cycle the base grid out to exactly n cells, bumping the seed on each
-/// pass so every cell is a distinct (substrate-cold) simulation.
-std::vector<gs::sim::Scenario> replicate_grid(
-    const std::vector<gs::sim::Scenario>& base, std::size_t n) {
-  std::vector<gs::sim::Scenario> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto sc = base[i % base.size()];
-    sc.seed += std::uint64_t(i / base.size()) * 1000ull;
-    out.push_back(sc);
-  }
-  return out;
-}
-
 void print_timing(const char* label, const gs::bench::SweepTiming& t) {
   std::printf("%-6s  cells=%zu  secs=%7.3f  cells/sec=%8.2f  fp=%016llx\n",
               label, t.cells, t.seconds, t.cells_per_sec,
@@ -129,10 +69,12 @@ void print_timing(const char* label, const gs::bench::SweepTiming& t) {
 
 int main(int argc, char** argv) {
   using namespace gs;
+  constexpr const char* kDefaultOut = "BENCH_sweep.json";
   bool smoke = false;
   bool storm = false;
-  std::string out_path = "BENCH_sweep.json";
+  std::string out_path = kDefaultOut;
   std::size_t n_cells = 0;
+  int workers = 0;
   bench::CheckpointCli ckpt;
   for (int i = 1; i < argc; ++i) {
     if (ckpt.parse(argc, argv, i)) {
@@ -145,38 +87,72 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
       n_cells = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = int(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--storm] [--out PATH] [--cells N]\n"
                    "          [--checkpoint-dir DIR] [--checkpoint-every N] "
-                   "[--resume]\n",
+                   "[--resume] [--workers N]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (workers > 0 && !ckpt.enabled()) {
+    std::fprintf(stderr,
+                 "perf_sweep: --workers requires --checkpoint-dir (workers "
+                 "coordinate through the checkpoint directory)\n");
+    return 2;
+  }
 
-  auto grid = fixed_grid(smoke);
-  if (n_cells > 0) grid = replicate_grid(grid, n_cells);
-  if (storm) add_storms(grid);
+  auto grid = sim::perf_grid(smoke);
+  if (n_cells > 0) grid = sim::replicate_grid(grid, n_cells);
+  if (storm) sim::add_storms(grid);
   std::printf("perf_sweep: %zu-cell grid%s%s\n", grid.size(),
               smoke ? " (smoke)" : "", storm ? " (storm)" : "");
 
   if (ckpt.enabled()) {
     // Checkpointed single-pass mode for the resume-integrity lane: one
     // sweep with per-cell persistence, fingerprint + resume telemetry in
-    // the JSON artifact. The 4-phase timing harness below stays the
-    // default unflagged behavior.
+    // the JSON artifact. With --workers N the sweep is computed by N
+    // forked worker processes coordinating through lease files in the
+    // checkpoint directory (sim/sweep_mp.hpp); the merged results are
+    // bit-identical either way. The 4-phase timing harness below stays
+    // the default unflagged behavior.
     clear_substrate_caches();
     bench::WallTimer timer;
     sim::SweepCheckpointStats stats;
-    const auto results = sim::run_sweep_checkpointed(grid, ckpt.options, 0,
-                                                     &stats);
+    std::vector<sim::BurstResult> results;
+    if (workers > 0) {
+      sim::SweepMpOptions mp;
+      mp.dir = ckpt.options.dir;
+      mp.workers = workers;
+      mp.resume = ckpt.options.resume;
+      results = sim::run_sweep_multiprocess(grid, mp, &stats);
+    } else {
+      results = sim::run_sweep_checkpointed(grid, ckpt.options, 0, &stats);
+    }
     const std::uint64_t fp = sim::sweep_fingerprint(results);
     const double secs = timer.elapsed_s();
     std::printf(
         "ckpt    cells=%zu  resumed=%zu  run=%zu  secs=%7.3f  fp=%016llx\n",
         stats.cells_total, stats.cells_resumed, stats.cells_run, secs,
         static_cast<unsigned long long>(fp));
+    // A fully-resumed sweep (cells_run == 0) timed nothing but snapshot
+    // IO: its numbers say nothing about sweep throughput, so it must not
+    // masquerade as the default gate artifact. Explicit --out paths (the
+    // resume-integrity lane's fingerprint probes) still get their JSON,
+    // marked gate_valid=false.
+    const bool gate_valid = stats.cells_run > 0;
+    if (!gate_valid && out_path == kDefaultOut) {
+      std::fprintf(stderr,
+                   "perf_sweep: refusing to write %s — all %zu cells were "
+                   "resumed from %s, no cell was actually computed; rerun "
+                   "against a fresh checkpoint directory (or pass an "
+                   "explicit --out for a fingerprint-only artifact)\n",
+                   kDefaultOut, stats.cells_total, ckpt.options.dir.c_str());
+      return 1;
+    }
     bench::JsonWriter json;
     json.add("bench", std::string("perf_sweep"));
     json.add("mode", std::string("checkpoint"));
@@ -188,6 +164,8 @@ int main(int argc, char** argv) {
     json.add("checkpoint_dir", ckpt.options.dir);
     json.add("resume", ckpt.options.resume);
     json.add("storm", storm);
+    json.add("workers", std::uint64_t(workers > 0 ? workers : 1));
+    json.add("gate_valid", gate_valid);
     if (!json.write(out_path)) {
       std::fprintf(stderr, "perf_sweep: cannot write %s\n", out_path.c_str());
       return 2;

@@ -1,0 +1,168 @@
+// Bump arena for hot-path scratch (ISSUE 7: the epoch kernel must not heap
+// allocate). An Arena owns a chain of geometrically-growing blocks and
+// hands out raw storage with pointer arithmetic; reset() rewinds to the
+// first block without releasing memory, so a steady-state caller — the DES
+// event loop, the SoA epoch kernel — reaches a fixed footprint after which
+// no allocation path touches the system allocator again.
+//
+// ArenaVector<T> is the typed view the hot paths use: a std::vector-shaped
+// container (push_back / clear / operator[] / iteration) whose backing
+// storage comes from an Arena. Growth relocates into a fresh arena span
+// (the abandoned span is reclaimed wholesale by the next reset()), and
+// clear() keeps the current span, so reuse across epochs allocates nothing
+// once the high-water mark is reached. T must be trivially copyable and
+// trivially destructible — the arena never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gs {
+
+class Arena {
+ public:
+  /// `first_block` is the initial capacity in bytes; later blocks double.
+  explicit Arena(std::size_t first_block = 4096)
+      : next_block_size_(first_block > 0 ? first_block : 4096) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage for `n` objects of type T, aligned for T. The storage is
+  /// uninitialized and lives until the next reset().
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage never runs destructors");
+    if (n == 0) return nullptr;
+    const std::size_t bytes = n * sizeof(T);
+    return static_cast<T*>(allocate_bytes(bytes, alignof(T)));
+  }
+
+  /// Rewind every block. Previously returned storage is invalidated;
+  /// the blocks themselves are kept for reuse (no free / re-malloc churn).
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes owned (capacity, not live allocations) — test hook for
+  /// the "steady state allocates nothing" property.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    // Find room in the current or any later existing block.
+    while (block_ < blocks_.size()) {
+      const std::size_t base =
+          reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+      const std::size_t aligned = (base + offset_ + align - 1) & ~(align - 1);
+      const std::size_t new_offset = aligned - base + bytes;
+      if (new_offset <= blocks_[block_].size) {
+        offset_ = new_offset;
+        return reinterpret_cast<void*>(aligned);
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    // Grow: one fresh block, at least double the last and big enough for
+    // this request plus worst-case alignment padding.
+    std::size_t want = next_block_size_;
+    while (want < bytes + align) want *= 2;
+    next_block_size_ = want * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want});
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+    return allocate_bytes(bytes, align);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;        ///< Block the next allocation tries first.
+  std::size_t offset_ = 0;       ///< Bump offset within blocks_[block_].
+  std::size_t next_block_size_;  ///< Size of the next block to carve.
+};
+
+/// Vector-shaped view over arena storage. Holds a non-owning Arena
+/// reference; the caller guarantees the arena outlives the container and
+/// that reset() is not called while the contents are live.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "ArenaVector requires trivial T");
+
+ public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ == 0 ? 16 : capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  /// Set the size, value-initializing every element (matches
+  /// std::vector::assign(n, T{}) as the DES core-heap reset needs).
+  void assign(std::size_t n, const T& v) {
+    if (n > capacity_) grow(n);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& front() { return data_[0]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+
+  /// Detach from the current span without giving it back (the arena
+  /// reclaims it wholesale on reset()). Used when the owner rebinds the
+  /// container to a freshly reset arena between epochs.
+  void rebind(Arena& arena) {
+    arena_ = &arena;
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+ private:
+  void grow(std::size_t want) {
+    T* fresh = arena_->allocate<T>(want);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = want;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace gs

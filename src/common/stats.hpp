@@ -74,6 +74,22 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Exact quantile of an ascending-sorted sample: linear interpolation
+/// between order statistics. Shared by QuantileReservoir, the arena-backed
+/// DES latency scratch, and the P2 warmup fallback so all three produce
+/// bit-identical values for the same sample.
+[[nodiscard]] inline double quantile_sorted(const double* data, std::size_t n,
+                                            double q) {
+  GS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  GS_REQUIRE(n > 0, "quantile of empty sample");
+  if (n == 1) return data[0];
+  const double pos = q * double(n - 1);
+  const auto lo = std::size_t(pos);
+  const double frac = pos - double(lo);
+  if (lo + 1 >= n) return data[n - 1];
+  return data[lo] * (1.0 - frac) + data[lo + 1] * frac;
+}
+
 /// Exact quantiles over a stored sample (sorts lazily on query).
 class QuantileReservoir {
  public:
@@ -93,12 +109,7 @@ class QuantileReservoir {
       std::sort(data_.begin(), data_.end());
       sorted_ = true;
     }
-    if (data_.size() == 1) return data_[0];
-    const double pos = q * double(data_.size() - 1);
-    const auto lo = std::size_t(pos);
-    const double frac = pos - double(lo);
-    if (lo + 1 >= data_.size()) return data_.back();
-    return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+    return quantile_sorted(data_.data(), data_.size(), q);
   }
 
   /// clear() keeps the backing store, so a reservoir reused across DES
@@ -159,13 +170,19 @@ class P2Quantile {
     for (int i = 1; i <= 3; ++i) adjust(i);
   }
 
+  /// Below kWarmupSamples the five markers are not initialized yet, so the
+  /// estimator falls back to the exact interpolated quantile over the
+  /// buffered warmup samples (bit-identical to QuantileReservoir on the
+  /// same data) instead of extrapolating from a nearest-rank pick.
+  static constexpr std::size_t kWarmupSamples = 5;
+
   [[nodiscard]] double value() const {
     if (n_ == 0) return 0.0;
-    if (n_ < 5) {
+    if (n_ < kWarmupSamples) {
       // Insertion sort over the (at most 4) warmup samples. std::sort here
       // trips a gcc-12 -Warray-bounds false positive when inlined into
       // large callers; for this size insertion sort is also faster.
-      const std::size_t n = std::min(n_, std::size_t(4));
+      const std::size_t n = std::min(n_, kWarmupSamples - 1);
       std::array<double, 5> tmp = initial_;
       for (std::size_t i = 1; i < n; ++i) {
         const double x = tmp[i];
@@ -173,8 +190,7 @@ class P2Quantile {
         for (; j > 0 && tmp[j - 1] > x; --j) tmp[j] = tmp[j - 1];
         tmp[j] = x;
       }
-      const auto idx = std::size_t(q_ * double(n - 1) + 0.5);
-      return tmp[std::min(idx, n - 1)];
+      return quantile_sorted(tmp.data(), n, q_);
     }
     return heights_[2];
   }

@@ -96,6 +96,7 @@ double QTable::value(std::size_t state, std::size_t action) const {
 void QTable::set(std::size_t state, std::size_t action, double v) {
   GS_REQUIRE(state < states_ && action < actions_, "QTable index range");
   q_[state * actions_ + action] = v;
+  pristine_ = false;
 }
 
 void QTable::update(std::size_t state, std::size_t action, double reward,
@@ -113,6 +114,17 @@ double QTable::max_value(std::size_t state) const {
 
 bool QTable::all_zero() const {
   return std::all_of(q_.begin(), q_.end(), [](double v) { return v == 0.0; });
+}
+
+double* QTable::row_data(std::size_t state) {
+  GS_REQUIRE(state < states_, "QTable state range");
+  pristine_ = false;  // callers hold a mutable view
+  return &q_[state * actions_];
+}
+
+const double* QTable::row_data(std::size_t state) const {
+  GS_REQUIRE(state < states_, "QTable state range");
+  return &q_[state * actions_];
 }
 
 std::size_t QTable::best_action(std::size_t state) const {
@@ -145,6 +157,7 @@ void QTable::load(std::istream& is) {
     is >> v;
     GS_REQUIRE(!is.fail(), "truncated or malformed QTable stream");
   }
+  pristine_ = false;
 }
 
 HybridStrategy::HybridStrategy(const ProfileTable& profile,
@@ -221,28 +234,73 @@ void HybridStrategy::feedback(const EpochFeedback& fb) {
   q_.update(state, action, reward, next_state, cfg_);
 }
 
+namespace {
+
+// All seed_sweeps bootstrap passes over one Q-table row. Each update is
+// exactly QTable::update(state, a, reward, state, cfg): the quasi-static
+// bootstrap reads only its own row, so processing a row to completion
+// before the next (instead of interleaving rows sweep-by-sweep) reorders
+// independent operations and is bit-identical to the historical nesting.
+// The row maximum is carried incrementally: a write can only raise the
+// max (new value), keep it, or — when it overwrote the previous max —
+// force one rescan; every value the update reads is therefore identical
+// to what a fresh std::max_element scan would produce.
+void seed_row(double* row, const double* rewards, std::size_t actions,
+              int sweeps, const QLearningConfig& cfg) {
+  double m = *std::max_element(row, row + actions);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t a = 0; a < actions; ++a) {
+      const double old = row[a];
+      const double target = rewards[a] + cfg.discount * m;
+      const double v = old + cfg.learning_rate * (target - old);
+      row[a] = v;
+      if (v >= m) {
+        m = v;
+      } else if (old == m) {
+        m = *std::max_element(row, row + actions);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void HybridStrategy::run_seed_sweeps(QTable& q) const {
   const auto levels = std::size_t(profile_.num_levels());
   const auto actions = profile_.lattice().size();
-  for (int sweep = 0; sweep < cfg_.seed_sweeps; ++sweep) {
-    for (std::size_t b = 0; b < buckets_; ++b) {
-      const Watts supply = bucket_supply(b);
-      for (std::size_t l = 0; l < levels; ++l) {
-        // Profiling episodes carry no health signal, so every health slice
-        // is seeded with the same update sequence: a health-unaware run
-        // (always slice 0) behaves exactly as it did before the dimension
-        // existed, and online feedback alone differentiates the slices.
+  // Fresh tables (the cache-miss path perf_sweep hits) start every health
+  // slice of a (bucket, level) state at zero; identical rewards then drive
+  // identical update sequences, so slice 0 is computed once and copied.
+  // Seeding on top of learned values keeps per-slice differences: every
+  // slice runs its own passes.
+  const bool fresh = q.pristine();
+  std::vector<double> rewards(actions);
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    const Watts supply = bucket_supply(b);
+    for (std::size_t l = 0; l < levels; ++l) {
+      // The reward is a pure function of (bucket, level, action) — hoisted
+      // out of the sweep and health loops, which repeat it unchanged.
+      for (std::size_t a = 0; a < actions; ++a) {
+        rewards[a] = algorithm1_reward(
+            supply, profile_.power(int(l), a), app_.qos.limit,
+            profile_.latency(int(l), a), cfg_.max_violation,
+            cfg_.max_qos_reward);
+      }
+      const std::size_t base = (b * levels + l) * kNumHealthStates;
+      // Profiling episodes carry no health signal, so every health slice
+      // is seeded with the same update sequence: a health-unaware run
+      // (always slice 0) behaves exactly as it did before the dimension
+      // existed, and online feedback alone differentiates the slices.
+      if (fresh) {
+        double* row0 = q.row_data(base);
+        seed_row(row0, rewards.data(), actions, cfg_.seed_sweeps, cfg_);
+        for (std::size_t h = 1; h < kNumHealthStates; ++h) {
+          std::copy(row0, row0 + actions, q.row_data(base + h));
+        }
+      } else {
         for (std::size_t h = 0; h < kNumHealthStates; ++h) {
-          const std::size_t state = (b * levels + l) * kNumHealthStates + h;
-          for (std::size_t a = 0; a < actions; ++a) {
-            const double reward = algorithm1_reward(
-                supply, profile_.power(int(l), a), app_.qos.limit,
-                profile_.latency(int(l), a), cfg_.max_violation,
-                cfg_.max_qos_reward);
-            // Quasi-static bootstrap: the profiling episodes hold the state
-            // constant, so the successor state is the state itself.
-            q.update(state, a, reward, state, cfg_);
-          }
+          seed_row(q.row_data(base + h), rewards.data(), actions,
+                   cfg_.seed_sweeps, cfg_);
         }
       }
     }
@@ -250,7 +308,7 @@ void HybridStrategy::run_seed_sweeps(QTable& q) const {
 }
 
 void HybridStrategy::seed_from_profile() {
-  if (!q_.all_zero()) {
+  if (!q_.pristine()) {
     // Seeding on top of learned / loaded values is order-dependent; run
     // the sweeps in place rather than use the fresh-table cache.
     run_seed_sweeps(q_);

@@ -78,6 +78,19 @@ class QTable {
   /// True iff no value has been written (fresh table).
   [[nodiscard]] bool all_zero() const;
 
+  /// O(1) conservative freshness check: true iff no write (set / update /
+  /// load) has ever touched the table. pristine() implies all_zero(); a
+  /// table whose writes happened to store only zeros reports non-pristine,
+  /// which callers may treat as "maybe non-zero" (the slow path they fall
+  /// back to is bit-identical on an all-zero table).
+  [[nodiscard]] bool pristine() const { return pristine_; }
+
+  /// Raw row access (num_actions() contiguous doubles) for the seed
+  /// bootstrap kernel; state updates only ever read their own row, so the
+  /// kernel can process rows independently.
+  [[nodiscard]] double* row_data(std::size_t state);
+  [[nodiscard]] const double* row_data(std::size_t state) const;
+
   /// Persist the table (text format: dimensions then row-major values).
   /// The paper's controller reuses profiling data across runs; this lets a
   /// deployment warm-start Hybrid from a previously learned policy.
@@ -90,6 +103,7 @@ class QTable {
   std::size_t states_;
   std::size_t actions_;
   std::vector<double> q_;
+  bool pristine_ = true;  ///< No write has touched the table yet.
 };
 
 class HybridStrategy final : public Strategy {

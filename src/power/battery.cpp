@@ -5,6 +5,7 @@
 
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
+#include "power/battery_math.hpp"
 
 namespace gs::power {
 
@@ -17,18 +18,15 @@ Battery::Battery(BatteryConfig cfg) : cfg_(cfg) {
              "charge efficiency must be in (0,1]");
 }
 
+// All arithmetic lives in power/battery_math.hpp, shared bit-for-bit with
+// the structure-of-arrays BatteryBank; this class is the per-object view.
+
 Amps Battery::rated_current() const {
-  return Amps(cfg_.capacity.value() / cfg_.rated_hours);
+  return Amps(battmath::rated_current(cfg_));
 }
 
 Amps Battery::effective_current(Amps i) const {
-  if (i.value() <= 0.0) return Amps(0.0);
-  const double ratio = i.value() / rated_current().value();
-  // Below the rated rate Peukert gives a bonus; we conservatively clamp the
-  // correction at 1 (no free capacity at trickle rates).
-  const double corr =
-      std::max(1.0, std::pow(ratio, cfg_.peukert_exponent - 1.0));
-  return Amps(i.value() * corr);
+  return Amps(battmath::effective_current(cfg_, i.value()));
 }
 
 double Battery::depth_of_discharge() const {
@@ -42,83 +40,41 @@ bool Battery::exhausted() const {
 }
 
 double Battery::faded_capacity_ah() const {
-  return cfg_.capacity.value() * capacity_fade_;
+  return battmath::faded_capacity_ah(cfg_, capacity_fade_);
 }
 
 AmpHours Battery::usable_remaining() const {
-  const double usable = cfg_.max_dod * faded_capacity_ah() - used_ah_;
-  return AmpHours(std::max(0.0, usable));
+  return AmpHours(
+      battmath::usable_remaining_ah(cfg_, used_ah_, capacity_fade_));
 }
 
 Watts Battery::max_discharge_power(Seconds dt) const {
-  GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  const double remaining = usable_remaining().value();
-  if (remaining <= 0.0) return Watts(0.0);
-  // Find the real current I whose Peukert-corrected drain just empties the
-  // usable capacity over dt: I_eff(I) * dt_h = remaining.
-  const double dt_h = dt.value() / 3600.0;
-  const double budget_eff = remaining / dt_h;  // effective amps available
-  const double i_rated = rated_current().value();
-  const double k = cfg_.peukert_exponent;
-  // I_eff = I^k / i_rated^(k-1)  (for I >= i_rated)  =>  I = (budget *
-  // i_rated^(k-1))^(1/k); below the rated rate the correction is clamped at
-  // 1 so I = budget directly.
-  double i = budget_eff <= i_rated
-                 ? budget_eff
-                 : std::pow(budget_eff * std::pow(i_rated, k - 1.0), 1.0 / k);
-  i = std::min(i, cfg_.max_discharge_c_rate * faded_capacity_ah());
-  return Watts(i * cfg_.nominal_voltage.value());
+  return Watts(battmath::max_discharge_power_w(cfg_, used_ah_, capacity_fade_,
+                                               dt.value()));
 }
 
 Joules Battery::discharge(Watts p, Seconds dt) {
-  GS_REQUIRE(p.value() >= 0.0, "discharge power must be non-negative");
-  GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  if (p.value() == 0.0) return Joules(0.0);
-  GS_REQUIRE(p.value() <= max_discharge_power(dt).value() * (1.0 + 1e-6),
-             "discharge exceeds the battery's sustainable power for dt");
-  const Amps i = p / cfg_.nominal_voltage;
-  const Amps i_eff = effective_current(i);
-  const double drained_ah = i_eff.value() * dt.value() / 3600.0;
-  used_ah_ += drained_ah;
-  lifetime_discharge_ah_ += drained_ah;
-  // Numerical guard: never exceed the DoD cap by accumulation error.
-  used_ah_ = std::min(used_ah_, cfg_.max_dod * faded_capacity_ah());
-  return p * dt;
+  return Joules(battmath::discharge_j(cfg_, used_ah_, lifetime_discharge_ah_,
+                                      capacity_fade_, p.value(), dt.value()));
 }
 
 Watts Battery::charge(Watts p, Seconds dt) {
-  GS_REQUIRE(p.value() >= 0.0, "charge power must be non-negative");
-  GS_REQUIRE(dt.value() > 0.0, "dt must be positive");
-  if (p.value() == 0.0 || used_ah_ <= 0.0) return Watts(0.0);
-  const double offered = std::min(p.value(), cfg_.max_charge_power.value());
-  const double ah_in = offered * cfg_.charge_efficiency * charge_derate_ *
-                       dt.value() / 3600.0 / cfg_.nominal_voltage.value();
-  const double accepted_ah = std::min(ah_in, used_ah_);
-  used_ah_ -= accepted_ah;
-  // Report the wall power that produced the accepted charge.
-  const double accepted_w = accepted_ah / ah_in * offered;
-  return Watts(accepted_w);
+  return Watts(
+      battmath::charge_w(cfg_, used_ah_, charge_derate_, p.value(),
+                         dt.value()));
 }
 
 Seconds Battery::supply_time_from_full(Watts p) const {
-  GS_REQUIRE(p.value() > 0.0, "supply time needs positive power");
-  const Amps i = p / cfg_.nominal_voltage;
-  const Amps i_eff = effective_current(i);
-  const double usable = cfg_.max_dod * faded_capacity_ah();
-  return Seconds(usable / i_eff.value() * 3600.0);
+  return Seconds(
+      battmath::supply_time_from_full_s(cfg_, capacity_fade_, p.value()));
 }
 
 AmpHours Battery::delivered_capacity(Amps i) const {
-  GS_REQUIRE(i.value() > 0.0, "delivered_capacity needs positive current");
-  // Peukert: t = H * (C / (I*H))^k, delivered = I * t. Full drain (DoD=1).
-  const double h = cfg_.rated_hours;
-  const double c = cfg_.capacity.value();
-  const double t = h * std::pow(c / (i.value() * h), cfg_.peukert_exponent);
-  return AmpHours(i.value() * t);
+  return AmpHours(battmath::delivered_capacity_ah(cfg_, i.value()));
 }
 
 double Battery::equivalent_cycles() const {
-  return lifetime_discharge_ah_ / (cfg_.max_dod * cfg_.capacity.value());
+  return battmath::equivalent_cycles(cfg_, lifetime_discharge_ah_);
 }
 
 void Battery::reset_full() { used_ah_ = 0.0; }

@@ -1,0 +1,145 @@
+// gs:hot-path — shared VRLA battery arithmetic; no heap allocation.
+//
+// The Peukert / DoD-cap formulas used by both battery representations:
+// the scalar `power::Battery` (one object per server, the historical API)
+// and the structure-of-arrays `power::BatteryBank` (the epoch kernel's
+// layout). Both call exactly these functions, so the two representations
+// are bit-identical by construction — there is one copy of every
+// floating-point expression in the model.
+//
+// Mutating operations take the per-battery state as individual double
+// references so the bank can pass elements of its parallel arrays without
+// gathering into a temporary struct.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "power/battery.hpp"
+
+namespace gs::power::battmath {
+
+[[nodiscard]] inline double rated_current(const BatteryConfig& cfg) {
+  return cfg.capacity.value() / cfg.rated_hours;
+}
+
+/// Peukert-corrected effective current for a real current draw. Below the
+/// rated rate Peukert gives a bonus; we conservatively clamp the
+/// correction at 1 (no free capacity at trickle rates).
+[[nodiscard]] inline double effective_current(const BatteryConfig& cfg,
+                                              double i) {
+  if (i <= 0.0) return 0.0;
+  const double ratio = i / rated_current(cfg);
+  const double corr = std::max(1.0, std::pow(ratio, cfg.peukert_exponent - 1.0));
+  return i * corr;
+}
+
+/// Rated capacity times the current fade factor.
+[[nodiscard]] inline double faded_capacity_ah(const BatteryConfig& cfg,
+                                              double capacity_fade) {
+  return cfg.capacity.value() * capacity_fade;
+}
+
+/// Effective Ah still usable before the DoD cap.
+[[nodiscard]] inline double usable_remaining_ah(const BatteryConfig& cfg,
+                                                double used_ah,
+                                                double capacity_fade) {
+  const double usable =
+      cfg.max_dod * faded_capacity_ah(cfg, capacity_fade) - used_ah;
+  return std::max(0.0, usable);
+}
+
+/// Greatest constant power (W) the battery can deliver for the whole of
+/// dt_s seconds without crossing the DoD cap or the current ceiling.
+[[nodiscard]] inline double max_discharge_power_w(const BatteryConfig& cfg,
+                                                  double used_ah,
+                                                  double capacity_fade,
+                                                  double dt_s) {
+  GS_REQUIRE(dt_s > 0.0, "dt must be positive");
+  const double remaining = usable_remaining_ah(cfg, used_ah, capacity_fade);
+  if (remaining <= 0.0) return 0.0;
+  // Find the real current I whose Peukert-corrected drain just empties the
+  // usable capacity over dt: I_eff(I) * dt_h = remaining.
+  const double dt_h = dt_s / 3600.0;
+  const double budget_eff = remaining / dt_h;  // effective amps available
+  const double i_rated = rated_current(cfg);
+  const double k = cfg.peukert_exponent;
+  // I_eff = I^k / i_rated^(k-1)  (for I >= i_rated)  =>  I = (budget *
+  // i_rated^(k-1))^(1/k); below the rated rate the correction is clamped at
+  // 1 so I = budget directly.
+  double i = budget_eff <= i_rated
+                 ? budget_eff
+                 : std::pow(budget_eff * std::pow(i_rated, k - 1.0), 1.0 / k);
+  i = std::min(i, cfg.max_discharge_c_rate *
+                      faded_capacity_ah(cfg, capacity_fade));
+  return i * cfg.nominal_voltage.value();
+}
+
+/// Draw `p_w` for dt_s; p_w must not exceed max_discharge_power_w
+/// (contract). Mutates used_ah / lifetime_ah; returns the energy in J.
+inline double discharge_j(const BatteryConfig& cfg, double& used_ah,
+                          double& lifetime_ah, double capacity_fade,
+                          double p_w, double dt_s) {
+  GS_REQUIRE(p_w >= 0.0, "discharge power must be non-negative");
+  GS_REQUIRE(dt_s > 0.0, "dt must be positive");
+  if (p_w == 0.0) return 0.0;
+  GS_REQUIRE(p_w <= max_discharge_power_w(cfg, used_ah, capacity_fade, dt_s) *
+                        (1.0 + 1e-6),
+             "discharge exceeds the battery's sustainable power for dt");
+  const double i = p_w / cfg.nominal_voltage.value();
+  const double i_eff = effective_current(cfg, i);
+  const double drained_ah = i_eff * dt_s / 3600.0;
+  used_ah += drained_ah;
+  lifetime_ah += drained_ah;
+  // Numerical guard: never exceed the DoD cap by accumulation error.
+  used_ah = std::min(used_ah,
+                     cfg.max_dod * faded_capacity_ah(cfg, capacity_fade));
+  return p_w * dt_s;
+}
+
+/// Offer `p_w` of charging power for dt_s; returns the wall power (W)
+/// actually accepted (charge-rate cap + remaining headroom).
+inline double charge_w(const BatteryConfig& cfg, double& used_ah,
+                       double charge_derate, double p_w, double dt_s) {
+  GS_REQUIRE(p_w >= 0.0, "charge power must be non-negative");
+  GS_REQUIRE(dt_s > 0.0, "dt must be positive");
+  if (p_w == 0.0 || used_ah <= 0.0) return 0.0;
+  const double offered = std::min(p_w, cfg.max_charge_power.value());
+  const double ah_in = offered * cfg.charge_efficiency * charge_derate *
+                       dt_s / 3600.0 / cfg.nominal_voltage.value();
+  const double accepted_ah = std::min(ah_in, used_ah);
+  used_ah -= accepted_ah;
+  // Report the wall power that produced the accepted charge.
+  return accepted_ah / ah_in * offered;
+}
+
+/// Peukert supply time (s) from *full* at constant power draw `p_w`.
+[[nodiscard]] inline double supply_time_from_full_s(const BatteryConfig& cfg,
+                                                    double capacity_fade,
+                                                    double p_w) {
+  GS_REQUIRE(p_w > 0.0, "supply time needs positive power");
+  const double i = p_w / cfg.nominal_voltage.value();
+  const double i_eff = effective_current(cfg, i);
+  const double usable = cfg.max_dod * faded_capacity_ah(cfg, capacity_fade);
+  return usable / i_eff * 3600.0;
+}
+
+/// Capacity (Ah) actually delivered when fully drained at constant current.
+[[nodiscard]] inline double delivered_capacity_ah(const BatteryConfig& cfg,
+                                                  double i) {
+  GS_REQUIRE(i > 0.0, "delivered_capacity needs positive current");
+  // Peukert: t = H * (C / (I*H))^k, delivered = I * t. Full drain (DoD=1).
+  const double h = cfg.rated_hours;
+  const double c = cfg.capacity.value();
+  const double t = h * std::pow(c / (i * h), cfg.peukert_exponent);
+  return i * t;
+}
+
+/// Cumulative equivalent full DoD-cycles.
+[[nodiscard]] inline double equivalent_cycles(const BatteryConfig& cfg,
+                                              double lifetime_ah) {
+  return lifetime_ah / (cfg.max_dod * cfg.capacity.value());
+}
+
+}  // namespace gs::power::battmath

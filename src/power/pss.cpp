@@ -23,11 +23,16 @@ const char* to_string(PowerCase c) {
   return "?";
 }
 
-PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
-                                          Battery& battery, Grid& grid,
-                                          Seconds dt, bool bursting,
-                                          Watts grid_fallback_cap,
-                                          const PssFaultState& fault) const {
+namespace {
+
+// One settlement body for both battery representations (scalar Battery and
+// BatteryBank element): the instantiations run the same statements in the
+// same order, so the representations cannot drift apart numerically.
+template <typename BatteryLike>
+PssSettlement settle_impl(const PssConfig& cfg, Watts demand, Watts re_supply,
+                          BatteryLike& battery, Grid& grid, Seconds dt,
+                          bool bursting, Watts grid_fallback_cap,
+                          const PssFaultState& fault) {
   GS_REQUIRE(demand.value() >= 0.0, "demand must be non-negative");
   GS_REQUIRE(re_supply.value() >= 0.0, "RE supply must be non-negative");
   GS_REQUIRE(fault.switch_latency_fraction >= 0.0 &&
@@ -81,7 +86,7 @@ PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
   if (surplus_re.value() > 1e-9 && !fault.battery_offline) {
     s.re_to_battery = battery.charge(surplus_re, dt);
   }
-  if (!bursting && cfg_.grid_charging && !fault.battery_offline &&
+  if (!bursting && cfg.grid_charging && !fault.battery_offline &&
       battery.depth_of_discharge() > 1e-9) {
     const Watts offer = battery.config().max_charge_power;
     const Watts granted = grid.draw(offer, dt);
@@ -108,6 +113,26 @@ PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
     s.power_case = PowerCase::GridFallback;  // all-shortfall epoch
   }
   return s;
+}
+
+}  // namespace
+
+PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
+                                          Battery& battery, Grid& grid,
+                                          Seconds dt, bool bursting,
+                                          Watts grid_fallback_cap,
+                                          const PssFaultState& fault) const {
+  return settle_impl(cfg_, demand, re_supply, battery, grid, dt, bursting,
+                     grid_fallback_cap, fault);
+}
+
+PssSettlement PowerSourceSelector::settle(Watts demand, Watts re_supply,
+                                          BatteryRef battery, Grid& grid,
+                                          Seconds dt, bool bursting,
+                                          Watts grid_fallback_cap,
+                                          const PssFaultState& fault) const {
+  return settle_impl(cfg_, demand, re_supply, battery, grid, dt, bursting,
+                     grid_fallback_cap, fault);
 }
 
 Watts PowerSourceSelector::plannable_supply(Watts re_predicted,

@@ -23,6 +23,7 @@
 #include "ckpt/fwd.hpp"
 #include "common/units.hpp"
 #include "power/battery.hpp"
+#include "power/battery_bank.hpp"
 #include "power/grid.hpp"
 
 namespace gs::power {
@@ -78,6 +79,14 @@ class PowerSourceSelector {
   /// this epoch — n_green * normal-mode power when the servers run at
   /// Normal mode, ~0 while they sprint on the dedicated green bus.
   PssSettlement settle(Watts demand, Watts re_supply, Battery& battery,
+                       Grid& grid, Seconds dt, bool bursting,
+                       Watts grid_fallback_cap = Watts(0.0),
+                       const PssFaultState& fault = {}) const;
+
+  /// Settle against one element of a structure-of-arrays BatteryBank. The
+  /// body is one shared template over the battery representation, so this
+  /// overload is bit-identical to the scalar one by construction.
+  PssSettlement settle(Watts demand, Watts re_supply, BatteryRef battery,
                        Grid& grid, Seconds dt, bool bursting,
                        Watts grid_fallback_cap = Watts(0.0),
                        const PssFaultState& fault = {}) const;

@@ -1,3 +1,5 @@
+// gs:hot-path — the per-epoch cluster kernel; no heap allocation in the
+// steady-state phase loops (soa_ arrays are sized once at construction).
 #include "sim/green_cluster.hpp"
 
 #include <algorithm>
@@ -45,47 +47,63 @@ GreenCluster::GreenCluster(const workload::AppDescriptor& app,
       power_model_(Watts(76.0)),
       profile_(perf_, power_model_),
       pss_(power::PssConfig{cfg.grid_charging}),
-      batteries_(),
       controllers_(),
       grid_(cluster_grid_config(app, cfg.servers)),
-      prev_deficit_(std::size_t(std::max(cfg.servers, 0)), false) {
+      soa_(battery_config(cfg.battery_per_server),
+           std::size_t(std::max(cfg.servers, 0))) {
   GS_REQUIRE(cfg_.servers > 0, "cluster needs at least one green server");
-  batteries_.reserve(std::size_t(cfg_.servers));
+  // One-time construction; the epoch path never grows controllers_.
+  // gs-lint: allow(hot-path-alloc)
   controllers_.reserve(std::size_t(cfg_.servers));
   for (int i = 0; i < cfg_.servers; ++i) {
-    batteries_.emplace_back(battery_config(cfg_.battery_per_server));
     core::ControllerConfig ctl_cfg;
     ctl_cfg.strategy = cfg_.strategy;
     ctl_cfg.epoch = cfg_.epoch;
     ctl_cfg.health_aware = cfg_.health_aware;
+    // gs-lint: allow(hot-path-alloc)
     controllers_.push_back(std::make_unique<core::GreenSprintController>(
         app_, profile_, power_model_.idle_power(), ctl_cfg));
   }
 }
 
-std::vector<Watts> GreenCluster::allocate(Watts re_total,
-                                          const std::vector<Watts>& want)
-    const {
-  std::vector<Watts> share(want.size(), Watts(0.0));
+void GreenCluster::allocate_into(Watts re_total) {
+  // Same arithmetic as the historical vector<Watts> allocate(): Watts is a
+  // value wrapper, so the double expressions below are the identical
+  // operation sequence on the identical operands.
+  const std::size_t n = soa_.size();
   switch (cfg_.allocation) {
     case ReAllocation::EqualShare: {
-      const Watts each = re_total / double(want.size());
-      std::fill(share.begin(), share.end(), each);
+      const double each = (re_total / double(n)).value();
+      std::fill(soa_.share_w.begin(), soa_.share_w.end(), each);
       break;
     }
     case ReAllocation::Waterfall: {
-      Watts left = re_total;
-      for (std::size_t i = 0; i < want.size(); ++i) {
-        share[i] = std::min(left, want[i]);
-        left -= share[i];
+      double left = re_total.value();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double share = std::min(left, soa_.want_w[i]);
+        soa_.share_w[i] = share;
+        left -= share;
       }
       // Any remainder (all demands met) goes to the first server's
       // charger.
-      if (left.value() > 0.0 && !share.empty()) share[0] += left;
+      if (left > 0.0 && n > 0) soa_.share_w[0] += left;
       break;
     }
   }
-  return share;
+}
+
+void GreenCluster::prepare_epoch(Watts re_total,
+                                 const std::vector<double>& lambdas) {
+  // Allocation claims: each server's maximal-sprint demand at its own
+  // workload level (EqualShare ignores them; Waterfall fills by demand).
+  const auto max_idx = profile_.lattice().index_of(server::max_sprint());
+  const std::size_t n = soa_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    soa_.lambda[i] = lambdas[i];
+    soa_.want_w[i] =
+        profile_.power(profile_.level_for(lambdas[i]), max_idx).value();
+  }
+  allocate_into(re_total);
 }
 
 ClusterEpoch GreenCluster::step(Watts re_total, double lambda,
@@ -98,56 +116,165 @@ ClusterEpoch GreenCluster::step(Watts re_total, double lambda,
 
 void GreenCluster::apply_component_faults(
     const faults::EpochFaults& epoch_faults) {
-  for (auto& b : batteries_) {
-    b.set_capacity_fade(epoch_faults.battery_capacity_factor);
-    b.set_charge_derate(epoch_faults.charge_efficiency_factor);
-  }
+  soa_.batteries.set_capacity_fade_all(epoch_faults.battery_capacity_factor);
+  soa_.batteries.set_charge_derate_all(epoch_faults.charge_efficiency_factor);
   grid_.set_budget_derate(epoch_faults.grid_budget_factor);
 }
 
-ClusterEpoch GreenCluster::step_hetero(Watts re_total,
-                                       const std::vector<double>& lambdas,
-                                       bool bursting,
-                                       const faults::EpochFaults* epoch_faults) {
+ClusterEpoch GreenCluster::step_hetero(
+    Watts re_total, const std::vector<double>& lambdas, bool bursting,
+    const faults::EpochFaults* epoch_faults) {
   GS_REQUIRE(re_total.value() >= 0.0, "RE supply must be non-negative");
   GS_REQUIRE(lambdas.size() == std::size_t(cfg_.servers),
              "one arrival rate per green server required");
-  const auto n = std::size_t(cfg_.servers);
-  ClusterEpoch out;
-  out.settings.resize(n);
-
-  // Allocation claims: each server's maximal-sprint demand at its own
-  // workload level (EqualShare ignores them; Waterfall fills by demand).
-  const auto max_idx = profile_.lattice().index_of(server::max_sprint());
-  std::vector<Watts> want(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    want[i] = profile_.power(profile_.level_for(lambdas[i]), max_idx);
+  prepare_epoch(re_total, lambdas);
+  if (epoch_faults != nullptr) {
+    apply_component_faults(*epoch_faults);
+    // Faulted epochs take the single-pass reference path: the fault
+    // branches stay out of the phased kernel, and the two paths are
+    // bit-identical anyway (tests/sim/test_green_cluster_soa.cpp).
+    return step_servers_reference(bursting, epoch_faults);
   }
-  const auto shares = allocate(re_total, want);
+  return step_servers_fast(bursting);
+}
 
-  const server::ServerSetting normal = server::normal_mode();
+ClusterEpoch GreenCluster::step_hetero_reference(
+    Watts re_total, const std::vector<double>& lambdas, bool bursting,
+    const faults::EpochFaults* epoch_faults) {
+  GS_REQUIRE(re_total.value() >= 0.0, "RE supply must be non-negative");
+  GS_REQUIRE(lambdas.size() == std::size_t(cfg_.servers),
+             "one arrival rate per green server required");
+  prepare_epoch(re_total, lambdas);
   if (epoch_faults != nullptr) apply_component_faults(*epoch_faults);
+  return step_servers_reference(bursting, epoch_faults);
+}
+
+// The phased SoA kernel. Bit-identity with the reference loop rests on
+// two facts about the historical per-server iteration:
+//  * the only *shared* mutable state inside the loop is the grid (drawn
+//    during settlement) — batteries and controllers are strictly
+//    per-server — so splitting the loop into phases that each run in
+//    server index order preserves every operand of every FP operation;
+//  * each ClusterEpoch accumulator is summed in ascending server order in
+//    both forms, so the FP addition order per accumulator is unchanged.
+ClusterEpoch GreenCluster::step_servers_fast(bool bursting) {
+  const std::size_t n = soa_.size();
+  ClusterEpoch out;
+  // Caller-owned result (ClusterEpoch API), sized once per epoch.
+  // gs-lint: allow(hot-path-alloc)
+  out.settings.resize(n);
+  const server::ServerSetting normal = server::normal_mode();
+  auto& bank = soa_.batteries;
+
+  // Phase 1: sustainable battery power — contiguous reads of the bank.
   for (std::size_t i = 0; i < n; ++i) {
-    const double lambda = lambdas[i];
-    auto& battery = batteries_[i];
+    soa_.batt_w[i] = bank.max_discharge_power(i, cfg_.epoch).value();
+  }
+
+  // Phase 2: controller decisions (independent per server). Each
+  // controller forecasts its *own* share: it has been observing the
+  // policy's per-server allocation epoch after epoch, so the EWMA tracks
+  // whatever the allocation policy hands this server.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda = soa_.lambda[i];
+    auto& controller = *controllers_[i];
+    const Watts batt_power(soa_.batt_w[i]);
+    server::ServerSetting setting = controller.begin_epoch(lambda,
+                                                           batt_power);
+    const Watts green_avail = Watts(soa_.share_w[i]) + batt_power;
+    if (setting != normal &&
+        controller.demand(lambda, setting) > green_avail) {
+      setting = controller.replan(green_avail);
+    }
+    soa_.setting[i] = setting;
+    soa_.demand_w[i] = controller.demand(lambda, setting).value();
+  }
+
+  // Phase 3: power settlement, in server index order (the grid budget is
+  // shared, so draw order is part of the contract).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Watts grid_cap =
+        soa_.setting[i] == normal ? app_.normal_full_power : Watts(0.0);
+    power::BatteryRef battery(bank, i);
+    const auto settle =
+        pss_.settle(Watts(soa_.demand_w[i]), Watts(soa_.share_w[i]), battery,
+                    grid_, cfg_.epoch, bursting, grid_cap);
+    soa_.shortfall[i] = settle.deficit() ? 1 : 0;
+    out.re_used += settle.re_used;
+    out.batt_used += settle.batt_used;
+    out.grid_used += settle.grid_used;
+  }
+
+  // Phase 4: delivered goodput and the queue-depth proxy (offered load
+  // the server could not serve this epoch).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda = soa_.lambda[i];
+    double goodput = perf_.goodput(soa_.setting[i], lambda);
+    if (soa_.shortfall[i] != 0) {
+      goodput = std::min(goodput, perf_.goodput(normal, lambda));
+    }
+    soa_.goodput[i] = goodput;
+    const double backlog = lambda - goodput;
+    soa_.queue_depth[i] = backlog > 0.0 ? backlog : 0.0;
+  }
+
+  // Phase 5: controller bookkeeping (independent per server).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Watts green_avail = Watts(soa_.share_w[i]) + Watts(soa_.batt_w[i]);
+    controllers_[i]->end_epoch(Watts(soa_.share_w[i]), Watts(soa_.demand_w[i]),
+                               green_avail,
+                               perf_.latency(soa_.setting[i], soa_.lambda[i]));
+  }
+
+  // Phase 6: accumulate the epoch result from the arrays.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.settings[i] = soa_.setting[i];
+    out.total_goodput += soa_.goodput[i];
+    out.total_demand += Watts(soa_.demand_w[i]);
+    if (soa_.setting[i] != normal) ++out.servers_sprinting;
+    soa_.crashed[i] = 0;
+  }
+  return out;
+}
+
+ClusterEpoch GreenCluster::step_servers_reference(
+    bool bursting, const faults::EpochFaults* epoch_faults) {
+  const std::size_t n = soa_.size();
+  ClusterEpoch out;
+  // Caller-owned result (ClusterEpoch API), sized once per epoch.
+  // gs-lint: allow(hot-path-alloc)
+  out.settings.resize(n);
+  const server::ServerSetting normal = server::normal_mode();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda = soa_.lambda[i];
+    const Watts share(soa_.share_w[i]);
+    power::BatteryRef battery(soa_.batteries, i);
     auto& controller = *controllers_[i];
 
     // Crashed green server: total outage for the epoch; its renewable
     // share still charges its battery through the PSS.
     if (epoch_faults != nullptr && epoch_faults->crashed(int(i))) {
-      controller.observe_idle(lambda, shares[i]);
-      const auto settle = pss_.settle(Watts(0.0), shares[i], battery, grid_,
+      controller.observe_idle(lambda, share);
+      const auto settle = pss_.settle(Watts(0.0), share, battery, grid_,
                                       cfg_.epoch, bursting, Watts(0.0));
       out.settings[i] = normal;
       out.re_used += settle.re_used;
       ++out.servers_crashed;
-      prev_deficit_[i] = true;  // reboot recovers through hysteresis
+      soa_.crashed[i] = 1;
+      soa_.setting[i] = normal;
+      soa_.goodput[i] = 0.0;
+      soa_.queue_depth[i] = lambda;
+      soa_.shortfall[i] = 1;
+      soa_.prev_deficit[i] = 1;  // reboot recovers through hysteresis
       continue;
     }
+    soa_.crashed[i] = 0;
 
     power::PssFaultState pss_fault;
     if (epoch_faults != nullptr) {
-      controller.notify_health(prev_deficit_[i], epoch_faults->sensor_dropout);
+      controller.notify_health(soa_.prev_deficit[i] != 0,
+                               epoch_faults->sensor_dropout);
       pss_fault.battery_offline = epoch_faults->battery_offline;
       pss_fault.switch_latency_fraction =
           epoch_faults->switch_latency_fraction;
@@ -156,20 +283,20 @@ ClusterEpoch GreenCluster::step_hetero(Watts re_total,
         epoch_faults != nullptr && epoch_faults->battery_offline
             ? Watts(0.0)
             : battery.max_discharge_power(cfg_.epoch);
-    // Each controller forecasts its *own* share: it has been observing the
-    // policy's per-server allocation epoch after epoch, so the EWMA tracks
-    // whatever the allocation policy hands this server.
+    soa_.batt_w[i] = batt_power.value();
     server::ServerSetting setting = controller.begin_epoch(lambda,
                                                            batt_power);
-    const Watts green_avail = shares[i] + batt_power;
+    const Watts green_avail = share + batt_power;
     if (setting != normal &&
         controller.demand(lambda, setting) > green_avail) {
       setting = controller.replan(green_avail);
     }
     const Watts demand = controller.demand(lambda, setting);
+    soa_.setting[i] = setting;
+    soa_.demand_w[i] = demand.value();
     const Watts grid_cap =
         setting == normal ? app_.normal_full_power : Watts(0.0);
-    const auto settle = pss_.settle(demand, shares[i], battery, grid_,
+    const auto settle = pss_.settle(demand, share, battery, grid_,
                                     cfg_.epoch, bursting, grid_cap,
                                     pss_fault);
     double goodput = perf_.goodput(setting, lambda);
@@ -179,10 +306,14 @@ ClusterEpoch GreenCluster::step_hetero(Watts re_total,
     if (settle.deficit()) {
       goodput = std::min(goodput, perf_.goodput(normal, lambda));
     }
-    controller.end_epoch(shares[i], demand, green_avail,
+    controller.end_epoch(share, demand, green_avail,
                          perf_.latency(setting, lambda));
+    soa_.shortfall[i] = settle.deficit() ? 1 : 0;
+    soa_.goodput[i] = goodput;
+    const double backlog = lambda - goodput;
+    soa_.queue_depth[i] = backlog > 0.0 ? backlog : 0.0;
     if (epoch_faults != nullptr) {
-      prev_deficit_[i] = settle.deficit();
+      soa_.prev_deficit[i] = settle.deficit() ? 1 : 0;
       if (controller.degraded()) ++out.servers_degraded;
     }
 
@@ -198,44 +329,48 @@ ClusterEpoch GreenCluster::step_hetero(Watts re_total,
 }
 
 void GreenCluster::idle_step(Watts re_total, double background_lambda) {
-  const auto n = std::size_t(cfg_.servers);
+  const std::size_t n = soa_.size();
   // Forecast consistency: divide the idle supply by the same policy the
   // burst path uses (planned against maximum-sprint demand), so each
   // controller's renewable EWMA predicts the share it will actually get.
   const Watts max_demand = profile_.power(
       profile_.num_levels() - 1,
       profile_.lattice().index_of(server::max_sprint()));
-  const std::vector<Watts> want(n, max_demand);
-  const auto shares = allocate(re_total, want);
   for (std::size_t i = 0; i < n; ++i) {
-    controllers_[i]->observe_idle(background_lambda, shares[i]);
-    // Normal-mode power comes from the grid; all of the RE share plus the
-    // grid charger can refill the battery.
-    (void)pss_.settle(Watts(0.0), shares[i], batteries_[i], grid_,
+    soa_.want_w[i] = max_demand.value();
+  }
+  allocate_into(re_total);
+  for (std::size_t i = 0; i < n; ++i) {
+    controllers_[i]->observe_idle(background_lambda, Watts(soa_.share_w[i]));
+  }
+  // Normal-mode power comes from the grid; all of the RE share plus the
+  // grid charger can refill the battery. Settlement order = server order
+  // (shared grid budget).
+  for (std::size_t i = 0; i < n; ++i) {
+    power::BatteryRef battery(soa_.batteries, i);
+    (void)pss_.settle(Watts(0.0), Watts(soa_.share_w[i]), battery, grid_,
                       cfg_.epoch, /*bursting=*/false, Watts(0.0));
   }
 }
 
 double GreenCluster::mean_soc() const {
-  double sum = 0.0;
-  for (const auto& b : batteries_) sum += b.state_of_charge();
-  return sum / double(batteries_.size());
+  return soa_.batteries.total_soc() / double(soa_.batteries.size());
 }
 
 double GreenCluster::total_equivalent_cycles() const {
-  double sum = 0.0;
-  for (const auto& b : batteries_) sum += b.equivalent_cycles();
-  return sum;
+  return soa_.batteries.total_equivalent_cycles();
 }
 
 void GreenCluster::save_state(ckpt::StateWriter& w) const {
   w.begin_section("green_cluster", kStateVersion);
   w.u64(std::uint64_t(cfg_.servers));
   grid_.save_state(w);
-  for (const power::Battery& b : batteries_) b.save_state(w);
+  for (std::size_t i = 0; i < soa_.batteries.size(); ++i) {
+    soa_.batteries.save_state_element(w, i);
+  }
   for (const auto& c : controllers_) c->save_state(w);
-  for (std::size_t i = 0; i < prev_deficit_.size(); ++i) {
-    w.boolean(prev_deficit_[i]);
+  for (std::size_t i = 0; i < soa_.prev_deficit.size(); ++i) {
+    w.boolean(soa_.prev_deficit[i] != 0);
   }
   w.end_section();
 }
@@ -250,10 +385,12 @@ void GreenCluster::load_state(ckpt::StateReader& r) {
         std::to_string(cfg_.servers));
   }
   grid_.load_state(r);
-  for (power::Battery& b : batteries_) b.load_state(r);
+  for (std::size_t i = 0; i < soa_.batteries.size(); ++i) {
+    soa_.batteries.load_state_element(r, i);
+  }
   for (const auto& c : controllers_) c->load_state(r);
-  for (std::size_t i = 0; i < prev_deficit_.size(); ++i) {
-    prev_deficit_[i] = r.boolean();
+  for (std::size_t i = 0; i < soa_.prev_deficit.size(); ++i) {
+    soa_.prev_deficit[i] = r.boolean() ? 1 : 0;
   }
   r.end_section();
 }

@@ -11,6 +11,13 @@
 //    next. Concentrates scarce supply in a few fully-sprinting servers
 //    instead of spreading it thin. bench/abl_re_allocation quantifies the
 //    difference.
+//
+// The epoch kernel is structure-of-arrays (sim/soa_cluster_state.hpp):
+// per-server power draws, settings, shortfall flags and the battery bank
+// live in contiguous parallel arrays, and the fault-free step runs as a
+// sequence of branch-lean phase loops over them. A single-pass reference
+// implementation of the historical loop is kept as the bit-identity
+// oracle (tests/sim/test_green_cluster_soa.cpp).
 #pragma once
 
 #include <cstdint>
@@ -20,10 +27,10 @@
 #include "ckpt/fwd.hpp"
 #include "core/greensprint.hpp"
 #include "faults/fault_injector.hpp"
-#include "power/battery.hpp"
 #include "power/grid.hpp"
 #include "power/pss.hpp"
 #include "sim/monitor.hpp"
+#include "sim/soa_cluster_state.hpp"
 
 namespace gs::sim {
 
@@ -75,10 +82,22 @@ class GreenCluster {
   /// Heterogeneous variant (paper Section III-B models per-server L_j and
   /// S_j): one arrival rate per green server. Waterfall allocation sizes
   /// each server's claim by its own maximal-sprint demand at its level.
+  ///
+  /// Fault-free epochs run the phased SoA kernel; faulted epochs run the
+  /// single-pass reference loop (fault branches stay out of the hot path).
   ClusterEpoch step_hetero(Watts re_total,
                            const std::vector<double>& lambdas,
                            bool bursting,
                            const faults::EpochFaults* epoch_faults = nullptr);
+
+  /// The historical single-pass epoch loop, kept verbatim as the oracle
+  /// for the SoA kernel: for any input, step_hetero and
+  /// step_hetero_reference produce bit-identical ClusterEpoch results and
+  /// leave the cluster in bit-identical state. Faulted step_hetero epochs
+  /// delegate here, so the reference is also the production fault path.
+  ClusterEpoch step_hetero_reference(
+      Watts re_total, const std::vector<double>& lambdas, bool bursting,
+      const faults::EpochFaults* epoch_faults = nullptr);
 
   /// Apply component-level fault factors (battery fade / charge derate on
   /// every green battery, grid brownout derate) for the coming epoch.
@@ -94,21 +113,31 @@ class GreenCluster {
   [[nodiscard]] double total_equivalent_cycles() const;
   [[nodiscard]] const GreenClusterConfig& config() const { return cfg_; }
   [[nodiscard]] const workload::PerfModel& perf() const { return perf_; }
+  /// Read-only view of the per-server arrays (telemetry / tests).
+  [[nodiscard]] const SoaClusterState& soa() const { return soa_; }
 
   // --- Checkpoint/restore (src/ckpt) --------------------------------------
   // The snapshot carries the dynamic state only (batteries, controllers,
   // grid, deficit flags); load_state requires a cluster constructed from
   // the same (app, config) and throws ckpt::SnapshotError on a server-count
-  // mismatch.
+  // mismatch. The battery bank writes per-element sections byte-identical
+  // to the historical vector<Battery> layout, so snapshots interchange
+  // across the SoA refactor.
   static constexpr std::uint32_t kStateVersion = 1;
   void save_state(ckpt::StateWriter& w) const;
   void load_state(ckpt::StateReader& r);
 
  private:
-  /// RE split for this epoch according to the policy.
-  [[nodiscard]] std::vector<Watts> allocate(Watts re_total,
-                                            const std::vector<Watts>& want)
-      const;
+  /// Fill soa_.lambda / soa_.want_w and run the allocation policy into
+  /// soa_.share_w for this epoch.
+  void prepare_epoch(Watts re_total, const std::vector<double>& lambdas);
+  /// RE split for this epoch according to the policy (want_w -> share_w).
+  void allocate_into(Watts re_total);
+  /// Phased branch-lean kernel (fault-free epochs only).
+  ClusterEpoch step_servers_fast(bool bursting);
+  /// Historical single-pass loop (handles faults; the oracle).
+  ClusterEpoch step_servers_reference(bool bursting,
+                                      const faults::EpochFaults* epoch_faults);
 
   GreenClusterConfig cfg_;
   workload::AppDescriptor app_;
@@ -116,12 +145,11 @@ class GreenCluster {
   server::ServerPowerModel power_model_;
   core::ProfileTable profile_;
   power::PowerSourceSelector pss_;
-  std::vector<power::Battery> batteries_;
   std::vector<std::unique_ptr<core::GreenSprintController>> controllers_;
   power::Grid grid_;
-  /// Per-server shortfall flags from the previous faulted epoch (feeds the
-  /// degraded-mode hysteresis; untouched on fault-free steps).
-  std::vector<bool> prev_deficit_;
+  /// Structure-of-arrays per-server state: epoch scratch arrays plus the
+  /// checkpointed battery bank and prev-deficit flags.
+  SoaClusterState soa_;
 };
 
 }  // namespace gs::sim

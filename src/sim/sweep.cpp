@@ -10,6 +10,7 @@
 #include "common/keyed_cache.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/sweep_ckpt.hpp"
 
 namespace gs::sim {
 
@@ -44,10 +45,14 @@ std::vector<BurstResult> run_sweep(const std::vector<Scenario>& scenarios,
   return results;
 }
 
+namespace sweep_ckpt {
+
 namespace {
 
 constexpr std::uint32_t kSweepManifestVersion = 1;
 constexpr std::uint32_t kSweepCellVersion = 1;
+
+}  // namespace
 
 std::string cell_file_name(std::size_t i) {
   std::string idx = std::to_string(i);
@@ -55,19 +60,21 @@ std::string cell_file_name(std::size_t i) {
   return "cell-" + idx + ".gsck";
 }
 
-void write_sweep_manifest(const std::filesystem::path& path,
-                          const std::vector<Scenario>& scenarios) {
+void write_manifest(const std::string& dir,
+                    const std::vector<Scenario>& scenarios) {
   ckpt::StateWriter w;
   w.begin_section("sweep_manifest", kSweepManifestVersion);
   w.u64(scenarios.size());
   for (const Scenario& sc : scenarios) w.u64(scenario_fingerprint(sc));
   w.end_section();
-  ckpt::write_snapshot_file(path, w.buffer());
+  ckpt::write_snapshot_file(std::filesystem::path(dir) / "sweep.manifest",
+                            w.buffer());
 }
 
-void check_sweep_manifest(const std::filesystem::path& path,
-                          const std::vector<Scenario>& scenarios) {
-  const std::string payload = ckpt::read_snapshot_file(path);
+void check_manifest(const std::string& dir,
+                    const std::vector<Scenario>& scenarios) {
+  const std::string payload = ckpt::read_snapshot_file(
+      std::filesystem::path(dir) / "sweep.manifest");
   ckpt::StateReader r(payload);
   r.begin_section("sweep_manifest", kSweepManifestVersion);
   const std::uint64_t cells = r.u64();
@@ -88,43 +95,71 @@ void check_sweep_manifest(const std::filesystem::path& path,
   r.end_section();
 }
 
-}  // namespace
+void ensure_manifest(const std::string& dir,
+                     const std::vector<Scenario>& scenarios, bool resume) {
+  namespace fs = std::filesystem;
+  fs::create_directories(fs::path(dir));
+  if (resume && fs::exists(fs::path(dir) / "sweep.manifest")) {
+    check_manifest(dir, scenarios);
+  } else {
+    write_manifest(dir, scenarios);
+  }
+}
+
+void write_cell(const std::string& dir, std::size_t i, const Scenario& sc,
+                const BurstResult& result) {
+  ckpt::StateWriter w;
+  w.begin_section("sweep_cell", kSweepCellVersion);
+  w.u64(scenario_fingerprint(sc));
+  save_burst_result(w, result);
+  w.end_section();
+  ckpt::write_snapshot_file(std::filesystem::path(dir) / cell_file_name(i),
+                            w.buffer());
+}
+
+bool cell_exists(const std::string& dir, std::size_t i) {
+  return std::filesystem::exists(std::filesystem::path(dir) /
+                                 cell_file_name(i));
+}
+
+bool load_cell(const std::string& dir, std::size_t i, const Scenario& sc,
+               BurstResult* out) {
+  const std::filesystem::path cell =
+      std::filesystem::path(dir) / cell_file_name(i);
+  if (!std::filesystem::exists(cell)) return false;
+  try {
+    const std::string payload = ckpt::read_snapshot_file(cell);
+    ckpt::StateReader r(payload);
+    r.begin_section("sweep_cell", kSweepCellVersion);
+    if (r.u64() != scenario_fingerprint(sc)) {
+      throw ckpt::SnapshotError("sweep cell fingerprint mismatch");
+    }
+    *out = load_burst_result(r);
+    r.end_section();
+    return true;
+  } catch (const ckpt::SnapshotError&) {
+    // Missing, stale, or corrupt cell snapshot: the caller recomputes.
+    return false;
+  }
+}
+
+}  // namespace sweep_ckpt
 
 std::vector<BurstResult> run_sweep_checkpointed(
     const std::vector<Scenario>& scenarios, const SweepCheckpointOptions& opts,
     std::size_t threads, SweepCheckpointStats* stats) {
   GS_REQUIRE(!opts.dir.empty(), "checkpointed sweep needs a directory");
   GS_REQUIRE(opts.every >= 1, "checkpoint interval must be >= 1");
-  namespace fs = std::filesystem;
-  const fs::path dir(opts.dir);
-  fs::create_directories(dir);
-  const fs::path manifest = dir / "sweep.manifest";
-  if (opts.resume && fs::exists(manifest)) {
-    check_sweep_manifest(manifest, scenarios);
-  } else {
-    write_sweep_manifest(manifest, scenarios);
-  }
+  sweep_ckpt::ensure_manifest(opts.dir, scenarios, opts.resume);
 
   std::vector<BurstResult> results(scenarios.size());
   std::vector<char> loaded(scenarios.size(), 0);
   std::size_t resumed = 0;
   if (opts.resume) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      const fs::path cell = dir / cell_file_name(i);
-      if (!fs::exists(cell)) continue;
-      try {
-        const std::string payload = ckpt::read_snapshot_file(cell);
-        ckpt::StateReader r(payload);
-        r.begin_section("sweep_cell", kSweepCellVersion);
-        if (r.u64() != scenario_fingerprint(scenarios[i])) {
-          throw ckpt::SnapshotError("sweep cell fingerprint mismatch");
-        }
-        results[i] = load_burst_result(r);
-        r.end_section();
+      if (sweep_ckpt::load_cell(opts.dir, i, scenarios[i], &results[i])) {
         loaded[i] = 1;
         ++resumed;
-      } catch (const ckpt::SnapshotError&) {
-        // Missing, stale, or corrupt cell snapshot: recompute the cell.
       }
     }
   }
@@ -148,12 +183,7 @@ std::vector<BurstResult> run_sweep_checkpointed(
           // Cells write to distinct paths and write_snapshot_file is
           // atomic (temp + rename), so workers need no coordination.
           if (i % opts.every == 0) {
-            ckpt::StateWriter w;
-            w.begin_section("sweep_cell", kSweepCellVersion);
-            w.u64(scenario_fingerprint(scenarios[i]));
-            save_burst_result(w, results[i]);
-            w.end_section();
-            ckpt::write_snapshot_file(dir / cell_file_name(i), w.buffer());
+            sweep_ckpt::write_cell(opts.dir, i, scenarios[i], results[i]);
           }
         } catch (...) {
           MutexLock lock(error_mu);

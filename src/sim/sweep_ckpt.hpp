@@ -1,0 +1,55 @@
+// Checkpoint-directory primitives shared by the single-process
+// checkpointed sweep (sim/sweep.cpp) and the multi-process driver
+// (sim/sweep_mp.cpp). A sweep directory holds:
+//
+//   sweep.manifest     campaign identity (cell count + per-cell scenario
+//                      fingerprints), written atomically
+//   cell-NNNNNN.gsck   one snapshot per completed cell, written atomically
+//                      (temp + rename) and keyed by scenario fingerprint
+//
+// Every writer uses the same byte encoding, so cells produced by any mix
+// of threads, processes, and resumed runs are interchangeable and a merge
+// is bit-identical to a single uninterrupted run_sweep.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/burst_runner.hpp"
+
+namespace gs::sim::sweep_ckpt {
+
+/// "cell-NNNNNN.gsck" (zero-padded to 6 digits).
+[[nodiscard]] std::string cell_file_name(std::size_t i);
+
+/// Write the campaign manifest (atomic).
+void write_manifest(const std::string& dir,
+                    const std::vector<Scenario>& scenarios);
+
+/// Validate an existing manifest against this campaign; throws
+/// ckpt::SnapshotError on cell-count or scenario mismatch.
+void check_manifest(const std::string& dir,
+                    const std::vector<Scenario>& scenarios);
+
+/// Create the directory if missing, then check the manifest when resuming
+/// into an existing one or (re)write it otherwise. Concurrent callers are
+/// safe: the manifest write is atomic and campaign-deterministic, so
+/// racing writers produce identical bytes.
+void ensure_manifest(const std::string& dir,
+                     const std::vector<Scenario>& scenarios, bool resume);
+
+/// Persist cell i (atomic, keyed by scenario_fingerprint(sc)).
+void write_cell(const std::string& dir, std::size_t i, const Scenario& sc,
+                const BurstResult& result);
+
+/// True when cell i exists on disk (cheap liveness probe; integrity is
+/// checked by load_cell).
+[[nodiscard]] bool cell_exists(const std::string& dir, std::size_t i);
+
+/// Load cell i into *out; returns false when the snapshot is missing,
+/// was produced by a different scenario, or is corrupt (callers recompute).
+[[nodiscard]] bool load_cell(const std::string& dir, std::size_t i,
+                             const Scenario& sc, BurstResult* out);
+
+}  // namespace gs::sim::sweep_ckpt

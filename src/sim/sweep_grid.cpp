@@ -1,0 +1,78 @@
+#include "sim/sweep_grid.hpp"
+
+#include "common/assert.hpp"
+#include "faults/correlation.hpp"
+#include "faults/fault_spec.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+Scenario perf_cell(workload::AppDescriptor app, core::StrategyKind k,
+                   trace::Availability a, double minutes) {
+  Scenario sc;
+  sc.app = std::move(app);
+  sc.green = re_sbatt();
+  sc.strategy = k;
+  sc.availability = a;
+  sc.burst_duration = Seconds(minutes * 60.0);
+  sc.burst_intensity = 12;
+  return sc;
+}
+
+}  // namespace
+
+std::vector<Scenario> perf_grid(bool smoke) {
+  std::vector<workload::AppDescriptor> apps = {workload::specjbb()};
+  std::vector<trace::Availability> avails = {trace::Availability::Min,
+                                             trace::Availability::Med};
+  std::vector<double> durations = {10.0};
+  std::vector<std::uint64_t> seeds = {1ull};
+  if (!smoke) {
+    apps = {workload::specjbb(), workload::websearch(), workload::memcached()};
+    avails.push_back(trace::Availability::Max);
+    durations.push_back(30.0);
+    seeds.push_back(2ull);
+  }
+  std::vector<Scenario> cells;
+  for (const auto& app : apps) {
+    for (auto a : avails) {
+      for (auto k : core::sprinting_strategies()) {
+        for (double minutes : durations) {
+          for (std::uint64_t seed : seeds) {
+            auto sc = perf_cell(app, k, a, minutes);
+            sc.seed = seed;
+            cells.push_back(sc);
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void add_storms(std::vector<Scenario>& cells) {
+  const auto corr =
+      faults::CorrelationSpec::parse("storm=0.8,cascade=0.5,regime_on=0.15");
+  std::uint64_t i = 0;
+  for (auto& sc : cells) {
+    sc.faults = faults::FaultSpec::uniform(0.3, sc.seed + 31ull * i++);
+    sc.fault_correlation = corr;
+    sc.health_aware = true;
+  }
+}
+
+std::vector<Scenario> replicate_grid(const std::vector<Scenario>& base,
+                                     std::size_t n) {
+  GS_REQUIRE(!base.empty(), "replicate_grid needs a non-empty base grid");
+  std::vector<Scenario> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto sc = base[i % base.size()];
+    sc.seed += std::uint64_t(i / base.size()) * 1000ull;
+    out.push_back(sc);
+  }
+  return out;
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,210 @@
+#include "sim/sweep_mp.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fcntl.h>
+#include <filesystem>
+#include <string>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "sim/sweep_ckpt.hpp"
+
+namespace gs::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string lease_file_name(std::size_t i) {
+  std::string idx = std::to_string(i);
+  while (idx.size() < 6) idx.insert(idx.begin(), '0');
+  return "cell-" + idx + ".lease";
+}
+
+fs::path lease_path(const std::string& dir, std::size_t i) {
+  return fs::path(dir) / lease_file_name(i);
+}
+
+/// Atomic test-and-set: O_CREAT|O_EXCL succeeds for exactly one claimant.
+/// The lease body is the owner's pid (ASCII) for liveness probes.
+bool try_claim_lease(const fs::path& lease) {
+  const int fd = ::open(lease.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  const std::string body = std::to_string(::getpid()) + "\n";
+  // Best-effort: an unreadable body just makes the lease look stale
+  // sooner (pid 0 is never alive for us).
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+  return true;
+}
+
+/// Owner pid recorded in the lease, or 0 when unreadable.
+long lease_owner_pid(const fs::path& lease) {
+  std::FILE* f = std::fopen(lease.c_str(), "r");
+  if (f == nullptr) return 0;
+  long pid = 0;
+  if (std::fscanf(f, "%ld", &pid) != 1) pid = 0;
+  std::fclose(f);
+  return pid;
+}
+
+/// A lease is stale when its recorded owner is provably dead, or when it
+/// has sat untouched longer than stale_after_s (the cross-host fallback —
+/// pid probes only see this machine).
+bool lease_is_stale(const fs::path& lease, double stale_after_s) {
+  const long pid = lease_owner_pid(lease);
+  if (pid > 0) {
+    if (::kill(pid_t(pid), 0) == 0) {
+      // Owner alive: stale only by age.
+    } else if (errno == ESRCH) {
+      return true;  // owner is gone
+    }
+  } else if (pid == 0) {
+    return true;  // unreadable or half-written body
+  }
+  struct stat st {};
+  if (::stat(lease.c_str(), &st) != 0) return false;  // raced away
+  // Lease aging is wall-clock by nature: it measures how long a real OS
+  // process has been silent, not simulated time.
+  const std::time_t now = std::time(nullptr);  // gs-lint: allow(wall-clock)
+  const double age_s = std::difftime(now, st.st_mtime);
+  return age_s > stale_after_s;
+}
+
+/// Take over a stale lease: atomically rename it aside to a name unique
+/// to this (pid, sequence), so exactly one of several concurrent
+/// claimants wins the rename (the losers get ENOENT). The winner unlinks
+/// the aside file and is then free to re-claim through try_claim_lease —
+/// which it still races for fairly.
+bool steal_stale_lease(const fs::path& lease, std::uint64_t seq) {
+  const fs::path aside = lease.string() + ".stale." +
+                         std::to_string(::getpid()) + "." +
+                         std::to_string(seq);
+  if (::rename(lease.c_str(), aside.c_str()) != 0) return false;
+  ::unlink(aside.c_str());
+  return true;
+}
+
+}  // namespace
+
+SweepWorkerStats run_sweep_worker(const std::vector<Scenario>& scenarios,
+                                  const SweepWorkerOptions& opts) {
+  GS_REQUIRE(!opts.dir.empty(), "sweep worker needs a directory");
+  GS_REQUIRE(opts.stale_after_s > 0.0, "stale lease age must be positive");
+  sweep_ckpt::ensure_manifest(opts.dir, scenarios, /*resume=*/true);
+
+  SweepWorkerStats stats;
+  stats.cells_total = scenarios.size();
+  std::vector<char> done(scenarios.size(), 0);
+  std::uint64_t steal_seq = 0;
+  for (;;) {
+    std::size_t remaining = 0;
+    bool progressed = false;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (done[i]) continue;
+      if (sweep_ckpt::cell_exists(opts.dir, i)) {
+        // Finished by us on an earlier pass or by another worker; any
+        // orphan lease beside it is irrelevant — the cell file wins.
+        done[i] = 1;
+        continue;
+      }
+      const fs::path lease = lease_path(opts.dir, i);
+      bool claimed = try_claim_lease(lease);
+      if (!claimed && lease_is_stale(lease, opts.stale_after_s)) {
+        if (steal_stale_lease(lease, steal_seq++)) {
+          ++stats.leases_taken_over;
+        }
+        claimed = try_claim_lease(lease);
+      }
+      if (!claimed) {
+        // A live worker owns this cell; revisit on the next pass.
+        ++remaining;
+        continue;
+      }
+      const BurstResult result = run_burst(scenarios[i]);
+      sweep_ckpt::write_cell(opts.dir, i, scenarios[i], result);
+      ::unlink(lease.c_str());
+      done[i] = 1;
+      ++stats.cells_run;
+      progressed = true;
+    }
+    if (remaining == 0) return stats;
+    if (!progressed) {
+      // Every remaining cell is leased by a live worker: wait for its
+      // snapshot to appear (or its lease to go stale) and rescan.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+std::vector<BurstResult> run_sweep_multiprocess(
+    const std::vector<Scenario>& scenarios, const SweepMpOptions& opts,
+    SweepCheckpointStats* stats) {
+  GS_REQUIRE(!opts.dir.empty(), "multi-process sweep needs a directory");
+  GS_REQUIRE(opts.workers >= 1, "need at least one worker");
+  sweep_ckpt::ensure_manifest(opts.dir, scenarios, opts.resume);
+
+  // Cells already on disk before any worker starts are the true resumed
+  // set; everything the workers (or the merge) produce afterwards was
+  // computed by *this* invocation — the distinction the perf gate needs.
+  std::size_t preexisting = 0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (sweep_ckpt::cell_exists(opts.dir, i)) ++preexisting;
+  }
+
+  SweepWorkerOptions worker_opts;
+  worker_opts.dir = opts.dir;
+  worker_opts.stale_after_s = opts.stale_after_s;
+
+  std::vector<pid_t> children;
+  children.reserve(std::size_t(opts.workers));
+  for (int w = 0; w < opts.workers; ++w) {
+    const pid_t pid = ::fork();
+    GS_ENSURE(pid >= 0, "fork failed for sweep worker");
+    if (pid == 0) {
+      // Worker child: compute cells, then exit without running parent
+      // teardown (_exit skips atexit handlers and C++ destructors).
+      int rc = 0;
+      try {
+        (void)run_sweep_worker(scenarios, worker_opts);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sweep worker %d: %s\n", int(::getpid()),
+                     e.what());
+        rc = 1;
+      } catch (...) {
+        rc = 1;
+      }
+      ::_exit(rc);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    // Crashed or killed workers are fine: survivors reclaim their stale
+    // leases, and whatever is still missing the merge recomputes inline.
+    (void)::waitpid(pid, &status, 0);
+  }
+
+  SweepCheckpointOptions merge;
+  merge.dir = opts.dir;
+  merge.resume = true;  // load every worker-produced cell, compute the rest
+  merge.every = 1;
+  auto results = run_sweep_checkpointed(scenarios, merge, /*threads=*/1,
+                                        stats);
+  if (stats != nullptr) {
+    stats->cells_resumed = preexisting;
+    stats->cells_run = scenarios.size() - preexisting;
+  }
+  return results;
+}
+
+}  // namespace gs::sim

@@ -1,9 +1,10 @@
+// gs:hot-path — per-request epoch loop; no heap allocation inside.
 #include "workload/des.hpp"
 
 #include <algorithm>
 #include <functional>
-#include <vector>
 
+#include "common/arena.hpp"
 #include "common/assert.hpp"
 #include "common/stats.hpp"
 
@@ -13,17 +14,26 @@ namespace {
 
 // Per-thread scratch reused across epochs: the sweep runner calls the DES
 // once per epoch per cell, and the backing stores (core heap, latency
-// reservoir) would otherwise be reallocated each call. thread_local keeps
-// the reuse safe under the sweep pool without sharing state across cells
-// (the contents are fully reset at the top of every call).
-std::vector<double>& core_heap_scratch() {
-  thread_local std::vector<double> heap;
-  return heap;
-}
+// samples) would otherwise be reallocated each call. Both live in a bump
+// arena; begin_epoch() rewinds the arena and rebinds the views, so once
+// the arena reaches its high-water mark the per-request loop performs
+// zero heap allocation. thread_local keeps the reuse safe under the sweep
+// pool without sharing state across cells.
+struct DesScratch {
+  Arena arena{std::size_t(1) << 12};
+  ArenaVector<double> free_at{arena};    ///< Min-heap of core free times.
+  ArenaVector<double> latencies{arena};  ///< Exact-tail latency samples.
 
-QuantileReservoir& latency_scratch() {
-  thread_local QuantileReservoir reservoir;
-  return reservoir;
+  void begin_epoch() {
+    arena.reset();
+    free_at.rebind(arena);
+    latencies.rebind(arena);
+  }
+};
+
+DesScratch& des_scratch() {
+  thread_local DesScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -46,14 +56,16 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
   // core. A min-heap of core free times implements this exactly for FCFS;
   // the heap lives in reused scratch storage with std::push_heap /
   // std::pop_heap in place of a per-call std::priority_queue.
-  auto& free_at = core_heap_scratch();
-  free_at.clear();
+  auto& scratch = des_scratch();
+  scratch.begin_epoch();
+  auto& free_at = scratch.free_at;
+  // Arena-backed: bump-allocates only until the high-water mark.
+  // gs-lint: allow(hot-path-alloc)
   free_at.assign(std::size_t(setting.cores), 0.0);
   const auto heap_cmp = std::greater<>{};
 
   const bool exact_tail = options.tail_estimator == TailEstimator::Exact;
-  auto& latencies = latency_scratch();
-  latencies.clear();
+  auto& latencies = scratch.latencies;
   P2Quantile p2(app.qos.percentile);
   std::uint64_t n_latencies = 0;
 
@@ -82,7 +94,8 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
       busy_core_time += service;
       const double latency = done - t;
       if (exact_tail) {
-        latencies.add(latency);
+        // Arena-backed sample store. gs-lint: allow(hot-path-alloc)
+        latencies.push_back(latency);
       } else {
         p2.add(latency);
       }
@@ -93,8 +106,15 @@ DesResult simulate_epoch_process(Rng& rng, const AppDescriptor& app,
   }
 
   if (n_latencies > 0) {
-    res.tail_latency = Seconds(exact_tail ? latencies.quantile(app.qos.percentile)
-                                          : p2.value());
+    double tail;
+    if (exact_tail) {
+      std::sort(latencies.begin(), latencies.end());
+      tail = quantile_sorted(latencies.data(), latencies.size(),
+                             app.qos.percentile);
+    } else {
+      tail = p2.value();
+    }
+    res.tail_latency = Seconds(tail);
   }
   res.goodput_rate = double(res.sla_met) / horizon;
   // Clamp like ServerDes does: service straddling the epoch boundary can

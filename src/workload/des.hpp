@@ -33,7 +33,9 @@ enum class TailEstimator {
   /// Constant-space P-square estimate (common/stats.hpp). Use for
   /// long-horizon / million-request runs where storing-and-sorting every
   /// sample would dominate; the estimate converges to the exact quantile
-  /// but individual epochs can differ in the last few percent.
+  /// but individual epochs can differ in the last few percent. Below the
+  /// estimator's 5-sample marker warmup it falls back to the exact
+  /// interpolated quantile over the buffered samples.
   P2,
 };
 

@@ -1,10 +1,59 @@
 #include "workload/queueing.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "common/assert.hpp"
+#include "common/keyed_cache.hpp"
 
 namespace gs::workload {
+
+namespace {
+
+// Memo for the 80-iteration bisections below. latency_quantile and
+// sla_capacity are pure functions of their (exact-bit) arguments, and the
+// epoch loop re-evaluates them at a small set of (setting, lambda) points
+// thousands of times per sweep cell — the plateau burst shape repeats the
+// same arrival rate epoch after epoch. Keys compare by exact bit pattern,
+// so a hit returns the identical double a fresh bisection would produce:
+// memoization is invisible to fingerprints. thread_local keeps the maps
+// unsynchronized; any thread computes the same value for the same key.
+struct QueueKey {
+  int k;
+  double a;
+  double b;
+  double c;
+  bool operator==(const QueueKey&) const = default;
+};
+
+struct QueueKeyHash {
+  std::size_t operator()(const QueueKey& key) const {
+    std::uint64_t h = hash_combine(0x71e5e11aull, std::uint64_t(key.k));
+    h = hash_combine(h, key.a);
+    h = hash_combine(h, key.b);
+    h = hash_combine(h, key.c);
+    return std::size_t(h);
+  }
+};
+
+using QueueMemo = std::unordered_map<QueueKey, double, QueueKeyHash>;
+
+/// Memo lookup with a size backstop: a long-running daemon sweeping ever-
+/// fresh arrival rates must not grow the map without bound, so the cache
+/// is dropped wholesale at the cap and rebuilt (steady-state sweeps stay
+/// far below it).
+template <typename Fn>
+double memoized(QueueMemo& memo, const QueueKey& key, Fn&& compute) {
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  const double v = compute();
+  constexpr std::size_t kMaxEntries = std::size_t(1) << 16;
+  if (memo.size() >= kMaxEntries) memo.clear();
+  memo.emplace(key, v);
+  return v;
+}
+
+}  // namespace
 
 double erlang_c(int k, double a) {
   GS_REQUIRE(k >= 1, "need at least one server");
@@ -46,9 +95,9 @@ double response_tail(int k, double mu, double lambda, double t) {
   return tail < 0.0 ? 0.0 : (tail > 1.0 ? 1.0 : tail);
 }
 
-Seconds latency_quantile(int k, double mu, double lambda, double q) {
-  GS_REQUIRE(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
-  GS_REQUIRE(lambda < double(k) * mu, "latency_quantile requires stability");
+namespace {
+
+double latency_quantile_bisect(int k, double mu, double lambda, double q) {
   const double target = 1.0 - q;
   // Bracket: the quantile is at least the service-time quantile and the
   // tail decays at rate min(mu, theta).
@@ -67,7 +116,18 @@ Seconds latency_quantile(int k, double mu, double lambda, double q) {
       hi = mid;
     }
   }
-  return Seconds(0.5 * (lo + hi));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Seconds latency_quantile(int k, double mu, double lambda, double q) {
+  GS_REQUIRE(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+  GS_REQUIRE(lambda < double(k) * mu, "latency_quantile requires stability");
+  thread_local QueueMemo memo;
+  return Seconds(memoized(memo, QueueKey{k, mu, lambda, q}, [&] {
+    return latency_quantile_bisect(k, mu, lambda, q);
+  }));
 }
 
 Seconds mean_wait(int k, double mu, double lambda) {
@@ -89,22 +149,25 @@ double mean_in_system(int k, double mu, double lambda) {
 
 double sla_capacity(int k, double mu, double q, Seconds limit) {
   GS_REQUIRE(limit.value() > 0.0, "SLA limit must be positive");
-  // Even an empty system has latency = service time; if its q-quantile
-  // exceeds the limit no load can be served within SLA.
-  const double idle_quantile = -std::log(1.0 - q) / mu;
-  if (idle_quantile > limit.value()) return 0.0;
-  double lo = 0.0;
-  double hi = double(k) * mu * (1.0 - 1e-9);
-  for (int i = 0; i < 80; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    const double tail = response_tail(k, mu, mid, limit.value());
-    if (tail <= 1.0 - q) {
-      lo = mid;
-    } else {
-      hi = mid;
+  thread_local QueueMemo memo;
+  return memoized(memo, QueueKey{k, mu, q, limit.value()}, [&] {
+    // Even an empty system has latency = service time; if its q-quantile
+    // exceeds the limit no load can be served within SLA.
+    const double idle_quantile = -std::log(1.0 - q) / mu;
+    if (idle_quantile > limit.value()) return 0.0;
+    double lo = 0.0;
+    double hi = double(k) * mu * (1.0 - 1e-9);
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double tail = response_tail(k, mu, mid, limit.value());
+      if (tail <= 1.0 - q) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
     }
-  }
-  return lo;
+    return lo;
+  });
 }
 
 }  // namespace gs::workload

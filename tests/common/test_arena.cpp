@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/arena.hpp"
+
+namespace gs {
+namespace {
+
+TEST(Arena, AllocatesAlignedStorage) {
+  Arena arena(64);
+  auto* d = arena.allocate<double>(3);
+  auto* c = arena.allocate<char>(5);
+  auto* u = arena.allocate<std::uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u) % alignof(std::uint64_t), 0u);
+  // Distinct live allocations never overlap.
+  d[0] = 1.0;
+  d[2] = 2.0;
+  c[0] = 'x';
+  u[1] = 42;
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_EQ(c[0], 'x');
+  EXPECT_EQ(u[1], 42u);
+}
+
+TEST(Arena, ZeroSizeAllocationIsNull) {
+  Arena arena;
+  EXPECT_EQ(arena.allocate<double>(0), nullptr);
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+}
+
+TEST(Arena, GrowsAcrossBlocksAndRequestsLargerThanBlock) {
+  Arena arena(32);
+  // Far larger than the first block: must still succeed in one span.
+  auto* big = arena.allocate<double>(1000);
+  std::iota(big, big + 1000, 0.0);
+  EXPECT_DOUBLE_EQ(big[999], 999.0);
+  EXPECT_GE(arena.capacity_bytes(), 1000 * sizeof(double));
+}
+
+TEST(Arena, ResetReusesBlocksWithoutGrowing) {
+  Arena arena(64);
+  for (int round = 0; round < 3; ++round) {
+    arena.reset();
+    for (int i = 0; i < 50; ++i) (void)arena.allocate<double>(7);
+  }
+  const std::size_t blocks = arena.num_blocks();
+  const std::size_t bytes = arena.capacity_bytes();
+  // Steady state: identical allocation patterns after reset() never add
+  // blocks — the zero-heap-allocation property the DES hot path relies on.
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    for (int i = 0; i < 50; ++i) (void)arena.allocate<double>(7);
+    EXPECT_EQ(arena.num_blocks(), blocks);
+    EXPECT_EQ(arena.capacity_bytes(), bytes);
+  }
+}
+
+TEST(ArenaVector, PushBackAndIterationMatchStdVector) {
+  Arena arena;
+  ArenaVector<double> v(arena);
+  std::vector<double> ref;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = double(i) * 0.5;
+    v.push_back(x);
+    ref.push_back(x);
+  }
+  ASSERT_EQ(v.size(), ref.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), ref.begin()));
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 999.0 * 0.5);
+}
+
+TEST(ArenaVector, AssignSetsSizeAndValues) {
+  Arena arena;
+  ArenaVector<double> v(arena);
+  v.push_back(9.0);
+  v.assign(4, 0.0);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+  v.assign(2, 1.5);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+}
+
+TEST(ArenaVector, GrowthPreservesContents) {
+  Arena arena(32);
+  ArenaVector<std::uint32_t> v(arena);
+  for (std::uint32_t i = 0; i < 10000; ++i) v.push_back(i);
+  for (std::uint32_t i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(ArenaVector, SortableWithStdAlgorithms) {
+  Arena arena;
+  ArenaVector<double> v(arena);
+  for (int i = 100; i >= 1; --i) v.push_back(double(i));
+  std::sort(v.begin(), v.end());
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 100.0);
+  std::make_heap(v.begin(), v.end(), std::greater<>{});
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+}
+
+TEST(ArenaVector, RebindAfterResetReachesSteadyState) {
+  Arena arena(64);
+  ArenaVector<double> heap(arena);
+  ArenaVector<double> samples(arena);
+  const auto epoch = [&] {
+    arena.reset();
+    heap.rebind(arena);
+    samples.rebind(arena);
+    heap.assign(16, 0.0);
+    for (int i = 0; i < 500; ++i) samples.push_back(double(i));
+  };
+  for (int e = 0; e < 3; ++e) epoch();
+  const std::size_t bytes = arena.capacity_bytes();
+  for (int e = 0; e < 10; ++e) {
+    epoch();
+    EXPECT_EQ(arena.capacity_bytes(), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace gs

@@ -95,6 +95,86 @@ struct HybridFixture : ::testing::Test {
   }
 };
 
+// The historical bootstrap nesting (sweep-outermost over every state with
+// a full row rescan per update), written against the public QTable API.
+// The production kernel reorders independent row updates and carries the
+// row max incrementally; these tests pin exact equality.
+void reference_seed_sweeps(QTable& q, const ProfileTable& table,
+                           const workload::AppDescriptor& app, double idle_w,
+                           std::size_t buckets, const QLearningConfig& cfg) {
+  const auto levels = std::size_t(table.num_levels());
+  const auto actions = table.lattice().size();
+  const double span = app.sprint_peak_power.value() - idle_w;
+  for (int sweep = 0; sweep < cfg.seed_sweeps; ++sweep) {
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const Watts supply =
+          Watts(idle_w) + Watts(span * ((double(b) + 0.5) * cfg.supply_step));
+      for (std::size_t l = 0; l < levels; ++l) {
+        for (std::size_t h = 0; h < HybridStrategy::kNumHealthStates; ++h) {
+          const std::size_t state =
+              (b * levels + l) * HybridStrategy::kNumHealthStates + h;
+          for (std::size_t a = 0; a < actions; ++a) {
+            const double reward = algorithm1_reward(
+                supply, table.power(int(l), a), app.qos.limit,
+                table.latency(int(l), a), cfg.max_violation,
+                cfg.max_qos_reward);
+            q.update(state, a, reward, state, cfg);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(HybridFixture, SeedKernelBitIdenticalToHistoricalSweeps) {
+  HybridStrategy::clear_seed_cache();
+  hybrid.seed_from_profile();
+  const QLearningConfig cfg;  // the fixture strategy runs the defaults
+  QTable ref(hybrid.table().num_states(), hybrid.table().num_actions());
+  reference_seed_sweeps(ref, table, app, power.idle_power().value(),
+                        hybrid.num_supply_buckets(), cfg);
+  for (std::size_t s = 0; s < ref.num_states(); ++s) {
+    for (std::size_t a = 0; a < ref.num_actions(); ++a) {
+      ASSERT_EQ(hybrid.table().value(s, a), ref.value(s, a))
+          << "state=" << s << " action=" << a;
+    }
+  }
+}
+
+TEST_F(HybridFixture, InPlaceReseedBitIdenticalToHistoricalSweeps) {
+  // Seeding on top of learned values takes the in-place path (no fresh-
+  // table health-slice replication); it must still match the historical
+  // nesting exactly.
+  HybridStrategy::clear_seed_cache();
+  hybrid.seed_from_profile();
+  auto c = ctx(180.0);
+  EpochFeedback fb;
+  fb.context = c;
+  fb.action = hybrid.decide(c);
+  fb.power_demand = Watts(150.0);
+  fb.actual_supply = Watts(170.0);
+  fb.achieved_latency = Seconds(0.4);
+  fb.next_context = ctx(175.0, 10);
+  hybrid.feedback(fb);  // the table is now non-uniform across health slices
+
+  QTable ref(hybrid.table().num_states(), hybrid.table().num_actions());
+  for (std::size_t s = 0; s < ref.num_states(); ++s) {
+    for (std::size_t a = 0; a < ref.num_actions(); ++a) {
+      ref.set(s, a, hybrid.table().value(s, a));
+    }
+  }
+  hybrid.seed_from_profile();  // in-place reseed
+  const QLearningConfig cfg;
+  reference_seed_sweeps(ref, table, app, power.idle_power().value(),
+                        hybrid.num_supply_buckets(), cfg);
+  for (std::size_t s = 0; s < ref.num_states(); ++s) {
+    for (std::size_t a = 0; a < ref.num_actions(); ++a) {
+      ASSERT_EQ(hybrid.table().value(s, a), ref.value(s, a))
+          << "state=" << s << " action=" << a;
+    }
+  }
+}
+
 TEST_F(HybridFixture, SeededHybridSprintsWithAmpleSupply) {
   hybrid.seed_from_profile();
   const auto s = hybrid.decide(ctx(211.0));

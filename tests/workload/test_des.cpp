@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 
+#include "common/stats.hpp"
 #include "workload/des.hpp"
 #include "workload/perf_model.hpp"
 #include "workload/queueing.hpp"
@@ -77,6 +78,34 @@ TEST(Des, P2TailEstimatorTracksExact) {
   EXPECT_EQ(exact.completed, approx.completed);
   EXPECT_NEAR(approx.tail_latency.value(), exact.tail_latency.value(),
               0.10 * exact.tail_latency.value());
+}
+
+TEST(Des, P2TailFallsBackToExactBelowWarmup) {
+  // Regression for the <5-sample P2 defect: a sparsely loaded epoch whose
+  // completion count never reaches the marker warmup must report exactly
+  // the same tail as the exact estimator, not a nearest-rank pick.
+  const auto app = specjbb();
+  const auto s = server::max_sprint();
+  DesOptions p2_opts;
+  p2_opts.tail_estimator = TailEstimator::P2;
+  bool covered = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng r1 = Rng::stream(seed, {7});
+    Rng r2 = Rng::stream(seed, {7});
+    const auto exact = simulate_epoch(r1, app, s, 0.05, Seconds(60.0));
+    const auto approx = simulate_epoch(r2, app, s, 0.05, Seconds(60.0),
+                                       p2_opts);
+    ASSERT_EQ(exact.completed, approx.completed);
+    if (exact.completed == 0) continue;
+    if (exact.completed < P2Quantile::kWarmupSamples) covered = true;
+    if (exact.completed < P2Quantile::kWarmupSamples) {
+      EXPECT_DOUBLE_EQ(approx.tail_latency.value(),
+                       exact.tail_latency.value())
+          << "seed=" << seed << " completed=" << exact.completed;
+    }
+  }
+  // The sparse load must actually exercise the sub-warmup crossover.
+  EXPECT_TRUE(covered);
 }
 
 TEST(Des, TailLatencyMatchesAnalyticModel) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "workload/queueing.hpp"
@@ -160,6 +161,37 @@ TEST(MeanValues, WaitGrowsWithLoad) {
     EXPECT_GT(w, prev);
     prev = w;
   }
+}
+
+TEST(QueueingMemo, RepeatCallsAreBitIdentical) {
+  // The bisections are memoized on the exact bit pattern of the arguments;
+  // hits must return the identical double the first call computed, and
+  // adjacent bit patterns must be distinct keys (no quantization).
+  const double a = latency_quantile(8, 10.0, 60.0, 0.95).value();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(latency_quantile(8, 10.0, 60.0, 0.95).value(), a);
+  }
+  const double lam_next = std::nextafter(60.0, 61.0);
+  const double b = latency_quantile(8, 10.0, lam_next, 0.95).value();
+  EXPECT_EQ(latency_quantile(8, 10.0, lam_next, 0.95).value(), b);
+  EXPECT_EQ(latency_quantile(8, 10.0, 60.0, 0.95).value(), a);
+
+  const double cap = sla_capacity(8, 10.0, 0.95, Seconds(0.5));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sla_capacity(8, 10.0, 0.95, Seconds(0.5)), cap);
+  }
+}
+
+TEST(QueueingMemo, ThreadsComputeIdenticalValues) {
+  // The memo is thread_local; every thread's independent computation of a
+  // pure function must agree bit-for-bit (what keeps sweep fingerprints
+  // independent of the thread count).
+  const double main_v = latency_quantile(12, 25.0, 250.0, 0.99).value();
+  double worker_v = 0.0;
+  std::thread worker(
+      [&] { worker_v = latency_quantile(12, 25.0, 250.0, 0.99).value(); });
+  worker.join();
+  EXPECT_EQ(worker_v, main_v);
 }
 
 TEST(MeanValues, UnstableThrows) {

@@ -38,6 +38,13 @@ Enforces the invariants clang-tidy cannot express for this codebase:
                     format-version constant (kChunkFormatVersion /
                     kWalFormatVersion) it is coupled to, so layout changes
                     cannot land without a version bump in view.
+  hot-path-alloc    a file carrying a `// gs:hot-path` banner promises an
+                    allocation-free steady state; heap allocation (new,
+                    make_unique/make_shared, container growth via push_back /
+                    emplace_back / resize / reserve / assign / insert) is
+                    flagged so it cannot creep in unnoticed. One-time setup
+                    (constructors, arena warm-up) carries an explicit
+                    allow() comment saying why it is off the epoch path.
 
 Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
 with a comment explaining why. Usage:
@@ -126,6 +133,15 @@ RULES = [
 ]
 
 MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+_)\s*;")
+
+HOT_PATH_BANNER_RE = re.compile(r"//\s*gs:hot-path\b")
+
+HOT_PATH_ALLOC_RE = re.compile(
+    r"(?<![\w_])new\b(?!\s*\()"  # `new T`, not the rare `operator new(...)`
+    r"|std::make_(?:unique|shared)\b"
+    r"|\.(?:push_back|emplace_back|resize|reserve|assign|insert|"
+    r"emplace)\s*\("
+)
 
 CKPT_DECL_RE = re.compile(r"\b(?:save_state|load_state)\s*\(")
 
@@ -257,6 +273,29 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 "snapshot sections must be versioned (ckpt/state_io.hpp)"
             )
 
+    # hot-path-alloc: a `// gs:hot-path` banner is a contract — the file's
+    # steady state allocates nothing. Flag every heap-allocation idiom so a
+    # stray std::vector growth or make_unique cannot land silently; the
+    # deliberate ones (ctor-time sizing, arena warm-up) each carry an
+    # allow() comment explaining why they are off the epoch path.
+    if HOT_PATH_BANNER_RE.search(raw):
+        for lineno, line in enumerate(code_lines, 1):
+            if not HOT_PATH_ALLOC_RE.search(line):
+                continue
+            # The 80-column limit often leaves no room for a trailing
+            # allow(); one on the line directly above works too.
+            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if "hot-path-alloc" in (
+                allowed_rules(raw_lines[lineno - 1]) | allowed_rules(prev)
+            ):
+                continue
+            findings.append(
+                f"{rel}:{lineno}: [hot-path-alloc] heap allocation in a "
+                "gs:hot-path file; keep the epoch loop allocation-free "
+                "(use the arena / pre-sized arrays) or justify with an "
+                "allow() comment"
+            )
+
     # tsdb-chunk-version: telemetry-engine files that touch the on-disk
     # formats (chunk pages, WAL segments) must keep the owning format-
     # version constant in view, so a layout change cannot land without the
@@ -303,6 +342,11 @@ def main(argv: list[str]) -> int:
             "tsdb-chunk-version: src/tsdb files touching the on-disk "
             "page/WAL formats must reference the owning format-version "
             "constant"
+        )
+        print(
+            "hot-path-alloc: files with a `// gs:hot-path` banner must not "
+            "heap-allocate (new/make_unique/container growth) without an "
+            "allow() justification"
         )
         return 0
 

@@ -1,0 +1,64 @@
+// Standalone cooperative sweep worker (sim/sweep_mp.hpp): builds the same
+// fixed perf-sweep grid as bench/perf_sweep (sim/sweep_grid.hpp) and works
+// through a shared checkpoint directory, claiming cells via atomic leases.
+//
+// The CI resume-integrity lane launches two of these against one
+// directory, SIGKILLs one mid-cell, and then merges with
+// `perf_sweep --checkpoint-dir DIR --resume`; the merged fingerprint must
+// equal the uninterrupted single-process reference bit-for-bit.
+//
+// Usage: sweep_worker --dir DIR [--smoke] [--storm] [--cells N]
+//                     [--stale-after SECONDS]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/sweep_grid.hpp"
+#include "sim/sweep_mp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  sim::SweepWorkerOptions opts;
+  bool smoke = false;
+  bool storm = false;
+  std::size_t n_cells = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      opts.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--storm") == 0) {
+      storm = true;
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      n_cells = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stale-after") == 0 && i + 1 < argc) {
+      opts.stale_after_s = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --dir DIR [--smoke] [--storm] [--cells N] "
+                   "[--stale-after SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opts.dir.empty()) {
+    std::fprintf(stderr, "sweep_worker: --dir is required\n");
+    return 2;
+  }
+
+  auto grid = sim::perf_grid(smoke);
+  if (n_cells > 0) grid = sim::replicate_grid(grid, n_cells);
+  if (storm) sim::add_storms(grid);
+
+  try {
+    const auto stats = sim::run_sweep_worker(grid, opts);
+    std::printf(
+        "sweep_worker: cells=%zu run=%zu stale_leases_taken=%zu dir=%s\n",
+        stats.cells_total, stats.cells_run, stats.leases_taken_over,
+        opts.dir.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
