@@ -40,19 +40,22 @@ inline constexpr int kNumFaultClasses = 11;
 [[nodiscard]] const std::array<FaultClass, kNumFaultClasses>&
 all_fault_classes();
 
-/// Per-class fault intensities in [0,1] plus the schedule seed.
+/// Per-class fault intensities in [0,1] plus the schedule seed. Every
+/// intensity reaches scenario_fingerprint through the all_fault_classes()
+/// intensity() loop, hence the per-field fingerprint-via markers.
 struct FaultSpec {
-  double brownout = 0.0;
-  double panel = 0.0;
-  double cloud = 0.0;
-  double fade = 0.0;
-  double charge = 0.0;
-  double pss_stuck = 0.0;
-  double pss_latency = 0.0;
-  double crash = 0.0;
-  double straggler = 0.0;
-  double sensor_noise = 0.0;
-  double sensor_dropout = 0.0;
+  double brownout = 0.0;     // gs-analyze: fingerprint-via(intensity loop)
+  double panel = 0.0;        // gs-analyze: fingerprint-via(intensity loop)
+  double cloud = 0.0;        // gs-analyze: fingerprint-via(intensity loop)
+  double fade = 0.0;         // gs-analyze: fingerprint-via(intensity loop)
+  double charge = 0.0;       // gs-analyze: fingerprint-via(intensity loop)
+  double pss_stuck = 0.0;    // gs-analyze: fingerprint-via(intensity loop)
+  double pss_latency = 0.0;  // gs-analyze: fingerprint-via(intensity loop)
+  double crash = 0.0;        // gs-analyze: fingerprint-via(intensity loop)
+  double straggler = 0.0;    // gs-analyze: fingerprint-via(intensity loop)
+  double sensor_noise = 0.0;  // gs-analyze: fingerprint-via(intensity loop)
+  double sensor_dropout = 0.0;  // gs-analyze: fingerprint-via(intensity
+                                // loop)
   std::uint64_t seed = 0;
 
   /// Any class enabled? An all-zero spec keeps every runner on the

@@ -40,7 +40,9 @@ struct AppDescriptor {
   /// Measured power anchors used to calibrate the power model.
   Watts normal_full_power{100.0};
   Watts sprint_peak_power{155.0};
-  server::ActivityProfile activity;  ///< Derived from the anchors.
+  /// Derived from the two anchors above; carries no information of its
+  /// own. gs-analyze: fingerprint-exempt(recomputed from mixed anchors)
+  server::ActivityProfile activity;
 
   /// Per-core service speedup at frequency f relative to the reference.
   [[nodiscard]] double speedup(Gigahertz f) const;

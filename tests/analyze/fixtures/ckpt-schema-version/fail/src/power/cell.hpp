@@ -1,0 +1,8 @@
+#pragma once
+namespace gs::power {
+class Cell {
+ public:
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+};
+}  // namespace gs::power

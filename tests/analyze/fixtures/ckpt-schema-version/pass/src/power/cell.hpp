@@ -1,0 +1,9 @@
+#pragma once
+namespace gs::power {
+class Cell {
+ public:
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+};
+}  // namespace gs::power

@@ -1,0 +1,6 @@
+namespace gs::sim {
+void build(const Spec& spec) {
+  auto sched = FaultSchedule::generate(spec);
+  (void)sched;
+}
+}  // namespace gs::sim

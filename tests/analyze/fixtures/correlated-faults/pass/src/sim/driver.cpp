@@ -1,0 +1,6 @@
+namespace gs::sim {
+void build(const Spec& spec, const Corr& corr) {
+  auto sched = FaultSchedule::generate_correlated(spec, corr);
+  (void)sched;
+}
+}  // namespace gs::sim

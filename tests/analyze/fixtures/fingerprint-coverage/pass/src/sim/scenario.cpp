@@ -1,0 +1,14 @@
+namespace gs::sim {
+std::uint64_t scenario_fingerprint(const Scenario& sc) {
+  std::uint64_t h = 0;
+  h = mix(h, sc.app.name);
+  h = mix(h, sc.app.qos.percentile);
+  h = mix(h, sc.app.qos.limit);
+  h = mix(h, sc.green.panels);
+  for (auto c : all_fault_classes()) h = mix(h, sc.faults.intensity(c));
+  h = mix(h, sc.faults.seed);
+  h = mix(h, sc.corr.storm_intensity);
+  h = mix(h, sc.seed);
+  return h;
+}
+}  // namespace gs::sim

@@ -1,0 +1,24 @@
+#pragma once
+namespace gs::sim {
+struct QosSpec { double percentile = 0.99; double limit = 0.5; };
+struct AppDescriptor {
+  std::string name;
+  QosSpec qos;
+  /// Cache recomputed from name on load.
+  /// gs-analyze: fingerprint-exempt(derived from name)
+  int name_hash = 0;
+};
+struct GreenConfig { int panels = 3; };
+struct FaultSpec {
+  double crash = 0.0;  // gs-analyze: fingerprint-via(intensity loop)
+  std::uint64_t seed = 0;
+};
+struct CorrelationSpec { double storm_intensity = 0.0; };
+struct Scenario {
+  AppDescriptor app;
+  GreenConfig green;
+  FaultSpec faults;
+  CorrelationSpec corr;
+  std::uint64_t seed = 1;
+};
+}  // namespace gs::sim

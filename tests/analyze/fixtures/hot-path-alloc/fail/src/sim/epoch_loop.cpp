@@ -1,0 +1,6 @@
+// gs:hot-path — the per-epoch kernel must not allocate.
+namespace gs::sim {
+void step(std::vector<double>& out, double x) {
+  out.push_back(x);
+}
+}  // namespace gs::sim

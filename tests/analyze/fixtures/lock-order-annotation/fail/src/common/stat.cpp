@@ -1,0 +1,12 @@
+namespace gs {
+class Stat {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++n_;
+  }
+ private:
+  Mutex mu_;
+  int n_ GS_GUARDED_BY(mu_) = 0;
+};
+}  // namespace gs

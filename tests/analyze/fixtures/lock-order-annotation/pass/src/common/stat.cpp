@@ -1,0 +1,12 @@
+namespace gs {
+class Stat {
+ public:
+  void bump() GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++n_;
+  }
+ private:
+  Mutex mu_;
+  int n_ GS_GUARDED_BY(mu_) = 0;
+};
+}  // namespace gs

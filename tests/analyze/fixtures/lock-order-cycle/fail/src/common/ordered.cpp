@@ -1,0 +1,16 @@
+namespace gs {
+class Pair {
+ public:
+  void fwd() GS_EXCLUDES(a_) {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+  }
+  void rev() GS_EXCLUDES(b_) {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+  }
+ private:
+  Mutex a_ GS_GUARDED_BY(a_);
+  Mutex b_ GS_GUARDED_BY(b_);
+};
+}  // namespace gs

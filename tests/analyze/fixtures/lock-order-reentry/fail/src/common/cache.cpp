@@ -1,0 +1,14 @@
+namespace gs {
+class Cache {
+ public:
+  void put() GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (full_) {
+      MutexLock again(mu_);
+    }
+  }
+ private:
+  Mutex mu_ GS_GUARDED_BY(mu_);
+  bool full_ = false;
+};
+}  // namespace gs

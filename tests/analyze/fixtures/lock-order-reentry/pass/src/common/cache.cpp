@@ -1,0 +1,12 @@
+namespace gs {
+class Cache {
+ public:
+  void put() GS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    evict() /* caller holds mu_ */;
+  }
+ private:
+  void evict() GS_REQUIRES(mu_) {}
+  Mutex mu_ GS_GUARDED_BY(mu_);
+};
+}  // namespace gs

@@ -1,0 +1,10 @@
+#pragma once
+namespace gs {
+class Counter {
+ public:
+  void bump();
+ private:
+  mutable Mutex mu_;
+  int n_ = 0;
+};
+}  // namespace gs

@@ -1,0 +1,10 @@
+#pragma once
+namespace gs {
+class Counter {
+ public:
+  void bump() GS_EXCLUDES(mu_);
+ private:
+  mutable Mutex mu_;
+  int n_ GS_GUARDED_BY(mu_) = 0;
+};
+}  // namespace gs

@@ -1,0 +1,5 @@
+#include <mutex>
+namespace gs::sim {
+std::mutex g_mu;
+void touch() { std::lock_guard<std::mutex> lock(g_mu); }
+}  // namespace gs::sim

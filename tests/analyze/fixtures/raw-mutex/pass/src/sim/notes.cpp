@@ -1,0 +1,5 @@
+namespace gs::sim {
+// A std::mutex mentioned in a comment must not fire.
+const char* kHelp = "use gs::Mutex, not std::mutex or std::lock_guard";
+const char* kRaw = R"(std::condition_variable inside a raw string)";
+}  // namespace gs::sim

@@ -1,0 +1,8 @@
+#include <random>
+namespace gs::sim {
+double draw() {
+  std::mt19937 eng(7);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(eng);
+}
+}  // namespace gs::sim

@@ -1,0 +1,9 @@
+#pragma once
+#include <random>
+namespace gs {
+// The exempt home of the engine; everyone else derives gs::Rng streams.
+inline unsigned seed_mix() {
+  std::mt19937_64 eng(42);
+  return unsigned(eng());
+}
+}  // namespace gs

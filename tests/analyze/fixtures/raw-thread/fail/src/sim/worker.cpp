@@ -1,0 +1,7 @@
+#include <thread>
+namespace gs::sim {
+void run() {
+  std::thread t([] {});
+  t.join();
+}
+}  // namespace gs::sim

@@ -1,0 +1,6 @@
+namespace gs::faults {
+constexpr std::uint64_t kStormTag = 0xabc1ull;
+Rng storm_stream(std::uint64_t seed) {
+  return Rng::stream(seed, {kStormTag});
+}
+}  // namespace gs::faults

@@ -1,0 +1,5 @@
+namespace gs::sim {
+Rng des_stream(std::uint64_t seed) {
+  return Rng::stream(seed, {0xabc2ull});
+}
+}  // namespace gs::sim

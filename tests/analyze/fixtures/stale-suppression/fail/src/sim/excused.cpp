@@ -1,0 +1,4 @@
+namespace gs::sim {
+// The mutex this excused was deleted long ago. gs-lint: allow(raw-mutex)
+int g_counter = 0;
+}  // namespace gs::sim

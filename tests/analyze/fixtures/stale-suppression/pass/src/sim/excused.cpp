@@ -1,0 +1,5 @@
+#include <mutex>
+namespace gs::sim {
+// Interop shim around a third-party callback API that hands us its lock.
+std::mutex g_interop_mu;  // gs-lint: allow(raw-mutex)
+}  // namespace gs::sim

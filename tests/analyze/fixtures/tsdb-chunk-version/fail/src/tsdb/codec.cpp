@@ -1,0 +1,7 @@
+namespace gs::tsdb {
+std::string encode_page(const Chunk& c) {
+  std::string out;
+  out.push_back(char(1));
+  return out;
+}
+}  // namespace gs::tsdb

@@ -1,0 +1,8 @@
+namespace gs::tsdb {
+// kChunkFormatVersion is stamped into every page header.
+std::string encode_page(const Chunk& c) {
+  std::string out;
+  out.push_back(char(kChunkFormatVersion));
+  return out;
+}
+}  // namespace gs::tsdb

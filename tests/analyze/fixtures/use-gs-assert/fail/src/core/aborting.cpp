@@ -1,0 +1,4 @@
+#include <cassert>
+namespace gs::core {
+void check(int x) { assert(x > 0); }
+}  // namespace gs::core

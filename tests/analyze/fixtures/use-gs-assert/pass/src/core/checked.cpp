@@ -1,0 +1,5 @@
+namespace gs::core {
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+// assert(x) in a comment, and in a string:
+const char* kMsg = "this would assert(false) in the old code";
+}  // namespace gs::core

@@ -1,0 +1,8 @@
+#include <chrono>
+#include <ctime>
+namespace gs::sim {
+long stamp() {
+  auto t = std::chrono::system_clock::now().time_since_epoch().count();
+  return long(t) + long(time(nullptr));
+}
+}  // namespace gs::sim

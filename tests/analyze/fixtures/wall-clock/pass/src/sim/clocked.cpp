@@ -1,0 +1,5 @@
+namespace gs::sim {
+// Mentioning time(nullptr) or std::chrono::system_clock in prose is fine.
+const char* kWhy = "never call time(nullptr) in simulation code";
+double advance(double now, double dt) { return now + dt; }
+}  // namespace gs::sim

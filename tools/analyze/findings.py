@@ -1,0 +1,57 @@
+"""Findings: one diagnostic per (rule, file, line), renderable as the
+legacy human text format or as machine-readable JSON for CI annotations."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    rel: str
+    line: int
+    message: str
+
+    def text(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.rel,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Report:
+    findings: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    def add(self, rule: str, rel: str, line: int, message: str) -> None:
+        self.findings.append(Finding(rule, rel, line, message))
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.rel, f.line, f.rule, f.message)
+        )
+
+    def render_text(self) -> str:
+        lines = [f.text() for f in self.sorted_findings()]
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "tool": "gs_analyze",
+                "files_analyzed": self.files_analyzed,
+                "rules": self.rules_run,
+                "finding_count": len(self.findings),
+                "findings": [f.to_json() for f in self.sorted_findings()],
+            },
+            indent=2,
+        )

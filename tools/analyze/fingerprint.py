@@ -1,0 +1,91 @@
+"""fingerprint-coverage: every scenario-shaping field reaches the digest.
+
+scenario_fingerprint (src/sim/scenario.cpp) keys checkpoint cells and
+resume-integrity checks; a config field that is added to Scenario (or any
+struct it embeds) but never mixed into the digest silently aliases two
+different experiments onto one checkpoint cell. This pass walks every field
+of the fingerprinted struct family and requires that its name appears in
+the fingerprint function's body, or that the declaration carries an
+explicit marker:
+
+  // gs-analyze: fingerprint-exempt(<why>)   field cannot shape results
+  // gs-analyze: fingerprint-via(<how>)      field is mixed in indirectly
+                                             (e.g. through an accessor loop)
+
+Matching is by field name against the identifier set of the fingerprint
+body — deliberately permissive (a same-named field of another struct also
+matching is benign; a *missing* field never matches), so every finding is
+real: the field text is nowhere in the digest.
+"""
+
+from __future__ import annotations
+
+from .findings import Report
+from .model import Project
+
+RULE = "fingerprint-coverage"
+
+# The digest entry point and the struct family it must cover: Scenario and
+# everything Scenario embeds that parameterizes a run.
+FINGERPRINT_FUNCTION = "scenario_fingerprint"
+FINGERPRINTED_STRUCTS = (
+    "Scenario",
+    "GreenConfig",
+    "AppDescriptor",
+    "QosSpec",
+    "FaultSpec",
+    "CorrelationSpec",
+)
+
+
+def run(project: Project, report: Report) -> None:
+    body_ids = _fingerprint_identifiers(project)
+    if body_ids is None:
+        # The digest function disappearing IS a finding — the whole
+        # resume-integrity story hangs off it.
+        report.add(
+            RULE, "src/sim/scenario.cpp", 1,
+            f"fingerprint function '{FINGERPRINT_FUNCTION}' not found; "
+            "checkpoint cells are keyed by it (see sim/scenario.hpp)",
+        )
+        return
+    for struct in FINGERPRINTED_STRUCTS:
+        info = project.classes.get(struct)
+        if info is None:
+            report.add(
+                RULE, "src/sim/scenario.hpp", 1,
+                f"fingerprinted struct '{struct}' not found in src/; "
+                "update FINGERPRINTED_STRUCTS in tools/analyze/"
+                "fingerprint.py if it was renamed",
+            )
+            continue
+        sf = project.files.get(info.rel)
+        for fld in info.fields:
+            if fld.name in body_ids:
+                continue
+            if sf is not None and _marked(sf, fld.line):
+                continue
+            report.add(
+                RULE, info.rel, fld.line,
+                f"{struct}::{fld.name} is not mixed into "
+                f"{FINGERPRINT_FUNCTION}(); two scenarios differing only "
+                "in this field would share a checkpoint cell. Mix it in, "
+                "or mark the field '// gs-analyze: fingerprint-exempt"
+                "(<why>)' / 'fingerprint-via(<how>)'",
+            )
+
+
+def _fingerprint_identifiers(project: Project) -> set[str] | None:
+    for fn in project.functions:
+        if fn.name == FINGERPRINT_FUNCTION and fn.class_name is None:
+            toks = project.code_tokens[fn.rel]
+            lo, hi = fn.body
+            from . import lexer
+
+            return {t.text for t in toks[lo:hi] if t.kind == lexer.ID}
+    return None
+
+
+def _marked(sf, line: int) -> bool:
+    """Marker on the field's line (trailing comment) or the line above."""
+    return bool(sf.fingerprint_exempt_lines & {line, line - 1})

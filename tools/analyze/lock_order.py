@@ -1,0 +1,340 @@
+"""lock-order: static gs::Mutex acquisition graph, cycle- and gap-checked.
+
+Three findings families over the project's MutexLock/GS_* usage:
+
+  lock-order-cycle       the acquisition graph (edges: mutex A is held when
+                         mutex B is taken) contains a cycle — two threads
+                         walking the cycle from different entry points can
+                         deadlock.
+  lock-order-reentry     a function takes MutexLock on a mutex expression
+                         it already holds in the same scope chain; gs::Mutex
+                         is non-recursive, so this self-deadlocks on the
+                         first call.
+  lock-order-annotation  a member function acquires a class mutex member
+                         but its declaration carries no GS_EXCLUDES /
+                         GS_REQUIRES / GS_ACQUIRE annotation, so clang
+                         -Wthread-safety cannot check its callers.
+
+Held-set tracking is lexical: a MutexLock local is held from its
+declaration to the end of its enclosing brace scope; GS_REQUIRES /
+GS_ACQUIRE on the function declaration seed the entry held-set. Call edges
+are added one level deep: a call made while holding A, to a project
+function whose own entry acquires B (uniquely resolvable by name), adds
+edge A -> B. Mutexes are named Class::member for member mutexes and
+qualname::name for locals, so the graph is per-lock-object class, matching
+how deadlocks actually manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import lexer
+from .findings import Report
+from .model import FunctionDef, Project, match_paren
+
+
+@dataclass
+class _Acq:
+    """One MutexLock site inside a function body."""
+
+    node: str  # normalized mutex name (Class::member or qualname::local)
+    expr: str  # the literal mutex expression, for reentry detection
+    line: int
+    depth: int  # brace depth at acquisition (scope it lives in)
+    on_this: bool  # expression is an unqualified member / local
+
+
+@dataclass
+class _FnLocks:
+    fn: FunctionDef
+    entry: set[str] = field(default_factory=set)  # held at entry (GS_*)
+    # Mutexes this function TAKES itself on behalf of the caller
+    # (GS_ACQUIRE) — unlike GS_REQUIRES, calling it while holding the
+    # mutex deadlocks.
+    entry_takes: set[str] = field(default_factory=set)
+    acquisitions: list[_Acq] = field(default_factory=list)
+    # node -> (line, holder-node) edges discovered inside this function
+    edges: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+def run(project: Project, report: Report) -> None:
+    per_fn = [_scan_function(project, fn) for fn in project.functions]
+    per_fn = [f for f in per_fn if f is not None]
+
+    # Mutexes a function TAKES at entry (top-level MutexLock or
+    # GS_ACQUIRE), keyed by bare name for one-level call edges. GS_REQUIRES
+    # mutexes are deliberately NOT here: the caller already holds them, so
+    # calling the helper under the lock is the intended pattern. Only names
+    # with a single consistent resolution are used.
+    entry_acquired: dict[str, set[str] | None] = {}
+    for fl in per_fn:
+        taken = {
+            a.node for a in fl.acquisitions
+            if a.depth == 0 and a.on_this
+        } | set(fl.entry_takes)
+        if not taken:
+            continue
+        if fl.fn.name in entry_acquired and \
+                entry_acquired[fl.fn.name] != taken:
+            entry_acquired[fl.fn.name] = None  # ambiguous name: drop
+        else:
+            entry_acquired.setdefault(fl.fn.name, taken)
+
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for fl in per_fn:
+        _collect_edges(project, fl, entry_acquired, report)
+        for a, b, line in fl.edges:
+            edges.setdefault((a, b), (fl.fn.rel, line))
+
+    _report_cycles(edges, report)
+    _check_annotations(project, per_fn, report)
+
+
+def _scan_function(project: Project, fn: FunctionDef) -> _FnLocks | None:
+    toks = project.code_tokens[fn.rel]
+    lo, hi = fn.body
+    fl = _FnLocks(fn=fn)
+
+    # Held at entry: GS_REQUIRES/GS_ACQUIRE on the header span (inline
+    # definitions) or on the declaration recorded for the class.
+    for idx in range(*fn.header):
+        t = toks[idx]
+        if t.kind == lexer.ID and t.text in ("GS_REQUIRES", "GS_ACQUIRE") \
+                and idx + 1 < len(toks) and toks[idx + 1].text == "(":
+            close = match_paren(toks, idx + 1)
+            for a in toks[idx + 2 : close]:
+                if a.kind == lexer.ID:
+                    node = _normalize(project, fn, a.text)
+                    fl.entry.add(node)
+                    if t.text == "GS_ACQUIRE":
+                        fl.entry_takes.add(node)
+    if fn.class_name and fn.class_name in project.classes:
+        decl = project.classes[fn.class_name].methods.get(fn.name)
+        if decl is not None:
+            for m in decl.requires_mutexes:
+                fl.entry.add(_normalize(project, fn, m))
+
+    local_mutexes: set[str] = set()
+    depth = 0
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+        elif t.kind == lexer.ID and t.text == "Mutex" and i + 1 < hi and \
+                toks[i + 1].kind == lexer.ID and \
+                (i == lo or toks[i - 1].text not in (".", "->", "::", ",")):
+            local_mutexes.add(toks[i + 1].text)
+        elif t.kind == lexer.ID and t.text == "MutexLock" and \
+                i + 1 < hi and toks[i + 1].kind == lexer.ID and \
+                i + 2 < hi and toks[i + 2].text == "(":
+            close = match_paren(toks, i + 2)
+            expr_toks = toks[i + 3 : close]
+            expr = "".join(x.text for x in expr_toks)
+            node, on_this = _normalize_expr(
+                project, fn, expr_toks, local_mutexes
+            )
+            fl.acquisitions.append(
+                _Acq(node=node, expr=expr, line=t.line, depth=depth,
+                     on_this=on_this)
+            )
+            i = close + 1
+            continue
+        i += 1
+    if not fl.acquisitions and not fl.entry:
+        return None
+    return fl
+
+
+def _normalize(project: Project, fn: FunctionDef, name: str) -> str:
+    if fn.class_name and fn.class_name in project.classes and \
+            name in project.classes[fn.class_name].mutex_members:
+        return f"{fn.class_name}::{name}"
+    # Not a member of the enclosing class: a namespace-scope mutex — one
+    # shared object, so its identity must not be function-scoped.
+    return name
+
+
+def _normalize_expr(project: Project, fn: FunctionDef, expr_toks,
+                    local_mutexes: set[str]) -> tuple[str, bool]:
+    ids = [t.text for t in expr_toks if t.kind == lexer.ID]
+    if not ids:
+        return (f"{fn.qualname}::?", False)
+    member = ids[-1]
+    bare = len(expr_toks) == 1 or (
+        len(ids) == 1 and all(
+            t.kind == lexer.ID or t.text == "::" for t in expr_toks
+        )
+    )
+    if bare and member in local_mutexes:
+        return (f"{fn.qualname}::{member}", True)
+    if bare:
+        return (_normalize(project, fn, member), True)
+    # Qualified expression (obj.mu_, other->mu_): attribute to the unique
+    # owning class when there is one.
+    owners = [
+        c.name for c in project.classes.values()
+        if member in c.mutex_members
+    ]
+    if len(owners) == 1:
+        return (f"{owners[0]}::{member}", False)
+    return (f"?::{member}", False)
+
+
+def _collect_edges(project: Project, fl: _FnLocks,
+                   entry_acquired: dict[str, set[str] | None],
+                   report: Report) -> None:
+    """Nesting edges, reentry findings, and one-level call edges."""
+    toks = project.code_tokens[fl.fn.rel]
+    lo, hi = fl.fn.body
+    sf = project.files.get(fl.fn.rel)
+
+    # Lexical replay: held stack of (node, expr, depth).
+    held: list[_Acq] = []
+    entry_nodes = sorted(fl.entry)
+    acq_by_pos = {(a.line, a.expr): a for a in fl.acquisitions}
+    depth = 0
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+            held = [a for a in held if a.depth <= depth]
+        elif t.kind == lexer.ID and t.text == "MutexLock" and \
+                i + 1 < hi and toks[i + 1].kind == lexer.ID and \
+                i + 2 < hi and toks[i + 2].text == "(":
+            close = match_paren(toks, i + 2)
+            expr = "".join(x.text for x in toks[i + 3 : close])
+            acq = acq_by_pos.get((t.line, expr))
+            if acq is not None:
+                for holder in entry_nodes:
+                    if holder != acq.node:
+                        fl.edges.append((holder, acq.node, acq.line))
+                for h in held:
+                    if h.expr == acq.expr or h.node == acq.node:
+                        _emit(report, sf, "lock-order-reentry", acq.line,
+                              f"{fl.fn.qualname} re-acquires '{expr}' "
+                              f"(already held since line {h.line}); "
+                              "gs::Mutex is non-recursive, this "
+                              "self-deadlocks")
+                    else:
+                        fl.edges.append((h.node, acq.node, acq.line))
+                if acq.node in fl.entry:
+                    _emit(report, sf, "lock-order-reentry", acq.line,
+                          f"{fl.fn.qualname} acquires '{expr}' which its "
+                          "GS_REQUIRES/GS_ACQUIRE annotation says is "
+                          "already held at entry")
+                held.append(acq)
+            i = close + 1
+            continue
+        elif t.kind == lexer.ID and i + 1 < hi and \
+                toks[i + 1].text == "(" and (held or entry_nodes) and \
+                t.text != "MutexLock":
+            callee = entry_acquired.get(t.text)
+            if callee:
+                holders = {h.node for h in held} | fl.entry
+                # A call through a different object of the same class is a
+                # real A->A ordering only across objects; still record it
+                # as an edge (cycle A->A is reported as an ordering hazard
+                # by the cycle pass only when the call is unqualified it
+                # would be reentry — skip self-loops from qualified calls).
+                prv = toks[i - 1] if i > lo else None
+                qualified = prv is not None and prv.text in (".", "->")
+                for inner in callee:
+                    for holder in holders:
+                        if holder == inner:
+                            if not qualified:
+                                _emit(
+                                    report, sf, "lock-order-reentry",
+                                    t.line,
+                                    f"{fl.fn.qualname} calls {t.text}() "
+                                    f"which acquires '{inner}' while "
+                                    "already holding it; gs::Mutex is "
+                                    "non-recursive, this self-deadlocks",
+                                )
+                        else:
+                            fl.edges.append((holder, inner, t.line))
+        i += 1
+
+
+def _emit(report: Report, sf, rule: str, line: int, message: str) -> None:
+    if sf is not None and sf.allowed(rule, line, line_above=True):
+        return
+    report.add(rule, sf.rel if sf else "?", line, message)
+
+
+def _report_cycles(edges: dict[tuple[str, str], tuple[str, int]],
+                   report: Report) -> None:
+    graph: dict[str, set[str]] = {}
+    for (a, b), _ in edges.items():
+        if a != b:
+            graph.setdefault(a, set()).add(b)
+
+    reported: set[frozenset[str]] = set()
+
+    def dfs(node: str, stack: list[str], on_stack: set[str],
+            done: set[str]) -> None:
+        on_stack.add(node)
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if nxt in on_stack:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    a, b = cycle[0], cycle[1]
+                    rel, line = edges.get((a, b), ("?", 0))
+                    report.add(
+                        "lock-order-cycle", rel, line,
+                        "lock acquisition cycle: "
+                        + " -> ".join(cycle)
+                        + "; impose one global order (or collapse to one "
+                        "mutex) to rule out deadlock",
+                    )
+            elif nxt not in done:
+                dfs(nxt, stack, on_stack, done)
+        on_stack.discard(node)
+        stack.pop()
+        done.add(node)
+
+    done: set[str] = set()
+    for node in sorted(graph):
+        if node not in done:
+            dfs(node, [], set(), done)
+
+
+def _check_annotations(project: Project, per_fn: list[_FnLocks],
+                       report: Report) -> None:
+    """A member function taking a class mutex member must advertise it
+    (GS_EXCLUDES on the declaration) so -Wthread-safety sees callers."""
+    for fl in per_fn:
+        fn = fl.fn
+        if not fn.class_name or fn.class_name not in project.classes:
+            continue
+        # Constructors/destructors run before/after any concurrent caller
+        # can exist; clang does not expect capability annotations on them.
+        if fn.name == fn.class_name or fn.name.startswith("~"):
+            continue
+        info = project.classes[fn.class_name]
+        decl = info.methods.get(fn.name)
+        member_acqs = [
+            a for a in fl.acquisitions
+            if a.on_this and a.node.startswith(fn.class_name + "::")
+        ]
+        if not member_acqs:
+            continue
+        if decl is not None and decl.has_lock_annotation:
+            continue
+        sf = project.files.get(fn.rel)
+        a = member_acqs[0]
+        _emit(
+            report, sf, "lock-order-annotation", a.line,
+            f"{fn.qualname} acquires {a.node} but its declaration has no "
+            "GS_EXCLUDES/GS_REQUIRES annotation; annotate it so clang "
+            "-Wthread-safety can check call sites",
+        )

@@ -1,0 +1,132 @@
+"""rng-stream-ownership: one subsystem per named gs::Rng stream.
+
+Determinism in the sweep rests on stream splitting: every draw site
+derives its own generator via Rng::stream(seed, {tag, ...}) and the tag
+namespace keeps subsystems statistically independent. If two files reuse
+one tag value, their draws come from the SAME stream — correlated numbers
+and a silent bias, the exact failure stream splitting exists to prevent.
+
+This pass extracts every Rng::stream call in src/, resolves the leading
+tag of the identifier list (literal or constexpr constant), and reports:
+
+  rng-stream-ownership   one tag value drawn from more than one file, or
+                         a leading tag that cannot be resolved to a
+                         compile-time value (untracked stream identity).
+
+Multiple draw sites in ONE file sharing a tag are fine (the file owns the
+stream and disambiguates with the trailing identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import lexer
+from .findings import Report
+from .model import Project, match_paren, parse_int
+
+RULE = "rng-stream-ownership"
+
+
+@dataclass(frozen=True)
+class StreamSite:
+    rel: str
+    line: int
+    tag_text: str
+    tag_value: int | None
+
+
+def run(project: Project, report: Report) -> None:
+    sites = collect_sites(project)
+    by_value: dict[int, list[StreamSite]] = {}
+    for s in sites:
+        sf = project.files.get(s.rel)
+        if s.tag_value is None:
+            if sf is None or not sf.allowed(RULE, s.line, line_above=True):
+                report.add(
+                    RULE, s.rel, s.line,
+                    f"Rng::stream tag '{s.tag_text}' does not resolve to "
+                    "a compile-time constant; name the stream with a "
+                    "constexpr tag so ownership can be tracked",
+                )
+            continue
+        by_value.setdefault(s.tag_value, []).append(s)
+
+    for value, group in sorted(by_value.items()):
+        files = sorted({s.rel for s in group})
+        if len(files) <= 1:
+            continue
+        for s in group:
+            sf = project.files.get(s.rel)
+            if sf is not None and sf.allowed(RULE, s.line, line_above=True):
+                continue
+            others = ", ".join(f for f in files if f != s.rel)
+            report.add(
+                RULE, s.rel, s.line,
+                f"Rng stream tag {value:#x} ('{s.tag_text}') is also "
+                f"drawn in {others}; two subsystems sharing one stream "
+                "produce correlated draws — pick a fresh tag",
+            )
+
+
+def collect_sites(project: Project) -> list[StreamSite]:
+    sites: list[StreamSite] = []
+    for rel, toks in project.code_tokens.items():
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.text != "Rng" or i + 3 >= n:
+                continue
+            if toks[i + 1].text != "::" or toks[i + 2].text != "stream" \
+                    or toks[i + 3].text != "(":
+                continue
+            close = match_paren(toks, i + 3)
+            # Leading tag: first element of the first braced list inside
+            # the argument list.
+            tag_toks = []
+            j = i + 4
+            while j < close and toks[j].text != "{":
+                j += 1
+            depth = 0
+            while j < close:
+                tt = toks[j]
+                if tt.text in ("{", "(", "["):
+                    depth += 1
+                elif tt.text in ("}", ")", "]"):
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tt.text == "," and depth == 1:
+                    break
+                elif depth >= 1:
+                    tag_toks.append(tt)
+                j += 1
+            tag_text = "".join(x.text for x in tag_toks)
+            sites.append(StreamSite(
+                rel=rel, line=t.line, tag_text=tag_text,
+                tag_value=_resolve_tag(project, tag_toks),
+            ))
+    return sites
+
+
+def _resolve_tag(project: Project, tag_toks) -> int | None:
+    if not tag_toks:
+        return None
+    if len(tag_toks) == 1:
+        t = tag_toks[0]
+        if t.kind == lexer.NUM:
+            return parse_int(t.text)
+        if t.kind == lexer.ID:
+            return project.resolve_constant(t.text, None)
+    # Casts / expressions like std::uint64_t(kTag): resolve the single
+    # NUM or the last identifier argument if unambiguous.
+    nums = [t for t in tag_toks if t.kind == lexer.NUM]
+    if len(nums) == 1:
+        return parse_int(nums[0].text)
+    ids = [
+        t for t in tag_toks
+        if t.kind == lexer.ID and not t.text.startswith("std")
+        and t.text not in ("uint64_t", "uint32_t", "size_t")
+    ]
+    if len(ids) == 1:
+        return project.resolve_constant(ids[0].text, None)
+    return None

@@ -1,0 +1,134 @@
+"""Per-file view: tokens plus the comment-borne metadata the passes need.
+
+Suppression grammar (both spellings accepted everywhere):
+
+  // gs-lint: allow(<rule>[, <rule>...])      legacy spelling
+  // gs-analyze: allow(<rule>[, <rule>...])   engine spelling
+
+Placement follows the legacy semantics: a suppression applies to findings
+on its own line; for hot-path-alloc also to the line directly below (the
+80-column limit often leaves no room on the flagged line); file-level rules
+(ckpt-schema-version, tsdb-chunk-version) accept an allow() anywhere in the
+file.
+
+Fingerprint-coverage exemptions use their own markers so intent stays
+readable at the struct field:
+
+  // gs-analyze: fingerprint-exempt(<why>)    field does not shape results
+  // gs-analyze: fingerprint-via(<how>)       field is mixed in indirectly
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import lexer
+from .lexer import Token
+
+ALLOW_RE = re.compile(r"gs-(?:lint|analyze):\s*allow\(([\w\-, ]+)\)")
+FP_EXEMPT_RE = re.compile(
+    r"gs-analyze:\s*fingerprint-(?:exempt|via)\(([^)]*)\)"
+)
+HOT_PATH_BANNER_RE = re.compile(r"gs:hot-path\b")
+
+
+@dataclass
+class Suppression:
+    line: int  # line the allow() comment starts on
+    rules: frozenset[str]
+    used: bool = False  # set when it actually silences a finding
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str  # repo-relative path with forward slashes
+    text: str
+    tokens: list[Token]
+    # Comment text joined per starting line (a block comment is attributed
+    # to the line it starts on).
+    comments_by_line: dict[int, str]
+    suppressions: list[Suppression]
+    fingerprint_exempt_lines: set[int]
+    hot_path: bool
+    n_lines: int
+
+    @property
+    def is_header(self) -> bool:
+        return self.rel.endswith((".hpp", ".h"))
+
+    def code_tokens(self) -> list[Token]:
+        """Tokens with comments and preprocessor directives removed."""
+        return [
+            t
+            for t in self.tokens
+            if t.kind not in (lexer.COMMENT, lexer.PP)
+        ]
+
+    # --- suppression queries -------------------------------------------------
+
+    def _suppressions_at(self, lines: tuple[int, ...]) -> list[Suppression]:
+        return [s for s in self.suppressions if s.line in lines]
+
+    def allowed(self, rule: str, line: int, line_above: bool = False) -> bool:
+        """Is `rule` suppressed for a finding on `line`? Marks the matching
+        suppression as used. `line_above` additionally accepts an allow()
+        on the preceding line (hot-path-alloc semantics)."""
+        lines = (line, line - 1) if line_above else (line,)
+        hit = False
+        for s in self._suppressions_at(lines):
+            if rule in s.rules:
+                s.used = True
+                hit = True
+        return hit
+
+    def allowed_anywhere(self, rule: str) -> bool:
+        """File-level suppression: an allow(rule) on any line."""
+        hit = False
+        for s in self.suppressions:
+            if rule in s.rules:
+                s.used = True
+                hit = True
+        return hit
+
+
+def load(path: Path, rel: str) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    tokens = lexer.lex(text)
+
+    comments: dict[int, str] = {}
+    for t in tokens:
+        if t.kind == lexer.COMMENT:
+            comments[t.line] = (
+                comments[t.line] + " " + t.text if t.line in comments
+                else t.text
+            )
+
+    suppressions: list[Suppression] = []
+    fp_exempt: set[int] = set()
+    hot_path = False
+    for line, ctext in comments.items():
+        m = ALLOW_RE.search(ctext)
+        if m:
+            rules = frozenset(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            suppressions.append(Suppression(line, rules))
+        if FP_EXEMPT_RE.search(ctext):
+            fp_exempt.add(line)
+        if HOT_PATH_BANNER_RE.search(ctext):
+            hot_path = True
+
+    return SourceFile(
+        path=path,
+        rel=rel,
+        text=text,
+        tokens=tokens,
+        comments_by_line=comments,
+        suppressions=suppressions,
+        fingerprint_exempt_lines=fp_exempt,
+        hot_path=hot_path,
+        n_lines=text.count("\n") + 1,
+    )

@@ -1,380 +1,32 @@
 #!/usr/bin/env python3
 """gs-lint: repo-specific concurrency & determinism rule pack.
 
-Enforces the invariants clang-tidy cannot express for this codebase:
-
-  raw-thread        std::thread / std::jthread / std::async belong only in
-                    common/thread_pool.* — everything else fans work through
-                    the pool so sweeps stay schedulable and deterministic.
-  raw-mutex         <mutex> primitives (std::mutex, lock_guard, ...) belong
-                    only in common/thread_annotations.hpp; the rest of src/
-                    uses the capability-annotated gs::Mutex / gs::MutexLock
-                    so clang -Wthread-safety can prove lock discipline.
-  mutex-annotations a gs::Mutex member must actually guard something: the
-                    declaring file needs at least one GS_GUARDED_BY /
-                    GS_REQUIRES / GS_ACQUIRE referencing it.
-  raw-random        rand()/srand(), std:: engines, std::random_device and
-                    std:: distributions are forbidden outside common/rng.hpp:
-                    sweep_fingerprint guarantees bit-identical sweeps, which
-                    only holds when every sample comes from gs::Rng streams.
-  wall-clock        time(nullptr) / std::chrono::system_clock in simulation
-                    code breaks replayability; simulated time comes from the
-                    scenario clock (wall timing lives in bench/, not src/).
-  use-gs-assert     <cassert>/assert() abort without a message and vanish
-                    under NDEBUG; src/ uses GS_REQUIRE / GS_ENSURE from
-                    common/assert.hpp, which throw gs::ContractError.
-  ckpt-schema-version
-                    a header that declares save_state/load_state must also
-                    declare a kStateVersion schema field; versioned sections
-                    are what lets a resumed campaign reject snapshots written
-                    by an older layout instead of misreading them.
-  correlated-faults FaultSchedule::generate() outside faults/fault_schedule
-                    bypasses the correlation layer; call generate_correlated
-                    (a disabled CorrelationSpec is the identity), so every
-                    caller honors a scenario's storm configuration.
-  tsdb-chunk-version
-                    a src/tsdb file that touches the on-disk formats (page
-                    encode/decode, WAL records/replay) must reference the
-                    format-version constant (kChunkFormatVersion /
-                    kWalFormatVersion) it is coupled to, so layout changes
-                    cannot land without a version bump in view.
-  hot-path-alloc    a file carrying a `// gs:hot-path` banner promises an
-                    allocation-free steady state; heap allocation (new,
-                    make_unique/make_shared, container growth via push_back /
-                    emplace_back / resize / reserve / assign / insert) is
-                    flagged so it cannot creep in unnoticed. One-time setup
-                    (constructors, arena warm-up) carries an explicit
-                    allow() comment saying why it is off the epoch path.
-
-Suppress a finding by appending `// gs-lint: allow(<rule>)` to the line,
-with a comment explaining why. Usage:
+Compatibility shim: the ten historical rules (raw-thread, raw-mutex,
+mutex-annotations, raw-random, wall-clock, use-gs-assert,
+ckpt-schema-version, correlated-faults, tsdb-chunk-version,
+hot-path-alloc) now run inside the tools/analyze engine, matched against
+a real C++ token stream instead of line regexes — so a pattern inside a
+string literal or comment can no longer fire, and stale allow() comments
+are reported as errors. Rule names, messages, suppression placement and
+the CLI surface are unchanged:
 
   tools/gs_lint.py [--list-rules] [PATH ...]   (default PATH: src)
 
-Exits non-zero if any finding remains.
+The full engine (checkpoint schema lock, fingerprint coverage, lock-order
+and RNG stream-ownership passes) is tools/gs_analyze; see
+tools/analyze/__init__.py. Exits non-zero if any finding remains.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-ALLOW_RE = re.compile(r"gs-lint:\s*allow\(([a-z\-, ]+)\)")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-class Rule:
-    def __init__(self, name, message, pattern, exempt=()):
-        self.name = name
-        self.message = message
-        self.pattern = re.compile(pattern)
-        self.exempt = tuple(exempt)
-
-    def applies_to(self, path: str) -> bool:
-        return not any(path.endswith(e) for e in self.exempt)
-
-
-RULES = [
-    Rule(
-        "raw-thread",
-        "raw std::thread/std::async outside common/thread_pool; submit work "
-        "to gs::ThreadPool / parallel_for instead",
-        r"std::(thread|jthread|async)\b",
-        exempt=(
-            "common/thread_pool.hpp",
-            "common/thread_pool.cpp",
-        ),
-    ),
-    Rule(
-        "raw-mutex",
-        "raw <mutex>/<condition_variable> primitive outside "
-        "common/thread_annotations.hpp; use the capability-annotated "
-        "gs::Mutex / gs::MutexLock / gs::CondVar",
-        r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
-        r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|"
-        r"shared_lock|condition_variable|condition_variable_any)\b",
-        exempt=("common/thread_annotations.hpp",),
-    ),
-    Rule(
-        "raw-random",
-        "non-gs randomness outside common/rng.hpp; derive a gs::Rng stream "
-        "(determinism guard for sweep_fingerprint)",
-        r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux\w+|"
-        r"knuth_b|random_device|(uniform_int|uniform_real|normal|poisson|"
-        r"exponential|bernoulli|geometric)_distribution)\b"
-        r"|(?<![\w_])s?rand\s*\(",
-        exempt=("common/rng.hpp",),
-    ),
-    Rule(
-        "wall-clock",
-        "wall-clock time in simulation code; simulated time comes from the "
-        "scenario clock (wall timing belongs in bench/)",
-        r"std::chrono::system_clock\b|(?<![\w_])time\s*\(\s*(nullptr|NULL|0)"
-        r"\s*\)",
-    ),
-    Rule(
-        "use-gs-assert",
-        "<cassert>/assert() in src/; use GS_REQUIRE / GS_ENSURE from "
-        "common/assert.hpp (throws gs::ContractError, active in release)",
-        r"#\s*include\s*<(cassert|assert\.h)>|(?<![\w_.])assert\s*\(",
-    ),
-    Rule(
-        "correlated-faults",
-        "direct FaultSchedule::generate() bypasses the correlation-aware "
-        "entry point; call FaultSchedule::generate_correlated (a disabled "
-        "CorrelationSpec is the identity)",
-        r"FaultSchedule::generate\s*\(",
-        exempt=(
-            "faults/fault_schedule.hpp",
-            "faults/fault_schedule.cpp",
-        ),
-    ),
-]
-
-MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+_)\s*;")
-
-HOT_PATH_BANNER_RE = re.compile(r"//\s*gs:hot-path\b")
-
-HOT_PATH_ALLOC_RE = re.compile(
-    r"(?<![\w_])new\b(?!\s*\()"  # `new T`, not the rare `operator new(...)`
-    r"|std::make_(?:unique|shared)\b"
-    r"|\.(?:push_back|emplace_back|resize|reserve|assign|insert|"
-    r"emplace)\s*\("
-)
-
-CKPT_DECL_RE = re.compile(r"\b(?:save_state|load_state)\s*\(")
-
-TSDB_FORMAT_MARKER_RE = re.compile(
-    r"\b(?:encode_page|decode_page|replay_wal|WalRecord)\b"
-)
-
-TSDB_VERSION_RE = re.compile(r"\bk(?:Chunk|Wal)FormatVersion\b")
-
-
-def strip_comments(text: str) -> str:
-    """Blank out comments, preserving line structure and column offsets."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line | block | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-            elif c == "'":
-                state = "char"
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        else:  # string / char literal
-            if c == "\\":
-                out.append(c)
-                out.append(nxt)
-                i += 2
-                continue
-            if (state == "string" and c == '"') or (
-                state == "char" and c == "'"
-            ):
-                state = "code"
-            out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def allowed_rules(raw_line: str) -> set[str]:
-    m = ALLOW_RE.search(raw_line)
-    if not m:
-        return set()
-    return {r.strip() for r in m.group(1).split(",")}
-
-
-def lint_file(path: Path, rel: str) -> list[str]:
-    raw = path.read_text(encoding="utf-8")
-    code = strip_comments(raw)
-    raw_lines = raw.splitlines()
-    code_lines = code.splitlines()
-    findings = []
-
-    for rule in RULES:
-        if not rule.applies_to(rel):
-            continue
-        for lineno, line in enumerate(code_lines, 1):
-            if not rule.pattern.search(line):
-                continue
-            if rule.name in allowed_rules(raw_lines[lineno - 1]):
-                continue
-            findings.append(f"{rel}:{lineno}: [{rule.name}] {rule.message}")
-
-    # mutex-annotations: every gs::Mutex member must be referenced by a
-    # capability annotation somewhere in the file that declares it.
-    for lineno, line in enumerate(code_lines, 1):
-        m = MUTEX_MEMBER_RE.search(line)
-        if not m:
-            continue
-        name = m.group(1)
-        ann = re.compile(
-            r"GS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
-            r"TRY_ACQUIRE|EXCLUDES|RETURN_CAPABILITY)\(\s*" + name + r"\s*"
-        )
-        if ann.search(code):
-            continue
-        if "mutex-annotations" in allowed_rules(raw_lines[lineno - 1]):
-            continue
-        findings.append(
-            f"{rel}:{lineno}: [mutex-annotations] gs::Mutex member '{name}' "
-            "has no GS_GUARDED_BY/GS_REQUIRES/... referencing it; annotate "
-            "what it guards"
-        )
-
-    # ckpt-schema-version: a header that declares save_state/load_state
-    # must declare kStateVersion so every snapshot section is schema-
-    # versioned (allow() the declaration when the version is inherited
-    # from a base class).
-    if rel.endswith(".hpp") and not re.search(r"\bkStateVersion\b", code):
-        decl_lines = [
-            lineno
-            for lineno, line in enumerate(code_lines, 1)
-            if CKPT_DECL_RE.search(line)
-        ]
-        # File-level rule, file-level suppression: an allow() comment
-        # anywhere in the header waives it (e.g. version inherited from a
-        # base class).
-        suppressed = any(
-            "ckpt-schema-version" in allowed_rules(raw_line)
-            for raw_line in raw_lines
-        )
-        if decl_lines and not suppressed:
-            findings.append(
-                f"{rel}:{decl_lines[0]}: [ckpt-schema-version] save_state/"
-                "load_state declared without a kStateVersion schema field; "
-                "snapshot sections must be versioned (ckpt/state_io.hpp)"
-            )
-
-    # hot-path-alloc: a `// gs:hot-path` banner is a contract — the file's
-    # steady state allocates nothing. Flag every heap-allocation idiom so a
-    # stray std::vector growth or make_unique cannot land silently; the
-    # deliberate ones (ctor-time sizing, arena warm-up) each carry an
-    # allow() comment explaining why they are off the epoch path.
-    if HOT_PATH_BANNER_RE.search(raw):
-        for lineno, line in enumerate(code_lines, 1):
-            if not HOT_PATH_ALLOC_RE.search(line):
-                continue
-            # The 80-column limit often leaves no room for a trailing
-            # allow(); one on the line directly above works too.
-            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
-            if "hot-path-alloc" in (
-                allowed_rules(raw_lines[lineno - 1]) | allowed_rules(prev)
-            ):
-                continue
-            findings.append(
-                f"{rel}:{lineno}: [hot-path-alloc] heap allocation in a "
-                "gs:hot-path file; keep the epoch loop allocation-free "
-                "(use the arena / pre-sized arrays) or justify with an "
-                "allow() comment"
-            )
-
-    # tsdb-chunk-version: telemetry-engine files that touch the on-disk
-    # formats (chunk pages, WAL segments) must keep the owning format-
-    # version constant in view, so a layout change cannot land without the
-    # bump. File-level rule, file-level allow() suppression (e.g. a caller
-    # that only routes bytes and defers validation to chunk.cpp/wal.cpp).
-    if "tsdb/" in rel and not TSDB_VERSION_RE.search(code):
-        marker_lines = [
-            lineno
-            for lineno, line in enumerate(code_lines, 1)
-            if TSDB_FORMAT_MARKER_RE.search(line)
-        ]
-        suppressed = any(
-            "tsdb-chunk-version" in allowed_rules(raw_line)
-            for raw_line in raw_lines
-        )
-        if marker_lines and not suppressed:
-            findings.append(
-                f"{rel}:{marker_lines[0]}: [tsdb-chunk-version] on-disk "
-                "format marker (page/WAL encode, decode, or replay) without "
-                "a kChunkFormatVersion/kWalFormatVersion reference; bump the "
-                "format version with any layout change"
-            )
-    return findings
+from analyze import cli  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("paths", nargs="*", default=["src"])
-    ap.add_argument("--list-rules", action="store_true")
-    args = ap.parse_args(argv)
-
-    if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.name}: {rule.message}")
-        print(
-            "mutex-annotations: gs::Mutex members must be referenced by a "
-            "capability annotation in the declaring file"
-        )
-        print(
-            "ckpt-schema-version: headers declaring save_state/load_state "
-            "must declare a kStateVersion schema field"
-        )
-        print(
-            "tsdb-chunk-version: src/tsdb files touching the on-disk "
-            "page/WAL formats must reference the owning format-version "
-            "constant"
-        )
-        print(
-            "hot-path-alloc: files with a `// gs:hot-path` banner must not "
-            "heap-allocate (new/make_unique/container growth) without an "
-            "allow() justification"
-        )
-        return 0
-
-    root = Path(__file__).resolve().parent.parent
-    files = []
-    for p in args.paths or ["src"]:
-        path = Path(p)
-        if path.is_file():
-            files.append(path)
-        else:
-            files.extend(sorted(path.rglob("*.hpp")))
-            files.extend(sorted(path.rglob("*.cpp")))
-
-    findings = []
-    for f in files:
-        try:
-            rel = str(f.resolve().relative_to(root))
-        except ValueError:
-            rel = str(f)
-        findings.extend(lint_file(f, rel.replace("\\", "/")))
-
-    for finding in sorted(findings):
-        print(finding)
-    if findings:
-        print(f"gs-lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"gs-lint: clean ({len(files)} files)")
-    return 0
+    return cli.main(["--legacy-only", *argv])
 
 
 if __name__ == "__main__":
