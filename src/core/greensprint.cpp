@@ -26,6 +26,16 @@ GreenSprintController::GreenSprintController(
       predictor_(cfg.predictor),
       strategy_(make_strategy(cfg.strategy, profile, app, idle_power)) {}
 
+bool GreenSprintController::set_strategy(StrategyKind kind,
+                                         const workload::AppDescriptor& app,
+                                         Watts idle_power) {
+  if (kind == cfg_.strategy) return false;
+  cfg_.strategy = kind;
+  strategy_ = make_strategy(kind, profile_, app, idle_power);
+  pending_ = Pending{};
+  return true;
+}
+
 server::ServerSetting GreenSprintController::begin_epoch(
     double observed_load, Watts battery_power) {
   GS_REQUIRE(observed_load >= 0.0, "load must be non-negative");

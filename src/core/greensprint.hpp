@@ -120,6 +120,17 @@ class GreenSprintController {
   [[nodiscard]] const Strategy& strategy() const { return *strategy_; }
   [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
 
+  /// Live strategy switch (the daemon's `strategy <name>` command). A
+  /// same-kind request is a strict no-op — the running strategy keeps its
+  /// learned state and the epoch stream stays bit-identical. A real switch
+  /// replaces the PMK with a freshly constructed strategy (learned state
+  /// starts over, as after a config change) and drops any pending learning
+  /// record so the new PMK never trains on the old one's decision. Call
+  /// between epochs only. `app` and `idle_power` must be the values the
+  /// controller was constructed with. Returns true when the kind changed.
+  bool set_strategy(StrategyKind kind, const workload::AppDescriptor& app,
+                    Watts idle_power);
+
   // --- Checkpoint/restore (src/ckpt) --------------------------------------
   // Covers the full control-loop state: predictor EWMAs, the pending
   // learning record, the degraded-mode state machine, and the strategy's

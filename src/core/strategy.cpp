@@ -41,6 +41,26 @@ const char* to_string(StrategyKind k) {
   return "?";
 }
 
+std::optional<StrategyKind> strategy_from_string(std::string_view name) {
+  const auto eq = [](std::string_view a, const char* b) {
+    std::string_view bs(b);
+    if (a.size() != bs.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] - 'A' + 'a') : a[i];
+      const char cb =
+          bs[i] >= 'A' && bs[i] <= 'Z' ? char(bs[i] - 'A' + 'a') : bs[i];
+      if (ca != cb) return false;
+    }
+    return true;
+  };
+  for (const StrategyKind k :
+       {StrategyKind::Normal, StrategyKind::Greedy, StrategyKind::Parallel,
+        StrategyKind::Pacing, StrategyKind::Hybrid, StrategyKind::Efficiency}) {
+    if (eq(name, to_string(k))) return k;
+  }
+  return std::nullopt;
+}
+
 std::vector<StrategyKind> sprinting_strategies() {
   return {StrategyKind::Greedy, StrategyKind::Parallel, StrategyKind::Pacing,
           StrategyKind::Hybrid};

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "ckpt/fwd.hpp"
@@ -78,6 +79,12 @@ enum class StrategyKind { Normal, Greedy, Parallel, Pacing, Hybrid,
                           Efficiency };
 
 [[nodiscard]] const char* to_string(StrategyKind k);
+
+/// Inverse of to_string(); case-insensitive so CLI flags and the daemon's
+/// `strategy <name>` command accept "hybrid" as well as "Hybrid". Returns
+/// nullopt for unknown names.
+[[nodiscard]] std::optional<StrategyKind> strategy_from_string(
+    std::string_view name);
 
 /// The strategies evaluated in the paper, in its presentation order.
 [[nodiscard]] std::vector<StrategyKind> sprinting_strategies();

@@ -1,0 +1,169 @@
+// greensprintd's engine room: a two-thread, epoll-based serving loop that
+// drives a DaySim campaign closed-loop from a live socket feed.
+//
+//   IO thread (run() caller)          epoch thread
+//   ------------------------          ------------------------------
+//   epoll: listeners, conns,          one controller epoch per tick
+//     wake eventfd, stop fd           (wall-clock paced by sim_speed;
+//   decode frames, parse requests     unpaced when sim_speed == 0)
+//   feed events  --SPSC queue-->      admit via LiveFeed, step_live()
+//   control cmds --mutex deque-->     handle between epochs
+//   replies     <--outbox+eventfd--   stat/query/strategy/... replies
+//
+// The SPSC ring is the only hot-path hand-off and is lock-free; when it
+// fills, the IO thread parks on the feed connection (stops reading), so
+// backpressure propagates to the feeder through the socket instead of
+// dropping events. Control commands are rare and take the mutex path.
+//
+// Graceful shutdown: `drain` consumes every queued feed event, seals and
+// flushes the tsdb engine, writes the final checkpoint, replies with the
+// result fingerprint, and exits. SIGTERM (via DaemonConfig::stop_fd) or
+// request_stop() does the same minus the reply. A daemon restarted from
+// the checkpoint resumes bit-identically: the snapshot carries the sim,
+// the feed sequencing/fallback state, and the telemetry engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "ckpt/fwd.hpp"
+
+#include "common/thread_annotations.hpp"
+#include "serve/live_feed.hpp"
+#include "serve/protocol.hpp"
+#include "serve/spsc_queue.hpp"
+#include "sim/day_runner.hpp"
+#include "sim/monitor.hpp"
+#include "tsdb/engine.hpp"
+
+namespace gs::serve {
+
+struct DaemonConfig {
+  sim::DayRunConfig day;
+  /// Unix-domain socket path (required; created, owned, unlinked).
+  std::string socket_path;
+  /// Optional TCP listener on 127.0.0.1:<tcp_port>; 0 disables.
+  int tcp_port = 0;
+  /// Wall-clock pacing: one epoch every epoch/sim_speed seconds. 0 runs
+  /// unpaced — an epoch fires as soon as its feed event is available
+  /// (tests, the perf gate); the stall fallback never fires unpaced.
+  double sim_speed = 0.0;
+  /// Paced mode: epochs of wall-clock silence past the tick deadline
+  /// before the EWMA fallback synthesizes the epoch.
+  double stall_grace_epochs = 2.0;
+  /// Snapshot path written on drain/stop (and by --checkpoint-every);
+  /// empty disables final checkpoints. The `checkpoint <path>` command
+  /// writes wherever it names, regardless.
+  std::string checkpoint_path;
+  /// Periodic checkpoint to checkpoint_path every N epochs; 0 disables.
+  std::uint64_t checkpoint_every = 0;
+  /// Snapshot to restore before serving (daemon restart).
+  std::string resume_from;
+  /// Telemetry engine under the daemon (MEMORY by default).
+  tsdb::EngineOptions tsdb;
+  /// Feed ring capacity (power of two).
+  std::size_t queue_capacity = std::size_t(1) << 14;
+  /// File descriptor that signals termination when readable (the tool
+  /// wires its SIGTERM/SIGINT handler's pipe here); -1 disables.
+  int stop_fd = -1;
+};
+
+struct DaemonReport {
+  std::uint64_t epochs = 0;          ///< Epochs actually stepped.
+  bool completed = false;            ///< Campaign reached its horizon.
+  bool drained = false;              ///< Clean `drain` exit (vs. stop).
+  std::uint64_t result_fingerprint = 0;  ///< Valid when completed.
+  sim::DayRunResult result;          ///< Valid when completed.
+  std::uint64_t ingested = 0;
+  std::uint64_t stale_drops = 0;
+  std::uint64_t gap_drops = 0;
+  std::uint64_t stale_epochs = 0;    ///< EWMA-fallback epochs.
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(DaemonConfig cfg);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Serve until drain or stop; blocks the calling thread (it becomes the
+  /// IO thread). Call at most once.
+  DaemonReport run();
+
+  /// Async stop from another thread (the in-process SIGTERM equivalent):
+  /// the epoch thread writes the final checkpoint and both threads exit.
+  void request_stop();
+
+  /// Telemetry surfaces (valid while and after run()).
+  [[nodiscard]] const sim::Monitor& monitor() const { return monitor_; }
+  [[nodiscard]] tsdb::Engine& engine() { return *engine_; }
+
+  // --- Checkpoint/restore (src/ckpt): the container snapshot nests the
+  // live feed, the sim, and the telemetry engine, prefixed with the wire
+  // protocol version so a daemon never resumes a foreign dialect.
+  static constexpr std::uint32_t kStateVersion = 1;
+  void save_state(ckpt::StateWriter& w) const;
+  void load_state(ckpt::StateReader& r);
+
+ private:
+  struct QueuedFeed {
+    std::uint64_t conn_id = 0;
+    FeedEvent ev;
+  };
+  struct Command {
+    std::uint64_t conn_id = 0;
+    Request req;
+  };
+  struct Outgoing {
+    std::uint64_t conn_id = 0;
+    std::string payload;
+  };
+  struct Conn;
+  struct IoState;
+
+  void epoch_loop();
+  void process_commands() GS_EXCLUDES(mu_);
+  void handle_command(const Command& cmd);
+  [[nodiscard]] std::string stat_reply() const;
+  [[nodiscard]] std::string query_reply(const Request& req);
+  void write_checkpoint(const std::string& path);
+  void finish_if_done();
+  void post_reply(std::uint64_t conn_id, std::string payload)
+      GS_EXCLUDES(mu_);
+  void wake_io();
+  void drain_feed_queue();
+
+  // IO-thread helpers (defined over IoState in daemon.cpp).
+  void io_loop(IoState& io) GS_EXCLUDES(mu_);
+  void handle_payload(Conn& conn, const std::string& payload)
+      GS_EXCLUDES(mu_);
+
+  DaemonConfig cfg_;
+  std::unique_ptr<tsdb::Engine> engine_;
+  sim::DaySim sim_;
+  LiveFeed feed_;
+  sim::Monitor monitor_;
+  SpscQueue<QueuedFeed> queue_;
+  tsdb::SeriesId stale_series_ = 0;
+
+  mutable Mutex mu_;
+  std::deque<Command> commands_ GS_GUARDED_BY(mu_);
+  std::deque<Outgoing> outbox_ GS_GUARDED_BY(mu_);
+
+  std::atomic<bool> terminate_{false};  ///< stop requested (no reply)
+  std::atomic<bool> draining_{false};   ///< drain accepted
+  std::atomic<bool> stopped_{false};    ///< epoch thread exited
+  std::atomic<std::uint64_t> epoch_hint_{0};  ///< next epoch (hello reply)
+  int wake_fd_ = -1;
+
+  DaemonReport report_;
+  std::uint64_t drain_conn_ = 0;  ///< connection owed the drain reply
+  bool last_admit_gap_ = false;
+};
+
+}  // namespace gs::serve

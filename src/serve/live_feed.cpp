@@ -1,0 +1,58 @@
+#include "serve/live_feed.hpp"
+
+#include "ckpt/state_io.hpp"
+
+namespace gs::serve {
+
+LiveFeed::Admit LiveFeed::admit(const FeedEvent& ev) {
+  if (ev.seq < next_seq_) {
+    ++stale_drops_;
+    return Admit::Stale;
+  }
+  if (ev.seq > next_seq_) {
+    ++gap_drops_;
+    return Admit::Gap;
+  }
+  ++next_seq_;
+  ++accepted_;
+  lambda_ewma_.observe(ev.lambda);
+  last_irradiance_ = ev.irradiance;
+  return Admit::Accepted;
+}
+
+sim::LiveEpoch LiveFeed::fallback() {
+  ++next_seq_;
+  ++stale_epochs_;
+  const double lambda =
+      lambda_ewma_.primed() ? lambda_ewma_.prediction() : 0.0;
+  return {lambda, last_irradiance_, false};
+}
+
+void LiveFeed::save_state(ckpt::StateWriter& w) const {
+  w.begin_section("live_feed", kStateVersion);
+  w.u64(next_seq_);
+  w.f64(lambda_ewma_.raw_value());
+  w.boolean(lambda_ewma_.primed());
+  w.f64(last_irradiance_);
+  w.u64(accepted_);
+  w.u64(stale_drops_);
+  w.u64(gap_drops_);
+  w.u64(stale_epochs_);
+  w.end_section();
+}
+
+void LiveFeed::load_state(ckpt::StateReader& r) {
+  r.begin_section("live_feed", kStateVersion);
+  next_seq_ = r.u64();
+  const double value = r.f64();
+  const bool primed = r.boolean();
+  lambda_ewma_.restore(value, primed);
+  last_irradiance_ = r.f64();
+  accepted_ = r.u64();
+  stale_drops_ = r.u64();
+  gap_drops_ = r.u64();
+  stale_epochs_ = r.u64();
+  r.end_section();
+}
+
+}  // namespace gs::serve

@@ -1,0 +1,156 @@
+// The greensprintd wire protocol (GSRV/1): a length-prefixed line protocol
+// over a Unix-domain or TCP stream socket.
+//
+// Framing: every message is `LLLLLL payload` — six lowercase hex digits of
+// payload byte length, one space, then the payload. The fixed-width header
+// keeps the decoder allocation-free and makes truncation detectable at the
+// first byte. Payloads are UTF-8 text, space-separated tokens, no newline
+// requirement (a payload may embed any byte but the tools keep to text).
+//
+// Session grammar (client -> daemon):
+//
+//   hello GSRV/<version>
+//   feed <seq> <lambda> <irradiance> <burst:0|1>
+//   strategy <name>
+//   fault-inject <spec>          (faults::FaultSpec::parse grammar)
+//   checkpoint <path>
+//   stat
+//   query <metric> [<lo_s> <hi_s>]
+//   drain
+//   bye
+//
+// Replies: `ok <detail...>` or `err <code> <detail...>` with a typed error
+// code (ErrorCode). The first message on a connection must be `hello`; the
+// daemon answers with its protocol id, current epoch index, and campaign
+// fingerprint so a replay client can resynchronize after a daemon restart.
+//
+// Doubles cross the wire in shortest round-trip form (std::to_chars /
+// std::from_chars), so a feed generated from day_feed_plan() and parsed
+// back drives the sim with bit-identical values — the foundation of the
+// daemon-e2e fingerprint equivalence.
+//
+// Any change to the message grammar, the framing, or the FeedEvent wire
+// struct must bump kProtocolVersion (gs_analyze rule
+// serve-protocol-version).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gs::serve {
+
+/// GSRV wire-protocol version; part of the hello handshake.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard payload ceiling; a frame header announcing more is a protocol
+/// error (kills the connection, not the daemon).
+inline constexpr std::size_t kMaxFrameBytes = 65536;
+
+/// Frame header size: six hex digits + one space.
+inline constexpr std::size_t kFrameHeaderBytes = 7;
+
+/// "GSRV/<kProtocolVersion>", the id exchanged in hello.
+[[nodiscard]] std::string protocol_id();
+
+// --- Typed error replies ----------------------------------------------------
+
+enum class ErrorCode {
+  BadFrame,        ///< Malformed frame header or oversized payload.
+  BadVersion,      ///< hello named a protocol version we do not speak.
+  NeedHello,       ///< Command before the hello handshake.
+  UnknownCommand,  ///< Verb not in the grammar.
+  BadArgument,     ///< Verb recognized, operands malformed.
+  FeedGap,         ///< Feed seq jumped past the next expected epoch.
+  ShuttingDown,    ///< Daemon is draining; command not accepted.
+  Internal,        ///< Daemon-side failure (e.g. checkpoint write error).
+};
+
+[[nodiscard]] const char* to_string(ErrorCode c);
+[[nodiscard]] std::optional<ErrorCode> error_code_from_string(
+    std::string_view s);
+
+/// `err <code> <detail>` payload.
+[[nodiscard]] std::string make_error(ErrorCode c, std::string_view detail);
+
+// --- Framing ----------------------------------------------------------------
+
+/// Wrap a payload in the `LLLLLL ` length prefix.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental stream decoder: feed() raw socket bytes, next() pops
+/// complete payloads. A malformed header or oversized length poisons the
+/// decoder (error() != nullopt); the connection must be dropped.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  /// Pop the next complete payload; false when more bytes are needed or
+  /// the decoder is poisoned.
+  bool next(std::string& payload);
+  [[nodiscard]] const std::optional<std::string>& error() const {
+    return error_;
+  }
+  /// Bytes buffered but not yet consumed (tests / backpressure metrics).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::optional<std::string> error_;
+};
+
+// --- Wire values ------------------------------------------------------------
+
+/// Shortest round-trip double formatting (std::to_chars); parse_double is
+/// the exact inverse, so doubles survive the wire bit-identically.
+[[nodiscard]] std::string format_double(double v);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// One feed tick: the exogenous inputs of epoch `seq` (sim::LiveEpoch plus
+/// the sequencing the socket needs). Part of the GSRV/1 wire format.
+struct FeedEvent {
+  std::uint64_t seq = 0;
+  double lambda = 0.0;
+  double irradiance = 0.0;
+  bool burst = false;
+};
+
+/// `feed <seq> <lambda> <irradiance> <burst>` payload.
+[[nodiscard]] std::string format_feed(const FeedEvent& ev);
+
+// --- Request parsing --------------------------------------------------------
+
+struct Request {
+  enum class Kind {
+    Hello,
+    Feed,
+    Strategy,
+    FaultInject,
+    Checkpoint,
+    Stat,
+    Query,
+    Drain,
+    Bye,
+  };
+  Kind kind = Kind::Stat;
+  FeedEvent feed;          ///< Kind::Feed
+  std::string arg;         ///< strategy name / fault spec / path / metric
+  double lo = 0.0;         ///< Kind::Query range, seconds
+  double hi = 0.0;
+  bool has_range = false;  ///< Kind::Query: lo/hi given
+  std::uint32_t hello_version = 0;  ///< Kind::Hello
+};
+
+/// Outcome of parsing one payload: either a request or a typed error.
+struct ParseOutcome {
+  std::optional<Request> request;
+  ErrorCode error = ErrorCode::Internal;
+  std::string detail;
+};
+
+[[nodiscard]] ParseOutcome parse_request(std::string_view payload);
+
+}  // namespace gs::serve

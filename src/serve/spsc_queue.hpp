@@ -1,0 +1,70 @@
+// Lock-free single-producer/single-consumer ring (the northport per-core
+// queue idiom): the daemon's IO thread pushes decoded feed events, the
+// epoch thread pops them. Exactly one producer thread and one consumer
+// thread; all other access is a data race by contract.
+//
+// The ring uses monotonically increasing head/tail counters (slot = index
+// mod capacity), so full/empty are unambiguous without a wasted slot.
+// push() publishes with a release store matched by the consumer's acquire
+// load (and vice versa for pop), which is the entire synchronization — no
+// mutex anywhere on the feed path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gs::serve {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity must be a power of two (slot masking instead of modulo).
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(capacity), mask_(capacity - 1) {
+    GS_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+               "SpscQueue capacity must be a power of two >= 2");
+  }
+
+  /// Producer side. False when full (caller applies backpressure).
+  bool push(const T& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy snapshot; exact only from the producer or consumer thread.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return std::size_t(tail - head);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Separate cache lines: the producer writes tail_ and reads head_, the
+  // consumer the reverse; sharing a line would false-share every push/pop.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace gs::serve

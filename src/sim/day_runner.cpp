@@ -49,6 +49,35 @@ std::uint64_t day_run_fingerprint(const DayRunConfig& cfg) {
   return h;
 }
 
+std::uint64_t day_result_fingerprint(const DayRunResult& r) {
+  std::uint64_t h = 0xda15f00dull;
+  h = hash_combine(h, r.simulated.value());
+  h = hash_combine(h, r.sprint_time.value());
+  h = hash_combine(h, r.sprint_hours_per_server);
+  h = hash_combine(h, r.mean_burst_goodput);
+  h = hash_combine(h, r.normal_goodput);
+  h = hash_combine(h, r.burst_speedup);
+  h = hash_combine(h, r.re_energy.value());
+  h = hash_combine(h, r.batt_energy.value());
+  h = hash_combine(h, r.grid_energy.value());
+  h = hash_combine(h, r.battery_cycles);
+  h = hash_combine(h, std::uint64_t(r.bursts_served));
+  h = hash_combine(h, std::uint64_t(r.crash_epochs));
+  h = hash_combine(h, std::uint64_t(r.degraded_epochs));
+  return h;
+}
+
+std::vector<LiveEpoch> day_feed_plan(const DayRunConfig& cfg) {
+  DaySim sim(cfg);
+  std::vector<LiveEpoch> plan;
+  const double n = sim.horizon().value() / sim.epoch().value();
+  plan.reserve(std::size_t(n) + 1);
+  for (Seconds t{0.0}; t < sim.horizon(); t += sim.epoch()) {
+    plan.push_back(sim.planned_epoch(t));
+  }
+  return plan;
+}
+
 namespace {
 
 DayRunConfig validated(DayRunConfig cfg) {
@@ -75,15 +104,16 @@ DaySim::DaySim(const DayRunConfig& cfg)
                          cluster_.perf().capacity(server::normal_mode())),
       epoch_(cfg_.cluster.epoch),
       horizon_(double(cfg_.days) * 86400.0),
+      live_faults_(cfg_.faults),
       injector_(cfg_.faults, horizon_, epoch_, cfg_.cluster.servers) {
   out_.normal_goodput =
       cluster_.perf().goodput(server::normal_mode(), lambda_burst_);
   out_.simulated = horizon_;
 }
 
-void DaySim::step() {
-  GS_REQUIRE(!done(), "step() past the campaign horizon");
-  const Seconds t = t_;
+void DaySim::step() { step_live(planned_epoch(t_)); }
+
+LiveEpoch DaySim::planned_epoch(Seconds t) const {
   const double day_offset = std::fmod(t.value(), 86400.0);
   const bool in_burst = std::any_of(
       cfg_.daily_bursts.begin(), cfg_.daily_bursts.end(),
@@ -91,18 +121,25 @@ void DaySim::step() {
         return day_offset >= b.start.value() &&
                day_offset < b.start.value() + b.duration.value();
       });
+  return {in_burst ? lambda_burst_ : lambda_background_, solar_->at(t),
+          in_burst};
+}
+
+void DaySim::step_live(const LiveEpoch& in) {
+  GS_REQUIRE(!done(), "step() past the campaign horizon");
+  const Seconds t = t_;
   faults::EpochFaults ef;
   const faults::EpochFaults* ef_ptr = nullptr;
-  Watts re_total = array_.ac_output(solar_->at(t));
+  Watts re_total = array_.ac_output(in.irradiance);
   if (injector_.enabled()) {
     ef = injector_.at(t);
     ef_ptr = &ef;
     re_total = re_total * ef.solar_factor;
     cluster_.apply_component_faults(ef);
   }
-  if (in_burst) {
+  if (in.in_burst) {
     if (!in_burst_prev_) ++out_.bursts_served;
-    const auto ep = cluster_.step(re_total, lambda_burst_, true, ef_ptr);
+    const auto ep = cluster_.step(re_total, in.lambda, true, ef_ptr);
     burst_goodput_sum_ += ep.total_goodput / double(cluster_.servers());
     ++burst_epochs_;
     out_.sprint_time += epoch_ * double(ep.servers_sprinting);
@@ -115,10 +152,21 @@ void DaySim::step() {
       record_cluster_epoch(*tsdb_, tsdb_rack_, t.value(), ep);
     }
   } else {
-    cluster_.idle_step(re_total, lambda_background_);
+    cluster_.idle_step(re_total, in.lambda);
   }
-  in_burst_prev_ = in_burst;
+  in_burst_prev_ = in.in_burst;
   t_ += epoch_;
+}
+
+void DaySim::set_faults(const faults::FaultSpec& spec) {
+  bool same = spec.seed == live_faults_.seed;
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    same = same && spec.intensity(cls) == live_faults_.intensity(cls);
+  }
+  if (same) return;
+  live_faults_ = spec;
+  injector_ =
+      faults::FaultInjector(spec, horizon_, epoch_, cfg_.cluster.servers);
 }
 
 DayRunResult DaySim::finish() {
@@ -147,6 +195,13 @@ void DaySim::save_state(ckpt::StateWriter& w) const {
   w.i64(out_.bursts_served);
   w.u64(out_.crash_epochs);
   w.u64(out_.degraded_epochs);
+  // v2: live overrides, restored before the cluster state so the
+  // controllers are rebuilt for the right strategy kind first.
+  w.u8(std::uint8_t(cluster_.config().strategy));
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    w.f64(live_faults_.intensity(cls));
+  }
+  w.u64(live_faults_.seed);
   cluster_.save_state(w);
   w.end_section();
 }
@@ -169,6 +224,18 @@ void DaySim::load_state(ckpt::StateReader& r) {
   out_.bursts_served = int(r.i64());
   out_.crash_epochs = std::size_t(r.u64());
   out_.degraded_epochs = std::size_t(r.u64());
+  const std::uint8_t kind = r.u8();
+  if (kind > std::uint8_t(core::StrategyKind::Efficiency)) {
+    throw ckpt::SnapshotError("day snapshot holds invalid strategy kind " +
+                              std::to_string(int(kind)));
+  }
+  faults::FaultSpec live;
+  for (const faults::FaultClass cls : faults::all_fault_classes()) {
+    live.set_intensity(cls, r.f64());
+  }
+  live.seed = r.u64();
+  cluster_.set_strategy(core::StrategyKind(kind));
+  set_faults(live);
   cluster_.load_state(r);
   r.end_section();
 }

@@ -64,6 +64,28 @@ struct DayRunResult {
 /// snapshots embed it so a checkpoint cannot resume a different campaign.
 [[nodiscard]] std::uint64_t day_run_fingerprint(const DayRunConfig& cfg);
 
+/// Digest over every DayRunResult field, bit-exact on the doubles. Two
+/// campaigns ran identically iff their result fingerprints match — the
+/// daemon-e2e equivalence check (replayed feed, SIGTERM + resume, vs. one
+/// uninterrupted batch run) compares exactly this.
+[[nodiscard]] std::uint64_t day_result_fingerprint(const DayRunResult& r);
+
+/// One epoch's exogenous inputs, exactly as DaySim::step() synthesizes
+/// them internally: the per-server arrival rate, the solar trace output as
+/// a capacity fraction (SolarArray::ac_output input), and the burst flag.
+/// The serve daemon feeds these from a socket; feeding the planned values
+/// back through step_live() reproduces the batch run bit-identically.
+struct LiveEpoch {
+  double lambda = 0.0;
+  double irradiance = 0.0;
+  bool in_burst = false;
+};
+
+/// The canonical feed of a campaign: the LiveEpoch the batch runner would
+/// synthesize for every epoch, in order (horizon / epoch entries). This is
+/// what `gs_feed --gen` serializes for replay against greensprintd.
+[[nodiscard]] std::vector<LiveEpoch> day_feed_plan(const DayRunConfig& cfg);
+
 /// Stepwise multi-day simulation behind run_days(): construct, step() one
 /// epoch at a time until done(), then finish(). save_state/load_state
 /// snapshot the full dynamic state (cluster batteries and controllers,
@@ -78,7 +100,40 @@ class DaySim {
   [[nodiscard]] bool done() const { return !(t_ < horizon_); }
 
   /// Simulate the next epoch (burst or idle). Requires !done().
+  /// Equivalent to step_live(planned_epoch(now())).
   void step();
+
+  /// The exogenous inputs step() would synthesize for epoch time `t`
+  /// (pure; does not advance the sim).
+  [[nodiscard]] LiveEpoch planned_epoch(Seconds t) const;
+
+  /// Simulate the next epoch from externally supplied inputs (the serve
+  /// daemon's socket feed). Requires !done(). Feeding back planned_epoch
+  /// values reproduces step() bit-identically; any other inputs simulate
+  /// the cluster's closed-loop response to that live feed.
+  void step_live(const LiveEpoch& in);
+
+  /// Replace the live fault-injection spec from this epoch on (the
+  /// daemon's `fault-inject <spec>` command). The schedule is rebuilt
+  /// deterministically from the spec's own seed over the full horizon, so
+  /// a checkpointed run restores the same remaining fault stream. The
+  /// campaign config (and its fingerprint) is not touched. Injecting the
+  /// currently active spec is a strict no-op.
+  void set_faults(const faults::FaultSpec& spec);
+  [[nodiscard]] const faults::FaultSpec& live_faults() const {
+    return live_faults_;
+  }
+
+  /// Live strategy switch across the green cluster (see
+  /// GreenCluster::set_strategy). Returns true when the kind changed.
+  bool set_strategy(core::StrategyKind kind) {
+    return cluster_.set_strategy(kind);
+  }
+
+  [[nodiscard]] const DayRunConfig& config() const { return cfg_; }
+  [[nodiscard]] const GreenCluster& cluster() const { return cluster_; }
+  [[nodiscard]] Seconds epoch() const { return epoch_; }
+  [[nodiscard]] int bursts_served() const { return out_.bursts_served; }
 
   /// Stream every burst epoch's cluster aggregates into `engine` (which
   /// must outlive this sim) under `rack`. Runtime plumbing, not state:
@@ -91,8 +146,10 @@ class DaySim {
   /// Aggregate the campaign statistics. Requires done().
   [[nodiscard]] DayRunResult finish();
 
-  // --- Checkpoint/restore (src/ckpt) --------------------------------------
-  static constexpr std::uint32_t kStateVersion = 1;
+  // --- Checkpoint/restore (src/ckpt). v2 appends the live overrides the
+  // serve daemon can apply mid-run (active strategy kind, live fault
+  // spec), so a daemon snapshot restores them before the cluster state.
+  static constexpr std::uint32_t kStateVersion = 2;
   void save_state(ckpt::StateWriter& w) const;
   void load_state(ckpt::StateReader& r);
 
@@ -105,6 +162,7 @@ class DaySim {
   double lambda_background_ = 0.0;
   Seconds epoch_{60.0};
   Seconds horizon_{0.0};
+  faults::FaultSpec live_faults_;
   faults::FaultInjector injector_;
   Seconds t_{0.0};
   tsdb::Engine* tsdb_ = nullptr;

@@ -66,6 +66,15 @@ GreenCluster::GreenCluster(const workload::AppDescriptor& app,
   }
 }
 
+bool GreenCluster::set_strategy(core::StrategyKind kind) {
+  if (kind == cfg_.strategy) return false;
+  cfg_.strategy = kind;
+  for (auto& ctl : controllers_) {
+    ctl->set_strategy(kind, app_, power_model_.idle_power());
+  }
+  return true;
+}
+
 void GreenCluster::allocate_into(Watts re_total) {
   // Same arithmetic as the historical vector<Watts> allocate(): Watts is a
   // value wrapper, so the double expressions below are the identical

@@ -108,6 +108,13 @@ class GreenCluster {
   /// grid recharge the batteries.
   void idle_step(Watts re_total, double background_lambda);
 
+  /// Live strategy switch across every green server's controller (the
+  /// daemon's `strategy <name>` command). Same-kind requests are strict
+  /// no-ops; a real switch rebuilds each controller's PMK from scratch
+  /// (learned state starts over). Call between epochs only. Returns true
+  /// when the kind changed.
+  bool set_strategy(core::StrategyKind kind);
+
   [[nodiscard]] int servers() const { return cfg_.servers; }
   [[nodiscard]] double mean_soc() const;
   [[nodiscard]] double total_equivalent_cycles() const;

@@ -103,6 +103,11 @@ void Monitor::record_correlated_burst(faults::FaultClass cls) {
   ++correlated_bursts_[std::size_t(cls)];
 }
 
+void Monitor::record_feed_stale_epoch() {
+  MutexLock lock(mu_);
+  ++feed_stale_epochs_;
+}
+
 void Monitor::record_health_epoch(int state) {
   GS_REQUIRE(state >= 0 && state < int(kNumHealthStates),
              "health state out of range");
@@ -154,6 +159,11 @@ std::size_t Monitor::total_correlated_bursts() const {
   std::size_t total = 0;
   for (const std::size_t n : correlated_bursts_) total += n;
   return total;
+}
+
+std::size_t Monitor::feed_stale_epochs() const {
+  MutexLock lock(mu_);
+  return feed_stale_epochs_;
 }
 
 std::size_t Monitor::health_epochs(int state) const {
@@ -251,6 +261,7 @@ void Monitor::save_state(ckpt::StateWriter& w) const {
   w.u64(crash_epochs_);
   for (const std::size_t n : correlated_bursts_) w.u64(n);
   for (const std::size_t n : health_epochs_) w.u64(n);
+  w.u64(feed_stale_epochs_);
   w.end_section();
 }
 
@@ -273,6 +284,7 @@ void Monitor::load_state(ckpt::StateReader& r) {
   crash_epochs_ = std::size_t(r.u64());
   for (std::size_t& n : correlated_bursts_) n = std::size_t(r.u64());
   for (std::size_t& n : health_epochs_) n = std::size_t(r.u64());
+  feed_stale_epochs_ = std::size_t(r.u64());
   r.end_section();
 }
 

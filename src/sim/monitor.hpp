@@ -88,6 +88,10 @@ class Monitor {
   /// Account one epoch spent in controller health state `state`
   /// (core::HealthState as an int in [0,3): Healthy/Degraded/Recovering).
   void record_health_epoch(int state) GS_EXCLUDES(mu_);
+  /// Account one epoch driven by the EWMA fallback because the live feed
+  /// had stalled (serve daemon `feed_stale` health flag; batch runs never
+  /// record any).
+  void record_feed_stale_epoch() GS_EXCLUDES(mu_);
 
   /// Downtime attributed to a fault class (epochs x epoch length).
   [[nodiscard]] Seconds fault_downtime(faults::FaultClass cls) const
@@ -100,6 +104,8 @@ class Monitor {
   [[nodiscard]] std::size_t total_fault_incidents() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t degraded_epochs() const GS_EXCLUDES(mu_);
   [[nodiscard]] std::size_t crash_epochs() const GS_EXCLUDES(mu_);
+  /// Epochs the serve daemon synthesized from the EWMA fallback.
+  [[nodiscard]] std::size_t feed_stale_epochs() const GS_EXCLUDES(mu_);
   /// Correlated bursts (Storm/Cascade rising edges) of a fault class.
   [[nodiscard]] std::size_t correlated_bursts(faults::FaultClass cls) const
       GS_EXCLUDES(mu_);
@@ -125,8 +131,9 @@ class Monitor {
 
   // --- Checkpoint/restore (src/ckpt). v2 appends the correlated-burst
   // counters and the time-in-health-state histogram; v3 appends the epoch
-  // condition flags to each retained sample.
-  static constexpr std::uint32_t kStateVersion = 3;
+  // condition flags to each retained sample; v4 appends the feed-stale
+  // epoch counter (serve daemon).
+  static constexpr std::uint32_t kStateVersion = 4;
   void save_state(ckpt::StateWriter& w) const GS_EXCLUDES(mu_);
   void load_state(ckpt::StateReader& r) GS_EXCLUDES(mu_);
 
@@ -152,6 +159,7 @@ class Monitor {
       GS_GUARDED_BY(mu_){};
   std::array<std::size_t, kNumHealthStates> health_epochs_
       GS_GUARDED_BY(mu_){};
+  std::size_t feed_stale_epochs_ GS_GUARDED_BY(mu_) = 0;
   TsdbSink tsdb_sink_ GS_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,7 @@
+namespace gs::serve {
+std::string encode_frame(const std::string& payload) {
+  std::string out = "000000 ";
+  out += payload;
+  return out;
+}
+}  // namespace gs::serve

@@ -1,0 +1,9 @@
+namespace gs::serve {
+// kProtocolVersion is negotiated by the GSRV hello exchange.
+std::string encode_frame(const std::string& payload) {
+  std::string out = "000000 ";
+  out += payload;
+  out.push_back(char(kProtocolVersion));
+  return out;
+}
+}  // namespace gs::serve

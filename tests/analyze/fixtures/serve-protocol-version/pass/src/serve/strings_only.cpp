@@ -1,0 +1,8 @@
+// Lexer regression: the wire-format markers below live only in string
+// literals and comments, so the rule must not fire. FrameDecoder.
+namespace gs::serve {
+std::string usage() {
+  return "gs_feed replays parse_request-compatible traces; the daemon's "
+         "FrameDecoder and format_feed live in src/serve/protocol.cpp";
+}
+}  // namespace gs::serve

@@ -1,0 +1,127 @@
+// LiveFeed: admission ordering, EWMA stall fallback determinism, and
+// checkpoint round-trips of the sequencing + predictor state.
+#include "serve/live_feed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ckpt/state_io.hpp"
+
+namespace gs::serve {
+namespace {
+
+FeedEvent ev(std::uint64_t seq, double lambda, double irr, bool burst) {
+  FeedEvent e;
+  e.seq = seq;
+  e.lambda = lambda;
+  e.irradiance = irr;
+  e.burst = burst;
+  return e;
+}
+
+TEST(LiveFeed, AdmitsOnlyTheNextEpoch) {
+  LiveFeed feed;
+  EXPECT_EQ(feed.next_seq(), 0u);
+  EXPECT_EQ(feed.admit(ev(1, 1.0, 0.0, false)), LiveFeed::Admit::Gap);
+  EXPECT_EQ(feed.admit(ev(0, 1.0, 0.0, false)), LiveFeed::Admit::Accepted);
+  EXPECT_EQ(feed.next_seq(), 1u);
+  // Duplicate / late arrivals drop as Stale.
+  EXPECT_EQ(feed.admit(ev(0, 9.0, 9.0, true)), LiveFeed::Admit::Stale);
+  EXPECT_EQ(feed.next_seq(), 1u);
+  EXPECT_EQ(feed.accepted(), 1u);
+  EXPECT_EQ(feed.stale_drops(), 1u);
+  EXPECT_EQ(feed.gap_drops(), 1u);
+}
+
+TEST(LiveFeed, LivePassesEventThrough) {
+  const sim::LiveEpoch e = LiveFeed::live(ev(7, 12.5, 800.0, true));
+  EXPECT_EQ(e.lambda, 12.5);
+  EXPECT_EQ(e.irradiance, 800.0);
+  EXPECT_TRUE(e.in_burst);
+}
+
+TEST(LiveFeed, UnprimedFallbackIsConservative) {
+  LiveFeed feed;
+  const sim::LiveEpoch e = feed.fallback();
+  EXPECT_EQ(e.lambda, 0.0);
+  EXPECT_EQ(e.irradiance, 0.0);
+  EXPECT_FALSE(e.in_burst);
+  // The fallback consumed epoch 0: its late event is now Stale.
+  EXPECT_EQ(feed.next_seq(), 1u);
+  EXPECT_EQ(feed.admit(ev(0, 1.0, 0.0, false)), LiveFeed::Admit::Stale);
+  EXPECT_EQ(feed.stale_epochs(), 1u);
+}
+
+TEST(LiveFeed, FallbackTracksEwmaAndLastIrradiance) {
+  LiveFeed feed(0.3);
+  Ewma reference(0.3);
+  double lambda = 10.0;
+  for (std::uint64_t s = 0; s < 5; ++s, lambda += 2.0) {
+    ASSERT_EQ(feed.admit(ev(s, lambda, 100.0 * double(s), false)),
+              LiveFeed::Admit::Accepted);
+    reference.observe(lambda);
+  }
+  const sim::LiveEpoch e = feed.fallback();
+  EXPECT_EQ(e.lambda, reference.prediction());
+  EXPECT_EQ(e.irradiance, 400.0);  // last admitted irradiance
+  EXPECT_FALSE(e.in_burst);
+}
+
+TEST(LiveFeed, FallbackDeterministicInHistory) {
+  // Same admit/fallback history => bit-identical fallback values.
+  const auto run = [] {
+    LiveFeed feed;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      feed.admit(ev(s, 7.25 + double(s), 50.0, false));
+    }
+    const sim::LiveEpoch a = feed.fallback();
+    const sim::LiveEpoch b = feed.fallback();
+    return std::pair(a.lambda, b.lambda);
+  };
+  const auto [a1, b1] = run();
+  const auto [a2, b2] = run();
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(LiveFeed, CheckpointRoundTripPreservesBehavior) {
+  LiveFeed feed;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    feed.admit(ev(s, 5.0 + double(s), 123.0, s % 2 == 0));
+  }
+  feed.admit(ev(9, 1.0, 1.0, false));   // gap
+  feed.admit(ev(1, 1.0, 1.0, false));   // stale
+  (void)feed.fallback();
+
+  ckpt::StateWriter w;
+  feed.save_state(w);
+  ckpt::StateReader r(w.buffer());
+  LiveFeed restored;
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.next_seq(), feed.next_seq());
+  EXPECT_EQ(restored.accepted(), feed.accepted());
+  EXPECT_EQ(restored.stale_drops(), feed.stale_drops());
+  EXPECT_EQ(restored.gap_drops(), feed.gap_drops());
+  EXPECT_EQ(restored.stale_epochs(), feed.stale_epochs());
+  // The restored predictor must produce the same fallback trajectory.
+  const sim::LiveEpoch a = feed.fallback();
+  const sim::LiveEpoch b = restored.fallback();
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.irradiance, b.irradiance);
+}
+
+TEST(LiveFeed, FreshFeedCheckpointRoundTrips) {
+  LiveFeed feed;
+  ckpt::StateWriter w;
+  feed.save_state(w);
+  ckpt::StateReader r(w.buffer());
+  LiveFeed restored;
+  restored.load_state(r);
+  EXPECT_EQ(restored.next_seq(), 0u);
+  EXPECT_EQ(restored.fallback().lambda, 0.0);  // still unprimed
+}
+
+}  // namespace
+}  // namespace gs::serve

@@ -1,0 +1,119 @@
+// SpscQueue: capacity contract, wrap-around, and a two-thread hammer that
+// checks every element crosses exactly once, in order (also the TSan
+// target for the ring's release/acquire protocol).
+#include "serve/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gs::serve {
+namespace {
+
+TEST(SpscQueue, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), ContractError);
+  EXPECT_THROW(SpscQueue<int>(1), ContractError);
+  EXPECT_THROW(SpscQueue<int>(3), ContractError);
+  EXPECT_THROW(SpscQueue<int>(100), ContractError);
+  EXPECT_NO_THROW(SpscQueue<int>(2));
+  EXPECT_NO_THROW(SpscQueue<int>(1024));
+}
+
+TEST(SpscQueue, FillDrainFill) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));  // full
+  EXPECT_EQ(q.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));  // empty
+  // Refill after drain exercises slot reuse.
+  for (int i = 10; i < 14; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscQueue, WrapAroundManyTimes) {
+  SpscQueue<std::uint64_t> q(8);
+  std::uint64_t next_out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.push(i));
+    if (i % 3 == 0) {
+      std::uint64_t v = 0;
+      while (q.pop(v)) {
+        EXPECT_EQ(v, next_out);
+        ++next_out;
+      }
+    }
+  }
+  std::uint64_t v = 0;
+  while (q.pop(v)) {
+    EXPECT_EQ(v, next_out);
+    ++next_out;
+  }
+  EXPECT_EQ(next_out, 1000u);
+}
+
+TEST(SpscQueue, TwoThreadHammerDeliversAllInOrder) {
+  constexpr std::uint64_t kCount = 200000;
+  SpscQueue<std::uint64_t> q(256);
+  std::vector<std::uint64_t> got;
+  got.reserve(kCount);
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!q.push(i)) {
+      }
+    }
+  });
+  std::uint64_t v = 0;
+  while (got.size() < kCount) {
+    if (q.pop(v)) got.push_back(v);
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(got[i], i) << "reordered at " << i;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, HammerWithPayloadStruct) {
+  struct Ev {
+    std::uint64_t seq = 0;
+    double a = 0.0;
+    double b = 0.0;
+  };
+  constexpr std::uint64_t kCount = 50000;
+  SpscQueue<Ev> q(64);
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      const Ev ev{i, double(i) * 0.5, double(i) * 2.0};
+      while (!q.push(ev)) {
+      }
+    }
+  });
+  std::uint64_t seen = 0;
+  Ev ev;
+  while (seen < kCount) {
+    if (!q.pop(ev)) continue;
+    ASSERT_EQ(ev.seq, seen);
+    ASSERT_EQ(ev.a, double(seen) * 0.5);
+    ASSERT_EQ(ev.b, double(seen) * 2.0);
+    ++seen;
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace gs::serve

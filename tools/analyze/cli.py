@@ -32,6 +32,8 @@ _RULE_SUMMARIES = {
     "tsdb-chunk-version":
         "tsdb on-disk format code keeps its format-version constant in "
         "view",
+    "serve-protocol-version":
+        "GSRV wire-format code keeps kProtocolVersion in view",
     "hot-path-alloc": "no heap allocation in gs:hot-path files",
     "ckpt-schema-lock":
         "serialized field lists cannot change without a version bump "

@@ -24,6 +24,7 @@ LEGACY_RULES = (
     "mutex-annotations",
     "ckpt-schema-version",
     "tsdb-chunk-version",
+    "serve-protocol-version",
     "hot-path-alloc",
 )
 
@@ -85,6 +86,11 @@ _TSDB_MARKERS = frozenset({
 })
 _TSDB_VERSIONS = frozenset({"kChunkFormatVersion", "kWalFormatVersion"})
 
+_SERVE_MARKERS = frozenset({
+    "encode_frame", "FrameDecoder", "parse_request", "format_feed",
+})
+_SERVE_VERSION = "kProtocolVersion"
+
 _GROWTH_CALLS = frozenset({
     "push_back", "emplace_back", "resize", "reserve", "assign", "insert",
     "emplace",
@@ -120,6 +126,8 @@ def _lint_file(project: Project, sf: SourceFile, report: Report) -> None:
     saw_state_version = False
     tsdb_marker_line = None
     saw_tsdb_version = False
+    serve_marker_line = None
+    saw_serve_version = False
 
     for i, t in enumerate(toks):
         nxt = toks[i + 1] if i + 1 < n else None
@@ -187,6 +195,10 @@ def _lint_file(project: Project, sf: SourceFile, report: Report) -> None:
                 tsdb_marker_line = t.line
             if t.text in _TSDB_VERSIONS:
                 saw_tsdb_version = True
+            if t.text in _SERVE_MARKERS and serve_marker_line is None:
+                serve_marker_line = t.line
+            if t.text == _SERVE_VERSION:
+                saw_serve_version = True
 
         # hot-path-alloc.
         if sf.hot_path:
@@ -257,6 +269,20 @@ def _lint_file(project: Project, sf: SourceFile, report: Report) -> None:
                 "on-disk format marker (page/WAL encode, decode, or "
                 "replay) without a kChunkFormatVersion/kWalFormatVersion "
                 "reference; bump the format version with any layout change",
+            )
+
+    # serve-protocol-version: wire-format code (the GSRV framing codec or
+    # request grammar) must keep kProtocolVersion in view (file-level
+    # allow) so any grammar/framing change confronts the version bump.
+    if "serve/" in rel and serve_marker_line is not None and \
+            not saw_serve_version:
+        if not sf.allowed_anywhere("serve-protocol-version"):
+            report.add(
+                "serve-protocol-version", rel, serve_marker_line,
+                "GSRV wire-format marker (encode_frame, FrameDecoder, "
+                "parse_request, or format_feed) without a "
+                "kProtocolVersion reference; bump the protocol version "
+                "with any framing or grammar change",
             )
 
 

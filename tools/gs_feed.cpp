@@ -1,0 +1,292 @@
+// gs_feed: feed-trace generator and replay client for greensprintd.
+//
+// Generate: gs_feed --gen --trace FILE [scenario flags]
+//   Writes one GSRV/1 feed payload per line, produced by
+//   sim::day_feed_plan() with shortest round-trip doubles — replaying the
+//   file drives the daemon bit-identically to the batch run.
+//
+// Replay:  gs_feed --play --trace FILE --socket PATH [--until EPOCH]
+//            [--strategy-at EPOCH:NAME] [--fault-at EPOCH:SPEC]
+//            [--stat-at EPOCH] [--drain]
+//   Connects, handshakes, and streams the trace from the daemon's current
+//   epoch (the hello reply carries it, so replaying the full file after a
+//   daemon restart just works — consumed epochs are skipped client-side
+//   and would be Stale-dropped server-side anyway). --until stops before
+//   the named epoch (partial segment ahead of a planned restart). The
+//   *-at hooks inject one control command just before that epoch's feed.
+//   --drain sends `drain` after the last event and waits for the reply,
+//   printing the daemon's final fingerprint.
+//
+// Exit codes: 0 ok, 2 usage, 3 connection lost mid-replay (daemon died).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve_scenario.hpp"
+#include "sim/day_runner.hpp"
+
+namespace {
+
+using namespace gs;
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += std::size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Block until one complete frame arrives; nullopt on EOF/error.
+std::optional<std::string> read_frame(int fd, serve::FrameDecoder& dec) {
+  std::string payload;
+  char buf[4096];
+  for (;;) {
+    if (dec.next(payload)) return payload;
+    if (dec.error()) return std::nullopt;
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      dec.feed(std::string_view(buf, std::size_t(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+/// "EPOCH:REST" hook argument.
+struct Hook {
+  std::uint64_t epoch = 0;
+  std::string rest;
+};
+
+std::optional<Hook> parse_hook(const std::string& s, bool with_rest) {
+  const auto colon = s.find(':');
+  if (with_rest && colon == std::string::npos) return std::nullopt;
+  const std::string head = s.substr(0, colon);
+  const auto epoch = serve::parse_u64(head);
+  if (!epoch) return std::nullopt;
+  Hook h;
+  h.epoch = *epoch;
+  if (colon != std::string::npos) h.rest = s.substr(colon + 1);
+  return h;
+}
+
+int generate(const CliArgs& args, const std::string& trace_path) {
+  const sim::DayRunConfig cfg = tools::scenario_from_cli(args);
+  const std::vector<sim::LiveEpoch> plan = sim::day_feed_plan(cfg);
+  std::ofstream out(trace_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "gs_feed: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::uint64_t seq = 0;
+  for (const sim::LiveEpoch& e : plan) {
+    serve::FeedEvent ev;
+    ev.seq = seq++;
+    ev.lambda = e.lambda;
+    ev.irradiance = e.irradiance;
+    ev.burst = e.in_burst;
+    out << serve::format_feed(ev) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "gs_feed: write to %s failed\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  std::printf("gs_feed: wrote %llu epochs to %s\n",
+              (unsigned long long)seq, trace_path.c_str());
+  return 0;
+}
+
+int play(const CliArgs& args, const std::string& trace_path) {
+  const std::string socket_path = args.get("socket", std::string());
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "gs_feed: --play needs --socket\n");
+    return 2;
+  }
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "gs_feed: cannot read %s\n", trace_path.c_str());
+    return 2;
+  }
+  std::optional<Hook> strategy_at, fault_at, stat_at;
+  if (args.has("strategy-at")) {
+    strategy_at = parse_hook(args.get("strategy-at", std::string()), true);
+    if (!strategy_at) {
+      std::fprintf(stderr, "gs_feed: --strategy-at wants EPOCH:NAME\n");
+      return 2;
+    }
+  }
+  if (args.has("fault-at")) {
+    fault_at = parse_hook(args.get("fault-at", std::string()), true);
+    if (!fault_at) {
+      std::fprintf(stderr, "gs_feed: --fault-at wants EPOCH:SPEC\n");
+      return 2;
+    }
+  }
+  if (args.has("stat-at")) {
+    stat_at = parse_hook(args.get("stat-at", std::string()), false);
+    if (!stat_at) {
+      std::fprintf(stderr, "gs_feed: --stat-at wants EPOCH\n");
+      return 2;
+    }
+  }
+  const std::uint64_t until =
+      args.has("until")
+          ? std::uint64_t(args.get("until", 0))
+          : ~std::uint64_t(0);
+
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "gs_feed: cannot connect %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return 3;
+  }
+  serve::FrameDecoder dec;
+  if (!send_all(fd, serve::encode_frame("hello " + serve::protocol_id()))) {
+    ::close(fd);
+    return 3;
+  }
+  const auto hello = read_frame(fd, dec);
+  if (!hello || hello->rfind("ok hello ", 0) != 0) {
+    std::fprintf(stderr, "gs_feed: bad hello reply: %s\n",
+                 hello ? hello->c_str() : "(connection lost)");
+    ::close(fd);
+    return 3;
+  }
+  std::printf("gs_feed: %s\n", hello->c_str());
+  // "ok hello GSRV/1 epoch <k> fp <hex>"
+  std::uint64_t resume_epoch = 0;
+  {
+    const std::string marker = " epoch ";
+    const auto at = hello->find(marker);
+    if (at != std::string::npos) {
+      const auto start = at + marker.size();
+      const auto end = hello->find(' ', start);
+      const auto v = serve::parse_u64(hello->substr(start, end - start));
+      if (v) resume_epoch = *v;
+    }
+  }
+
+  std::uint64_t sent = 0;
+  std::string line;
+  bool lost = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const serve::ParseOutcome out = serve::parse_request(line);
+    if (!out.request || out.request->kind != serve::Request::Kind::Feed) {
+      std::fprintf(stderr, "gs_feed: bad trace line: %s\n", line.c_str());
+      ::close(fd);
+      return 2;
+    }
+    const std::uint64_t seq = out.request->feed.seq;
+    if (seq >= until) break;
+    if (seq < resume_epoch) continue;  // daemon already consumed it
+    const auto hook = [&](const std::optional<Hook>& h, const char* verb,
+                          bool wait_reply) -> bool {
+      if (!h || h->epoch != seq) return true;
+      std::string cmd = verb;
+      if (!h->rest.empty()) cmd += " " + h->rest;
+      if (!send_all(fd, serve::encode_frame(cmd))) return false;
+      if (wait_reply) {
+        const auto reply = read_frame(fd, dec);
+        if (!reply) return false;
+        std::printf("gs_feed: %s\n", reply->c_str());
+      }
+      return true;
+    };
+    if (!hook(strategy_at, "strategy", true) ||
+        !hook(fault_at, "fault-inject", true) ||
+        !hook(stat_at, "stat", true)) {
+      lost = true;
+      break;
+    }
+    if (!send_all(fd, serve::encode_frame(line))) {
+      lost = true;
+      break;
+    }
+    ++sent;
+  }
+  if (lost) {
+    std::fprintf(stderr, "gs_feed: connection lost after %llu events\n",
+                 (unsigned long long)sent);
+    ::close(fd);
+    return 3;
+  }
+  std::printf("gs_feed: sent %llu events\n", (unsigned long long)sent);
+
+  if (args.flag("drain")) {
+    if (!send_all(fd, serve::encode_frame("drain"))) {
+      ::close(fd);
+      return 3;
+    }
+    for (;;) {
+      const auto reply = read_frame(fd, dec);
+      if (!reply) {
+        std::fprintf(stderr, "gs_feed: connection lost awaiting drain\n");
+        ::close(fd);
+        return 3;
+      }
+      std::printf("gs_feed: %s\n", reply->c_str());
+      if (reply->rfind("ok drain ", 0) == 0) break;
+    }
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const CliArgs args(argc, argv);
+  const std::string trace = args.get("trace", std::string());
+  if (trace.empty() || (!args.flag("gen") && !args.flag("play"))) {
+    std::fprintf(stderr,
+                 "usage: %s --gen --trace FILE [scenario flags]\n"
+                 "   or: %s --play --trace FILE --socket PATH "
+                 "[--until EPOCH]\n        [--strategy-at EPOCH:NAME] "
+                 "[--fault-at EPOCH:SPEC] [--stat-at EPOCH] [--drain]\n"
+                 "scenario flags: %s\n",
+                 argv[0], argv[0], gs::tools::kScenarioUsage);
+    return 2;
+  }
+  return args.flag("gen") ? generate(args, trace) : play(args, trace);
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """gs-lint: repo-specific concurrency & determinism rule pack.
 
-Compatibility shim: the ten historical rules (raw-thread, raw-mutex,
+Compatibility shim: the historical rules (raw-thread, raw-mutex,
 mutex-annotations, raw-random, wall-clock, use-gs-assert,
 ckpt-schema-version, correlated-faults, tsdb-chunk-version,
-hot-path-alloc) now run inside the tools/analyze engine, matched against
+serve-protocol-version, hot-path-alloc) now run inside the
+tools/analyze engine, matched against
 a real C++ token stream instead of line regexes — so a pattern inside a
 string literal or comment can no longer fire, and stale allow() comments
 are reported as errors. Rule names, messages, suppression placement and

@@ -1,0 +1,53 @@
+// Shared scenario flags for greensprintd and gs_feed. Both tools must
+// build byte-identical DayRunConfigs from the same flags — the feed trace
+// gs_feed generates is only valid against a daemon configured for the
+// same campaign (the hello fingerprint check enforces this at runtime).
+//
+//   --days N            campaign length in days           (default 1)
+//   --servers N         green servers in the cluster      (default 3)
+//   --strategy NAME     sprinting strategy                (default hybrid)
+//   --panels N          PV panels                          (default 3)
+//   --background F      background load fraction          (default 0.3)
+//   --solar-seed N      irradiance noise seed             (default 42)
+//   --faults SPEC       faults::FaultSpec::parse grammar  (default none)
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/strategy.hpp"
+#include "faults/fault_spec.hpp"
+#include "sim/day_runner.hpp"
+
+namespace gs::tools {
+
+inline constexpr const char* kScenarioUsage =
+    "[--days N] [--servers N] [--strategy NAME] [--panels N]\n"
+    "  [--background F] [--solar-seed N] [--faults SPEC]";
+
+/// Build the campaign config from scenario flags; exits(2) on a bad
+/// strategy name so both tools fail the same way.
+inline sim::DayRunConfig scenario_from_cli(const CliArgs& args) {
+  sim::DayRunConfig cfg;
+  cfg.days = args.get("days", cfg.days);
+  cfg.cluster.servers = args.get("servers", cfg.cluster.servers);
+  cfg.panels = args.get("panels", cfg.panels);
+  cfg.background_load = args.get("background", cfg.background_load);
+  cfg.solar_seed =
+      std::uint64_t(args.get("solar-seed", int(cfg.solar_seed)));
+  cfg.daily_bursts = sim::default_daily_bursts();
+  const std::string name =
+      args.get("strategy", std::string(core::to_string(cfg.cluster.strategy)));
+  const auto kind = core::strategy_from_string(name);
+  if (!kind) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  cfg.cluster.strategy = *kind;
+  const std::string spec = args.get("faults", std::string());
+  if (!spec.empty()) cfg.faults = faults::FaultSpec::parse(spec);
+  return cfg;
+}
+
+}  // namespace gs::tools
