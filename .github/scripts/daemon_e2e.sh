@@ -34,6 +34,7 @@ set -euo pipefail
 DAEMON="${1:-./build/tools/greensprintd}"
 FEED="${2:-./build/tools/gs_feed}"
 WORK="${3:-daemon-e2e}"
+FSCK="${FSCK:-./build/tools/gs_fsck}"
 DAYS="${DAYS:-1}"
 SIM_SPEED="${SIM_SPEED:-6000}"
 UNTIL="${UNTIL:-700}"
@@ -51,15 +52,6 @@ cleanup() {
 }
 trap cleanup EXIT
 
-wait_for_socket() {
-  for _ in $(seq 1 300); do
-    [ -S "$1" ] && return 0
-    sleep 0.1
-  done
-  echo "daemon_e2e: socket $1 never appeared" >&2
-  return 1
-}
-
 echo "== batch reference ($DAYS day(s)) =="
 "$DAEMON" --batch --days "$DAYS" | tee "$WORK/batch.log"
 BATCH_FP="$(grep -o 'batch fp [0-9a-f]*' "$WORK/batch.log" | awk '{print $3}')"
@@ -75,18 +67,29 @@ echo "== segment 1: paced daemon, SIGTERM at epoch ~$UNTIL =="
   --checkpoint "$CKPT" --checkpoint-every 200 --days "$DAYS" \
   > "$WORK/segment1.log" 2>&1 &
 DPID=$!
-wait_for_socket "$SOCK"
+# gs_feed's connector retries with backoff, so no socket-poll loop: the
+# replay starts the moment the daemon binds.
 "$FEED" --play --trace "$TRACE" --socket "$SOCK" --until "$UNTIL"
-# The replayer outruns the pacing, so let the epoch thread work through a
-# few hundred queued events before the SIGTERM lands: the stop checkpoint
-# is then genuinely mid-campaign, and the events still queued at the kill
-# are dropped by design (the segment-2 replay recovers them).
-sleep "${SETTLE:-3}"
+# The replayer outruns the pacing, so wait (by observed epoch, not
+# wall-clock) until the epoch thread has worked through a few hundred
+# queued events: the stop checkpoint is then genuinely mid-campaign, and
+# the events still queued at the kill are dropped by design (the
+# segment-2 replay recovers them).
+"$FEED" --wait-epoch $((UNTIL / 2)) --socket "$SOCK" --timeout 60
 kill -TERM "$DPID"
 wait "$DPID"
 DPID=""
 cat "$WORK/segment1.log"
-[ -f "$CKPT" ] || { echo "daemon_e2e: no stop checkpoint" >&2; exit 1; }
+# The checkpoint is a rotated family: generation files plus a pointer,
+# never the bare base path.
+ls "$WORK"/gsd.g*.gsck >/dev/null 2>&1 || {
+  echo "daemon_e2e: no stop checkpoint generation" >&2
+  exit 1
+}
+if [ -x "$FSCK" ]; then
+  echo "== gs_fsck after SIGTERM =="
+  "$FSCK" "$WORK"
+fi
 grep -q 'greensprintd: stopped' "$WORK/segment1.log" || {
   echo "daemon_e2e: segment 1 did not stop cleanly" >&2
   exit 1
@@ -96,7 +99,6 @@ echo "== segment 2: resume + full replay + live commands + drain =="
 "$DAEMON" --socket "$SOCK" --resume "$CKPT" --checkpoint "$CKPT" \
   --days "$DAYS" > "$WORK/segment2.log" 2>&1 &
 DPID=$!
-wait_for_socket "$SOCK"
 "$FEED" --play --trace "$TRACE" --socket "$SOCK" \
   --strategy-at 800:hybrid --fault-at 900:all=0 --stat-at 1000 \
   --drain | tee "$WORK/replay.log"

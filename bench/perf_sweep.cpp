@@ -35,10 +35,12 @@
 // fingerprint to match an uninterrupted reference bit-for-bit.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/failpoint.hpp"
 #include "core/hybrid.hpp"
 #include "core/profile_table.hpp"
 #include "sim/sweep_grid.hpp"
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
   std::string out_path = kDefaultOut;
   std::size_t n_cells = 0;
   int workers = 0;
+  std::string failpoints;
+  std::uint64_t failpoint_seed = 0;
   bench::CheckpointCli ckpt;
   for (int i = 1; i < argc; ++i) {
     if (ckpt.parse(argc, argv, i)) {
@@ -89,12 +93,26 @@ int main(int argc, char** argv) {
       n_cells = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      failpoints = argv[++i];
+    } else if (std::strcmp(argv[i], "--failpoint-seed") == 0 &&
+               i + 1 < argc) {
+      failpoint_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--storm] [--out PATH] [--cells N]\n"
                    "          [--checkpoint-dir DIR] [--checkpoint-every N] "
-                   "[--resume] [--workers N]\n",
+                   "[--resume] [--workers N]\n"
+                   "          [--failpoints SPEC] [--failpoint-seed N]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+  if (!failpoints.empty()) {
+    try {
+      failpoint::configure(failpoints, failpoint_seed);
+    } catch (const failpoint::SpecError& e) {
+      std::fprintf(stderr, "perf_sweep: --failpoints: %s\n", e.what());
       return 2;
     }
   }
@@ -123,14 +141,22 @@ int main(int argc, char** argv) {
     bench::WallTimer timer;
     sim::SweepCheckpointStats stats;
     std::vector<sim::BurstResult> results;
-    if (workers > 0) {
-      sim::SweepMpOptions mp;
-      mp.dir = ckpt.options.dir;
-      mp.workers = workers;
-      mp.resume = ckpt.options.resume;
-      results = sim::run_sweep_multiprocess(grid, mp, &stats);
-    } else {
-      results = sim::run_sweep_checkpointed(grid, ckpt.options, 0, &stats);
+    // Injected I/O failures (the chaos lane) surface as exceptions from
+    // the sweep; exit 1 cleanly so the driver can restart-and-resume
+    // instead of seeing an abort.
+    try {
+      if (workers > 0) {
+        sim::SweepMpOptions mp;
+        mp.dir = ckpt.options.dir;
+        mp.workers = workers;
+        mp.resume = ckpt.options.resume;
+        results = sim::run_sweep_multiprocess(grid, mp, &stats);
+      } else {
+        results = sim::run_sweep_checkpointed(grid, ckpt.options, 0, &stats);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "perf_sweep: %s\n", e.what());
+      return 1;
     }
     const std::uint64_t fp = sim::sweep_fingerprint(results);
     const double secs = timer.elapsed_s();

@@ -1,0 +1,92 @@
+// Checkpoint rotation with last-known-good recovery.
+//
+// A RotatingSnapshot turns one snapshot *base path* into a family of
+// generation files plus an atomic pointer:
+//
+//   gsd.gsck            (base, never written)
+//   gsd.g000041.gsck    generation 41: a plain snapshot container
+//   gsd.g000042.gsck    generation 42 (newest)
+//   gsd.gsck.current    pointer: a tiny snapshot naming generation 42
+//
+// write() lands the payload in the *next* generation file first, then
+// atomically swaps the pointer, then prunes generations beyond keep-K —
+// so a crash (or an injected torn write) at any instant leaves at least
+// one intact older generation on disk. load_last_known_good() trusts
+// nothing: it scans generations newest-first and returns the newest one
+// whose container validates, logging every damaged file it stepped over.
+// A stale or corrupt pointer therefore costs a scan, never the campaign.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace gs::ckpt {
+
+/// Version of the `ckpt_rotation` pointer-file section.
+inline constexpr std::uint32_t kRotationPointerVersion = 1;
+
+struct RotationOptions {
+  /// Generations kept on disk; older ones are pruned after each write.
+  std::uint32_t keep = 4;
+  io::Durability durability = io::Durability::Full;
+};
+
+/// A successful last-known-good load.
+struct RotatedLoad {
+  std::string payload;
+  std::uint64_t generation = 0;
+  /// True when a generation newer than the chosen one existed but failed
+  /// validation (i.e. recovery actually fell back).
+  bool fell_back = false;
+  /// One line per damaged artifact stepped over during the scan.
+  std::vector<std::string> notes;
+};
+
+class RotatingSnapshot {
+ public:
+  explicit RotatingSnapshot(std::filesystem::path base,
+                            RotationOptions opts = {});
+
+  /// Write `payload` as the next generation and swap the pointer to it.
+  /// Returns the generation number written.
+  std::uint64_t write(std::string_view payload);
+
+  /// Newest generation whose snapshot container validates, or nullopt
+  /// when no generation survives. Never throws on damaged files.
+  [[nodiscard]] std::optional<RotatedLoad> load_last_known_good() const;
+
+  [[nodiscard]] const std::filesystem::path& base() const { return base_; }
+
+  /// "gsd.gsck" + 41 -> "gsd.g000041.gsck" (same directory as base).
+  static std::filesystem::path generation_path(
+      const std::filesystem::path& base, std::uint64_t generation);
+
+  /// "gsd.gsck" -> "gsd.gsck.current".
+  static std::filesystem::path pointer_path(
+      const std::filesystem::path& base);
+
+  /// Every generation file for `base`, sorted ascending by generation.
+  static std::vector<std::pair<std::uint64_t, std::filesystem::path>>
+  list_generations(const std::filesystem::path& base);
+
+  /// Generation named by the pointer file, or nullopt when the pointer
+  /// is missing or fails validation (the scan is the authority anyway).
+  static std::optional<std::uint64_t> read_pointer(
+      const std::filesystem::path& base);
+
+  /// True when `base` has a pointer or at least one generation file —
+  /// i.e. resume should go through rotation rather than a plain file.
+  static bool exists(const std::filesystem::path& base);
+
+ private:
+  std::filesystem::path base_;
+  RotationOptions opts_;
+};
+
+}  // namespace gs::ckpt

@@ -1,3 +1,4 @@
+// gs:durable-io
 #include "ckpt/snapshot.hpp"
 
 #include <cstring>
@@ -6,6 +7,10 @@
 
 namespace gs::ckpt {
 namespace {
+
+/// Failpoint site hosted by every snapshot commit (manifest, cells,
+/// rotation generations and pointers, daemon checkpoints).
+constexpr const char* kFailpointSnapshotWrite = "ckpt.snapshot.write";
 
 constexpr char kMagic[8] = {'G', 'S', 'C', 'K', 'P', 'T', '\r', '\n'};
 constexpr std::size_t kHeaderBytes =
@@ -23,7 +28,8 @@ std::uint64_t payload_checksum(std::string_view payload) {
 }
 
 void write_snapshot_file(const std::filesystem::path& path,
-                         std::string_view payload) {
+                         std::string_view payload,
+                         io::Durability durability) {
   std::string blob;
   blob.reserve(kHeaderBytes + payload.size());
   blob.append(kMagic, sizeof(kMagic));
@@ -41,23 +47,14 @@ void write_snapshot_file(const std::filesystem::path& path,
   std::ostringstream suffix;
   suffix << ".tmp-" << std::hex << checksum;
   const std::filesystem::path tmp = path.string() + suffix.str();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw SnapshotError("cannot open snapshot temp file " + tmp.string());
-    }
-    out.write(blob.data(), std::streamsize(blob.size()));
-    out.flush();
-    if (!out) {
-      throw SnapshotError("short write to snapshot temp file " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw SnapshotError("cannot rename snapshot into place at " +
-                        path.string());
+  io::WriteOptions opts;
+  opts.durability = durability;
+  opts.site = kFailpointSnapshotWrite;
+  try {
+    io::atomic_write_file(path, tmp, blob, opts);
+  } catch (const io::IoError& e) {
+    throw SnapshotError(std::string("snapshot write to ") + path.string() +
+                        " failed: " + e.what());
   }
 }
 

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "ckpt/state_io.hpp"
+#include "common/io.hpp"
 
 namespace gs::ckpt {
 
@@ -24,9 +25,14 @@ std::uint64_t payload_checksum(std::string_view payload);
 
 /// Atomically write `payload` (a StateWriter buffer) to `path`: the bytes
 /// land in a temp file first and are renamed over the target, so readers
-/// either see the previous snapshot or the complete new one.
+/// either see the previous snapshot or the complete new one. With
+/// Durability::Full (the default) the temp file is fdatasynced before the
+/// rename and the parent directory fsynced after it, so a crash just
+/// after "commit" cannot surface an empty or stale file as committed.
+/// Hosts the "ckpt.snapshot.write" failpoint site.
 void write_snapshot_file(const std::filesystem::path& path,
-                         std::string_view payload);
+                         std::string_view payload,
+                         io::Durability durability = io::Durability::Full);
 
 /// Read and validate a snapshot file; returns the payload ready for a
 /// StateReader. Throws SnapshotError on missing file, bad magic, unknown

@@ -1,0 +1,298 @@
+#include "common/failpoint.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace gs::failpoint {
+namespace {
+
+/// Leading Rng::stream tag owned by this file (rng-stream-ownership).
+constexpr std::uint64_t kFailpointStreamTag = 0xfa11ull;
+
+/// FNV-1a 64 over the site name: the per-site stream discriminator.
+std::uint64_t site_hash(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : site) {
+    h ^= std::uint64_t(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+enum class TriggerKind : std::uint8_t { Always, Hit, Every, Prob };
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::Always;
+  std::uint64_t n = 0;   ///< Hit / Every operand.
+  double p = 0.0;        ///< Prob operand.
+};
+
+struct SiteState {
+  ActionKind action = ActionKind::None;
+  Trigger trigger;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  Rng rng;  ///< Only drawn from for Prob triggers.
+};
+
+struct Registry {
+  Mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites GS_GUARDED_BY(mu);
+  std::uint64_t seed GS_GUARDED_BY(mu) = 0;
+};
+
+std::atomic<bool> g_armed{false};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+[[noreturn]] void crash_now(const char* site) {
+  // stderr is unbuffered enough for the chaos harness to see the line
+  // even though _exit skips every flush.
+  std::fprintf(stderr, "failpoint %s: induced crash (_exit %d)\n", site,
+               kCrashExitCode);
+  ::_exit(kCrashExitCode);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+ActionKind parse_action(std::string_view word, std::string_view clause) {
+  if (word == "eio") return ActionKind::Eio;
+  if (word == "enospc") return ActionKind::Enospc;
+  if (word == "short") return ActionKind::ShortWrite;
+  if (word == "torn") return ActionKind::TornWrite;
+  if (word == "crash") return ActionKind::Crash;
+  if (word == "off") return ActionKind::None;
+  throw SpecError("failpoint spec: unknown action '" + std::string(word) +
+                  "' in clause '" + std::string(clause) + "'");
+}
+
+std::uint64_t parse_count(std::string_view digits, std::string_view clause) {
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string_view::npos) {
+    throw SpecError("failpoint spec: bad count '" + std::string(digits) +
+                    "' in clause '" + std::string(clause) + "'");
+  }
+  const std::uint64_t n = std::strtoull(std::string(digits).c_str(),
+                                        nullptr, 10);
+  if (n == 0) {
+    throw SpecError("failpoint spec: count must be >= 1 in clause '" +
+                    std::string(clause) + "'");
+  }
+  return n;
+}
+
+Trigger parse_trigger(std::string_view word, std::string_view clause) {
+  Trigger t;
+  if (word == "always") return t;
+  if (word.rfind("hit:", 0) == 0) {
+    t.kind = TriggerKind::Hit;
+    t.n = parse_count(word.substr(4), clause);
+    return t;
+  }
+  if (word.rfind("every:", 0) == 0) {
+    t.kind = TriggerKind::Every;
+    t.n = parse_count(word.substr(6), clause);
+    return t;
+  }
+  if (word.rfind("p:", 0) == 0) {
+    t.kind = TriggerKind::Prob;
+    char* end = nullptr;
+    const std::string num(word.substr(2));
+    t.p = std::strtod(num.c_str(), &end);
+    if (num.empty() || end == nullptr || *end != '\0' || t.p < 0.0 ||
+        t.p > 1.0) {
+      throw SpecError("failpoint spec: probability must be in [0, 1] in "
+                      "clause '" + std::string(clause) + "'");
+    }
+    return t;
+  }
+  throw SpecError("failpoint spec: unknown trigger '" + std::string(word) +
+                  "' in clause '" + std::string(clause) + "'");
+}
+
+const char* action_word(ActionKind k) {
+  switch (k) {
+    case ActionKind::Eio: return "eio";
+    case ActionKind::Enospc: return "enospc";
+    case ActionKind::ShortWrite: return "short";
+    case ActionKind::TornWrite: return "torn";
+    case ActionKind::Crash: return "crash";
+    case ActionKind::None: break;
+  }
+  return "off";
+}
+
+std::string trigger_word(const Trigger& t) {
+  switch (t.kind) {
+    case TriggerKind::Always: return "always";
+    case TriggerKind::Hit: return "hit:" + std::to_string(t.n);
+    case TriggerKind::Every: return "every:" + std::to_string(t.n);
+    case TriggerKind::Prob: {
+      std::ostringstream os;
+      os << "p:" << t.p;
+      return std::move(os).str();
+    }
+  }
+  return "always";
+}
+
+/// One-time bootstrap: the first armed() call in the process picks up the
+/// environment, so tools need no explicit wiring to honor GS_FAILPOINTS.
+void bootstrap_from_env_once() {
+  static const bool done = [] {
+    configure_from_env();
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+bool armed() {
+  bootstrap_from_env_once();
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void configure(std::string_view spec, std::uint64_t seed) {
+  std::map<std::string, SiteState, std::less<>> sites;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view clause =
+        trim(semi == std::string_view::npos ? rest : rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw SpecError("failpoint spec: expected 'site=action[@trigger]', "
+                      "got '" + std::string(clause) + "'");
+    }
+    const std::string site(trim(clause.substr(0, eq)));
+    std::string_view right = trim(clause.substr(eq + 1));
+    const std::size_t at = right.find('@');
+    SiteState st;
+    st.action = parse_action(
+        trim(at == std::string_view::npos ? right : right.substr(0, at)),
+        clause);
+    if (at != std::string_view::npos) {
+      st.trigger = parse_trigger(trim(right.substr(at + 1)), clause);
+    }
+    if (st.action == ActionKind::None) {
+      sites.erase(site);  // "off" removes an earlier clause for the site
+      continue;
+    }
+    st.rng = Rng::stream(seed, {kFailpointStreamTag, site_hash(site)});
+    sites.insert_or_assign(site, std::move(st));
+  }
+
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  r.sites = std::move(sites);
+  r.seed = seed;
+  g_armed.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("GS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::uint64_t seed = 0;
+  if (const char* s = std::getenv("GS_FAILPOINT_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  configure(spec, seed);
+}
+
+void reset() { configure("", 0); }
+
+Action consult(const char* site) {
+  if (!armed()) return {};
+  Registry& r = registry();
+  ActionKind kind = ActionKind::None;
+  {
+    MutexLock lock(r.mu);
+    const auto it = r.sites.find(std::string_view(site));
+    if (it == r.sites.end()) return {};
+    SiteState& st = it->second;
+    ++st.hits;
+    bool fire = false;
+    switch (st.trigger.kind) {
+      case TriggerKind::Always: fire = true; break;
+      case TriggerKind::Hit: fire = st.hits == st.trigger.n; break;
+      case TriggerKind::Every: fire = st.hits % st.trigger.n == 0; break;
+      case TriggerKind::Prob: fire = st.rng.uniform() < st.trigger.p; break;
+    }
+    if (!fire) return {};
+    ++st.fired;
+    kind = st.action;
+  }
+  if (kind == ActionKind::Crash) crash_now(site);
+  return Action{kind};
+}
+
+void trip(const char* site) {
+  const Action a = consult(site);
+  switch (a.kind) {
+    case ActionKind::Eio:
+      throw InducedError(std::string("failpoint ") + site + ": injected EIO");
+    case ActionKind::Enospc:
+      throw InducedError(std::string("failpoint ") + site +
+                         ": injected ENOSPC");
+    case ActionKind::None:
+    case ActionKind::ShortWrite:  // no byte stream at a trip() site
+    case ActionKind::TornWrite:
+    case ActionKind::Crash:  // consult() never returns Crash
+      break;
+  }
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(std::string_view site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+std::string describe() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  std::string out;
+  for (const auto& [site, st] : r.sites) {
+    if (!out.empty()) out += ';';
+    out += site;
+    out += '=';
+    out += action_word(st.action);
+    out += '@';
+    out += trigger_word(st.trigger);
+  }
+  return out;
+}
+
+}  // namespace gs::failpoint

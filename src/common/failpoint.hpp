@@ -1,0 +1,113 @@
+// Deterministic failure injection for durability code paths.
+//
+// A *failpoint* is a named site in the I/O layer ("ckpt.snapshot.write",
+// "tsdb.wal.append", ...) that normally does nothing and costs one relaxed
+// atomic load. When armed — via GS_FAILPOINTS in the environment, a
+// --failpoints CLI flag, or configure() in tests — a site fires a
+// configured *action* (EIO, ENOSPC, short write, torn write, crash via
+// _exit) under a deterministic *trigger* (always, nth hit, every kth hit,
+// or seeded probability drawn from a dedicated Rng stream).
+//
+// Spec grammar (see DESIGN.md §17):
+//
+//   spec    := clause (';' clause)*
+//   clause  := site '=' action ['@' trigger]
+//   action  := eio | enospc | short | torn | crash | off
+//   trigger := always | hit:N | every:K | p:X        (default: always)
+//
+// e.g. "ckpt.snapshot.write=crash@hit:3;tsdb.wal.append=eio@p:0.01".
+//
+// Determinism contract: with a fixed spec, seed, and sequence of consult()
+// calls, the same hits fire — chaos schedules replay exactly. Probability
+// triggers draw from Rng::stream(seed, {kFailpointStreamTag, fnv(site)}),
+// so sites are statistically independent of each other and of every
+// simulation stream.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gs::failpoint {
+
+/// Process exit code used by the `crash` action; chaos harnesses key on it
+/// to distinguish an induced crash from a real failure.
+inline constexpr int kCrashExitCode = 121;
+
+/// What a fired site does to the I/O operation hosting it.
+enum class ActionKind : std::uint8_t {
+  None,        ///< Site disarmed or trigger did not fire.
+  Eio,         ///< Fail the operation as if the device returned EIO.
+  Enospc,      ///< Fail the operation as if the filesystem were full.
+  ShortWrite,  ///< Persist a prefix of the bytes, then report failure.
+  TornWrite,   ///< Persist a prefix of the bytes and report *success*.
+  Crash,       ///< _exit(kCrashExitCode) at the site, mid-operation.
+};
+
+struct Action {
+  ActionKind kind = ActionKind::None;
+
+  [[nodiscard]] explicit operator bool() const {
+    return kind != ActionKind::None;
+  }
+};
+
+/// Thrown by configure() on a malformed spec string.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by trip() when a non-write site fires Eio/Enospc.
+class InducedError : public std::runtime_error {
+ public:
+  explicit InducedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// True when any site is configured. One relaxed atomic load after a
+/// one-time bootstrap from the GS_FAILPOINTS / GS_FAILPOINT_SEED
+/// environment, so disarmed hot paths pay essentially nothing.
+[[nodiscard]] bool armed();
+
+/// Replace the active configuration with `spec` (throws SpecError on a
+/// malformed spec; an empty spec disarms everything). Hit counters reset.
+void configure(std::string_view spec, std::uint64_t seed = 0);
+
+/// configure() from GS_FAILPOINTS / GS_FAILPOINT_SEED; no-op when unset.
+void configure_from_env();
+
+/// Disarm every site and clear all counters.
+void reset();
+
+/// Evaluate `site` against the active configuration: counts the hit,
+/// evaluates the trigger, and returns the action the caller must apply.
+/// A fired Crash action never returns — it writes one line to stderr and
+/// _exit(kCrashExitCode)s right here, mid-operation.
+[[nodiscard]] Action consult(const char* site);
+
+/// consult() for sites that host no byte stream: Eio/Enospc throw
+/// InducedError, Crash exits, and the write-shaping actions (short/torn)
+/// are ignored — there are no bytes to tear.
+void trip(const char* site);
+
+/// Times `site` was consulted while configured (0 when not configured).
+[[nodiscard]] std::uint64_t hits(std::string_view site);
+
+/// Times `site` actually fired its action.
+[[nodiscard]] std::uint64_t fired(std::string_view site);
+
+/// Canonical round-trip of the active spec ("" when disarmed).
+[[nodiscard]] std::string describe();
+
+}  // namespace gs::failpoint
+
+/// Marker for failure sites outside the gs::io byte shims (lease steal,
+/// daemon drain, ...): crash or fail here, never tear bytes.
+#define GS_FAILPOINT(site)                          \
+  do {                                              \
+    if (::gs::failpoint::armed()) {                 \
+      ::gs::failpoint::trip(site);                  \
+    }                                               \
+  } while (0)

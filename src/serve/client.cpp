@@ -1,0 +1,55 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace gs::serve {
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix_retry(const std::string& path,
+                       const ConnectRetryOptions& opts) {
+  Rng jitter = Rng::stream(opts.seed, {kConnectJitterStreamTag});
+  double delay_s = opts.initial_delay_s;
+  const int attempts = std::max(opts.attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    const int fd = connect_unix(path);
+    if (fd >= 0) return fd;
+    // Only "the daemon isn't listening yet" is worth waiting out.
+    if (errno != ECONNREFUSED && errno != ENOENT) return -1;
+    if (attempt >= attempts) return -1;
+    const double scaled = delay_s * (0.5 + 0.5 * jitter.uniform());
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::max(scaled, 0.0)));
+    delay_s = std::min(delay_s * opts.backoff, opts.max_delay_s);
+  }
+}
+
+}  // namespace gs::serve

@@ -1,0 +1,42 @@
+// Client-side connection helpers shared by gs_feed and the e2e harness:
+// a single-shot unix-domain connect plus a bounded retrying variant for
+// racing a daemon that is still binding its socket. The retry schedule is
+// exponential backoff with seeded jitter — deterministic for a given seed,
+// so chaos-lane replays reproduce the same connect timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gs::serve {
+
+/// Rng stream tag for connect-backoff jitter (unique repo-wide; see the
+/// other k*StreamTag constants in src/faults and src/common/failpoint).
+constexpr std::uint64_t kConnectJitterStreamTag = 0x50ccull;
+
+struct ConnectRetryOptions {
+  /// Total connect attempts before giving up (>= 1).
+  int attempts = 40;
+  /// Delay after the first failed attempt, in seconds.
+  double initial_delay_s = 0.01;
+  /// Multiplier applied to the delay after every failed attempt.
+  double backoff = 1.6;
+  /// Delay ceiling, in seconds.
+  double max_delay_s = 0.5;
+  /// Seed for the jitter stream; each delay is scaled by a uniform factor
+  /// in [0.5, 1.0) so concurrent clients don't reconnect in lockstep.
+  std::uint64_t seed = 0;
+};
+
+/// Connect to a unix-domain stream socket. Returns the fd, or -1 with
+/// errno describing the failure (ENAMETOOLONG for oversized paths).
+int connect_unix(const std::string& path);
+
+/// connect_unix with bounded retry: ECONNREFUSED and ENOENT (socket not
+/// bound yet / not created yet) are retried on the backoff schedule; any
+/// other errno fails immediately. Returns the fd, or -1 with errno from
+/// the last attempt.
+int connect_unix_retry(const std::string& path,
+                       const ConnectRetryOptions& opts = {});
+
+}  // namespace gs::serve

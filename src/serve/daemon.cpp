@@ -11,15 +11,19 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "ckpt/rotation.hpp"
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
+#include "common/failpoint.hpp"
 #include "core/strategy.hpp"
 #include "sim/tsdb_sink.hpp"
 
@@ -39,6 +43,10 @@ std::string hex_u64(std::uint64_t v) {
 /// so truncation is visible to the client.
 constexpr std::uint64_t kQueryMaxRows = 256;
 
+/// Failpoint site on the drain/stop-path final checkpoint: a crash here
+/// is the worst case the e2e recovery contract must absorb.
+constexpr const char* kFailpointDrainCheckpoint = "serve.drain.checkpoint";
+
 }  // namespace
 
 ServeDaemon::ServeDaemon(DaemonConfig cfg)
@@ -49,7 +57,8 @@ ServeDaemon::ServeDaemon(DaemonConfig cfg)
   GS_REQUIRE(!cfg_.socket_path.empty(), "daemon needs a unix socket path");
   monitor_.set_epoch(sim_.epoch());
   if (!cfg_.resume_from.empty()) {
-    const std::string payload = ckpt::read_snapshot_file(cfg_.resume_from);
+    // StateReader views its argument; keep the payload alive beside it.
+    const std::string payload = load_resume_payload(cfg_.resume_from);
     ckpt::StateReader r(payload);
     load_state(r);
   }
@@ -121,10 +130,40 @@ void ServeDaemon::finish_if_done() {
   report_.completed = true;
 }
 
+std::string ServeDaemon::load_resume_payload(const std::string& from) {
+  // A plain file is a pre-rotation snapshot (or an explicit generation
+  // file); anything else is treated as a rotation base and resolved to
+  // its newest intact generation.
+  if (std::filesystem::is_regular_file(from)) {
+    return ckpt::read_snapshot_file(from);
+  }
+  auto loaded =
+      ckpt::RotatingSnapshot(std::filesystem::path(from))
+          .load_last_known_good();
+  if (!loaded) {
+    throw ckpt::SnapshotError("no intact checkpoint generation at " + from);
+  }
+  for (const std::string& note : loaded->notes) {
+    std::fprintf(stderr, "greensprintd: checkpoint recovery: %s\n",
+                 note.c_str());
+  }
+  if (loaded->fell_back) {
+    std::fprintf(stderr,
+                 "greensprintd: resumed from last-known-good generation "
+                 "%llu at %s\n",
+                 static_cast<unsigned long long>(loaded->generation),
+                 from.c_str());
+  }
+  return std::move(loaded->payload);
+}
+
 void ServeDaemon::write_checkpoint(const std::string& path) {
   ckpt::StateWriter w;
   save_state(w);
-  ckpt::write_snapshot_file(path, w.buffer());
+  ckpt::RotationOptions opts;
+  opts.keep = cfg_.checkpoint_keep;
+  ckpt::RotatingSnapshot(std::filesystem::path(path), opts)
+      .write(w.buffer());
 }
 
 // --- Epoch thread -----------------------------------------------------------
@@ -272,7 +311,23 @@ void ServeDaemon::drain_feed_queue() {
       sim_.step_live(LiveFeed::live(qf.ev));
       ++report_.epochs;
       epoch_hint_.store(feed_.next_seq(), std::memory_order_relaxed);
+      maybe_periodic_checkpoint();
     }
+  }
+}
+
+void ServeDaemon::maybe_periodic_checkpoint() {
+  if (cfg_.checkpoint_every == 0 || cfg_.checkpoint_path.empty() ||
+      feed_.next_seq() % cfg_.checkpoint_every != 0) {
+    return;
+  }
+  try {
+    write_checkpoint(cfg_.checkpoint_path);
+  } catch (const std::exception& e) {
+    // A failed periodic checkpoint must not take the serving loop down:
+    // the previous generation still stands and the next interval retries.
+    std::fprintf(stderr, "greensprintd: periodic checkpoint failed: %s\n",
+                 e.what());
   }
 }
 
@@ -350,10 +405,7 @@ void ServeDaemon::epoch_loop() {
     ++report_.epochs;
     epoch_hint_.store(feed_.next_seq(), std::memory_order_relaxed);
     finish_if_done();
-    if (cfg_.checkpoint_every != 0 && !cfg_.checkpoint_path.empty() &&
-        feed_.next_seq() % cfg_.checkpoint_every == 0) {
-      write_checkpoint(cfg_.checkpoint_path);
-    }
+    maybe_periodic_checkpoint();
   }
 
   if (draining_.load(std::memory_order_relaxed)) {
@@ -365,6 +417,7 @@ void ServeDaemon::epoch_loop() {
   std::string checkpoint_note = "none";
   if (!cfg_.checkpoint_path.empty()) {
     try {
+      GS_FAILPOINT(kFailpointDrainCheckpoint);
       write_checkpoint(cfg_.checkpoint_path);
       checkpoint_note = cfg_.checkpoint_path;
     } catch (const std::exception&) {

@@ -54,13 +54,19 @@ struct DaemonConfig {
   /// Paced mode: epochs of wall-clock silence past the tick deadline
   /// before the EWMA fallback synthesizes the epoch.
   double stall_grace_epochs = 2.0;
-  /// Snapshot path written on drain/stop (and by --checkpoint-every);
-  /// empty disables final checkpoints. The `checkpoint <path>` command
-  /// writes wherever it names, regardless.
+  /// Checkpoint *rotation base* written on drain/stop (and by
+  /// --checkpoint-every): generations land beside it as base.gNNNNNN
+  /// plus a base.current pointer (see ckpt/rotation.hpp); empty disables
+  /// final checkpoints. The `checkpoint <path>` command rotates at
+  /// whatever base it names, regardless.
   std::string checkpoint_path;
   /// Periodic checkpoint to checkpoint_path every N epochs; 0 disables.
   std::uint64_t checkpoint_every = 0;
-  /// Snapshot to restore before serving (daemon restart).
+  /// Rotation generations kept per checkpoint base.
+  std::uint32_t checkpoint_keep = 4;
+  /// Checkpoint to restore before serving (daemon restart): a rotation
+  /// base resolved to its newest intact generation (last-known-good), or
+  /// a plain pre-rotation snapshot file.
   std::string resume_from;
   /// Telemetry engine under the daemon (MEMORY by default).
   tsdb::EngineOptions tsdb;
@@ -131,7 +137,16 @@ class ServeDaemon {
   void handle_command(const Command& cmd);
   [[nodiscard]] std::string stat_reply() const;
   [[nodiscard]] std::string query_reply(const Request& req);
+  /// Resolve resume_from (plain snapshot file or rotation base) to its
+  /// payload; logs last-known-good fallback notes to stderr.
+  static std::string load_resume_payload(const std::string& from);
   void write_checkpoint(const std::string& path);
+  /// Rotate a checkpoint when the epoch count crosses a checkpoint_every
+  /// boundary; a failed write logs and keeps serving (the previous
+  /// generation stands). Called from both the paced epoch loop and the
+  /// bulk drain path so a crash mid-drain also resumes from a recent
+  /// generation.
+  void maybe_periodic_checkpoint();
   void finish_if_done();
   void post_reply(std::uint64_t conn_id, std::string payload)
       GS_EXCLUDES(mu_);

@@ -1,3 +1,4 @@
+// gs:durable-io
 #include "sim/export.hpp"
 
 #include <algorithm>
@@ -5,9 +6,11 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <system_error>
 
 #include "common/assert.hpp"
+#include "common/io.hpp"
 #include "common/table.hpp"
 #include "sim/tsdb_sink.hpp"
 #include "tsdb/engine.hpp"
@@ -20,25 +23,22 @@ namespace {
 // Temp-file + rename, mirroring ckpt::write_snapshot_file: a crash (or
 // disk-full failure) mid-export never leaves a truncated CSV at the
 // destination path.
+/// Failpoint site on every CSV export commit.
+constexpr const char* kFailpointCsvWrite = "sim.export.write";
+
 void write_csv_atomic(const std::string& path,
                       const std::function<void(std::ostream&)>& emit) {
-  namespace fs = std::filesystem;
-  const fs::path dest(path);
-  const fs::path tmp(path + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    GS_REQUIRE(out.good(), "cannot open export file: " + path);
-    emit(out);
-    out.flush();
-    GS_REQUIRE(out.good(), "failed writing export file: " + path);
-  }
-  std::error_code ec;
-  fs::rename(tmp, dest, ec);
-  if (ec) {
-    std::error_code ignored;
-    fs::remove(tmp, ignored);
-    GS_REQUIRE(false, "cannot move export file into place: " + path);
-  }
+  std::ostringstream body;
+  emit(body);
+  GS_REQUIRE(body.good(), "failed rendering export for: " + path);
+  io::WriteOptions opts;
+  // Bulk analysis exports are regenerable from the engine; they keep the
+  // atomic rename but skip the fsync discipline checkpoints pay for.
+  opts.durability = io::Durability::None;
+  opts.site = kFailpointCsvWrite;
+  io::atomic_write_file(std::filesystem::path(path),
+                        std::filesystem::path(path + ".tmp"),
+                        std::move(body).str(), opts);
 }
 
 const std::array<const char*, 16> kEpochCsvHeader = {

@@ -1,9 +1,12 @@
 #include "sim/sweep.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <optional>
 
+#include "ckpt/rotation.hpp"
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
@@ -52,6 +55,81 @@ namespace {
 constexpr std::uint32_t kSweepManifestVersion = 1;
 constexpr std::uint32_t kSweepCellVersion = 1;
 
+/// The manifest is rotated (sweep.manifest.gNNNNNN + pointer) so a torn
+/// or bit-rotted newest copy falls back to the previous generation
+/// instead of condemning the campaign. Two generations suffice: the
+/// manifest is campaign-deterministic, so any intact copy is *the* copy.
+constexpr std::uint32_t kManifestKeep = 2;
+
+ckpt::RotatingSnapshot manifest_rotation(const std::string& dir) {
+  ckpt::RotationOptions opts;
+  opts.keep = kManifestKeep;
+  return ckpt::RotatingSnapshot(
+      std::filesystem::path(dir) / "sweep.manifest", opts);
+}
+
+/// Newest intact manifest payload: rotation generations first, then a
+/// plain pre-rotation `sweep.manifest` file. nullopt when nothing on
+/// disk validates.
+std::optional<std::string> manifest_payload(const std::string& dir) {
+  if (auto loaded = manifest_rotation(dir).load_last_known_good()) {
+    for (const std::string& note : loaded->notes) {
+      std::fprintf(stderr, "sweep manifest recovery: %s\n", note.c_str());
+    }
+    return std::move(loaded->payload);
+  }
+  const std::filesystem::path legacy =
+      std::filesystem::path(dir) / "sweep.manifest";
+  if (std::filesystem::exists(legacy)) {
+    try {
+      return ckpt::read_snapshot_file(legacy);
+    } catch (const ckpt::SnapshotError&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// True when anything manifest-shaped (intact or not) is on disk.
+bool manifest_present(const std::string& dir) {
+  return ckpt::RotatingSnapshot::exists(
+             std::filesystem::path(dir) / "sweep.manifest") ||
+         std::filesystem::exists(std::filesystem::path(dir) /
+                                 "sweep.manifest");
+}
+
+/// An *intact* manifest that belongs to a different campaign: never
+/// self-healed, unlike corruption — the user pointed two sweeps at one
+/// directory.
+class ManifestMismatch : public ckpt::SnapshotError {
+  using SnapshotError::SnapshotError;
+};
+
+/// Validate a decoded manifest payload against this campaign; throws
+/// ManifestMismatch on a campaign mismatch, SnapshotError (from the
+/// StateReader) on a malformed payload.
+void check_manifest_payload(const std::string& payload,
+                            const std::vector<Scenario>& scenarios) {
+  ckpt::StateReader r(payload);
+  r.begin_section("sweep_manifest", kSweepManifestVersion);
+  const std::uint64_t cells = r.u64();
+  if (cells != scenarios.size()) {
+    throw ManifestMismatch(
+        "sweep manifest describes " + std::to_string(cells) +
+        " cells, the requested sweep has " +
+        std::to_string(scenarios.size()));
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (r.u64() != scenario_fingerprint(scenarios[i])) {
+      throw ManifestMismatch(
+          "sweep manifest cell " + std::to_string(i) +
+          " was produced by a different scenario; delete the checkpoint "
+          "directory to start a new campaign");
+    }
+  }
+  r.end_section();
+}
+
 }  // namespace
 
 std::string cell_file_name(std::size_t i) {
@@ -67,43 +145,49 @@ void write_manifest(const std::string& dir,
   w.u64(scenarios.size());
   for (const Scenario& sc : scenarios) w.u64(scenario_fingerprint(sc));
   w.end_section();
-  ckpt::write_snapshot_file(std::filesystem::path(dir) / "sweep.manifest",
-                            w.buffer());
+  manifest_rotation(dir).write(w.buffer());
 }
 
 void check_manifest(const std::string& dir,
                     const std::vector<Scenario>& scenarios) {
-  const std::string payload = ckpt::read_snapshot_file(
-      std::filesystem::path(dir) / "sweep.manifest");
-  ckpt::StateReader r(payload);
-  r.begin_section("sweep_manifest", kSweepManifestVersion);
-  const std::uint64_t cells = r.u64();
-  if (cells != scenarios.size()) {
-    throw ckpt::SnapshotError(
-        "sweep manifest describes " + std::to_string(cells) +
-        " cells, the requested sweep has " +
-        std::to_string(scenarios.size()));
+  const std::optional<std::string> payload = manifest_payload(dir);
+  if (!payload) {
+    throw ckpt::SnapshotError("no intact sweep manifest in " + dir);
   }
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    if (r.u64() != scenario_fingerprint(scenarios[i])) {
-      throw ckpt::SnapshotError(
-          "sweep manifest cell " + std::to_string(i) +
-          " was produced by a different scenario; delete the checkpoint "
-          "directory to start a new campaign");
-    }
-  }
-  r.end_section();
+  check_manifest_payload(*payload, scenarios);
 }
 
 void ensure_manifest(const std::string& dir,
                      const std::vector<Scenario>& scenarios, bool resume) {
   namespace fs = std::filesystem;
   fs::create_directories(fs::path(dir));
-  if (resume && fs::exists(fs::path(dir) / "sweep.manifest")) {
-    check_manifest(dir, scenarios);
-  } else {
-    write_manifest(dir, scenarios);
+  if (resume && manifest_present(dir)) {
+    if (const std::optional<std::string> payload = manifest_payload(dir)) {
+      // An intact manifest from a *different* campaign is a hard error;
+      // a malformed payload is handled like corruption below.
+      try {
+        check_manifest_payload(*payload, scenarios);
+        return;
+      } catch (const ManifestMismatch&) {
+        throw;
+      } catch (const ckpt::SnapshotError& e) {
+        std::fprintf(stderr,
+                     "sweep manifest in %s is malformed (%s); rewriting "
+                     "from the campaign definition\n",
+                     dir.c_str(), e.what());
+      }
+    } else {
+      // Every copy on disk is damaged. The manifest is derived entirely
+      // from the campaign definition, so rewrite it instead of throwing
+      // the checkpoint directory away; the per-cell fingerprints still
+      // guard against foreign cells.
+      std::fprintf(stderr,
+                   "sweep manifest in %s is corrupt; rewriting from the "
+                   "campaign definition\n",
+                   dir.c_str());
+    }
   }
+  write_manifest(dir, scenarios);
 }
 
 void write_cell(const std::string& dir, std::size_t i, const Scenario& sc,

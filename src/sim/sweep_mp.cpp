@@ -1,3 +1,4 @@
+// gs:durable-io
 #include "sim/sweep_mp.hpp"
 
 #include <cerrno>
@@ -16,6 +17,7 @@
 #include <unistd.h>
 
 #include "common/assert.hpp"
+#include "common/io.hpp"
 #include "sim/sweep_ckpt.hpp"
 
 namespace gs::sim {
@@ -23,6 +25,10 @@ namespace gs::sim {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Failpoint sites on the lease protocol (see DESIGN.md §17).
+constexpr const char* kFailpointLeaseClaim = "sweep.lease.claim";
+constexpr const char* kFailpointLeaseSteal = "sweep.lease.steal";
 
 std::string lease_file_name(std::size_t i) {
   std::string idx = std::to_string(i);
@@ -35,16 +41,17 @@ fs::path lease_path(const std::string& dir, std::size_t i) {
 }
 
 /// Atomic test-and-set: O_CREAT|O_EXCL succeeds for exactly one claimant.
-/// The lease body is the owner's pid (ASCII) for liveness probes.
+/// The lease body is the owner's pid (ASCII) for liveness probes. An
+/// injected I/O failure (chaos lane) counts as a lost claim: the worker
+/// moves on and the cell is picked up by someone else — or by this
+/// worker's next pass, once the half-created lease goes stale.
 bool try_claim_lease(const fs::path& lease) {
-  const int fd = ::open(lease.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-  if (fd < 0) return false;
-  const std::string body = std::to_string(::getpid()) + "\n";
-  // Best-effort: an unreadable body just makes the lease look stale
-  // sooner (pid 0 is never alive for us).
-  (void)!::write(fd, body.data(), body.size());
-  ::close(fd);
-  return true;
+  try {
+    const std::string body = std::to_string(::getpid()) + "\n";
+    return io::exclusive_create(lease, body, kFailpointLeaseClaim);
+  } catch (const io::IoError&) {
+    return false;
+  }
 }
 
 /// Owner pid recorded in the lease, or 0 when unreadable.
@@ -89,7 +96,13 @@ bool steal_stale_lease(const fs::path& lease, std::uint64_t seq) {
   const fs::path aside = lease.string() + ".stale." +
                          std::to_string(::getpid()) + "." +
                          std::to_string(seq);
-  if (::rename(lease.c_str(), aside.c_str()) != 0) return false;
+  try {
+    io::rename_file(lease, aside, kFailpointLeaseSteal);
+  } catch (const io::IoError&) {
+    // Lost the rename race (ENOENT) or an injected failure: either way
+    // someone else owns the takeover.
+    return false;
+  }
   ::unlink(aside.c_str());
   return true;
 }

@@ -1,3 +1,4 @@
+// gs:durable-io
 #include "tsdb/engine.hpp"
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
+#include "common/io.hpp"
 #include "tsdb/error.hpp"
 
 // WAL header magic and version checks live in wal.cpp's replay_wal; this
@@ -20,9 +22,12 @@ namespace {
 // Append-only sidecar mapping SeriesId -> (rack, server, metric) for WAL
 // recovery: log records carry only the dense id, the catalog restores the
 // identity. One line per series, tab-separated, appended and flushed at
-// intern time; replay ignores a torn final line (kill mid-intern) exactly
-// like the WAL ignores a torn final record.
+// intern time; replay truncates a torn final line (kill mid-intern) exactly
+// like the WAL repairs a torn final record.
 constexpr const char* kCatalogFile = "series.gscat";
+
+/// Failpoint site on the catalog's append-and-fsync path.
+constexpr const char* kFailpointCatalogAppend = "tsdb.catalog.append";
 
 std::uint32_t parse_catalog_u32(std::string_view field,
                                 const std::string& origin) {
@@ -115,6 +120,18 @@ void Engine::replay_existing() {
       const std::uint32_t server =
           parse_catalog_u32(line.substr(b + 1, c - b - 1), cat.string());
       const std::string_view metric = line.substr(c + 1);
+      const auto ident = std::make_tuple(std::string(metric), rack, server);
+      if (id < series_.size()) {
+        // A crash-resumed writer that restored a snapshot older than the
+        // catalog used to re-append registrations it had forgotten. Such a
+        // line exactly restates an existing entry and is harmless; anything
+        // else claiming a used id is corruption.
+        const auto prior = catalog_ids_.find(ident);
+        if (prior != catalog_ids_.end() && prior->second == id) continue;
+        throw TsdbError("series catalog conflict in " + cat.string() +
+                        ": id " + std::to_string(id) +
+                        " re-registered with a different identity");
+      }
       if (id != series_.size()) {
         throw TsdbError("series catalog out of order in " + cat.string() +
                         ": line claims id " + std::to_string(id) +
@@ -122,10 +139,22 @@ void Engine::replay_existing() {
       }
       const SeriesKey key{metrics_.intern(metric), rack, server};
       index_.emplace(key, SeriesId(series_.size()));
+      catalog_ids_.emplace(ident, SeriesId(series_.size()));
       series_.emplace_back(key, SeriesId(series_.size()));
     }
+    // A torn final line (kill mid-intern) must be truncated away while it
+    // is still final: the next registration appends right after it, and a
+    // fragment glued to a fresh line would read as garbage on the replay
+    // after the *next* kill.
+    if (at < blob.size()) {
+      std::filesystem::resize_file(cat, at);
+    }
   }
-  const std::vector<WalRecord> records = replay_wal(opts_.dir);
+  // Repair a torn final segment while it is still final: the writer this
+  // engine is about to open would otherwise bury the tear mid-log and
+  // poison the replay after the *next* kill.
+  const std::vector<WalRecord> records =
+      replay_wal(opts_.dir, /*repair_torn_tail=*/true);
   for (const WalRecord& rec : records) {
     if (rec.series >= series_.size()) {
       throw TsdbError("wal record references unknown series " +
@@ -152,20 +181,41 @@ SeriesId Engine::series(std::string_view metric, std::uint32_t rack,
   }
   const SeriesKey key{metrics_.intern(metric), rack, server};
   const auto id = SeriesId(series_.size());
-  index_.emplace(key, id);
-  series_.emplace_back(key, id);
   if (opts_.strategy == Strategy::WAL) {
     const std::filesystem::path cat = opts_.dir / kCatalogFile;
-    std::ofstream out(cat, std::ios::binary | std::ios::app);
-    if (!out) {
-      throw TsdbError("cannot open series catalog " + cat.string());
-    }
-    out << id << '\t' << rack << '\t' << server << '\t' << metric << '\n';
-    out.flush();
-    if (!out) {
-      throw TsdbError("short write to series catalog " + cat.string());
+    const auto ident = std::make_tuple(std::string(metric), rack, server);
+    const auto durable = catalog_ids_.find(ident);
+    if (durable != catalog_ids_.end()) {
+      // Already on disk: this process restored a snapshot older than the
+      // catalog (load_state rewinds the series table, the append-only file
+      // cannot rewind) and is now re-registering. The rewound assignment
+      // must land on the recorded id, or samples keyed by id would be
+      // misattributed.
+      if (durable->second != id) {
+        throw TsdbError("series catalog " + cat.string() + " assigns id " +
+                        std::to_string(durable->second) +
+                        " to this series, but post-restore registration "
+                        "order would assign id " + std::to_string(id));
+      }
+    } else {
+      try {
+        io::AppendFile out;
+        out.open_append(cat, kFailpointCatalogAppend);
+        std::ostringstream line;
+        line << id << '\t' << rack << '\t' << server << '\t' << metric
+             << '\n';
+        out.append(std::move(line).str());
+        out.flush(io::Durability::Full);
+        out.close();
+      } catch (const io::IoError& e) {
+        throw TsdbError(std::string("series catalog append to ") +
+                        cat.string() + " failed: " + e.what());
+      }
+      catalog_ids_.emplace(ident, id);
     }
   }
+  index_.emplace(key, id);
+  series_.emplace_back(key, id);
   return id;
 }
 
@@ -343,6 +393,10 @@ void Engine::load_state(ckpt::StateReader& r) {
   metrics_.load_state(r);
   series_.clear();
   index_.clear();
+  // catalog_ids_ deliberately survives: it mirrors the append-only catalog
+  // file, which a snapshot restore cannot un-write. Series registered
+  // after the snapshot re-register through it on replay without appending
+  // duplicate lines.
   cache_.clear();  // cached pages may predate the restored manifest
   const auto n = std::size_t(r.u64());
   series_.reserve(n);

@@ -20,10 +20,12 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "ckpt/fwd.hpp"
@@ -169,6 +171,16 @@ class Engine {
   std::vector<SeriesStore> series_ GS_GUARDED_BY(mu_);
   std::unordered_map<SeriesKey, SeriesId, SeriesKeyHash> index_
       GS_GUARDED_BY(mu_);
+  /// WAL strategy only: (metric, rack, server) -> id exactly as recorded
+  /// in the on-disk series catalog. Unlike the in-memory series table this
+  /// is NOT rewound by load_state — the catalog file is append-only, so a
+  /// snapshot restore cannot un-write its lines. Re-registration after a
+  /// rewind consults this map to keep id assignment consistent with the
+  /// file instead of appending duplicate lines that would poison the next
+  /// replay. Keyed by name (not interned id) because load_state replaces
+  /// the interner.
+  std::map<std::tuple<std::string, std::uint32_t, std::uint32_t>, SeriesId>
+      catalog_ids_ GS_GUARDED_BY(mu_);
   std::optional<WalWriter> wal_ GS_GUARDED_BY(mu_);
   std::uint64_t replayed_records_ GS_GUARDED_BY(mu_) = 0;
   std::uint64_t appends_ GS_GUARDED_BY(mu_) = 0;

@@ -1,3 +1,4 @@
+// gs:durable-io
 #include "tsdb/store.hpp"
 
 #include <fstream>
@@ -6,6 +7,7 @@
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_io.hpp"
 #include "common/assert.hpp"
+#include "common/io.hpp"
 #include "tsdb/error.hpp"
 
 // Page framing and version checks live in chunk.cpp's encode_page /
@@ -30,27 +32,22 @@ std::string page_filename(SeriesId id, std::uint64_t seq) {
 /// Atomic-or-absent page write: the bytes land under a tmp name and are
 /// renamed into place, the same discipline ckpt snapshots use, so a kill
 /// mid-spill leaves either the complete page or no page at all.
+/// Failpoint site on every COMPRESSED/CACHE spill-page commit.
+constexpr const char* kFailpointPageWrite = "tsdb.page.write";
+
 void write_page_file(const std::filesystem::path& path,
                      const std::string& page, std::uint64_t checksum) {
   std::ostringstream tmp_name;
   tmp_name << path.string() << ".tmp-" << std::hex << checksum;
   const std::filesystem::path tmp(std::move(tmp_name).str());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw TsdbError("cannot open page file for write: " + tmp.string());
-    }
-    out.write(page.data(), std::streamsize(page.size()));
-    out.flush();
-    if (!out) {
-      throw TsdbError("short write to page file: " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw TsdbError("cannot rename page file into place: " + path.string() +
-                    ": " + ec.message());
+  io::WriteOptions opts;
+  opts.durability = io::Durability::Full;
+  opts.site = kFailpointPageWrite;
+  try {
+    io::atomic_write_file(path, tmp, page, opts);
+  } catch (const io::IoError& e) {
+    throw TsdbError(std::string("page write to ") + path.string() +
+                    " failed: " + e.what());
   }
 }
 

@@ -1,17 +1,25 @@
+// gs:durable-io
 #include "tsdb/wal.hpp"
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "ckpt/snapshot.hpp"
 #include "common/assert.hpp"
+#include "common/failpoint.hpp"
 #include "tsdb/error.hpp"
 
 namespace gs::tsdb {
 namespace {
+
+/// Failpoint sites hosted by the WAL (see DESIGN.md §17).
+constexpr const char* kFailpointWalAppend = "tsdb.wal.append";
+constexpr const char* kFailpointWalSeal = "tsdb.wal.seal";
+constexpr const char* kFailpointWalRepair = "tsdb.wal.repair";
 
 constexpr char kWalMagic[8] = {'G', 'S', 'W', 'A', 'L', 'O', 'G', '\n'};
 constexpr std::size_t kWalHeaderBytes =
@@ -64,6 +72,81 @@ std::optional<std::uint64_t> segment_seq(const std::filesystem::path& p) {
   return std::strtoull(digits.c_str(), nullptr, 10);
 }
 
+/// Full scan of one segment: the complete-record prefix plus how (and
+/// where) the file stops being valid.
+struct SegmentScan {
+  WalSegmentCheck::Verdict verdict = WalSegmentCheck::Verdict::Ok;
+  std::vector<WalRecord> records;
+  std::size_t valid_bytes = 0;  ///< Header + complete-record prefix.
+  bool torn_header = false;     ///< Not even the header is complete.
+  std::string detail;
+};
+
+SegmentScan scan_segment(const std::filesystem::path& seg) {
+  SegmentScan scan;
+  std::ifstream in(seg, std::ios::binary);
+  if (!in) {
+    throw TsdbError("cannot open wal segment " + seg.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string blob = std::move(ss).str();
+
+  if (blob.size() < kWalHeaderBytes) {
+    scan.verdict = WalSegmentCheck::Verdict::TornTail;
+    scan.torn_header = true;
+    scan.detail = "segment header truncated";
+    return scan;
+  }
+  if (std::memcmp(blob.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    scan.verdict = WalSegmentCheck::Verdict::Corrupt;
+    scan.detail = "bad wal magic";
+    return scan;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, blob.data() + sizeof(kWalMagic), sizeof version);
+  if (version != kWalFormatVersion) {
+    scan.verdict = WalSegmentCheck::Verdict::Corrupt;
+    scan.detail = "wal format version " + std::to_string(version) +
+                  ", this build reads version " +
+                  std::to_string(kWalFormatVersion);
+    return scan;
+  }
+  std::size_t at = kWalHeaderBytes;
+  scan.valid_bytes = at;
+  while (at < blob.size()) {
+    if (blob.size() - at < kRecordBytes) {
+      scan.verdict = WalSegmentCheck::Verdict::TornTail;
+      scan.detail = "ends mid-record at offset " + std::to_string(at);
+      return scan;
+    }
+    WalRecord rec;
+    std::memcpy(&rec.series, blob.data() + at, sizeof rec.series);
+    std::uint64_t time = 0;
+    std::memcpy(&time, blob.data() + at + sizeof rec.series, sizeof time);
+    rec.time = Timestamp(time);
+    std::memcpy(&rec.value_bits,
+                blob.data() + at + sizeof rec.series + sizeof time,
+                sizeof rec.value_bits);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, blob.data() + at + kRecordBodyBytes, sizeof stored);
+    if (stored != record_checksum(blob.data() + at)) {
+      // A checksum mismatch on the final record is the other face of a
+      // torn append (half-new, half-stale bytes); mid-file it is rot.
+      const bool final_record = blob.size() - at == kRecordBytes;
+      scan.verdict = final_record ? WalSegmentCheck::Verdict::TornTail
+                                  : WalSegmentCheck::Verdict::Corrupt;
+      scan.detail = "record checksum mismatch at offset " +
+                    std::to_string(at);
+      return scan;
+    }
+    scan.records.push_back(rec);
+    at += kRecordBytes;
+    scan.valid_bytes = at;
+  }
+  return scan;
+}
+
 }  // namespace
 
 WalWriter::WalWriter(std::filesystem::path dir, std::uint64_t segment_bytes)
@@ -82,16 +165,21 @@ WalWriter::WalWriter(std::filesystem::path dir, std::uint64_t segment_bytes)
 }
 
 void WalWriter::open_segment() {
+  // Sealing the previous segment (and cutting the first one) is its own
+  // failure site: a crash here loses nothing already acknowledged.
+  GS_FAILPOINT(kFailpointWalSeal);
   const std::filesystem::path path = segment_path(dir_, next_seq_++);
-  out_ = std::ofstream(path, std::ios::binary | std::ios::trunc);
-  if (!out_) {
-    throw TsdbError("cannot open wal segment " + path.string());
-  }
-  out_.write(kWalMagic, sizeof(kWalMagic));
-  const std::uint32_t version = kWalFormatVersion;
-  out_.write(reinterpret_cast<const char*>(&version), sizeof version);
-  if (!out_) {
-    throw TsdbError("short write to wal segment " + path.string());
+  try {
+    if (out_.is_open()) out_.flush(io::Durability::Full);
+    out_.open_trunc(path, kFailpointWalAppend);
+    char header[kWalHeaderBytes];
+    std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+    const std::uint32_t version = kWalFormatVersion;
+    std::memcpy(header + sizeof(kWalMagic), &version, sizeof version);
+    out_.append(std::string_view(header, sizeof header));
+  } catch (const io::IoError& e) {
+    throw TsdbError(std::string("cannot open wal segment ") + path.string() +
+                    ": " + e.what());
   }
   current_bytes_ = kWalHeaderBytes;
   ++segments_opened_;
@@ -101,18 +189,22 @@ void WalWriter::append(const WalRecord& rec) {
   if (current_bytes_ + kRecordBytes > segment_bytes_) open_segment();
   char buf[kRecordBytes];
   encode_record(rec, buf);
-  out_.write(buf, sizeof buf);
-  if (!out_) {
-    throw TsdbError("short write to wal segment in " + dir_.string());
+  try {
+    out_.append(std::string_view(buf, sizeof buf));
+  } catch (const io::IoError& e) {
+    throw TsdbError(std::string("wal append in ") + dir_.string() +
+                    " failed: " + e.what());
   }
   current_bytes_ += kRecordBytes;
   ++records_;
 }
 
 void WalWriter::flush() {
-  out_.flush();
-  if (!out_) {
-    throw TsdbError("cannot flush wal segment in " + dir_.string());
+  try {
+    out_.flush(io::Durability::Full);
+  } catch (const io::IoError& e) {
+    throw TsdbError(std::string("cannot flush wal segment in ") +
+                    dir_.string() + ": " + e.what());
   }
 }
 
@@ -132,68 +224,52 @@ std::vector<std::filesystem::path> wal_segments(
   return out;
 }
 
-std::vector<WalRecord> replay_wal(const std::filesystem::path& dir) {
+std::vector<WalRecord> replay_wal(const std::filesystem::path& dir,
+                                  bool repair_torn_tail) {
   std::vector<WalRecord> out;
   const auto segments = wal_segments(dir);
   for (std::size_t i = 0; i < segments.size(); ++i) {
     const std::filesystem::path& seg = segments[i];
-    std::ifstream in(seg, std::ios::binary);
-    if (!in) {
-      throw TsdbError("cannot open wal segment " + seg.string());
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string blob = std::move(ss).str();
-    if (blob.size() < kWalHeaderBytes) {
-      // A kill between segment creation and the header write leaves a
-      // short (possibly empty) header. Like a torn record, that is only
-      // survivable in the final segment.
-      if (i + 1 != segments.size()) {
-        throw TsdbError("wal segment header truncated in " + seg.string() +
-                        " before a later segment");
-      }
-      return out;
-    }
-    if (std::memcmp(blob.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
-      throw TsdbError("bad wal magic in " + seg.string());
-    }
-    std::uint32_t version = 0;
-    std::memcpy(&version, blob.data() + sizeof(kWalMagic), sizeof version);
-    if (version != kWalFormatVersion) {
-      throw TsdbError("wal format version " + std::to_string(version) +
-                      " in " + seg.string() + ", this build reads version " +
-                      std::to_string(kWalFormatVersion));
-    }
-    std::size_t at = kWalHeaderBytes;
-    while (at < blob.size()) {
-      if (blob.size() - at < kRecordBytes) {
+    SegmentScan scan = scan_segment(seg);
+    const bool final_segment = i + 1 == segments.size();
+    switch (scan.verdict) {
+      case WalSegmentCheck::Verdict::Ok:
+        break;
+      case WalSegmentCheck::Verdict::TornTail:
         // A kill mid-append tears only the final record of the final
         // segment; a short tail anywhere else means lost data.
-        if (i + 1 != segments.size()) {
-          throw TsdbError("wal segment " + seg.string() +
-                          " ends mid-record before a later segment");
+        if (!final_segment) {
+          throw TsdbError("wal segment " + seg.string() + " " + scan.detail +
+                          " before a later segment");
         }
-        return out;
-      }
-      WalRecord rec;
-      std::memcpy(&rec.series, blob.data() + at, sizeof rec.series);
-      std::uint64_t time = 0;
-      std::memcpy(&time, blob.data() + at + sizeof rec.series, sizeof time);
-      rec.time = Timestamp(time);
-      std::memcpy(&rec.value_bits,
-                  blob.data() + at + sizeof rec.series + sizeof time,
-                  sizeof rec.value_bits);
-      std::uint32_t stored = 0;
-      std::memcpy(&stored, blob.data() + at + kRecordBodyBytes, sizeof stored);
-      if (stored != record_checksum(blob.data() + at)) {
-        throw TsdbError("wal record checksum mismatch in " + seg.string() +
-                        " at offset " + std::to_string(at));
-      }
-      out.push_back(rec);
-      at += kRecordBytes;
+        if (repair_torn_tail) {
+          // Heal the tear now, while the segment is still final: the
+          // next writer will open a fresh segment after this one, and
+          // an unhealed tear would then be mid-log — fatal.
+          GS_FAILPOINT(kFailpointWalRepair);
+          if (scan.torn_header) {
+            std::filesystem::remove(seg);
+          } else {
+            io::truncate_file(seg, scan.valid_bytes, kFailpointWalRepair);
+          }
+        }
+        break;
+      case WalSegmentCheck::Verdict::Corrupt:
+        throw TsdbError("wal segment " + seg.string() + ": " + scan.detail);
     }
+    out.insert(out.end(), scan.records.begin(), scan.records.end());
+    if (scan.verdict == WalSegmentCheck::Verdict::TornTail) break;
   }
   return out;
+}
+
+WalSegmentCheck check_wal_segment(const std::filesystem::path& segment) {
+  const SegmentScan scan = scan_segment(segment);
+  WalSegmentCheck check;
+  check.verdict = scan.verdict;
+  check.records = scan.records.size();
+  check.detail = scan.detail;
+  return check;
 }
 
 }  // namespace gs::tsdb

@@ -17,9 +17,10 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
+#include <string>
 #include <vector>
 
+#include "common/io.hpp"
 #include "tsdb/fwd.hpp"
 
 namespace gs::tsdb {
@@ -43,8 +44,8 @@ class WalWriter {
   WalWriter(std::filesystem::path dir, std::uint64_t segment_bytes);
 
   void append(const WalRecord& rec);
-  /// Push buffered records to the OS (no fsync: the durability unit is
-  /// the complete-record prefix, not the sync).
+  /// Push buffered records to the OS and fdatasync the segment, so an
+  /// acknowledged flush survives power loss, not just a process kill.
   void flush();
 
   [[nodiscard]] std::uint64_t records() const { return records_; }
@@ -55,7 +56,7 @@ class WalWriter {
 
   std::filesystem::path dir_;
   std::uint64_t segment_bytes_;
-  std::ofstream out_;
+  io::AppendFile out_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t current_bytes_ = 0;
   std::uint64_t records_ = 0;
@@ -69,7 +70,31 @@ class WalWriter {
 /// Replay every record across all segments, in append order. A truncated
 /// final record (kill mid-append) ends the replay cleanly; anything else
 /// malformed throws TsdbError.
+///
+/// With `repair_torn_tail`, a torn tail in the *final* segment is also
+/// healed on disk: the segment is truncated back to its complete-record
+/// prefix (or removed outright when even the header is torn). Without
+/// the repair, the next writer opens a fresh segment and the torn one is
+/// no longer final — so the replay after the *next* kill would refuse a
+/// tear it survived this time. Writers must replay with repair on.
 [[nodiscard]] std::vector<WalRecord> replay_wal(
-    const std::filesystem::path& dir);
+    const std::filesystem::path& dir, bool repair_torn_tail = false);
+
+/// Verdict on one segment file, for gs_fsck and the repair path.
+struct WalSegmentCheck {
+  enum class Verdict {
+    Ok,        ///< Header and every record validate.
+    TornTail,  ///< Complete-record prefix + a torn tail (or torn header).
+               ///< Survivable only while this is the final segment.
+    Corrupt,   ///< Bad magic/version or a mid-file checksum mismatch.
+  };
+  Verdict verdict = Verdict::Ok;
+  std::uint64_t records = 0;  ///< Complete records in the valid prefix.
+  std::string detail;         ///< Human-readable reason for non-Ok.
+};
+
+/// Validate one segment without touching it.
+[[nodiscard]] WalSegmentCheck check_wal_segment(
+    const std::filesystem::path& segment);
 
 }  // namespace gs::tsdb

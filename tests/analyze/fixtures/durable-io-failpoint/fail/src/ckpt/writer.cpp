@@ -1,0 +1,10 @@
+// gs:durable-io
+namespace gs::ckpt {
+// A durability path the chaos lane cannot interrupt: raw syscalls with
+// no failpoint site anywhere in the file.
+void commit(int fd, const char* tmp, const char* path) {
+  ::fdatasync(fd);
+  ::rename(tmp, path);
+  ::fsync(fd);
+}
+}  // namespace gs::ckpt

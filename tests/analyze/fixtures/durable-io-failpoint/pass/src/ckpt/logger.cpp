@@ -1,0 +1,10 @@
+// gs:durable-io
+// Lexer regression: every durable-call pattern below lives in a comment,
+// a string, or a raw string — none may fire. A naive regex pack would
+// flag all of them: fsync(fd); rename(a, b);
+namespace gs::ckpt {
+const char* kHint = "run fsync(fd) then rename(tmp, dst) to commit";
+const char* kRaw = R"(fdatasync(fd);
+renameat(dirfd, "a", dirfd, "b");)";
+char describe() { return kHint[0]; }  // fdatasync( in trailing comment
+}  // namespace gs::ckpt

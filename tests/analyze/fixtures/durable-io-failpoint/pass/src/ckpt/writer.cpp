@@ -1,0 +1,11 @@
+// gs:durable-io
+namespace gs::ckpt {
+constexpr const char* kFailpointCommit = "ckpt.commit";
+
+void commit(int fd, const char* tmp, const char* path) {
+  const failpoint::Action action = failpoint::consult(kFailpointCommit);
+  ::fdatasync(fd);
+  ::rename(tmp, path);
+  ::fsync(fd);
+}
+}  // namespace gs::ckpt

@@ -50,7 +50,7 @@ def check(ok: bool, what: str) -> None:
 def run_fixtures() -> None:
     print("== fixture suite")
     cases = sorted(p for p in FIXTURES.iterdir() if p.is_dir())
-    check(len(cases) >= 18, f"fixture coverage: {len(cases)} rules")
+    check(len(cases) >= 20, f"fixture coverage: {len(cases)} rules")
     for rule_dir in cases:
         rule = rule_dir.name
         for kind, expect in (("pass", False), ("fail", True)):

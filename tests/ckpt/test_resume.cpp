@@ -10,13 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/rotation.hpp"
 #include "ckpt/snapshot.hpp"
 #include "ckpt/state_io.hpp"
+#include "common/failpoint.hpp"
 #include "faults/correlation.hpp"
 #include "faults/fault_spec.hpp"
 #include "sim/burst_runner.hpp"
 #include "sim/day_runner.hpp"
 #include "sim/sweep.hpp"
+#include "sim/sweep_ckpt.hpp"
 
 namespace gs::sim {
 namespace {
@@ -227,6 +230,19 @@ class CheckpointedSweep : public ::testing::Test {
     return cells;
   }
 
+  /// small_grid with correlated fault storms and health-aware recovery:
+  /// the hardest state to carry across a kill.
+  static std::vector<Scenario> storm_grid() {
+    auto cells = small_grid();
+    for (auto& sc : cells) {
+      sc.faults = faults::FaultSpec::uniform(0.4, 11);
+      sc.fault_correlation = faults::CorrelationSpec::parse(
+          "storm=0.9,cascade=0.5,regime_on=0.2");
+      sc.health_aware = true;
+    }
+    return cells;
+  }
+
   fs::path dir_;
 };
 
@@ -308,6 +324,92 @@ TEST_F(CheckpointedSweep, ResumingADifferentCampaignThrows) {
   reseeded[0].seed += 99;
   EXPECT_THROW((void)run_sweep_checkpointed(reseeded, opts),
                ckpt::SnapshotError);
+}
+
+TEST_F(CheckpointedSweep, ManifestDamageSelfHealsOnResume) {
+  const auto grid = small_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  const auto ref_fp = sweep_fingerprint(run_sweep_checkpointed(grid, opts));
+
+  // Total manifest loss: every generation and the pointer are damaged.
+  // The manifest is derived from the campaign definition, so resume must
+  // rewrite it rather than condemn the completed cells.
+  const fs::path base = dir_ / "sweep.manifest";
+  for (const auto& [gen, path] :
+       ckpt::RotatingSnapshot::list_generations(base)) {
+    (void)gen;
+    fs::resize_file(path, 4);
+  }
+  {
+    std::ofstream f(ckpt::RotatingSnapshot::pointer_path(base),
+                    std::ios::trunc | std::ios::binary);
+    f << "not a pointer";
+  }
+
+  opts.resume = true;
+  SweepCheckpointStats stats;
+  const auto resumed = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(resumed), ref_fp);
+  EXPECT_EQ(stats.cells_resumed, grid.size());  // cells were never at risk
+  EXPECT_EQ(stats.cells_run, 0u);
+  // The healed manifest validates again.
+  EXPECT_NO_THROW(sweep_ckpt::check_manifest(opts.dir, grid));
+}
+
+TEST_F(CheckpointedSweep, MidStormCorruptionMatrixResumesBitIdentically) {
+  const auto grid = storm_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+  const auto ref_fp = sweep_fingerprint(run_sweep_checkpointed(grid, opts));
+
+  // A kill partway through the campaign plus disk damage across every
+  // artifact class: unwritten cells, a truncated cell, a bit-rotted cell,
+  // and a corrupt manifest generation (rewritten from the campaign).
+  fs::remove(dir_ / sweep_ckpt::cell_file_name(4));
+  fs::remove(dir_ / sweep_ckpt::cell_file_name(5));
+  fs::resize_file(dir_ / sweep_ckpt::cell_file_name(1), 10);
+  {
+    const fs::path cell = dir_ / sweep_ckpt::cell_file_name(2);
+    std::fstream f(cell, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(std::streamoff(fs::file_size(cell) / 2));
+    f.put('\x5a');
+  }
+  const auto gens =
+      ckpt::RotatingSnapshot::list_generations(dir_ / "sweep.manifest");
+  ASSERT_FALSE(gens.empty());
+  fs::resize_file(gens.back().second, 4);
+
+  opts.resume = true;
+  SweepCheckpointStats stats;
+  const auto resumed = run_sweep_checkpointed(grid, opts, 0, &stats);
+  EXPECT_EQ(sweep_fingerprint(resumed), ref_fp);
+  EXPECT_EQ(stats.cells_resumed, 2u);  // cells 0 and 3 were intact
+  EXPECT_EQ(stats.cells_run, 4u);
+}
+
+TEST_F(CheckpointedSweep, TornCellWriteViaFailpointIsRecomputedOnResume) {
+  failpoint::reset();
+  const auto grid = small_grid();
+  SweepCheckpointOptions opts;
+  opts.dir = dir_.string();
+
+  // Single-threaded so snapshot writes land in a deterministic order:
+  // manifest generation (hit 1), manifest pointer (hit 2), cell 0 (hit 3).
+  // The torn action *reports success* — the lying-firmware model — so the
+  // first campaign finishes believing cell 0 is safely on disk.
+  failpoint::configure("ckpt.snapshot.write=torn@hit:3");
+  SweepCheckpointStats stats;
+  const auto first = run_sweep_checkpointed(grid, opts, 1, &stats);
+  failpoint::reset();
+  const auto ref_fp = sweep_fingerprint(first);
+  EXPECT_EQ(stats.cells_run, grid.size());
+
+  opts.resume = true;
+  const auto resumed = run_sweep_checkpointed(grid, opts, 1, &stats);
+  EXPECT_EQ(sweep_fingerprint(resumed), ref_fp);
+  EXPECT_EQ(stats.cells_run, 1u);  // only the torn cell is recomputed
+  EXPECT_EQ(stats.cells_resumed, grid.size() - 1);
 }
 
 }  // namespace

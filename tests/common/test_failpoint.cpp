@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.hpp"
+
+namespace gs::failpoint {
+namespace {
+
+/// Every test leaves the process-global registry disarmed.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(Failpoint, DisarmedByDefault) {
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(consult("ckpt.snapshot.write"));
+  EXPECT_EQ(hits("ckpt.snapshot.write"), 0u);
+  EXPECT_EQ(describe(), "");
+}
+
+TEST_F(Failpoint, SpecErrors) {
+  EXPECT_THROW(configure("no-equals-sign"), SpecError);
+  EXPECT_THROW(configure("=eio"), SpecError);
+  EXPECT_THROW(configure("a.b=explode"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@hit:"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@hit:0"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@hit:3x"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@every:nope"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@p:1.5"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@p:-0.1"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@p:abc"), SpecError);
+  EXPECT_THROW(configure("a.b=eio@sometimes"), SpecError);
+  // A failed configure leaves the registry disarmed, not half-applied.
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(Failpoint, DescribeRoundTripsCanonically) {
+  configure(" b.site = torn @ every:2 ; a.site=eio ;; c.site=short@hit:7 ");
+  EXPECT_TRUE(armed());
+  const std::string canon = describe();
+  EXPECT_EQ(canon,
+            "a.site=eio@always;b.site=torn@every:2;c.site=short@hit:7");
+  // Reconfiguring from the canonical form reproduces it exactly.
+  configure(canon);
+  EXPECT_EQ(describe(), canon);
+}
+
+TEST_F(Failpoint, OffClauseRemovesAnEarlierSite) {
+  configure("a.site=eio;b.site=crash;a.site=off");
+  EXPECT_EQ(describe(), "b.site=crash@always");
+  configure("");
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(Failpoint, AlwaysTriggerFiresEveryConsult) {
+  configure("s=eio");
+  for (int i = 1; i <= 5; ++i) {
+    const Action a = consult("s");
+    EXPECT_EQ(a.kind, ActionKind::Eio);
+  }
+  EXPECT_EQ(hits("s"), 5u);
+  EXPECT_EQ(fired("s"), 5u);
+  EXPECT_FALSE(consult("unconfigured.site"));
+}
+
+TEST_F(Failpoint, HitTriggerFiresExactlyOnce) {
+  configure("s=enospc@hit:3");
+  std::vector<bool> fired_seq;
+  for (int i = 0; i < 6; ++i) fired_seq.push_back(bool(consult("s")));
+  EXPECT_EQ(fired_seq,
+            (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(hits("s"), 6u);
+  EXPECT_EQ(fired("s"), 1u);
+}
+
+TEST_F(Failpoint, EveryTriggerFiresPeriodically) {
+  configure("s=short@every:3");
+  std::vector<bool> fired_seq;
+  for (int i = 0; i < 9; ++i) fired_seq.push_back(bool(consult("s")));
+  EXPECT_EQ(fired_seq, (std::vector<bool>{false, false, true, false, false,
+                                          true, false, false, true}));
+}
+
+TEST_F(Failpoint, ProbabilityTriggerIsSeedDeterministic) {
+  const auto sample = [](std::uint64_t seed) {
+    configure("s=eio@p:0.5", seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(bool(consult("s")));
+    return out;
+  };
+  const auto a = sample(42);
+  const auto b = sample(42);
+  EXPECT_EQ(a, b);  // same seed replays the same schedule
+  const auto c = sample(43);
+  EXPECT_NE(a, c);  // a different seed is a different schedule
+  // p:0.5 over 64 draws fires a plausible fraction, not all-or-nothing.
+  const auto fired_n = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fired_n, 8);
+  EXPECT_LT(fired_n, 56);
+}
+
+TEST_F(Failpoint, ProbabilityStreamsAreIndependentPerSite) {
+  configure("a.site=eio@p:0.5;b.site=eio@p:0.5", 7);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(bool(consult("a.site")));
+    b.push_back(bool(consult("b.site")));
+  }
+  EXPECT_NE(a, b);  // distinct per-site streams, not one shared draw
+}
+
+TEST_F(Failpoint, ConfigureResetsCounters) {
+  configure("s=eio");
+  (void)consult("s");
+  (void)consult("s");
+  EXPECT_EQ(hits("s"), 2u);
+  configure("s=eio");
+  EXPECT_EQ(hits("s"), 0u);
+  EXPECT_EQ(fired("s"), 0u);
+}
+
+TEST_F(Failpoint, TripThrowsTypedErrorsAndIgnoresByteShaping) {
+  configure("e=eio;n=enospc;t=torn;s=short");
+  EXPECT_THROW(trip("e"), InducedError);
+  EXPECT_THROW(trip("n"), InducedError);
+  EXPECT_NO_THROW(trip("t"));  // no byte stream at a trip() site
+  EXPECT_NO_THROW(trip("s"));
+  EXPECT_NO_THROW(trip("unconfigured"));
+}
+
+TEST_F(Failpoint, CrashActionExitsWithTheContractedCode) {
+  configure("boom=crash@hit:2");
+  (void)consult("boom");  // first hit does not fire
+  EXPECT_EXIT((void)consult("boom"), ::testing::ExitedWithCode(kCrashExitCode),
+              "failpoint boom: induced crash");
+}
+
+TEST_F(Failpoint, GsFailpointMacroTripsOnlyWhenArmed) {
+  GS_FAILPOINT("macro.site");  // disarmed: free
+  EXPECT_EQ(hits("macro.site"), 0u);
+  configure("macro.site=eio");
+  EXPECT_THROW(GS_FAILPOINT("macro.site"), InducedError);
+  EXPECT_EQ(hits("macro.site"), 1u);
+}
+
+}  // namespace
+}  // namespace gs::failpoint

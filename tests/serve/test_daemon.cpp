@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ckpt/rotation.hpp"
 #include "serve/protocol.hpp"
 #include "sim/day_runner.hpp"
 
@@ -456,6 +458,67 @@ TEST(ServeDaemon, CheckpointCommandSnapshotsAConsistentFork) {
     EXPECT_EQ(Client::field_hex(*reply, "fp"), batch_fp);
   }
   ::unlink(ckpt.c_str());
+}
+
+TEST(ServeDaemon, ResumeFallsBackToLastKnownGoodGeneration) {
+  namespace fs = std::filesystem;
+  const sim::DayRunConfig day = scenario();
+  const std::uint64_t batch_fp =
+      sim::day_result_fingerprint(sim::run_days(day));
+  const auto events = plan_events(day);
+  const fs::path base = fs::path("/tmp") / ("gs_test_fallback_" +
+                                            std::to_string(::getpid()) +
+                                            ".ckpt");
+
+  {
+    DaemonConfig cfg;
+    cfg.day = day;
+    cfg.socket_path = test_socket_path("fb_a");
+    cfg.checkpoint_path = base.string();
+    cfg.checkpoint_every = 200;  // periodic generations + stop-path final
+    RunningDaemon d(std::move(cfg));
+    Client c(d.socket_path);
+    c.hello();
+    for (std::uint64_t s = 0; s < 700; ++s) c.send(format_feed(events[s]));
+    d.daemon.request_stop();
+    d.join();
+    EXPECT_FALSE(d.report.completed);
+  }
+  auto gens = ckpt::RotatingSnapshot::list_generations(base);
+  ASSERT_GE(gens.size(), 2u) << "need periodic generations to fall back";
+  // Bit-rot the newest generation: recovery must step back to the
+  // previous one and the resumed daemon must still converge on batch.
+  fs::resize_file(gens.back().second, 10);
+
+  {
+    DaemonConfig cfg;
+    cfg.day = day;
+    cfg.socket_path = test_socket_path("fb_b");
+    cfg.resume_from = base.string();
+    RunningDaemon d(std::move(cfg));
+    Client c(d.socket_path);
+    const std::uint64_t epoch = c.hello();
+    EXPECT_GT(epoch, 0u);
+    EXPECT_LT(epoch, 700u);  // older generation, not the (torn) final one
+    for (const FeedEvent& ev : events) {
+      if (ev.seq < epoch) continue;
+      c.send(format_feed(ev));
+    }
+    c.send("drain");
+    std::optional<std::string> reply;
+    while ((reply = c.recv())) {
+      if (reply->rfind("ok drain ", 0) == 0) break;
+    }
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(Client::field_u64(*reply, "completed"), 1u);
+    EXPECT_EQ(Client::field_hex(*reply, "fp"), batch_fp);
+  }
+  for (const auto& [gen, path] :
+       ckpt::RotatingSnapshot::list_generations(base)) {
+    (void)gen;
+    fs::remove(path);
+  }
+  fs::remove(ckpt::RotatingSnapshot::pointer_path(base));
 }
 
 }  // namespace

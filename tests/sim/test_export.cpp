@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/io.hpp"
 #include "sim/export.hpp"
 
 namespace gs::sim {
@@ -70,8 +71,9 @@ TEST(Export, FileExport) {
 
 TEST(Export, BadPathThrows) {
   const auto r = run_burst(small_scenario());
+  // Exports commit through the gs::io shim, whose failures are IoError.
   EXPECT_THROW(export_epochs_csv_file("/nonexistent/dir/x.csv", r),
-               gs::ContractError);
+               gs::io::IoError);
 }
 
 TEST(Export, AvailabilityReportOnHealthyRunIsPerfect) {

@@ -241,6 +241,209 @@ TEST(Engine, WalToleratesTornFinalRecordOnly) {
   EXPECT_THROW(Engine{options(Strategy::WAL, dir)}, TsdbError);
 }
 
+TEST(Engine, WalTornTailIsRepairedSoASecondRestartSurvives) {
+  // Regression for the restart-after-tear poison: the WAL writer never
+  // appends to an existing segment, so after one recovery the torn
+  // segment is no longer the *final* one — without the repair pass the
+  // second restart would reject it as mid-log corruption.
+  const auto dir = fresh_dir("wal_repair");
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    const SeriesId id = engine.series("m", 0, 0);
+    for (int i = 0; i < 10; ++i) engine.append(id, double(i), double(i));
+    engine.flush();
+  }
+  const auto segments = wal_segments(dir);
+  ASSERT_FALSE(segments.empty());
+  fs::resize_file(segments.back(), fs::file_size(segments.back()) - 5);
+
+  {
+    Engine revived(options(Strategy::WAL, dir));
+    EXPECT_EQ(drain(revived.query("m", 0)).size(), 9u);
+    // The repair truncated the torn tail in place: the segment verifies
+    // clean now, so it is safe to become a non-final segment.
+    EXPECT_EQ(check_wal_segment(segments.back()).verdict,
+              WalSegmentCheck::Verdict::Ok);
+    const SeriesId id = revived.series("m", 0, 0);
+    revived.append(id, 100.0, 100.0);
+    revived.flush();
+  }
+  Engine again(options(Strategy::WAL, dir));
+  EXPECT_EQ(drain(again.query("m", 0)).size(), 10u);
+}
+
+TEST(Engine, WalTornHeaderSegmentIsRemovedOnReplay) {
+  const auto dir = fresh_dir("wal_torn_header");
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    const SeriesId id = engine.series("m", 0, 0);
+    for (int i = 0; i < 4; ++i) engine.append(id, double(i), double(i));
+    engine.flush();
+  }
+  // A second segment that died before its header finished.
+  const auto segments = wal_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const fs::path torn =
+      segments.back().parent_path() / "wal-000001.gswal";
+  {
+    std::ofstream f(torn, std::ios::binary);
+    f << "GS";
+  }
+  EXPECT_EQ(check_wal_segment(torn).verdict,
+            WalSegmentCheck::Verdict::TornTail);
+
+  {
+    Engine revived(options(Strategy::WAL, dir));
+    EXPECT_EQ(drain(revived.query("m", 0)).size(), 4u);
+  }
+  // Repair removed the headerless husk before the revived writer opened
+  // its own (valid) segment under the same sequence number.
+  EXPECT_EQ(check_wal_segment(torn).verdict, WalSegmentCheck::Verdict::Ok);
+  Engine again(options(Strategy::WAL, dir));
+  EXPECT_EQ(drain(again.query("m", 0)).size(), 4u);
+}
+
+TEST(Engine, CheckWalSegmentVerdicts) {
+  const auto dir = fresh_dir("wal_check");
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    const SeriesId id = engine.series("m", 0, 0);
+    for (int i = 0; i < 8; ++i) engine.append(id, double(i), double(i));
+    engine.flush();
+  }
+  const auto seg = wal_segments(dir).back();
+  const auto intact = check_wal_segment(seg);
+  EXPECT_EQ(intact.verdict, WalSegmentCheck::Verdict::Ok);
+  EXPECT_EQ(intact.records, 8u);
+
+  const auto size = fs::file_size(seg);
+  fs::resize_file(seg, size - 3);
+  const auto torn = check_wal_segment(seg);
+  EXPECT_EQ(torn.verdict, WalSegmentCheck::Verdict::TornTail);
+  EXPECT_EQ(torn.records, 7u);
+  fs::resize_file(seg, size);  // restore length; tail bytes now zeroed
+
+  {
+    std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);  // inside the first record
+    const char x = 0x7f;
+    f.write(&x, 1);
+  }
+  EXPECT_EQ(check_wal_segment(seg).verdict,
+            WalSegmentCheck::Verdict::Corrupt);
+}
+
+std::vector<std::string> catalog_lines(const fs::path& dir) {
+  std::ifstream in(dir / "series.gscat", std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Engine, CatalogSurvivesSnapshotRewindWithoutDuplicateLines) {
+  // The chaos-lane shape: a daemon checkpoints while only some series
+  // exist, registers more, crashes, and resumes from the older snapshot.
+  // load_state rewinds the in-memory series table but the append-only
+  // catalog cannot rewind — re-registration must land on the recorded ids
+  // without appending duplicate lines that poison the next replay.
+  const auto dir = fresh_dir("catalog_rewind");
+  ckpt::StateWriter w;
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    ASSERT_EQ(engine.series("feed_stale", 0, 0), 0u);
+    engine.save_state(w);  // snapshot taken before the cluster series exist
+    ASSERT_EQ(engine.series("cluster_goodput", 0, 0), 1u);
+    ASSERT_EQ(engine.series("cluster_demand_w", 0, 0), 2u);
+  }
+  ASSERT_EQ(catalog_lines(dir).size(), 3u);
+
+  Engine revived(options(Strategy::WAL, dir));  // replays all 3 lines
+  ckpt::StateReader r(w.buffer());
+  revived.load_state(r);  // rewinds to the 1-series snapshot
+  EXPECT_EQ(revived.series("cluster_goodput", 0, 0), 1u);
+  EXPECT_EQ(revived.series("cluster_demand_w", 0, 0), 2u);
+  EXPECT_EQ(catalog_lines(dir).size(), 3u) << "rewind appended duplicates";
+
+  Engine again(options(Strategy::WAL, dir));
+  EXPECT_EQ(again.find_series("cluster_demand_w", 0, 0), SeriesId(2));
+}
+
+TEST(Engine, CatalogRegistrationDivergenceAfterRewindThrows) {
+  // If post-restore registration order would assign a catalogued series a
+  // different id, samples keyed by id would be misattributed — that must
+  // be an error, not a silent remap.
+  const auto dir = fresh_dir("catalog_diverge");
+  ckpt::StateWriter w;
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    engine.series("feed_stale", 0, 0);
+    engine.save_state(w);
+    engine.series("a", 0, 0);  // id 1
+    engine.series("b", 0, 0);  // id 2
+  }
+  Engine revived(options(Strategy::WAL, dir));
+  ckpt::StateReader r(w.buffer());
+  revived.load_state(r);
+  EXPECT_THROW(revived.series("b", 0, 0), TsdbError);  // catalog says id 2
+}
+
+TEST(Engine, CatalogToleratesExactDuplicateLinesOnReplay) {
+  // Catalogs written before the rewind fix carry duplicate lines that
+  // exactly restate earlier registrations; replay treats them as the
+  // idempotent re-registrations they are.
+  const auto dir = fresh_dir("catalog_dup");
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    engine.series("feed_stale", 0, 0);
+    engine.series("a", 1, 2);
+    engine.series("b", 1, 2);
+  }
+  {
+    std::ofstream out(dir / "series.gscat",
+                      std::ios::binary | std::ios::app);
+    out << "1\t1\t2\ta\n2\t1\t2\tb\n";
+  }
+  Engine revived(options(Strategy::WAL, dir));
+  EXPECT_EQ(revived.stats().series, 3u);
+  EXPECT_EQ(revived.find_series("b", 1, 2), SeriesId(2));
+
+  // A used id re-registered with a *different* identity is corruption.
+  {
+    std::ofstream out(dir / "series.gscat",
+                      std::ios::binary | std::ios::app);
+    out << "1\t9\t9\timposter\n";
+  }
+  EXPECT_THROW(Engine{options(Strategy::WAL, dir)}, TsdbError);
+}
+
+TEST(Engine, CatalogTornTailIsTruncatedOnReplay) {
+  // A kill mid-intern leaves an unterminated final line. Replay must
+  // truncate it while it is still final: the next registration appends
+  // right after it, and a fragment glued to a fresh line would read as
+  // garbage on the replay after the *next* kill.
+  const auto dir = fresh_dir("catalog_torn");
+  {
+    Engine engine(options(Strategy::WAL, dir));
+    engine.series("feed_stale", 0, 0);
+    engine.series("a", 0, 0);
+  }
+  const auto intact_size = fs::file_size(dir / "series.gscat");
+  {
+    std::ofstream out(dir / "series.gscat",
+                      std::ios::binary | std::ios::app);
+    out << "2\t0\t0\tpar";  // no newline: torn mid-intern
+  }
+  {
+    Engine revived(options(Strategy::WAL, dir));
+    EXPECT_EQ(revived.stats().series, 2u);
+    EXPECT_EQ(fs::file_size(dir / "series.gscat"), intact_size);
+    EXPECT_EQ(revived.series("c", 0, 0), 2u);  // appends after the repair
+  }
+  Engine again(options(Strategy::WAL, dir));
+  EXPECT_EQ(again.find_series("c", 0, 0), SeriesId(2));
+}
+
 TEST(Engine, LoadStateRejectsStrategyMismatch) {
   const auto dir = fresh_dir("load_mismatch");
   Engine engine(options(Strategy::MEMORY, dir));

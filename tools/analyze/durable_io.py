@@ -1,0 +1,63 @@
+"""durable-io-failpoint: durability code must keep a failpoint in view.
+
+Files bannered `// gs:durable-io` form the crash-consistency surface:
+every write they make durable is exactly what the chaos lane needs to be
+able to interrupt. A raw fsync/fdatasync/rename call in such a file that
+has no failpoint site anywhere in view is a durability path the chaos
+lane cannot exercise — route the write through gs::io (common/io.hpp),
+whose entry points carry a site name, or consult a failpoint site
+directly.
+
+"In view" is file-level, like tsdb-chunk-version: any reference to the
+failpoint machinery (the `failpoint` namespace, the GS_FAILPOINT macro,
+or a kFailpoint* site constant) satisfies the rule for the whole file.
+Matching runs on the token stream, so occurrences inside strings and
+comments never fire.
+"""
+
+from __future__ import annotations
+
+from . import lexer
+from .findings import Report
+from .model import Project
+from .source import SourceFile
+
+RULE = "durable-io-failpoint"
+
+_DURABLE_CALLS = frozenset({"fsync", "fdatasync", "rename", "renameat"})
+
+_MSG = (
+    "raw {call}() in gs:durable-io code with no failpoint site in view; "
+    "route the write through gs::io (common/io.hpp) or consult a "
+    "failpoint site so the chaos lane can interrupt this durability path"
+)
+
+
+def run(project: Project, report: Report) -> None:
+    for sf in project.files.values():
+        if not sf.durable_io:
+            continue
+        _check_file(project, sf, report)
+
+
+def _check_file(project: Project, sf: SourceFile, report: Report) -> None:
+    toks = project.code_tokens.get(sf.rel) or sf.code_tokens()
+    n = len(toks)
+
+    calls: list[tuple[int, str]] = []  # (line, callee)
+    failpoint_in_view = False
+    for i, t in enumerate(toks):
+        if t.kind != lexer.ID:
+            continue
+        if t.text == "failpoint" or t.text == "GS_FAILPOINT" or \
+                t.text.startswith("kFailpoint"):
+            failpoint_in_view = True
+        if t.text in _DURABLE_CALLS and i + 1 < n and \
+                toks[i + 1].text == "(":
+            calls.append((t.line, t.text))
+
+    if failpoint_in_view:
+        return
+    for line, callee in calls:
+        if not sf.allowed(RULE, line):
+            report.add(RULE, sf.rel, line, _MSG.format(call=callee))

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from . import (
     ckpt_schema,
+    durable_io,
     fingerprint,
     lock_order,
     rng_streams,
@@ -29,6 +30,7 @@ NEW_RULES = (
     "ckpt-schema-lock",
     "ckpt-schema-lock-stale",
     "ckpt-save-load-mismatch",
+    "durable-io-failpoint",
     "fingerprint-coverage",
     "lock-order-cycle",
     "lock-order-reentry",
@@ -95,6 +97,7 @@ def analyze(root: Path, paths: list[str] | None = None,
                 "tools/gs_analyze --write-lock and commit it",
             )
 
+        durable_io.run(project, report)
         fingerprint.run(project, report)
         lock_order.run(project, report)
         rng_streams.run(project, report)

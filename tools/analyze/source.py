@@ -32,6 +32,7 @@ FP_EXEMPT_RE = re.compile(
     r"gs-analyze:\s*fingerprint-(?:exempt|via)\(([^)]*)\)"
 )
 HOT_PATH_BANNER_RE = re.compile(r"gs:hot-path\b")
+DURABLE_IO_BANNER_RE = re.compile(r"gs:durable-io\b")
 
 
 @dataclass
@@ -53,6 +54,7 @@ class SourceFile:
     suppressions: list[Suppression]
     fingerprint_exempt_lines: set[int]
     hot_path: bool
+    durable_io: bool
     n_lines: int
 
     @property
@@ -109,6 +111,7 @@ def load(path: Path, rel: str) -> SourceFile:
     suppressions: list[Suppression] = []
     fp_exempt: set[int] = set()
     hot_path = False
+    durable_io = False
     for line, ctext in comments.items():
         m = ALLOW_RE.search(ctext)
         if m:
@@ -120,6 +123,8 @@ def load(path: Path, rel: str) -> SourceFile:
             fp_exempt.add(line)
         if HOT_PATH_BANNER_RE.search(ctext):
             hot_path = True
+        if DURABLE_IO_BANNER_RE.search(ctext):
+            durable_io = True
 
     return SourceFile(
         path=path,
@@ -130,5 +135,6 @@ def load(path: Path, rel: str) -> SourceFile:
         suppressions=suppressions,
         fingerprint_exempt_lines=fp_exempt,
         hot_path=hot_path,
+        durable_io=durable_io,
         n_lines=text.count("\n") + 1,
     )

@@ -6,9 +6,10 @@
 //
 // Serve:  greensprintd --socket /tmp/gs.sock [--tcp PORT] [--sim-speed X]
 //           [--stall-grace EPOCHS] [--checkpoint PATH]
-//           [--checkpoint-every N] [--resume PATH]
+//           [--checkpoint-every N] [--checkpoint-keep K] [--resume PATH]
 //           [--tsdb memory|wal|compressed|cache] [--tsdb-dir DIR]
-//           [--queue-cap N] [scenario flags]
+//           [--queue-cap N] [--failpoints SPEC] [--failpoint-seed N]
+//           [scenario flags]
 // Batch:  greensprintd --batch [scenario flags]
 //           runs the same campaign inline (sim::run_days) and prints the
 //           result fingerprint — the e2e reference the daemon must match.
@@ -24,6 +25,7 @@
 
 #include <unistd.h>
 
+#include "common/failpoint.hpp"
 #include "serve/daemon.hpp"
 #include "serve_scenario.hpp"
 #include "sim/day_runner.hpp"
@@ -43,6 +45,16 @@ void on_signal(int) {
 int main(int argc, char** argv) {
   using namespace gs;
   const CliArgs args(argc, argv);
+  if (args.has("failpoints")) {
+    try {
+      failpoint::configure(
+          args.get("failpoints", std::string()),
+          std::uint64_t(args.get("failpoint-seed", 0)));
+    } catch (const failpoint::SpecError& e) {
+      std::fprintf(stderr, "greensprintd: --failpoints: %s\n", e.what());
+      return 2;
+    }
+  }
   const sim::DayRunConfig day = tools::scenario_from_cli(args);
 
   if (args.flag("batch")) {
@@ -60,9 +72,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH [--tcp PORT] [--sim-speed X] "
                  "[--stall-grace EPOCHS]\n  [--checkpoint PATH] "
-                 "[--checkpoint-every N] [--resume PATH]\n  "
+                 "[--checkpoint-every N] [--checkpoint-keep K] "
+                 "[--resume PATH]\n  "
                  "[--tsdb memory|wal|compressed|cache] [--tsdb-dir DIR] "
-                 "[--queue-cap N]\n  %s\n"
+                 "[--queue-cap N]\n  [--failpoints SPEC] "
+                 "[--failpoint-seed N]\n  %s\n"
                  "   or: %s --batch [scenario flags]\n",
                  argv[0], tools::kScenarioUsage, argv[0]);
     return 2;
@@ -73,6 +87,8 @@ int main(int argc, char** argv) {
   cfg.checkpoint_path = args.get("checkpoint", std::string());
   cfg.checkpoint_every =
       std::uint64_t(args.get("checkpoint-every", 0));
+  cfg.checkpoint_keep =
+      std::uint32_t(args.get("checkpoint-keep", int(cfg.checkpoint_keep)));
   cfg.resume_from = args.get("resume", std::string());
   cfg.queue_capacity =
       std::size_t(args.get("queue-cap", int(cfg.queue_capacity)));

@@ -17,12 +17,22 @@
 //   --drain sends `drain` after the last event and waits for the reply,
 //   printing the daemon's final fingerprint.
 //
-// Exit codes: 0 ok, 2 usage, 3 connection lost mid-replay (daemon died).
-#include <sys/socket.h>
-#include <sys/un.h>
+// Poll:    gs_feed --stat --socket PATH
+//            one-shot: connect, print the daemon's stat reply, exit.
+//          gs_feed --wait-epoch N --socket PATH [--timeout S]
+//            poll stat until the daemon's next epoch reaches N (or the
+//            campaign completes); replaces fixed sleeps in e2e scripts.
+//
+// All connecting modes retry the connect with exponential backoff and
+// seeded jitter (--retry-seed), so callers can launch the daemon and the
+// client concurrently without racing the socket bind.
+//
+// Exit codes: 0 ok, 2 usage, 3 connection lost mid-replay (daemon died),
+// 4 --wait-epoch timed out.
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -30,8 +40,10 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve_scenario.hpp"
 #include "sim/day_runner.hpp"
@@ -40,20 +52,13 @@ namespace {
 
 using namespace gs;
 
-int connect_unix(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    ::close(fd);
-    return -1;
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
-    ::close(fd);
-    return -1;
+int connect_with_retry(const CliArgs& args, const std::string& path) {
+  serve::ConnectRetryOptions opts;
+  opts.seed = std::uint64_t(args.get("retry-seed", 0));
+  const int fd = serve::connect_unix_retry(path, opts);
+  if (fd < 0) {
+    std::fprintf(stderr, "gs_feed: cannot connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
   }
   return fd;
 }
@@ -173,12 +178,8 @@ int play(const CliArgs& args, const std::string& trace_path) {
           ? std::uint64_t(args.get("until", 0))
           : ~std::uint64_t(0);
 
-  const int fd = connect_unix(socket_path);
-  if (fd < 0) {
-    std::fprintf(stderr, "gs_feed: cannot connect %s: %s\n",
-                 socket_path.c_str(), std::strerror(errno));
-    return 3;
-  }
+  const int fd = connect_with_retry(args, socket_path);
+  if (fd < 0) return 3;
   serve::FrameDecoder dec;
   if (!send_all(fd, serve::encode_frame("hello " + serve::protocol_id()))) {
     ::close(fd);
@@ -272,20 +273,115 @@ int play(const CliArgs& args, const std::string& trace_path) {
   return 0;
 }
 
+/// Connect + hello handshake for the polling modes; -1 on failure.
+int open_session(const CliArgs& args, const std::string& socket_path,
+                 serve::FrameDecoder& dec) {
+  const int fd = connect_with_retry(args, socket_path);
+  if (fd < 0) return -1;
+  if (!send_all(fd, serve::encode_frame("hello " + serve::protocol_id()))) {
+    ::close(fd);
+    return -1;
+  }
+  const auto hello = read_frame(fd, dec);
+  if (!hello || hello->rfind("ok hello ", 0) != 0) {
+    std::fprintf(stderr, "gs_feed: bad hello reply: %s\n",
+                 hello ? hello->c_str() : "(connection lost)");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// "<key> <u64>" field from a stat reply; nullopt when absent.
+std::optional<std::uint64_t> stat_field(const std::string& reply,
+                                        const std::string& key) {
+  const std::string marker = " " + key + " ";
+  const auto at = reply.find(marker);
+  if (at == std::string::npos) return std::nullopt;
+  const auto start = at + marker.size();
+  const auto end = reply.find(' ', start);
+  return serve::parse_u64(reply.substr(start, end - start));
+}
+
+int stat_once(const CliArgs& args, const std::string& socket_path) {
+  serve::FrameDecoder dec;
+  const int fd = open_session(args, socket_path, dec);
+  if (fd < 0) return 3;
+  int rc = 3;
+  if (send_all(fd, serve::encode_frame("stat"))) {
+    const auto reply = read_frame(fd, dec);
+    if (reply) {
+      std::printf("gs_feed: %s\n", reply->c_str());
+      rc = 0;
+    }
+  }
+  ::close(fd);
+  return rc;
+}
+
+/// Poll stat until the daemon's next epoch reaches `target` (or the
+/// campaign completes — a finished daemon never advances further).
+int wait_epoch(const CliArgs& args, const std::string& socket_path) {
+  const auto target = std::uint64_t(args.get("wait-epoch", 0));
+  const double timeout_s = args.get("timeout", 30.0);
+  serve::FrameDecoder dec;
+  const int fd = open_session(args, socket_path, dec);
+  if (fd < 0) return 3;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    if (!send_all(fd, serve::encode_frame("stat"))) break;
+    const auto reply = read_frame(fd, dec);
+    if (!reply) break;
+    const auto epoch = stat_field(*reply, "epoch");
+    const auto completed = stat_field(*reply, "completed");
+    if ((epoch && *epoch >= target) || (completed && *completed != 0)) {
+      std::printf("gs_feed: %s\n", reply->c_str());
+      ::close(fd);
+      return 0;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "gs_feed: timed out waiting for epoch %llu (at %llu)\n",
+                   (unsigned long long)target,
+                   (unsigned long long)(epoch ? *epoch : 0));
+      ::close(fd);
+      return 4;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "gs_feed: connection lost awaiting epoch %llu\n",
+               (unsigned long long)target);
+  ::close(fd);
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   const CliArgs args(argc, argv);
   const std::string trace = args.get("trace", std::string());
+  const std::string socket_path = args.get("socket", std::string());
+  if (args.flag("stat") || args.has("wait-epoch")) {
+    if (socket_path.empty()) {
+      std::fprintf(stderr, "gs_feed: --stat/--wait-epoch need --socket\n");
+      return 2;
+    }
+    return args.flag("stat") ? stat_once(args, socket_path)
+                             : wait_epoch(args, socket_path);
+  }
   if (trace.empty() || (!args.flag("gen") && !args.flag("play"))) {
     std::fprintf(stderr,
                  "usage: %s --gen --trace FILE [scenario flags]\n"
                  "   or: %s --play --trace FILE --socket PATH "
                  "[--until EPOCH]\n        [--strategy-at EPOCH:NAME] "
                  "[--fault-at EPOCH:SPEC] [--stat-at EPOCH] [--drain]\n"
+                 "   or: %s --stat --socket PATH\n"
+                 "   or: %s --wait-epoch N --socket PATH [--timeout S]\n"
                  "scenario flags: %s\n",
-                 argv[0], argv[0], gs::tools::kScenarioUsage);
+                 argv[0], argv[0], argv[0], argv[0],
+                 gs::tools::kScenarioUsage);
     return 2;
   }
   return args.flag("gen") ? generate(args, trace) : play(args, trace);

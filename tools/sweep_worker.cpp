@@ -9,10 +9,13 @@
 //
 // Usage: sweep_worker --dir DIR [--smoke] [--storm] [--cells N]
 //                     [--stale-after SECONDS]
+//                     [--failpoints SPEC] [--failpoint-seed N]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "sim/sweep_grid.hpp"
 #include "sim/sweep_mp.hpp"
 
@@ -22,6 +25,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool storm = false;
   std::size_t n_cells = 0;
+  std::string failpoints;
+  std::uint64_t failpoint_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       opts.dir = argv[++i];
@@ -33,11 +38,25 @@ int main(int argc, char** argv) {
       n_cells = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--stale-after") == 0 && i + 1 < argc) {
       opts.stale_after_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      failpoints = argv[++i];
+    } else if (std::strcmp(argv[i], "--failpoint-seed") == 0 &&
+               i + 1 < argc) {
+      failpoint_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s --dir DIR [--smoke] [--storm] [--cells N] "
-                   "[--stale-after SECONDS]\n",
+                   "[--stale-after SECONDS]\n"
+                   "       [--failpoints SPEC] [--failpoint-seed N]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+  if (!failpoints.empty()) {
+    try {
+      failpoint::configure(failpoints, failpoint_seed);
+    } catch (const failpoint::SpecError& e) {
+      std::fprintf(stderr, "sweep_worker: --failpoints: %s\n", e.what());
       return 2;
     }
   }
